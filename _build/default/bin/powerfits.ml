@@ -1,0 +1,291 @@
+(* powerfits — command-line front end for the PowerFITS reproduction.
+
+   Subcommands walk the paper's flow (Figure 1): list the benchmark suite,
+   profile a program, synthesize its FITS ISA, disassemble either binary,
+   run one of the four simulated configurations, or regenerate the
+   evaluation figures. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Print synthesis debug logging.")
+
+let find_bench name =
+  try Pf_mibench.Registry.find name
+  with Not_found ->
+    Printf.eprintf "unknown benchmark %S; try `powerfits list'\n" name;
+    exit 2
+
+let build ?(scale = 1) (b : Pf_mibench.Registry.benchmark) =
+  let p = b.Pf_mibench.Registry.program ~scale in
+  Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
+
+let bench_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
+         ~doc:"Input-size multiplier (default 1).")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-18s %-11s %s\n" "benchmark" "category" "power-study";
+    List.iter
+      (fun (b : Pf_mibench.Registry.benchmark) ->
+        Printf.printf "%-18s %-11s %s\n" b.Pf_mibench.Registry.name
+          b.Pf_mibench.Registry.category
+          (if b.Pf_mibench.Registry.power_study then "yes" else "no"))
+      Pf_mibench.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 21-benchmark suite.")
+    Term.(const run $ const ())
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run name scale =
+    let image = build ~scale (find_bench name) in
+    let profile, _ = Pf_fits.Profile.profile_run image in
+    print_string (Pf_fits.Profile.summary profile);
+    print_string (Pf_fits.Regfile.describe (Pf_fits.Regfile.analyze profile))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile a benchmark: opcode mix, immediates, register pressure.")
+    Term.(const run $ bench_arg $ scale_arg)
+
+(* ---- synth ---- *)
+
+let synth_cmd =
+  let run name scale verbose =
+    setup_logs verbose;
+    let image = build ~scale (find_bench name) in
+    let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+    let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+    let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+    print_string (Pf_fits.Spec.describe tr.Pf_fits.Translate.spec);
+    let st = tr.Pf_fits.Translate.stats in
+    Printf.printf
+      "\nstatic mapping: %.1f%% 1-to-1 (%d of %d ARM instructions)\n"
+      (Pf_fits.Translate.static_mapping_rate tr)
+      st.Pf_fits.Translate.one_to_one st.Pf_fits.Translate.arm_insns;
+    List.iter
+      (fun (n, c) -> Printf.printf "  1-to-%d: %d instructions\n" n c)
+      st.Pf_fits.Translate.expansion_hist;
+    Printf.printf "code size: ARM %d B -> FITS %d B (%.1f%% saving)\n"
+      st.Pf_fits.Translate.code_bytes_arm st.Pf_fits.Translate.code_bytes_fits
+      (Pf_fits.Translate.code_size_saving tr)
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:"Synthesize a benchmark's FITS ISA and report mapping statistics.")
+    Term.(const run $ bench_arg $ scale_arg $ verbose_arg)
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let fits_flag =
+    Arg.(value & flag & info [ "fits" ] ~doc:"Disassemble the FITS binary.")
+  in
+  let run name scale fits =
+    let image = build ~scale (find_bench name) in
+    if fits then begin
+      let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+      let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+      let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+      print_string (Pf_fits.Translate.disassemble tr)
+    end
+    else print_string (Pf_arm.Image.disassemble image)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a benchmark's ARM or FITS binary.")
+    Term.(const run $ bench_arg $ scale_arg $ fits_flag)
+
+(* ---- run ---- *)
+
+let config_arg =
+  let cfg_conv =
+    Arg.enum
+      [ ("arm16", `Arm16); ("arm8", `Arm8); ("fits16", `Fits16);
+        ("fits8", `Fits8) ]
+  in
+  Arg.(value & opt cfg_conv `Arm16
+       & info [ "config" ] ~docv:"CONFIG"
+           ~doc:"Processor configuration: arm16, arm8, fits16 or fits8.")
+
+let run_cmd =
+  let run name scale config =
+    let image = build ~scale (find_bench name) in
+    let cache_cfg =
+      match config with
+      | `Arm16 | `Fits16 -> Pf_harness.Experiment.cache_16k
+      | `Arm8 | `Fits8 -> Pf_harness.Experiment.cache_8k
+    in
+    let print_common ~instrs ~cycles ~ipc ~accesses ~misses ~mr
+        (p : Pf_power.Account.report) output =
+      Printf.printf "instructions: %d\ncycles: %d\nIPC: %.2f\n" instrs cycles
+        ipc;
+      Printf.printf "I-cache accesses: %d  misses: %d (%.1f /M)\n" accesses
+        misses mr;
+      Printf.printf
+        "I-cache energy: switching %.3g  internal %.3g  leakage %.3g  \
+         (peak power %.3g)\n"
+        p.Pf_power.Account.switching p.Pf_power.Account.internal
+        p.Pf_power.Account.leakage p.Pf_power.Account.peak_power;
+      Printf.printf "--- program output ---\n%s" output
+    in
+    match config with
+    | `Arm16 | `Arm8 ->
+        let r = Pf_cpu.Arm_run.run ~cache_cfg image in
+        print_common ~instrs:r.Pf_cpu.Arm_run.instructions
+          ~cycles:r.Pf_cpu.Arm_run.cycles ~ipc:r.Pf_cpu.Arm_run.ipc
+          ~accesses:r.Pf_cpu.Arm_run.cache_accesses
+          ~misses:r.Pf_cpu.Arm_run.cache_misses
+          ~mr:r.Pf_cpu.Arm_run.miss_rate_per_million r.Pf_cpu.Arm_run.power
+          r.Pf_cpu.Arm_run.output
+    | `Fits16 | `Fits8 ->
+        let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+        let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+        let tr =
+          Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image
+        in
+        let r = Pf_fits.Run.run ~cache_cfg tr in
+        Printf.printf "dynamic 1-to-1 mapping: %.1f%%\n"
+          r.Pf_fits.Run.dyn_one_to_one_pct;
+        print_common ~instrs:r.Pf_fits.Run.arm_instructions
+          ~cycles:r.Pf_fits.Run.cycles ~ipc:r.Pf_fits.Run.ipc
+          ~accesses:r.Pf_fits.Run.cache_accesses
+          ~misses:r.Pf_fits.Run.cache_misses
+          ~mr:r.Pf_fits.Run.miss_rate_per_million r.Pf_fits.Run.power
+          r.Pf_fits.Run.output
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Simulate one benchmark on one of the four configurations.")
+    Term.(const run $ bench_arg $ scale_arg $ config_arg)
+
+(* ---- figures ---- *)
+
+let figures_cmd =
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "only" ] ~docv:"FIG"
+             ~doc:"Print a single figure (fig3..fig14).")
+  in
+  let run scale only =
+    let all = Pf_harness.Experiment.run_all ~scale () in
+    List.iter
+      (fun (r : Pf_harness.Experiment.bench_result) ->
+        if not r.Pf_harness.Experiment.outputs_consistent then begin
+          Printf.eprintf "FATAL: inconsistent outputs on %s\n"
+            r.Pf_harness.Experiment.name;
+          exit 1
+        end)
+      all;
+    let power = Pf_harness.Experiment.power_rows all in
+    let figs =
+      Pf_harness.Figures.mapping_figures all
+      @ Pf_harness.Figures.power_figures power
+    in
+    let figs =
+      match only with
+      | None -> figs
+      | Some id ->
+          List.filter
+            (fun (f : Pf_harness.Figures.figure) ->
+              String.length f.Pf_harness.Figures.id >= String.length id
+              && String.sub f.Pf_harness.Figures.id 0 (String.length id) = id)
+            figs
+    in
+    List.iter (fun f -> print_endline (Pf_harness.Figures.render f)) figs
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:"Run the full experiment and print every evaluation figure.")
+    Term.(const run $ scale_arg $ only)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run name scale =
+    let b = find_bench name in
+    let r = Pf_harness.Experiment.run_benchmark ~scale b in
+    let e = r.Pf_harness.Experiment.arm16 in
+    Printf.printf "# %s (%s)\n\n" r.Pf_harness.Experiment.name
+      r.Pf_harness.Experiment.category;
+    Printf.printf "consistent outputs across all configurations: %b\n\n"
+      r.Pf_harness.Experiment.outputs_consistent;
+    Printf.printf "## translation\n\n";
+    Printf.printf "- static 1-to-1 mapping: %.1f%%\n"
+      r.Pf_harness.Experiment.static_map_pct;
+    Printf.printf "- dynamic 1-to-1 mapping: %.1f%%\n"
+      r.Pf_harness.Experiment.dyn_map_pct;
+    List.iter
+      (fun (n, c) -> Printf.printf "- 1-to-%d expansions: %d\n" n c)
+      r.Pf_harness.Experiment.expansion_hist;
+    Printf.printf "- AIS opcodes: %d, dictionary entries: %d\n"
+      r.Pf_harness.Experiment.ais_ops r.Pf_harness.Experiment.dict_entries;
+    Printf.printf
+      "- code bytes: ARM %d, THUMB(est) %d, FITS %d (%.1f%% saving)\n\n"
+      r.Pf_harness.Experiment.code_arm r.Pf_harness.Experiment.code_thumb
+      r.Pf_harness.Experiment.code_fits
+      (Pf_util.Stats.saving
+         ~baseline:(float_of_int r.Pf_harness.Experiment.code_arm)
+         (float_of_int r.Pf_harness.Experiment.code_fits));
+    Printf.printf "## four configurations\n\n";
+    let rows =
+      List.map
+        (fun (label, (c : Pf_harness.Experiment.per_config)) ->
+          let p = c.Pf_harness.Experiment.power in
+          [
+            label;
+            string_of_int c.Pf_harness.Experiment.cycles;
+            Printf.sprintf "%.2f" c.Pf_harness.Experiment.ipc;
+            Printf.sprintf "%.1f" c.Pf_harness.Experiment.miss_rate_pm;
+            Pf_util.Table.si p.Pf_power.Account.switching;
+            Pf_util.Table.si p.Pf_power.Account.internal;
+            Pf_util.Table.si p.Pf_power.Account.leakage;
+            Printf.sprintf "%.1f"
+              (Pf_util.Stats.saving
+                 ~baseline:
+                   (e.Pf_harness.Experiment.power.Pf_power.Account.total
+                   /. float_of_int e.Pf_harness.Experiment.cycles)
+                 (p.Pf_power.Account.total
+                 /. float_of_int c.Pf_harness.Experiment.cycles));
+          ])
+        [
+          ("ARM16", r.Pf_harness.Experiment.arm16);
+          ("ARM8", r.Pf_harness.Experiment.arm8);
+          ("FITS16", r.Pf_harness.Experiment.fits16);
+          ("FITS8", r.Pf_harness.Experiment.fits8);
+        ]
+    in
+    print_string
+      (Pf_util.Table.render
+         ~header:
+           [ "config"; "cycles"; "IPC"; "miss/M"; "E_sw"; "E_int"; "E_leak";
+             "power saving %" ]
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Full per-benchmark report: translation, four configurations.")
+    Term.(const run $ bench_arg $ scale_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "powerfits" ~version:"1.0"
+       ~doc:
+         "Reproduction of PowerFITS (ISPASS 2005): application-specific \
+          instruction-set synthesis for I-cache power.")
+    [ list_cmd; profile_cmd; synth_cmd; disasm_cmd; run_cmd; report_cmd;
+      figures_cmd ]
+
+let () = exit (Cmd.eval main)

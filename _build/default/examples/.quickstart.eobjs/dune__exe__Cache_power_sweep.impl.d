@@ -1,0 +1,1 @@
+examples/cache_power_sweep.ml: Array List Pf_arm Pf_armgen Pf_cache Pf_cpu Pf_fits Pf_mibench Pf_power Pf_util Printf Sys

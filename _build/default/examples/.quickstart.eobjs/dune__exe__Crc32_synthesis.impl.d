@@ -1,0 +1,1 @@
+examples/crc32_synthesis.ml: Array List Pf_armgen Pf_fits Pf_mibench Pf_thumb Printf String

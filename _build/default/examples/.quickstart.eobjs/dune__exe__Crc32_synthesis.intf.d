@@ -1,0 +1,1 @@
+examples/crc32_synthesis.mli:

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Pf_harness Pf_kir Pf_mibench Pf_power Pf_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pf_arm Pf_armgen Pf_cpu Pf_fits Pf_kir Pf_power Pf_util Printf String

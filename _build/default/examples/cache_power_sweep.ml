@@ -1,0 +1,56 @@
+(* Cache design-space sweep: run one benchmark across I-cache sizes
+   (4/8/16/32 KB) in both ISAs and tabulate miss rate, per-component cache
+   power, and run time — the §6.3 trade-off ("simply reducing the size of
+   the ARM cache is not going to help us much") made explorable.
+
+     dune exec examples/cache_power_sweep.exe [benchmark]   (default jpeg) *)
+
+let sizes_kb = [ 4; 8; 16; 32 ]
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "jpeg" in
+  let bench = Pf_mibench.Registry.find name in
+  let program = bench.Pf_mibench.Registry.program ~scale:1 in
+  let image =
+    Pf_armgen.Compile.program ~unroll:bench.Pf_mibench.Registry.unroll program
+  in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  Printf.printf "benchmark: %s (ARM code %d B, FITS code %d B)\n\n" name
+    (Pf_arm.Image.code_size_bytes image)
+    tr.Pf_fits.Translate.stats.Pf_fits.Translate.code_bytes_fits;
+  let rows = ref [] in
+  List.iter
+    (fun kb ->
+      let cache_cfg =
+        Pf_cache.Icache.config ~size_bytes:(kb * 1024) ()
+      in
+      let arm = Pf_cpu.Arm_run.run ~cache_cfg image in
+      let fits = Pf_fits.Run.run ~cache_cfg tr in
+      let row isa miss_rate cycles (p : Pf_power.Account.report) =
+        [
+          Printf.sprintf "%dK" kb;
+          isa;
+          Printf.sprintf "%.1f" miss_rate;
+          string_of_int cycles;
+          Pf_util.Table.si p.Pf_power.Account.switching;
+          Pf_util.Table.si p.Pf_power.Account.internal;
+          Pf_util.Table.si p.Pf_power.Account.leakage;
+          Pf_util.Table.si
+            (p.Pf_power.Account.total /. float_of_int p.Pf_power.Account.cycles);
+        ]
+      in
+      rows :=
+        row "FITS" fits.Pf_fits.Run.miss_rate_per_million
+          fits.Pf_fits.Run.cycles fits.Pf_fits.Run.power
+        :: row "ARM" arm.Pf_cpu.Arm_run.miss_rate_per_million
+             arm.Pf_cpu.Arm_run.cycles arm.Pf_cpu.Arm_run.power
+        :: !rows)
+    sizes_kb;
+  print_string
+    (Pf_util.Table.render
+       ~header:
+         [ "size"; "isa"; "miss/M"; "cycles"; "E_switch"; "E_int"; "E_leak";
+           "avg power" ]
+       (List.rev !rows))

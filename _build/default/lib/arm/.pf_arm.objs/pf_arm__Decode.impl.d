@@ -1,0 +1,1 @@
+lib/arm/decode.ml: Bits Encode Insn Pf_util

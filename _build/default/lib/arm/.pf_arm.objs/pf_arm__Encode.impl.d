@@ -1,0 +1,1 @@
+lib/arm/encode.ml: Format Insn List Pf_util

@@ -1,0 +1,1 @@
+lib/arm/exec.ml: Array Bits Bool Buffer Bytes Char Format Image Insn Int32 List Pf_util Printf

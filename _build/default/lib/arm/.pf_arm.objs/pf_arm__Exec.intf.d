@@ -1,0 +1,1 @@
+lib/arm/exec.mli: Buffer Bytes Image Insn

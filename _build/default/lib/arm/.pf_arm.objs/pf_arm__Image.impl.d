@@ -1,0 +1,1 @@
+lib/arm/image.ml: Array Buffer Decode Insn List Printf

@@ -1,0 +1,1 @@
+lib/arm/image.mli: Insn

@@ -1,0 +1,126 @@
+open Insn
+open Pf_util
+
+let dp_of_code = function
+  | 0 -> AND | 1 -> EOR | 2 -> SUB | 3 -> RSB | 4 -> ADD | 5 -> ADC
+  | 6 -> SBC | 7 -> RSC | 8 -> TST | 9 -> TEQ | 10 -> CMP | 11 -> CMN
+  | 12 -> ORR | 13 -> MOV | 14 -> BIC | _ -> MVN
+
+let shift_of_code = function 0 -> LSL | 1 -> LSR | 2 -> ASR | _ -> ROR
+
+let decode_op2 w =
+  if Bits.extract w ~lo:25 ~width:1 = 1 then
+    Some (Imm { value = w land 0xFF; rot = Bits.extract w ~lo:8 ~width:4 })
+  else if Bits.extract w ~lo:4 ~width:1 = 0 then
+    let rm = w land 0xF in
+    let k = shift_of_code (Bits.extract w ~lo:5 ~width:2) in
+    let n = Bits.extract w ~lo:7 ~width:5 in
+    if k = LSL && n = 0 then Some (Reg rm) else Some (Reg_shift (rm, k, n))
+  else if Bits.extract w ~lo:7 ~width:1 = 0 then
+    let rm = w land 0xF in
+    let k = shift_of_code (Bits.extract w ~lo:5 ~width:2) in
+    Some (Reg_shift_reg (rm, k, Bits.extract w ~lo:8 ~width:4))
+  else None
+
+let reglist_of_bits bits =
+  let rec go r acc =
+    if r < 0 then acc
+    else go (r - 1) (if bits land (1 lsl r) <> 0 then r :: acc else acc)
+  in
+  go 15 []
+
+let decode word =
+  let word = Bits.u32 word in
+  match Encode.cond_of_code (Bits.extract word ~lo:28 ~width:4) with
+  | None -> None
+  | Some cond -> (
+      let bits lo width = Bits.extract word ~lo ~width in
+      let bit n = bits n 1 = 1 in
+      if word land 0x0FFF_FFF0 = 0x012F_FF10 then
+        Some (Bx { cond; rm = word land 0xF })
+      else
+        match bits 25 3 with
+        | 0b101 ->
+            let offset = Bits.sign_extend ~width:24 (word land 0xFF_FFFF) * 4 in
+            Some (B { cond; link = bit 24; offset })
+        | 0b100 ->
+            let rn = bits 16 4 in
+            let regs = reglist_of_bits (word land 0xFFFF) in
+            if rn <> sp || (not (bit 21)) || regs = [] then None
+            else if bit 20 && (not (bit 24)) && bit 23 then
+              Some (Pop { cond; regs })
+            else if (not (bit 20)) && bit 24 && not (bit 23) then
+              Some (Push { cond; regs })
+            else None
+        | 0b010 | 0b011 ->
+            if not (bit 24) then None
+            else
+              let load = bit 20 and rn = bits 16 4 and rd = bits 12 4 in
+              let width = if bit 22 then Byte else Word in
+              let writeback = bit 21 in
+              let neg = not (bit 23) in
+              if bit 25 then
+                if bit 4 then None
+                else if neg then None
+                else
+                  let rm = word land 0xF in
+                  let k = shift_of_code (bits 5 2) in
+                  let sh = bits 7 5 in
+                  Some
+                    (Mem { cond; load; width; signed = false; rd; rn;
+                           offset = Ofs_reg (rm, k, sh); writeback })
+              else
+                let m = word land 0xFFF in
+                let ofs = if neg then -m else m in
+                Some
+                  (Mem { cond; load; width; signed = false; rd; rn;
+                         offset = Ofs_imm ofs; writeback })
+        | 0b000 when word land 0xF0 = 0x90 && bits 22 6 = 0 ->
+            let acc = if bit 21 then Some (bits 12 4) else None in
+            Some
+              (Mul { cond; s = bit 20; rd = bits 16 4; rm = word land 0xF;
+                     rs = bits 8 4; acc })
+        | 0b000 when bit 7 && bit 4 && bits 5 2 <> 0 ->
+            (* extra load/store: half and signed-byte transfers *)
+            if not (bit 24) then None
+            else
+              let load = bit 20 and rn = bits 16 4 and rd = bits 12 4 in
+              let signed = bit 6 and half = bit 5 in
+              let width = if half then Half else Byte in
+              if (not half) && not signed then None
+              else if (not load) && signed then None
+              else
+                let writeback = bit 21 in
+                let neg = not (bit 23) in
+                if bit 22 then
+                  let m = (bits 8 4 lsl 4) lor (word land 0xF) in
+                  let ofs = if neg then -m else m in
+                  Some
+                    (Mem { cond; load; width; signed; rd; rn;
+                           offset = Ofs_imm ofs; writeback })
+                else if neg || bits 8 4 <> 0 then None
+                else
+                  Some
+                    (Mem { cond; load; width; signed; rd; rn;
+                           offset = Ofs_reg (word land 0xF, LSL, 0);
+                           writeback })
+        | 0b000 | 0b001 -> (
+            let op = dp_of_code (bits 21 4) in
+            let s = bit 20 in
+            (match op with
+            | TST | TEQ | CMP | CMN when not s -> None
+            | _ -> (
+                match decode_op2 word with
+                | None -> None
+                | Some op2 ->
+                    let s =
+                      match op with
+                      | TST | TEQ | CMP | CMN -> false
+                      | _ -> s
+                    in
+                    Some
+                      (Dp { cond; op; s; rd = bits 12 4; rn = bits 16 4; op2 })))
+            )
+        | 0b111 when bits 24 1 = 1 ->
+            Some (Swi { cond; number = word land 0xFF_FFFF })
+        | _ -> None)

@@ -1,0 +1,10 @@
+(** Inverse of {!Encode}: recover an instruction from a 32-bit word.
+
+    Decoding is used by the simulator to pre-decode program images and by
+    the round-trip tests; [decode (Encode.encode i) = Some i] holds for
+    every canonical instruction. *)
+
+val decode : int -> Insn.t option
+(** [decode word] is the instruction encoded by [word], or [None] when the
+    word does not match any instruction pattern (e.g. a literal-pool
+    constant that happens not to be a valid encoding). *)

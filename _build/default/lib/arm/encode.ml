@@ -1,0 +1,139 @@
+open Insn
+
+exception Unencodable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unencodable s)) fmt
+
+let cond_code = function
+  | EQ -> 0 | NE -> 1 | CS -> 2 | CC -> 3 | MI -> 4 | PL -> 5 | VS -> 6
+  | VC -> 7 | HI -> 8 | LS -> 9 | GE -> 10 | LT -> 11 | GT -> 12 | LE -> 13
+  | AL -> 14
+
+let cond_of_code = function
+  | 0 -> Some EQ | 1 -> Some NE | 2 -> Some CS | 3 -> Some CC | 4 -> Some MI
+  | 5 -> Some PL | 6 -> Some VS | 7 -> Some VC | 8 -> Some HI | 9 -> Some LS
+  | 10 -> Some GE | 11 -> Some LT | 12 -> Some GT | 13 -> Some LE
+  | 14 -> Some AL | _ -> None
+
+let dp_code = function
+  | AND -> 0 | EOR -> 1 | SUB -> 2 | RSB -> 3 | ADD -> 4 | ADC -> 5
+  | SBC -> 6 | RSC -> 7 | TST -> 8 | TEQ -> 9 | CMP -> 10 | CMN -> 11
+  | ORR -> 12 | MOV -> 13 | BIC -> 14 | MVN -> 15
+
+let shift_code = function LSL -> 0 | LSR -> 1 | ASR -> 2 | ROR -> 3
+
+let check_reg r = if r < 0 || r > 15 then fail "bad register r%d" r
+
+let op2_bits = function
+  | Imm { value; rot } ->
+      if value < 0 || value > 0xFF then fail "imm8 out of range: %d" value;
+      if rot < 0 || rot > 15 then fail "rot out of range: %d" rot;
+      (1 lsl 25) lor (rot lsl 8) lor value
+  | Reg r ->
+      check_reg r;
+      r
+  | Reg_shift (r, k, n) ->
+      check_reg r;
+      if n < 0 || n > 31 then fail "shift amount out of range: %d" n;
+      (n lsl 7) lor (shift_code k lsl 5) lor r
+  | Reg_shift_reg (r, k, rs) ->
+      check_reg r;
+      check_reg rs;
+      (rs lsl 8) lor (shift_code k lsl 5) lor 0x10 lor r
+
+let bool_bit b pos = if b then 1 lsl pos else 0
+
+let encode insn =
+  let cond = cond_code (cond_of insn) lsl 28 in
+  match insn with
+  | Dp { op; s; rd; rn; op2; _ } ->
+      check_reg rd;
+      check_reg rn;
+      (* compare-class operations always set flags: S is hard-wired to 1 *)
+      let s =
+        match op with TST | TEQ | CMP | CMN -> true | _ -> s
+      in
+      cond lor (dp_code op lsl 21) lor bool_bit s 20 lor (rn lsl 16)
+      lor (rd lsl 12) lor op2_bits op2
+  | Mul { s; rd; rm; rs; acc; _ } ->
+      check_reg rd;
+      check_reg rm;
+      check_reg rs;
+      let rn, abit = match acc with Some rn -> (rn, 1 lsl 21) | None -> (0, 0) in
+      check_reg rn;
+      cond lor abit lor bool_bit s 20 lor (rd lsl 16) lor (rn lsl 12)
+      lor (rs lsl 8) lor 0x90 lor rm
+  | Mem { load; width = Half; signed; rd; rn; offset; writeback; _ }
+  | Mem { load; width = Byte; signed = (true as signed); rd; rn; offset;
+          writeback; _ } ->
+      (* "extra" load/store encoding: halfword and signed-byte transfers *)
+      let is_half =
+        match insn with Mem { width = Half; _ } -> true | _ -> false
+      in
+      check_reg rd;
+      check_reg rn;
+      if (not load) && signed then fail "signed store";
+      let sbit = bool_bit signed 6 and hbit = bool_bit is_half 5 in
+      let base =
+        cond lor (1 lsl 24) lor bool_bit writeback 21 lor bool_bit load 20
+        lor (rn lsl 16) lor (rd lsl 12) lor 0x90 lor sbit lor hbit
+      in
+      (match offset with
+      | Ofs_imm n ->
+          let u, m = if n >= 0 then (1, n) else (0, -n) in
+          if m > 0xFF then fail "half/sbyte offset out of range: %d" n;
+          base lor (1 lsl 22) lor (u lsl 23)
+          lor ((m lsr 4) lsl 8) lor (m land 0xF)
+      | Ofs_reg (rm, LSL, 0) ->
+          check_reg rm;
+          base lor (1 lsl 23) lor rm
+      | Ofs_reg _ -> fail "shifted register offset on half/sbyte access")
+  | Mem { load; width; signed = _; rd; rn; offset; writeback; _ } ->
+      check_reg rd;
+      check_reg rn;
+      let bbit = bool_bit (width = Byte) 22 in
+      let base =
+        cond lor (1 lsl 26) lor (1 lsl 24) lor bbit lor bool_bit writeback 21
+        lor bool_bit load 20 lor (rn lsl 16) lor (rd lsl 12)
+      in
+      (match offset with
+      | Ofs_imm n ->
+          let u, m = if n >= 0 then (1, n) else (0, -n) in
+          if m > 0xFFF then fail "word/byte offset out of range: %d" n;
+          base lor (u lsl 23) lor m
+      | Ofs_reg (rm, k, sh) ->
+          check_reg rm;
+          if sh < 0 || sh > 31 then fail "offset shift out of range: %d" sh;
+          base lor (1 lsl 25) lor (1 lsl 23) lor (sh lsl 7)
+          lor (shift_code k lsl 5) lor rm)
+  | Push { regs; _ } | Pop { regs; _ } ->
+      if regs = [] then fail "empty register list";
+      let reglist =
+        List.fold_left
+          (fun acc r ->
+            check_reg r;
+            acc lor (1 lsl r))
+          0 regs
+      in
+      let is_pop = match insn with Pop _ -> true | _ -> false in
+      let mode =
+        if is_pop then (0 lsl 24) lor (1 lsl 23) (* IA *)
+        else (1 lsl 24) lor (0 lsl 23) (* DB *)
+      in
+      cond lor (1 lsl 27) lor mode lor (1 lsl 21) lor bool_bit is_pop 20
+      lor (sp lsl 16) lor reglist
+  | B { link; offset; _ } ->
+      if offset land 3 <> 0 then fail "unaligned branch offset: %d" offset;
+      let words = offset asr 2 in
+      if not (Pf_util.Bits.fits_signed ~width:24 words) then
+        fail "branch offset out of range: %d" offset;
+      cond lor (0b101 lsl 25) lor bool_bit link 24
+      lor Pf_util.Bits.zero_extend ~width:24 words
+  | Bx { rm; _ } ->
+      check_reg rm;
+      cond lor 0x012FFF10 lor rm
+  | Swi { number; _ } ->
+      if number < 0 || number > 0xFF_FFFF then fail "swi number: %d" number;
+      cond lor (0xF lsl 24) lor number
+
+let branch_range = (1 lsl 23) * 4 - 4

@@ -1,0 +1,20 @@
+(** Binary encoding of the ARM-like ISA into 32-bit words.
+
+    The layout follows the classic ARM scheme (condition in the top nibble,
+    data-processing with a 12-bit shifter operand, ...).  Encoding exists so
+    that program images are genuine word streams: the I-cache and the power
+    model observe real bit patterns, and literal pools live in the same
+    address space as code. *)
+
+exception Unencodable of string
+
+val cond_code : Insn.cond -> int
+val cond_of_code : int -> Insn.cond option
+
+val encode : Insn.t -> int
+(** [encode insn] is the 32-bit word for [insn].
+    @raise Unencodable if a field does not fit (e.g. a memory offset beyond
+    the addressing-mode range, or a branch offset beyond 24 bits). *)
+
+val branch_range : int
+(** Maximum forward byte offset reachable by [B]/[BL]. *)

@@ -1,0 +1,93 @@
+(** Architectural interpreter for the ARM-like ISA.
+
+    [Exec] owns the machine state (registers, NZCV flags, byte-addressed
+    memory loaded with the program image) and executes one decoded
+    instruction at a time.  It is deliberately decoupled from *fetch*: the
+    plain ARM runner steps through the image, while the FITS runner feeds
+    the same state with micro-operations produced by the programmable
+    decoder — both share these semantics, mirroring how a FITS core keeps
+    the host datapath (paper §3.1). *)
+
+exception Fault of string
+(** Raised on unaligned word access, out-of-range memory access, or an
+    attempt to execute an undecodable word. *)
+
+type t = {
+  regs : int array;
+      (** 17 registers, unsigned 32-bit: r0-r15 plus one over-provisioned
+          scratch (index 16) used by FITS expansion micro-ops *)
+  mutable nf : bool;
+  mutable zf : bool;
+  mutable cf : bool;
+  mutable vf : bool;
+  mem : Bytes.t;
+  image : Image.t;
+  mutable halted : bool;
+  out : Buffer.t;          (** text written by SWI print calls *)
+  mutable steps : int;     (** dynamic instruction count *)
+}
+
+val halt_sentinel : int
+(** Address preloaded into [lr] at startup; returning to it halts. *)
+
+val create : Image.t -> t
+(** Fresh state: memory holds the code and initialized data, [sp] points to
+    the top of memory, [lr] to {!halt_sentinel}, [pc] to the entry point. *)
+
+(** Result of executing one instruction; a single mutable record is reused
+    across steps to keep the simulator allocation-free on the hot path. *)
+type outcome = {
+  mutable executed : bool;       (** condition passed *)
+  mutable branch_taken : bool;
+  mutable next_pc : int;
+  mutable mem_addr : int;        (** effective address, [-1] if none *)
+  mutable mem_is_load : bool;
+  mutable mem_words : int;       (** words transferred (push/pop > 1) *)
+}
+
+val outcome : unit -> outcome
+
+val execute : ?isize:int -> t -> pc:int -> Insn.t -> outcome -> unit
+(** Execute one instruction whose address is [pc].  Updates registers,
+    flags and memory; fills the outcome (including [next_pc]).  Does not
+    itself advance any program counter.
+
+    [isize] (default 4) is the instruction's size in bytes: it controls the
+    fall-through [next_pc] and the return address stored by branch-and-link.
+    The FITS runner passes 2, executing the same micro-operation semantics
+    at 16-bit granularity. *)
+
+val execute_dp_value :
+  ?isize:int ->
+  t ->
+  pc:int ->
+  cond:Insn.cond ->
+  op:Insn.dp_op ->
+  s:bool ->
+  rd:int ->
+  rn:int ->
+  value:int ->
+  outcome ->
+  unit
+(** Data-processing with a raw 32-bit second operand (no shifter): the
+    semantics of a FITS instruction whose operand comes from the immediate
+    dictionary.  The shifter carry-out is the current C flag. *)
+
+val load_word : t -> int -> int
+(** Read a word of simulated memory (for result checking). *)
+
+val store_word : t -> int -> int -> unit
+
+val load_byte : t -> int -> int
+
+val run :
+  ?max_steps:int ->
+  t ->
+  on_step:(t -> pc:int -> Insn.t -> outcome -> unit) ->
+  unit
+(** Fetch-execute loop from the current [pc] until halt (SWI #0 or return
+    to the sentinel).  @raise Fault on [max_steps] exhaustion (default
+    500 million) — runaway programs are a bug, not a result. *)
+
+val output : t -> string
+(** Everything printed through SWI so far. *)

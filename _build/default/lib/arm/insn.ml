@@ -1,0 +1,229 @@
+type reg = int
+
+let sp = 13
+let lr = 14
+let pc = 15
+
+type cond =
+  | EQ | NE | CS | CC | MI | PL | VS | VC
+  | HI | LS | GE | LT | GT | LE | AL
+
+type shift_kind = LSL | LSR | ASR | ROR
+
+type operand2 =
+  | Imm of { value : int; rot : int }
+  | Reg of reg
+  | Reg_shift of reg * shift_kind * int
+  | Reg_shift_reg of reg * shift_kind * reg
+
+type dp_op =
+  | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC
+  | TST | TEQ | CMP | CMN | ORR | MOV | BIC | MVN
+
+type mem_width = Word | Byte | Half
+
+type mem_offset =
+  | Ofs_imm of int
+  | Ofs_reg of reg * shift_kind * int
+
+type t =
+  | Dp of { cond : cond; op : dp_op; s : bool; rd : reg; rn : reg;
+            op2 : operand2 }
+  | Mul of { cond : cond; s : bool; rd : reg; rm : reg; rs : reg;
+             acc : reg option }
+  | Mem of { cond : cond; load : bool; width : mem_width; signed : bool;
+             rd : reg; rn : reg; offset : mem_offset; writeback : bool }
+  | Push of { cond : cond; regs : reg list }
+  | Pop of { cond : cond; regs : reg list }
+  | B of { cond : cond; link : bool; offset : int }
+  | Bx of { cond : cond; rm : reg }
+  | Swi of { cond : cond; number : int }
+
+let encode_imm_operand c =
+  let c = Pf_util.Bits.u32 c in
+  let rec try_rot rot =
+    if rot > 15 then None
+    else
+      let v = Pf_util.Bits.rotate_right32 c (32 - (2 * rot)) land 0xFFFF_FFFF in
+      (* v rotated right by 2*rot must give back c *)
+      if v land 0xFF = v && Pf_util.Bits.rotate_right32 v (2 * rot) = c then
+        Some (Imm { value = v; rot })
+      else try_rot (rot + 1)
+  in
+  if c land 0xFF = c then Some (Imm { value = c; rot = 0 }) else try_rot 1
+
+let operand2_value = function
+  | Imm { value; rot } -> Some (Pf_util.Bits.rotate_right32 value (2 * rot))
+  | Reg _ | Reg_shift _ | Reg_shift_reg _ -> None
+
+let is_branch = function
+  | B _ | Bx _ -> true
+  | Dp _ | Mul _ | Mem _ | Push _ | Pop _ | Swi _ -> false
+
+let is_mem = function
+  | Mem _ | Push _ | Pop _ -> true
+  | Dp _ | Mul _ | B _ | Bx _ | Swi _ -> false
+
+let writes_pc = function
+  | B _ | Bx _ -> true
+  | Pop { regs; _ } -> List.mem pc regs
+  | Dp { rd; op; _ } ->
+      (match op with
+      | TST | TEQ | CMP | CMN -> false
+      | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC | ORR | MOV | BIC | MVN
+        -> rd = pc)
+  | Mem { load; rd; _ } -> load && rd = pc
+  | Mul _ | Push _ | Swi _ -> false
+
+let cond_of = function
+  | Dp { cond; _ } | Mul { cond; _ } | Mem { cond; _ } | Push { cond; _ }
+  | Pop { cond; _ } | B { cond; _ } | Bx { cond; _ } | Swi { cond; _ } ->
+      cond
+
+let dedup l =
+  List.fold_left (fun acc r -> if List.mem r acc then acc else r :: acc) [] l
+  |> List.rev
+
+let op2_reads = function
+  | Imm _ -> []
+  | Reg r -> [ r ]
+  | Reg_shift (r, _, _) -> [ r ]
+  | Reg_shift_reg (r, _, rs) -> [ r; rs ]
+
+let regs_read = function
+  | Dp { op; rn; op2; _ } ->
+      let rn_used =
+        match op with MOV | MVN -> [] | _ -> [ rn ]
+      in
+      dedup (rn_used @ op2_reads op2)
+  | Mul { rm; rs; acc; _ } ->
+      dedup ([ rm; rs ] @ match acc with Some rn -> [ rn ] | None -> [])
+  | Mem { load; rd; rn; offset; _ } ->
+      let ofs = match offset with Ofs_imm _ -> [] | Ofs_reg (r, _, _) -> [ r ] in
+      dedup ((rn :: ofs) @ if load then [] else [ rd ])
+  | Push { regs; _ } -> dedup (sp :: regs)
+  | Pop _ -> [ sp ]
+  | B _ -> []
+  | Bx { rm; _ } -> [ rm ]
+  | Swi _ -> [ 0; 1; 2 ]
+
+let regs_written = function
+  | Dp { op; rd; _ } ->
+      (match op with
+      | TST | TEQ | CMP | CMN -> []
+      | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC | ORR | MOV | BIC | MVN
+        -> [ rd ])
+  | Mul { rd; _ } -> [ rd ]
+  | Mem { load; rd; rn; writeback; _ } ->
+      let wb = if writeback then [ rn ] else [] in
+      if load then rd :: wb else wb
+  | Push _ -> [ sp ]
+  | Pop { regs; _ } -> dedup (sp :: regs)
+  | B { link; _ } -> if link then [ lr ] else []
+  | Bx _ -> []
+  | Swi _ -> [ 0 ]
+
+let cond_suffix = function
+  | EQ -> "eq" | NE -> "ne" | CS -> "cs" | CC -> "cc"
+  | MI -> "mi" | PL -> "pl" | VS -> "vs" | VC -> "vc"
+  | HI -> "hi" | LS -> "ls" | GE -> "ge" | LT -> "lt"
+  | GT -> "gt" | LE -> "le" | AL -> ""
+
+let dp_name = function
+  | AND -> "and" | EOR -> "eor" | SUB -> "sub" | RSB -> "rsb"
+  | ADD -> "add" | ADC -> "adc" | SBC -> "sbc" | RSC -> "rsc"
+  | TST -> "tst" | TEQ -> "teq" | CMP -> "cmp" | CMN -> "cmn"
+  | ORR -> "orr" | MOV -> "mov" | BIC -> "bic" | MVN -> "mvn"
+
+let width_suffix width signed =
+  match (width, signed) with
+  | Word, _ -> ""
+  | Byte, false -> "b"
+  | Byte, true -> "sb"
+  | Half, false -> "h"
+  | Half, true -> "sh"
+
+let mnemonic = function
+  | Dp { op; _ } -> dp_name op
+  | Mul { acc = None; _ } -> "mul"
+  | Mul { acc = Some _; _ } -> "mla"
+  | Mem { load; width; signed; _ } ->
+      (if load then "ldr" else "str") ^ width_suffix width signed
+  | Push _ -> "push"
+  | Pop _ -> "pop"
+  | B { link = false; _ } -> "b"
+  | B { link = true; _ } -> "bl"
+  | Bx _ -> "bx"
+  | Swi _ -> "swi"
+
+let shift_name = function
+  | LSL -> "lsl" | LSR -> "lsr" | ASR -> "asr" | ROR -> "ror"
+
+let pp_reg ppf r =
+  if r = sp then Format.pp_print_string ppf "sp"
+  else if r = lr then Format.pp_print_string ppf "lr"
+  else if r = pc then Format.pp_print_string ppf "pc"
+  else Format.fprintf ppf "r%d" r
+
+let pp_op2 ppf = function
+  | Imm { value; rot } ->
+      Format.fprintf ppf "#%d" (Pf_util.Bits.rotate_right32 value (2 * rot))
+  | Reg r -> pp_reg ppf r
+  | Reg_shift (r, _, 0) -> pp_reg ppf r
+  | Reg_shift (r, k, n) ->
+      Format.fprintf ppf "%a, %s #%d" pp_reg r (shift_name k) n
+  | Reg_shift_reg (r, k, rs) ->
+      Format.fprintf ppf "%a, %s %a" pp_reg r (shift_name k) pp_reg rs
+
+let pp_reglist ppf regs =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_reg)
+    regs
+
+let pp ppf insn =
+  let c = cond_suffix (cond_of insn) in
+  match insn with
+  | Dp { op; s; rd; rn; op2; _ } -> (
+      let sfx = if s then "s" else "" in
+      match op with
+      | MOV | MVN ->
+          Format.fprintf ppf "%s%s%s %a, %a" (dp_name op) c sfx pp_reg rd
+            pp_op2 op2
+      | TST | TEQ | CMP | CMN ->
+          Format.fprintf ppf "%s%s %a, %a" (dp_name op) c pp_reg rn pp_op2 op2
+      | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC | ORR | BIC ->
+          Format.fprintf ppf "%s%s%s %a, %a, %a" (dp_name op) c sfx pp_reg rd
+            pp_reg rn pp_op2 op2)
+  | Mul { s; rd; rm; rs; acc = None; _ } ->
+      Format.fprintf ppf "mul%s%s %a, %a, %a" c
+        (if s then "s" else "")
+        pp_reg rd pp_reg rm pp_reg rs
+  | Mul { s; rd; rm; rs; acc = Some rn; _ } ->
+      Format.fprintf ppf "mla%s%s %a, %a, %a, %a" c
+        (if s then "s" else "")
+        pp_reg rd pp_reg rm pp_reg rs pp_reg rn
+  | Mem { rd; rn; offset; writeback; _ } ->
+      let wb = if writeback then "!" else "" in
+      (match offset with
+      | Ofs_imm 0 ->
+          Format.fprintf ppf "%s%s %a, [%a]%s" (mnemonic insn) c pp_reg rd
+            pp_reg rn wb
+      | Ofs_imm n ->
+          Format.fprintf ppf "%s%s %a, [%a, #%d]%s" (mnemonic insn) c pp_reg rd
+            pp_reg rn n wb
+      | Ofs_reg (rm, _, 0) ->
+          Format.fprintf ppf "%s%s %a, [%a, %a]%s" (mnemonic insn) c pp_reg rd
+            pp_reg rn pp_reg rm wb
+      | Ofs_reg (rm, k, sh) ->
+          Format.fprintf ppf "%s%s %a, [%a, %a, %s #%d]%s" (mnemonic insn) c
+            pp_reg rd pp_reg rn pp_reg rm (shift_name k) sh wb)
+  | Push { regs; _ } -> Format.fprintf ppf "push%s %a" c pp_reglist regs
+  | Pop { regs; _ } -> Format.fprintf ppf "pop%s %a" c pp_reglist regs
+  | B { link; offset; _ } ->
+      Format.fprintf ppf "%s%s .%+d" (if link then "bl" else "b") c offset
+  | Bx { rm; _ } -> Format.fprintf ppf "bx%s %a" c pp_reg rm
+  | Swi { number; _ } -> Format.fprintf ppf "swi%s #%d" c number
+
+let to_string insn = Format.asprintf "%a" pp insn

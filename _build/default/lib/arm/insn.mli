@@ -1,0 +1,89 @@
+(** The 32-bit ARM-like instruction set.
+
+    This is a clean-room model of a StrongARM-class ISA: 16 registers
+    (r13 = sp, r14 = lr, r15 = pc), NZCV condition flags, fully predicated
+    instructions, data-processing with a shifter operand, multiply,
+    single/multiple load-store, branches and software interrupts.  It is the
+    *source* ISA that FITS profiles and translates (paper §3, §5). *)
+
+type reg = int
+(** Register number, 0..15. *)
+
+val sp : reg
+val lr : reg
+val pc : reg
+
+type cond =
+  | EQ | NE | CS | CC | MI | PL | VS | VC
+  | HI | LS | GE | LT | GT | LE | AL
+
+type shift_kind = LSL | LSR | ASR | ROR
+
+type operand2 =
+  | Imm of { value : int; rot : int }
+      (** An 8-bit immediate [value] rotated right by [2*rot]; the resolved
+          32-bit constant is [Bits.rotate_right32 value (2*rot)]. *)
+  | Reg of reg
+  | Reg_shift of reg * shift_kind * int  (** Register with immediate shift. *)
+  | Reg_shift_reg of reg * shift_kind * reg
+      (** Register shifted by the low byte of another register. *)
+
+type dp_op =
+  | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC
+  | TST | TEQ | CMP | CMN | ORR | MOV | BIC | MVN
+
+type mem_width = Word | Byte | Half
+
+type mem_offset =
+  | Ofs_imm of int                        (** signed byte offset *)
+  | Ofs_reg of reg * shift_kind * int     (** +/- register with shift *)
+
+type t =
+  | Dp of { cond : cond; op : dp_op; s : bool; rd : reg; rn : reg;
+            op2 : operand2 }
+  | Mul of { cond : cond; s : bool; rd : reg; rm : reg; rs : reg;
+             acc : reg option }
+      (** [acc = Some rn] is multiply-accumulate (MLA). *)
+  | Mem of { cond : cond; load : bool; width : mem_width; signed : bool;
+             rd : reg; rn : reg; offset : mem_offset; writeback : bool }
+      (** Pre-indexed addressing: address = rn +/- offset; [writeback]
+          updates rn with the effective address. *)
+  | Push of { cond : cond; regs : reg list }   (** STMDB sp!, {regs} *)
+  | Pop of { cond : cond; regs : reg list }    (** LDMIA sp!, {regs} *)
+  | B of { cond : cond; link : bool; offset : int }
+      (** Byte offset relative to pc+8, as in ARM. *)
+  | Bx of { cond : cond; rm : reg }            (** Branch to register. *)
+  | Swi of { cond : cond; number : int }
+
+val encode_imm_operand : int -> operand2 option
+(** Find an [Imm] encoding for a 32-bit constant, if one exists. *)
+
+val operand2_value : operand2 -> int option
+(** The constant denoted by an [Imm] operand, if it is one. *)
+
+val is_branch : t -> bool
+val is_mem : t -> bool
+val writes_pc : t -> bool
+(** Does the instruction (architecturally) write the program counter — i.e.
+    branches, pops containing pc, and data-processing with rd = pc? *)
+
+val cond_of : t -> cond
+
+val regs_read : t -> reg list
+(** Source registers, without duplicates, excluding pc for branches. *)
+
+val regs_written : t -> reg list
+
+val mnemonic : t -> string
+(** Short opcode mnemonic, e.g. ["add"], ["ldrb"], ["bl"]. *)
+
+val dp_name : dp_op -> string
+val shift_name : shift_kind -> string
+
+val cond_suffix : cond -> string
+(** ["eq"], ["ne"], ... and [""] for [AL]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly-style rendering (offsets printed numerically). *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/armgen/codegen.ml: Array Format Hashtbl List Mach Option Pf_arm Pf_kir Pf_util

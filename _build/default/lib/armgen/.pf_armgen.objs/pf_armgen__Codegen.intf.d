@@ -1,0 +1,1 @@
+lib/armgen/codegen.mli: Mach Pf_kir

@@ -1,0 +1,1 @@
+lib/armgen/compile.ml: Codegen Link Normalize Pf_arm Pf_kir Runtime

@@ -1,0 +1,1 @@
+lib/armgen/compile.mli: Pf_arm Pf_kir

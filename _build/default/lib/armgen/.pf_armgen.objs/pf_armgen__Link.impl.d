@@ -1,0 +1,1 @@
+lib/armgen/link.ml: Array Bytes Char Format Hashtbl Int32 List Mach Pf_arm Pf_kir Pf_util

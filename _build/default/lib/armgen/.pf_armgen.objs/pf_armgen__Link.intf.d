@@ -1,0 +1,1 @@
+lib/armgen/link.mli: Mach Pf_arm Pf_kir

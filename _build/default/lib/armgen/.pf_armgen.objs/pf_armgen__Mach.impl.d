@@ -1,0 +1,1 @@
+lib/armgen/mach.ml: Array Format List Pf_arm

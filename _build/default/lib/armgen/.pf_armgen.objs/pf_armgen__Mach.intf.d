@@ -1,0 +1,1 @@
+lib/armgen/mach.mli: Format Pf_arm

@@ -1,0 +1,1 @@
+lib/armgen/normalize.ml: List Pf_kir Printf

@@ -1,0 +1,1 @@
+lib/armgen/normalize.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/armgen/runtime.ml: List Pf_kir

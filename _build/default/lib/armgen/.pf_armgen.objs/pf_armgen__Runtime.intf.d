@@ -1,0 +1,1 @@
+lib/armgen/runtime.mli: Pf_kir

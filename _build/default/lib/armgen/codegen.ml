@@ -1,0 +1,582 @@
+open Pf_kir.Ast
+module A = Pf_arm.Insn
+
+exception Compile_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+
+type home = Hreg of A.reg | Hslot of int
+
+(* Expression results: the register holding the value, and whether that
+   register is a scratch this expression allocated (and must be freed). *)
+type value = { reg : A.reg; owned : bool }
+
+let scratch_regs = [| 0; 1; 2; 3; 12; 11 |]
+
+type state = {
+  mutable items : Mach.item list;       (* reversed *)
+  homes : (string, home) Hashtbl.t;
+  mutable nslots : int;
+  mutable next_label : int;
+  mutable depth : int;                   (* scratch stack depth *)
+  mutable loops : (Mach.label * Mach.label) list;  (* (break, continue) *)
+  epilogue : Mach.label;
+}
+
+let emit st item = st.items <- item :: st.items
+let emit_i st insn = emit st (Mach.Insn insn)
+
+let fresh_label st =
+  st.next_label <- st.next_label + 1;
+  st.next_label
+
+let alloc st =
+  if st.depth >= Array.length scratch_regs then
+    error "expression too deep for the scratch stack";
+  let r = scratch_regs.(st.depth) in
+  st.depth <- st.depth + 1;
+  r
+
+let free st (v : value) = if v.owned then st.depth <- st.depth - 1
+
+let home st x =
+  match Hashtbl.find_opt st.homes x with
+  | Some h -> h
+  | None -> error "no home for variable %s" x
+
+(* Materialize a 32-bit constant into a given register. *)
+let load_const_into st rd c =
+  let c = Pf_util.Bits.u32 c in
+  match A.encode_imm_operand c with
+  | Some op2 ->
+      emit_i st (A.Dp { cond = AL; op = MOV; s = false; rd; rn = 0; op2 })
+  | None -> (
+      match A.encode_imm_operand (Pf_util.Bits.u32 (lnot c)) with
+      | Some op2 ->
+          emit_i st (A.Dp { cond = AL; op = MVN; s = false; rd; rn = 0; op2 })
+      | None -> emit st (Mach.Load_const (rd, c)))
+
+let slot_offset slot = 4 * slot
+
+let dp ?(cond = A.AL) ?(s = false) op rd rn op2 =
+  A.Dp { cond; op; s; rd; rn; op2 }
+
+let mov ?(cond = A.AL) rd op2 = dp ~cond MOV rd 0 op2
+
+(* KIR comparison -> ARM condition code (for "branch if true"). *)
+let cc_of_cmp = function
+  | Eq -> A.EQ
+  | Ne -> A.NE
+  | Lt -> A.LT
+  | Le -> A.LE
+  | Gt -> A.GT
+  | Ge -> A.GE
+  | Ult -> A.CC
+  | Ule -> A.LS
+  | Ugt -> A.HI
+  | Uge -> A.CS
+
+let invert = function
+  | A.EQ -> A.NE | A.NE -> A.EQ | A.CS -> A.CC | A.CC -> A.CS
+  | A.MI -> A.PL | A.PL -> A.MI | A.VS -> A.VC | A.VC -> A.VS
+  | A.HI -> A.LS | A.LS -> A.HI | A.GE -> A.LT | A.LT -> A.GE
+  | A.GT -> A.LE | A.LE -> A.GT | A.AL -> error "cannot invert AL"
+
+let shift_kind_of = function
+  | Shl -> Some A.LSL
+  | Shr -> Some A.LSR
+  | Sar -> Some A.ASR
+  | Add | Sub | Mul | Div | Rem | Udiv | Urem | And | Or | Xor -> None
+
+let rec eval st (e : expr) : value =
+  match e with
+  | Int c ->
+      let rd = alloc st in
+      load_const_into st rd c;
+      { reg = rd; owned = true }
+  | Var x -> (
+      match home st x with
+      | Hreg r -> { reg = r; owned = false }
+      | Hslot slot ->
+          let rd = alloc st in
+          emit_i st
+            (A.Mem { cond = AL; load = true; width = Word; signed = false;
+                     rd; rn = A.sp; offset = Ofs_imm (slot_offset slot);
+                     writeback = false });
+          { reg = rd; owned = true })
+  | Global_addr g ->
+      let rd = alloc st in
+      emit st (Mach.Load_global (rd, g));
+      { reg = rd; owned = true }
+  | Load { scale; signed; addr } -> eval_load st scale signed addr
+  | Binop (op, a, b) -> eval_binop st op a b
+  | Unop (Neg, a) ->
+      let va = eval st a in
+      free st va;
+      let rd = alloc st in
+      emit_i st (dp RSB rd va.reg (Imm { value = 0; rot = 0 }));
+      { reg = rd; owned = true }
+  | Unop (Bnot, a) ->
+      let op2, frees = op2_of st a in
+      List.iter (free st) frees;
+      let rd = alloc st in
+      emit_i st (dp MVN rd 0 op2);
+      { reg = rd; owned = true }
+  | Cmp (op, a, b) ->
+      let va = eval st a in
+      let op2, frees = op2_of st b in
+      emit_i st (dp CMP 0 va.reg op2);
+      List.iter (free st) frees;
+      free st va;
+      let rd = alloc st in
+      emit_i st (mov rd (Imm { value = 0; rot = 0 }));
+      emit_i st (mov ~cond:(cc_of_cmp op) rd (Imm { value = 1; rot = 0 }));
+      { reg = rd; owned = true }
+  | Call _ -> error "unnormalized call in expression position"
+
+(* Build an ARM operand2 for [e], fusing immediates and shifts. *)
+and op2_of st (e : expr) : A.operand2 * value list =
+  match e with
+  | Int c when A.encode_imm_operand (Pf_util.Bits.u32 c) <> None ->
+      (Option.get (A.encode_imm_operand (Pf_util.Bits.u32 c)), [])
+  | Binop (sop, x, Int n) when shift_kind_of sop <> None && n >= 0 && n <= 31
+    ->
+      let kind = Option.get (shift_kind_of sop) in
+      let vx = eval st x in
+      if n = 0 then (A.Reg vx.reg, [ vx ])
+      else (A.Reg_shift (vx.reg, kind, n), [ vx ])
+  | Binop (sop, x, amt) when shift_kind_of sop <> None -> (
+      match amt with
+      | Int n -> (
+          (* KIR takes the low byte of the amount, then saturates at 32 *)
+          let kind = Option.get (shift_kind_of sop) in
+          let n = n land 0xFF in
+          if n = 0 then
+            let vx = eval st x in
+            (A.Reg vx.reg, [ vx ])
+          else if n <= 31 then
+            let vx = eval st x in
+            (A.Reg_shift (vx.reg, kind, n), [ vx ])
+          else if kind = A.ASR then
+            let vx = eval st x in
+            (A.Reg_shift (vx.reg, A.ASR, 31), [ vx ])
+          else
+            let rd = alloc st in
+            load_const_into st rd 0;
+            (A.Reg rd, [ { reg = rd; owned = true } ]))
+      | _ ->
+          let kind = Option.get (shift_kind_of sop) in
+          let vx = eval st x in
+          let vy = eval st amt in
+          (A.Reg_shift_reg (vx.reg, kind, vy.reg), [ vy; vx ]))
+  | _ ->
+      let v = eval st e in
+      (A.Reg v.reg, [ v ])
+
+and eval_binop st op a b =
+  let commutative = match op with Add | Mul | And | Or | Xor -> true | _ -> false in
+  let imm_encodable c = A.encode_imm_operand (Pf_util.Bits.u32 c) <> None in
+  match op with
+  | Div | Rem | Udiv | Urem -> error "division must be expanded before codegen"
+  | Shl | Shr | Sar ->
+      (* a shift as a value: mov rd, a <shift> b *)
+      let op2, frees = op2_of st (Binop (op, a, b)) in
+      List.iter (free st) frees;
+      let rd = alloc st in
+      emit_i st (mov rd op2);
+      { reg = rd; owned = true }
+  | Mul ->
+      let va = eval st a in
+      let vb = eval st b in
+      free st vb;
+      free st va;
+      let rd = alloc st in
+      emit_i st (A.Mul { cond = AL; s = false; rd; rm = va.reg; rs = vb.reg;
+                         acc = None });
+      { reg = rd; owned = true }
+  | Add | Sub | And | Or | Xor -> (
+      (* put a constant operand on the right when commutative *)
+      let a, b =
+        match (a, b) with
+        | Int _, other when commutative -> (other, a)
+        | _ -> (a, b)
+      in
+      match (op, a, b) with
+      | Sub, Int c, x when imm_encodable c ->
+          (* c - x: reverse subtract *)
+          let vx = eval st x in
+          free st vx;
+          let rd = alloc st in
+          emit_i st
+            (dp RSB rd vx.reg (Option.get (A.encode_imm_operand c)));
+          { reg = rd; owned = true }
+      | _ ->
+          let arm_op, b =
+            match (op, b) with
+            | Add, Int c when c < 0 && imm_encodable (-c) -> (A.SUB, Int (-c))
+            | Sub, Int c when c < 0 && imm_encodable (-c) -> (A.ADD, Int (-c))
+            | Add, _ -> (A.ADD, b)
+            | Sub, _ -> (A.SUB, b)
+            | Xor, _ -> (A.EOR, b)
+            | Or, _ -> (A.ORR, b)
+            | And, Int c
+              when (not (imm_encodable c))
+                   && imm_encodable (Pf_util.Bits.u32 (lnot c)) ->
+                (A.BIC, Int (Pf_util.Bits.u32 (lnot c)))
+            | And, _ -> (A.AND, b)
+            | (Mul | Div | Rem | Udiv | Urem | Shl | Shr | Sar), _ ->
+                assert false
+          in
+          let va = eval st a in
+          let op2, frees = op2_of st b in
+          List.iter (free st) frees;
+          free st va;
+          let rd = alloc st in
+          emit_i st (dp arm_op rd va.reg op2);
+          { reg = rd; owned = true })
+
+and eval_load st scale signed addr =
+  let width = match scale with W8 -> A.Byte | W16 -> A.Half | W32 -> A.Word in
+  (* "extra" addressing (half / signed byte) has a tighter offset range and
+     no shifted-register form *)
+  let extra = scale = W16 || (scale = W8 && signed) in
+  let max_imm = if extra then 0xFF else 0xFFF in
+  let base_plus_offset () : value * A.mem_offset * value list =
+    match addr with
+    | Binop (Add, b, Int c) when c >= -max_imm && c <= max_imm ->
+        let vb = eval st b in
+        (vb, A.Ofs_imm c, [])
+    | Binop (Sub, b, Int c) when c >= -max_imm && c <= max_imm ->
+        let vb = eval st b in
+        (vb, A.Ofs_imm (-c), [])
+    | Binop (Add, b, Binop (Shl, idx, Int n))
+      when (not extra) && n >= 1 && n <= 3 ->
+        let vb = eval st b in
+        let vi = eval st idx in
+        (vb, A.Ofs_reg (vi.reg, A.LSL, n), [ vi ])
+    | Binop (Add, b, idx) ->
+        let vb = eval st b in
+        let vi = eval st idx in
+        (vb, A.Ofs_reg (vi.reg, A.LSL, 0), [ vi ])
+    | _ ->
+        let va = eval st addr in
+        (va, A.Ofs_imm 0, [])
+  in
+  let vb, offset, extra_frees = base_plus_offset () in
+  List.iter (free st) extra_frees;
+  free st vb;
+  let rd = alloc st in
+  emit_i st
+    (A.Mem { cond = AL; load = true; width; signed; rd; rn = vb.reg; offset;
+             writeback = false });
+  { reg = rd; owned = true }
+
+(* Store [value] register to the home of [x]. *)
+let assign_home st x r =
+  match home st x with
+  | Hreg h -> if h <> r then emit_i st (mov h (A.Reg r))
+  | Hslot slot ->
+      emit_i st
+        (A.Mem { cond = AL; load = false; width = Word; signed = false;
+                 rd = r; rn = A.sp; offset = Ofs_imm (slot_offset slot);
+                 writeback = false })
+
+(* Move a simple expression straight into a specific register (used for
+   call arguments; post-normalization arguments are always simple). *)
+let move_simple_into st rd (e : expr) =
+  match e with
+  | Int c -> load_const_into st rd c
+  | Var x -> (
+      match home st x with
+      | Hreg h -> if h <> rd then emit_i st (mov rd (A.Reg h))
+      | Hslot slot ->
+          emit_i st
+            (A.Mem { cond = AL; load = true; width = Word; signed = false;
+                     rd; rn = A.sp; offset = Ofs_imm (slot_offset slot);
+                     writeback = false }))
+  | Global_addr g -> emit st (Mach.Load_global (rd, g))
+  | Load _ | Binop _ | Unop _ | Cmp _ | Call _ ->
+      error "call argument not simple (missing normalization?)"
+
+let compile_call st f args ~dst =
+  if List.length args > 4 then error "call to %s with more than 4 args" f;
+  List.iteri (fun j a -> move_simple_into st j a) args;
+  emit st (Mach.Call f);
+  match dst with None -> () | Some x -> assign_home st x 0
+
+(* Compile a condition: fall through when [c] holds, branch to
+   [false_target] when it does not. *)
+let compile_cond st c ~false_target =
+  match c with
+  | Int 0 -> emit st (Mach.Branch { cond = AL; target = false_target })
+  | Int _ -> ()
+  | Cmp (op, a, b) ->
+      let va = eval st a in
+      let op2, frees = op2_of st b in
+      emit_i st (dp CMP 0 va.reg op2);
+      List.iter (free st) frees;
+      free st va;
+      emit st (Mach.Branch { cond = invert (cc_of_cmp op); target = false_target })
+  | _ ->
+      let v = eval st c in
+      emit_i st (dp CMP 0 v.reg (Imm { value = 0; rot = 0 }));
+      free st v;
+      emit st (Mach.Branch { cond = A.EQ; target = false_target })
+
+let hidden_bound x = x ^ "#hi"
+
+let rec compile_stmt st (s : stmt) =
+  assert (st.depth = 0);
+  match s with
+  | Let (x, Call (f, args)) | Assign (x, Call (f, args)) ->
+      compile_call st f args ~dst:(Some x)
+  | Let (x, e) | Assign (x, e) ->
+      let v = eval st e in
+      assign_home st x v.reg;
+      free st v
+  | Expr (Call (f, args)) -> compile_call st f args ~dst:None
+  | Expr e ->
+      let v = eval st e in
+      free st v
+  | Store { scale; addr; value } ->
+      let width =
+        match scale with W8 -> A.Byte | W16 -> A.Half | W32 -> A.Word
+      in
+      let vv = eval st value in
+      let extra = scale = W16 in
+      let max_imm = if extra then 0xFF else 0xFFF in
+      let vb, offset, extra_frees =
+        match addr with
+        | Binop (Add, b, Int c) when c >= -max_imm && c <= max_imm ->
+            let vb = eval st b in
+            (vb, A.Ofs_imm c, [])
+        | Binop (Sub, b, Int c) when c >= -max_imm && c <= max_imm ->
+            let vb = eval st b in
+            (vb, A.Ofs_imm (-c), [])
+        | Binop (Add, b, Binop (Shl, idx, Int n))
+          when (not extra) && n >= 1 && n <= 3 ->
+            let vb = eval st b in
+            let vi = eval st idx in
+            (vb, A.Ofs_reg (vi.reg, A.LSL, n), [ vi ])
+        | Binop (Add, b, idx) ->
+            let vb = eval st b in
+            let vi = eval st idx in
+            (vb, A.Ofs_reg (vi.reg, A.LSL, 0), [ vi ])
+        | _ ->
+            let va = eval st addr in
+            (va, A.Ofs_imm 0, [])
+      in
+      emit_i st
+        (A.Mem { cond = AL; load = false; width; signed = false; rd = vv.reg;
+                 rn = vb.reg; offset; writeback = false });
+      List.iter (free st) extra_frees;
+      free st vb;
+      free st vv
+  | If (c, t, []) ->
+      let l_end = fresh_label st in
+      compile_cond st c ~false_target:l_end;
+      compile_block st t;
+      emit st (Mach.Label l_end)
+  | If (c, t, e) ->
+      let l_else = fresh_label st in
+      let l_end = fresh_label st in
+      compile_cond st c ~false_target:l_else;
+      compile_block st t;
+      emit st (Mach.Branch { cond = AL; target = l_end });
+      emit st (Mach.Label l_else);
+      compile_block st e;
+      emit st (Mach.Label l_end)
+  | While (c, body) ->
+      let l_head = fresh_label st in
+      let l_end = fresh_label st in
+      emit st (Mach.Label l_head);
+      compile_cond st c ~false_target:l_end;
+      st.loops <- (l_end, l_head) :: st.loops;
+      compile_block st body;
+      st.loops <- List.tl st.loops;
+      emit st (Mach.Branch { cond = AL; target = l_head });
+      emit st (Mach.Label l_end)
+  | For (x, lo, hi, body) ->
+      let v = eval st lo in
+      assign_home st x v.reg;
+      free st v;
+      (match hi with
+      | Int _ -> ()
+      | _ ->
+          let vh = eval st hi in
+          assign_home st (hidden_bound x) vh.reg;
+          free st vh);
+      let l_head = fresh_label st in
+      let l_inc = fresh_label st in
+      let l_end = fresh_label st in
+      emit st (Mach.Label l_head);
+      let vx = eval st (Var x) in
+      let op2, frees =
+        match hi with
+        | Int c -> op2_of st (Int c)
+        | _ -> op2_of st (Var (hidden_bound x))
+      in
+      emit_i st (dp CMP 0 vx.reg op2);
+      List.iter (free st) frees;
+      free st vx;
+      emit st (Mach.Branch { cond = A.GE; target = l_end });
+      st.loops <- (l_end, l_inc) :: st.loops;
+      compile_block st body;
+      st.loops <- List.tl st.loops;
+      emit st (Mach.Label l_inc);
+      (match home st x with
+      | Hreg h -> emit_i st (dp ADD h h (Imm { value = 1; rot = 0 }))
+      | Hslot _ ->
+          let v = eval st (Var x) in
+          free st v;
+          let rd = alloc st in
+          emit_i st (dp ADD rd v.reg (Imm { value = 1; rot = 0 }));
+          assign_home st x rd;
+          st.depth <- st.depth - 1);
+      emit st (Mach.Branch { cond = AL; target = l_head });
+      emit st (Mach.Label l_end)
+  | Return (Some e) ->
+      let v = eval st e in
+      if v.reg <> 0 then emit_i st (mov 0 (A.Reg v.reg));
+      free st v;
+      emit st (Mach.Branch { cond = AL; target = st.epilogue })
+  | Return None ->
+      load_const_into st 0 0;
+      emit st (Mach.Branch { cond = AL; target = st.epilogue })
+  | Break -> (
+      match st.loops with
+      | (brk, _) :: _ -> emit st (Mach.Branch { cond = AL; target = brk })
+      | [] -> error "break outside loop")
+  | Continue -> (
+      match st.loops with
+      | (_, cont) :: _ -> emit st (Mach.Branch { cond = AL; target = cont })
+      | [] -> error "continue outside loop")
+  | Print_int e ->
+      let v = eval st e in
+      if v.reg <> 0 then emit_i st (mov 0 (A.Reg v.reg));
+      free st v;
+      emit_i st (A.Swi { cond = AL; number = 1 })
+  | Print_char e ->
+      let v = eval st e in
+      if v.reg <> 0 then emit_i st (mov 0 (A.Reg v.reg));
+      free st v;
+      emit_i st (A.Swi { cond = AL; number = 2 })
+
+and compile_block st stmts = List.iter (compile_stmt st) stmts
+
+(* Collect every local of the function, in first-binding order. *)
+let collect_locals (f : func) =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let add x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      order := x :: !order
+    end
+  in
+  List.iter add f.params;
+  let rec stmt = function
+    | Let (x, _) -> add x
+    | For (x, _, hi, body) ->
+        add x;
+        (match hi with Int _ -> () | _ -> add (hidden_bound x));
+        List.iter stmt body
+    | If (_, t, e) ->
+        List.iter stmt t;
+        List.iter stmt e
+    | While (_, body) -> List.iter stmt body
+    | Assign _ | Store _ | Expr _ | Return _ | Break | Continue
+    | Print_int _ | Print_char _ ->
+        ()
+  in
+  List.iter stmt f.body;
+  List.rev !order
+
+let home_registers = [ 4; 5; 6; 7; 8; 9; 10 ]
+
+let compile_fun (f : func) : Mach.fundef =
+  let locals = collect_locals f in
+  let homes = Hashtbl.create 16 in
+  let nregs = List.length home_registers in
+  List.iteri
+    (fun idx x ->
+      let h =
+        if idx < nregs then Hreg (List.nth home_registers idx)
+        else Hslot (idx - nregs)
+      in
+      Hashtbl.replace homes x h)
+    locals;
+  let nslots = max 0 (List.length locals - nregs) in
+  let st =
+    { items = []; homes; nslots; next_label = 0; depth = 0; loops = [];
+      epilogue = 0 }
+  in
+  let st = { st with epilogue = fresh_label st } in
+  compile_block st f.body;
+  (* fall-through return: r0 = 0 *)
+  load_const_into st 0 0;
+  emit st (Mach.Label st.epilogue);
+  let body_items = List.rev st.items in
+  let used = Mach.callee_saved_used body_items in
+  let used =
+    List.sort_uniq compare
+      (used
+      @ List.filter_map
+          (fun p ->
+            match Hashtbl.find_opt homes p with
+            | Some (Hreg r) -> Some r
+            | Some (Hslot _) | None -> None)
+          f.params)
+  in
+  let has_call =
+    List.exists (function Mach.Call _ -> true | _ -> false) body_items
+  in
+  let frame_bytes = 4 * st.nslots in
+  let prologue =
+    List.concat
+      [
+        (if has_call then [ Mach.Insn (A.Push { cond = AL; regs = used @ [ A.lr ] }) ]
+         else if used <> [] then [ Mach.Insn (A.Push { cond = AL; regs = used }) ]
+         else []);
+        (if frame_bytes > 0 then
+           [ Mach.Insn
+               (dp SUB A.sp A.sp
+                  (Option.get (A.encode_imm_operand frame_bytes))) ]
+         else []);
+        List.concat
+          (List.mapi
+             (fun j p ->
+               match Hashtbl.find_opt homes p with
+               | Some (Hreg h) ->
+                   if h = j then [] else [ Mach.Insn (mov h (A.Reg j)) ]
+               | Some (Hslot slot) ->
+                   [ Mach.Insn
+                       (A.Mem { cond = AL; load = false; width = Word;
+                                signed = false; rd = j; rn = A.sp;
+                                offset = Ofs_imm (slot_offset slot);
+                                writeback = false }) ]
+               | None -> [])
+             f.params);
+      ]
+  in
+  let epilogue_items =
+    List.concat
+      [
+        (if frame_bytes > 0 then
+           [ Mach.Insn
+               (dp ADD A.sp A.sp
+                  (Option.get (A.encode_imm_operand frame_bytes))) ]
+         else []);
+        (if has_call then [ Mach.Insn (A.Pop { cond = AL; regs = used @ [ A.pc ] }) ]
+         else
+           List.concat
+             [
+               (if used <> [] then [ Mach.Insn (A.Pop { cond = AL; regs = used }) ]
+                else []);
+               [ Mach.Insn (A.Bx { cond = AL; rm = A.lr }) ];
+             ]);
+      ]
+  in
+  { Mach.fname = f.name; items = prologue @ body_items @ epilogue_items }
+
+let compile_program (p : program) = List.map compile_fun p.funcs

@@ -1,0 +1,19 @@
+(** KIR-to-ARM code generation.
+
+    A classic one-pass baseline code generator: locals live in callee-saved
+    registers (r4..r10) with overflow in frame slots, expressions evaluate
+    on a small scratch-register stack (r0-r3, r12, r11), conditions compile
+    to CMP + conditional branch, and comparisons materialize through
+    conditional moves.  Address-mode selection fuses [base + const] and
+    [base + (index << k)] into the ARM addressing modes.
+
+    Requires the input to be validated, division-expanded
+    ({!Runtime.expand_div}) and call-normalized ({!Normalize.program}). *)
+
+exception Compile_error of string
+
+val compile_fun : Pf_kir.Ast.func -> Mach.fundef
+
+val compile_program : Pf_kir.Ast.program -> Mach.fundef list
+(** All functions, in program order.  Does not include the start stub —
+    that is the linker's job. *)

@@ -1,0 +1,13 @@
+let program ?code_base ?data_base ?mem_size ?(unroll = 1)
+    (p : Pf_kir.Ast.program) =
+  Pf_kir.Validate.check_exn p;
+  let p = Pf_kir.Transform.unroll ~factor:unroll p in
+  let p = Runtime.expand_div p in
+  let p = Normalize.program p in
+  let fundefs = Codegen.compile_program p in
+  Link.link ?code_base ?data_base ?mem_size fundefs p.globals
+
+let run ?max_steps image =
+  let st = Pf_arm.Exec.create image in
+  Pf_arm.Exec.run ?max_steps st ~on_step:(fun _ ~pc:_ _ _ -> ());
+  Pf_arm.Exec.output st

@@ -1,0 +1,20 @@
+(** The full KIR-to-image pipeline:
+    validate -> expand division -> normalize calls -> codegen -> link. *)
+
+val program :
+  ?code_base:int ->
+  ?data_base:int ->
+  ?mem_size:int ->
+  ?unroll:int ->
+  Pf_kir.Ast.program ->
+  Pf_arm.Image.t
+(** [unroll] (default 1 = off) applies {!Pf_kir.Transform.unroll} before
+    lowering — the knob that gives codec-class benchmarks their realistic
+    instruction footprints. *)
+
+val run :
+  ?max_steps:int ->
+  Pf_arm.Image.t ->
+  string
+(** Convenience: execute an image to completion and return its printed
+    output (used heavily by tests). *)

@@ -1,0 +1,43 @@
+type label = int
+
+type item =
+  | Insn of Pf_arm.Insn.t
+  | Label of label
+  | Branch of { cond : Pf_arm.Insn.cond; target : label }
+  | Call of string
+  | Load_const of Pf_arm.Insn.reg * int
+  | Load_global of Pf_arm.Insn.reg * string
+
+type fundef = {
+  fname : string;
+  items : item list;
+}
+
+let size_words = function
+  | Label _ -> 0
+  | Insn _ | Branch _ | Call _ | Load_const _ | Load_global _ -> 1
+
+let callee_saved_used items =
+  let used = Array.make 16 false in
+  let mark r = if r >= 4 && r <= 11 then used.(r) <- true in
+  List.iter
+    (fun item ->
+      match item with
+      | Insn i ->
+          List.iter mark (Pf_arm.Insn.regs_read i);
+          List.iter mark (Pf_arm.Insn.regs_written i)
+      | Load_const (r, _) | Load_global (r, _) -> mark r
+      | Label _ | Branch _ | Call _ -> ())
+    items;
+  List.filter (fun r -> used.(r)) [ 4; 5; 6; 7; 8; 9; 10; 11 ]
+
+let pp_item ppf = function
+  | Insn i -> Pf_arm.Insn.pp ppf i
+  | Label l -> Format.fprintf ppf "L%d:" l
+  | Branch { cond; target } ->
+      Format.fprintf ppf "b%s L%d"
+        (match cond with Pf_arm.Insn.AL -> "" | _ -> ".cc")
+        target
+  | Call f -> Format.fprintf ppf "bl %s" f
+  | Load_const (r, c) -> Format.fprintf ppf "ldr r%d, =%d" r c
+  | Load_global (r, g) -> Format.fprintf ppf "ldr r%d, =%s" r g

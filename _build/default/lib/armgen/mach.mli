@@ -1,0 +1,26 @@
+(** Pre-link machine code: instructions plus the symbolic items the linker
+    resolves (labels, calls by name, constants that may need a literal
+    pool, global addresses). *)
+
+type label = int
+
+type item =
+  | Insn of Pf_arm.Insn.t
+  | Label of label
+  | Branch of { cond : Pf_arm.Insn.cond; target : label }
+  | Call of string                      (** BL to a function by name *)
+  | Load_const of Pf_arm.Insn.reg * int (** constant needing a literal pool *)
+  | Load_global of Pf_arm.Insn.reg * string (** address of a global *)
+
+type fundef = {
+  fname : string;
+  items : item list;
+}
+
+val size_words : item -> int
+(** Words the item occupies once linked (labels are 0, everything else 1). *)
+
+val callee_saved_used : item list -> Pf_arm.Insn.reg list
+(** Which of r4..r11 the items read or write, ascending. *)
+
+val pp_item : Format.formatter -> item -> unit

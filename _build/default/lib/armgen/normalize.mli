@@ -1,0 +1,9 @@
+(** Call normalization (A-normal form for calls).
+
+    After this pass, every [Call] appears only as the immediate right-hand
+    side of a [Let]/[Assign] or as a standalone [Expr], and every call
+    argument is simple (a constant, variable, or global address).  The code
+    generator relies on this: at a call site the expression scratch stack
+    is empty and arguments can be moved straight into r0-r3. *)
+
+val program : Pf_kir.Ast.program -> Pf_kir.Ast.program

@@ -1,0 +1,156 @@
+open Pf_kir.Ast
+open Pf_kir.Build
+
+let function_names = [ "__udiv32"; "__urem32"; "__sdiv32"; "__srem32" ]
+
+(* Restoring shift-subtract division, 32 iterations; quotient in the return
+   value, remainder left in the [__divrem_r] cell.  Divide-by-zero yields 0
+   for both, matching the reference evaluator. *)
+let udiv32 =
+  func "__udiv32" [ "n"; "d" ]
+    [
+      when_ (v "d" =% i 0) [ setidx32 "__divrem_r" (i 0) (i 0); ret (i 0) ];
+      let_ "q" (i 0);
+      let_ "r" (i 0);
+      let_ "j" (i 31);
+      while_ (v "j" >=% i 0)
+        [
+          (* [hi] is the bit shifted out of r: if set, the true remainder
+             exceeds 32 bits and the subtraction below is always due. *)
+          let_ "hi" (shr (v "r") (i 31));
+          set "r" (bor (shl (v "r") (i 1)) (band (shr (v "n") (v "j")) (i 1)));
+          when_ (bor (v "hi") (uge (v "r") (v "d")) <>% i 0)
+            [
+              set "r" (v "r" -% v "d");
+              set "q" (bor (v "q") (shl (i 1) (v "j")));
+            ];
+          set "j" (v "j" -% i 1);
+        ];
+      setidx32 "__divrem_r" (i 0) (v "r");
+      ret (v "q");
+    ]
+
+let urem32 =
+  func "__urem32" [ "n"; "d" ]
+    [
+      do_ "__udiv32" [ v "n"; v "d" ];
+      ret (idx32 "__divrem_r" (i 0));
+    ]
+
+(* Signed division truncates toward zero, as in C. *)
+let sdiv32 =
+  func "__sdiv32" [ "a"; "b" ]
+    [
+      let_ "na" (i 0);
+      let_ "nb" (i 0);
+      when_ (v "a" <% i 0) [ set "na" (i 1); set "a" (neg (v "a")) ];
+      when_ (v "b" <% i 0) [ set "nb" (i 1); set "b" (neg (v "b")) ];
+      let_ "q" (call "__udiv32" [ v "a"; v "b" ]);
+      if_ (bxor (v "na") (v "nb") <>% i 0) [ ret (neg (v "q")) ] [ ret (v "q") ];
+    ]
+
+let srem32 =
+  func "__srem32" [ "a"; "b" ]
+    [
+      let_ "na" (i 0);
+      when_ (v "a" <% i 0) [ set "na" (i 1); set "a" (neg (v "a")) ];
+      when_ (v "b" <% i 0) [ set "b" (neg (v "b")) ];
+      let_ "r" (call "__urem32" [ v "a"; v "b" ]);
+      if_ (v "na" <>% i 0) [ ret (neg (v "r")) ] [ ret (v "r") ];
+    ]
+
+let scratch_global = garray "__divrem_r" W32 1
+
+let call_name = function
+  | Div -> Some "__sdiv32"
+  | Rem -> Some "__srem32"
+  | Udiv -> Some "__udiv32"
+  | Urem -> Some "__urem32"
+  | Add | Sub | Mul | And | Or | Xor | Shl | Shr | Sar -> None
+
+let rec rewrite_expr e =
+  match e with
+  | Int _ | Var _ | Global_addr _ -> e
+  | Load l -> Load { l with addr = rewrite_expr l.addr }
+  | Binop (op, a, b) -> (
+      let a = rewrite_expr a and b = rewrite_expr b in
+      match call_name op with
+      | Some f -> Call (f, [ a; b ])
+      | None -> Binop (op, a, b))
+  | Unop (op, a) -> Unop (op, rewrite_expr a)
+  | Cmp (op, a, b) -> Cmp (op, rewrite_expr a, rewrite_expr b)
+  | Call (f, args) -> Call (f, List.map rewrite_expr args)
+
+let rec rewrite_stmt s =
+  match s with
+  | Let (x, e) -> Let (x, rewrite_expr e)
+  | Assign (x, e) -> Assign (x, rewrite_expr e)
+  | Store { scale; addr; value } ->
+      Store { scale; addr = rewrite_expr addr; value = rewrite_expr value }
+  | If (c, t, e) ->
+      If (rewrite_expr c, List.map rewrite_stmt t, List.map rewrite_stmt e)
+  | While (c, body) -> While (rewrite_expr c, List.map rewrite_stmt body)
+  | For (x, lo, hi, body) ->
+      For (x, rewrite_expr lo, rewrite_expr hi, List.map rewrite_stmt body)
+  | Expr e -> Expr (rewrite_expr e)
+  | Return (Some e) -> Return (Some (rewrite_expr e))
+  | Return None | Break | Continue -> s
+  | Print_int e -> Print_int (rewrite_expr e)
+  | Print_char e -> Print_char (rewrite_expr e)
+
+let calls_function name p =
+  let found = ref false in
+  let rec expr = function
+    | Int _ | Var _ | Global_addr _ -> ()
+    | Load { addr; _ } -> expr addr
+    | Binop (_, a, b) | Cmp (_, a, b) ->
+        expr a;
+        expr b
+    | Unop (_, a) -> expr a
+    | Call (f, args) ->
+        if f = name then found := true;
+        List.iter expr args
+  in
+  let rec stmt = function
+    | Let (_, e) | Assign (_, e) | Expr e | Return (Some e) | Print_int e
+    | Print_char e ->
+        expr e
+    | Store { addr; value; _ } ->
+        expr addr;
+        expr value
+    | If (c, t, e) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt e
+    | While (c, body) ->
+        expr c;
+        List.iter stmt body
+    | For (_, lo, hi, body) ->
+        expr lo;
+        expr hi;
+        List.iter stmt body
+    | Return None | Break | Continue -> ()
+  in
+  List.iter (fun f -> List.iter stmt f.body) p.funcs;
+  !found
+
+let expand_div (p : program) =
+  let funcs = List.map (fun f -> { f with body = List.map rewrite_stmt f.body }) p.funcs in
+  let p = { p with funcs } in
+  (* Append runtime functions transitively: srem needs urem needs udiv. *)
+  let need_srem = calls_function "__srem32" p in
+  let need_sdiv = calls_function "__sdiv32" p in
+  let need_urem = calls_function "__urem32" p || need_srem in
+  let need_udiv = calls_function "__udiv32" p || need_urem || need_sdiv in
+  let extra =
+    List.concat
+      [
+        (if need_udiv then [ udiv32 ] else []);
+        (if need_urem then [ urem32 ] else []);
+        (if need_sdiv then [ sdiv32 ] else []);
+        (if need_srem then [ srem32 ] else []);
+      ]
+  in
+  if extra = [] then p
+  else
+    { funcs = p.funcs @ extra; globals = p.globals @ [ scratch_global ] }

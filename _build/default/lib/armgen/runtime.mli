@@ -1,0 +1,14 @@
+(** Software runtime for operations the ARM-like core lacks in hardware.
+
+    The SA-1100 has no divider, so KIR division and remainder lower to
+    calls into shift-subtract routines.  The routines are themselves KIR
+    functions appended to the program — they are compiled, profiled and
+    FITS-translated like any other application code, exactly as libgcc
+    division helpers would be in a real MiBench binary. *)
+
+val expand_div : Pf_kir.Ast.program -> Pf_kir.Ast.program
+(** Replace [Div]/[Rem]/[Udiv]/[Urem] binops with calls and append the
+    runtime functions that are actually needed. *)
+
+val function_names : string list
+(** Names reserved by the runtime (["__udiv32"], ...). *)

@@ -1,0 +1,1 @@
+lib/cache/icache.ml: Array Bits Hashtbl Pf_util

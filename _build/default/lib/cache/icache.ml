@@ -1,0 +1,172 @@
+open Pf_util
+
+type config = {
+  size_bytes : int;
+  block_bytes : int;
+  assoc : int;
+}
+
+let config ?(block_bytes = 32) ?(assoc = 32) ~size_bytes () =
+  { size_bytes; block_bytes; assoc }
+
+let sets c =
+  let blocks = c.size_bytes / c.block_bytes in
+  let s = blocks / c.assoc in
+  if s = 0 then 1 else s
+
+let tag_bits c = 32 - Bits.log2_exact (sets c) - Bits.log2_exact c.block_bytes
+
+type t = {
+  cfg : config;
+  nsets : int;
+  block_shift : int;
+  (* tags.(set * assoc + way); -1 = invalid.  Ways kept in MRU-first order
+     so the common hit is found on the first probe. *)
+  tags : int array;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable compulsory : int;
+  mutable capacity : int;
+  mutable conflict : int;
+  mutable out_toggles : int;
+  mutable idx_toggles : int;
+  mutable refills : int;
+  mutable last_out : int;
+  mutable last_idx : int;
+  seen : (int, unit) Hashtbl.t option;     (* blocks ever touched *)
+  shadow : (int, int) Hashtbl.t option;    (* block -> last-use time *)
+  shadow_capacity : int;
+  mutable time : int;
+}
+
+let create ?(classify = false) cfg =
+  if not (Bits.is_power_of_two cfg.size_bytes) then
+    invalid_arg "Icache.create: size not a power of two";
+  if not (Bits.is_power_of_two cfg.block_bytes) then
+    invalid_arg "Icache.create: block not a power of two";
+  let nsets = sets cfg in
+  if nsets * cfg.assoc * cfg.block_bytes <> cfg.size_bytes then
+    invalid_arg "Icache.create: size / block / assoc inconsistent";
+  {
+    cfg;
+    nsets;
+    block_shift = Bits.log2_exact cfg.block_bytes;
+    tags = Array.make (nsets * cfg.assoc) (-1);
+    accesses = 0;
+    misses = 0;
+    compulsory = 0;
+    capacity = 0;
+    conflict = 0;
+    out_toggles = 0;
+    idx_toggles = 0;
+    refills = 0;
+    last_out = 0;
+    last_idx = 0;
+    seen = (if classify then Some (Hashtbl.create 1024) else None);
+    shadow = (if classify then Some (Hashtbl.create 1024) else None);
+    shadow_capacity = cfg.size_bytes / cfg.block_bytes;
+    time = 0;
+  }
+
+type result = {
+  hit : bool;
+  toggles : int;
+  refilled_words : int;
+}
+
+let classify_miss t block =
+  match (t.seen, t.shadow) with
+  | Some seen, Some shadow ->
+      if not (Hashtbl.mem seen block) then begin
+        Hashtbl.replace seen block ();
+        t.compulsory <- t.compulsory + 1
+      end
+      else if Hashtbl.mem shadow block then
+        (* present in the fully-associative shadow: a conflict miss *)
+        t.conflict <- t.conflict + 1
+      else t.capacity <- t.capacity + 1
+  | _ -> ()
+
+let shadow_touch t block =
+  match t.shadow with
+  | None -> ()
+  | Some shadow ->
+      if
+        (not (Hashtbl.mem shadow block))
+        && Hashtbl.length shadow >= t.shadow_capacity
+      then begin
+        (* evict the least recently used shadow entry *)
+        let lru_block = ref (-1) and lru_time = ref max_int in
+        Hashtbl.iter
+          (fun b tm ->
+            if tm < !lru_time then begin
+              lru_time := tm;
+              lru_block := b
+            end)
+          shadow;
+        Hashtbl.remove shadow !lru_block
+      end;
+      Hashtbl.replace shadow block t.time
+
+let access t ~addr ~data =
+  t.accesses <- t.accesses + 1;
+  t.time <- t.time + 1;
+  let block = addr lsr t.block_shift in
+  let set = block land (t.nsets - 1) in
+  let tag = block lsr Bits.log2_exact t.nsets in
+  let idx_t = Bits.hamming set t.last_idx in
+  let out_t = Bits.hamming data t.last_out in
+  t.idx_toggles <- t.idx_toggles + idx_t;
+  t.last_idx <- set;
+  t.out_toggles <- t.out_toggles + out_t;
+  t.last_out <- data;
+  let base = set * t.cfg.assoc in
+  let rec find way = if way >= t.cfg.assoc then -1
+    else if t.tags.(base + way) = tag then way
+    else find (way + 1)
+  in
+  let way = find 0 in
+  let hit = way >= 0 in
+  let refilled_words = ref 0 in
+  if hit then begin
+    (* move to front (MRU) *)
+    if way > 0 then begin
+      let v = t.tags.(base + way) in
+      Array.blit t.tags base t.tags (base + 1) way;
+      t.tags.(base) <- v
+    end
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    refilled_words := t.cfg.block_bytes / 4;
+    t.refills <- t.refills + !refilled_words;
+    classify_miss t block;
+    (* insert at MRU, evict LRU (last way) *)
+    Array.blit t.tags base t.tags (base + 1) (t.cfg.assoc - 1);
+    t.tags.(base) <- tag
+  end;
+  shadow_touch t block;
+  { hit; toggles = idx_t + out_t; refilled_words = !refilled_words }
+
+let stats_accesses t = t.accesses
+let stats_misses t = t.misses
+let stats_compulsory t = t.compulsory
+let stats_capacity t = t.capacity
+let stats_conflict t = t.conflict
+let output_toggles t = t.out_toggles
+let addr_toggles t = t.idx_toggles
+let refill_words t = t.refills
+
+let miss_rate_per_million t =
+  if t.accesses = 0 then 0.0
+  else 1_000_000.0 *. float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.compulsory <- 0;
+  t.capacity <- 0;
+  t.conflict <- 0;
+  t.out_toggles <- 0;
+  t.idx_toggles <- 0;
+  t.refills <- 0

@@ -1,0 +1,64 @@
+(** Set-associative instruction cache simulator with LRU replacement.
+
+    Beyond hit/miss bookkeeping it records the *activity* the power model
+    needs (paper §4.2: sim-panalyzer ties power to gate switching per
+    microarchitectural access):
+
+    - output-bus toggles: Hamming distance between consecutive words driven
+      onto the fetch bus;
+    - address-path toggles: Hamming distance between consecutive set
+      indices (decoder switching);
+    - refill traffic: words written into the array on each miss.
+
+    Misses are optionally classified compulsory / capacity / conflict
+    against a fully-associative shadow cache of the same capacity. *)
+
+type config = {
+  size_bytes : int;
+  block_bytes : int;
+  assoc : int;
+}
+
+val config : ?block_bytes:int -> ?assoc:int -> size_bytes:int -> unit -> config
+(** Defaults match the StrongARM-class I-cache: 32-byte blocks, 32-way. *)
+
+val sets : config -> int
+val tag_bits : config -> int
+
+type t
+
+val create : ?classify:bool -> config -> t
+(** [classify] (default false) enables the shadow cache for miss
+    classification; it costs extra simulation time. *)
+
+type result = {
+  hit : bool;
+  toggles : int;        (** output + index toggles of this access *)
+  refilled_words : int; (** words brought in by this access (0 on hit) *)
+}
+
+val access : t -> addr:int -> data:int -> result
+(** [access t ~addr ~data] simulates a fetch of the 32-bit word [data] at
+    byte address [addr].  [data] is what the cache drives onto its output
+    bus (the simulator knows it from the image; a real cache would read it
+    from the array). *)
+
+val stats_accesses : t -> int
+val stats_misses : t -> int
+val stats_compulsory : t -> int
+val stats_capacity : t -> int
+val stats_conflict : t -> int
+
+val output_toggles : t -> int
+(** Total Hamming distance accumulated on the output bus. *)
+
+val addr_toggles : t -> int
+(** Total Hamming distance accumulated on the set-index path. *)
+
+val refill_words : t -> int
+(** Words moved into the array by misses. *)
+
+val miss_rate_per_million : t -> float
+
+val reset_stats : t -> unit
+(** Clear counters but keep cache contents (for warmup discard). *)

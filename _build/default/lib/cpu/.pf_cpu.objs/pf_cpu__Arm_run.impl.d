@@ -1,0 +1,1 @@
+lib/cpu/arm_run.ml: Array List Pf_arm Pf_cache Pf_power Pipeline

@@ -1,0 +1,1 @@
+lib/cpu/arm_run.mli: Pf_arm Pf_cache Pf_power Pipeline

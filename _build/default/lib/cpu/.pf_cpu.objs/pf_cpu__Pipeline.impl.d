@@ -1,0 +1,1 @@
+lib/cpu/pipeline.ml: Pf_cache Pf_power

@@ -1,0 +1,1 @@
+lib/cpu/pipeline.mli: Pf_cache Pf_power

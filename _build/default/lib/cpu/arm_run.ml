@@ -1,0 +1,95 @@
+module A = Pf_arm.Insn
+
+module Meta = struct
+  let classify (i : A.t) =
+    match i with
+    | A.B _ | A.Bx _ -> Pipeline.Branch
+    | A.Mul _ -> Pipeline.Mul
+    | A.Mem { load = true; _ } | A.Pop _ -> Pipeline.Load
+    | A.Mem { load = false; _ } | A.Push _ -> Pipeline.Store
+    | A.Swi _ -> Pipeline.System
+    | A.Dp _ -> if A.writes_pc i then Pipeline.Branch else Pipeline.Alu
+
+  let mask_of regs =
+    List.fold_left (fun m r -> if r < 15 then m lor (1 lsl r) else m) 0 regs
+
+  let read_mask i = mask_of (A.regs_read i)
+  let write_mask i = mask_of (A.regs_written i)
+end
+
+type meta = {
+  cls : Pipeline.insn_class;
+  reads : int;
+  writes : int;
+  backward : bool;   (* direct backward branch, for the static predictor *)
+}
+
+let build_meta (image : Pf_arm.Image.t) =
+  Array.map
+    (function
+      | Some i ->
+          Some
+            { cls = Meta.classify i;
+              reads = Meta.read_mask i;
+              writes = Meta.write_mask i;
+              backward =
+                (match i with A.B { offset; _ } -> offset < 0 | _ -> false) }
+      | None -> None)
+    image.Pf_arm.Image.insns
+
+type result = {
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  fetch_accesses : int;
+  output : string;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_per_million : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+}
+
+let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
+
+(* the SA-1100's 8 KB data cache, identical in all four configurations *)
+let dcache_cfg = Pf_cache.Icache.config ~size_bytes:(8 * 1024) ()
+
+let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
+    ?(classify = false) ?max_steps (image : Pf_arm.Image.t) =
+  let cache = Pf_cache.Icache.create ~classify cache_cfg in
+  let dcache = Pf_cache.Icache.create dcache_cfg in
+  let geometry = Pf_power.Geometry.of_config cache_cfg in
+  let account = Pf_power.Account.create ?params:power_params geometry in
+  let fetch_data addr = Pf_arm.Image.word_at image addr in
+  let pipe =
+    Pipeline.create ?config:pipeline_cfg ~dcache ~cache ~account ~fetch_data
+      ()
+  in
+  let metas = build_meta image in
+  let st = Pf_arm.Exec.create image in
+  let code_base = image.Pf_arm.Image.code_base in
+  Pf_arm.Exec.run ?max_steps st ~on_step:(fun _ ~pc insn o ->
+      let m =
+        match metas.((pc - code_base) lsr 2) with
+        | Some m -> m
+        | None -> assert false
+      in
+      ignore insn;
+      Pipeline.issue pipe ~backward:m.backward
+        ~mem_addr:o.Pf_arm.Exec.mem_addr ~addr:pc ~size:4 ~cls:m.cls
+        ~reads:m.reads ~writes:m.writes
+        ~taken:o.Pf_arm.Exec.branch_taken
+        ~mem_words:o.Pf_arm.Exec.mem_words ());
+  {
+    instructions = Pipeline.instructions pipe;
+    cycles = Pipeline.cycles pipe;
+    ipc = Pipeline.ipc pipe;
+    fetch_accesses = Pipeline.fetch_accesses pipe;
+    output = Pf_arm.Exec.output st;
+    cache_accesses = Pf_cache.Icache.stats_accesses cache;
+    cache_misses = Pf_cache.Icache.stats_misses cache;
+    miss_rate_per_million = Pf_cache.Icache.miss_rate_per_million cache;
+    dcache_miss_rate_pm = Pf_cache.Icache.miss_rate_per_million dcache;
+    power = Pf_power.Account.report account;
+  }

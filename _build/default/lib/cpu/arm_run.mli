@@ -1,0 +1,38 @@
+(** Run an ARM image through the full stack: architectural interpreter +
+    I-cache + pipeline timing + power accounting.  This produces the ARM16
+    and ARM8 data points of the paper's four simulated configurations. *)
+
+type result = {
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  fetch_accesses : int;
+  output : string;              (** program's printed output *)
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_per_million : float;
+  dcache_miss_rate_pm : float;
+      (** the fixed 8 KB data cache (constant across configurations) *)
+  power : Pf_power.Account.report;
+}
+
+val dcache_cfg : Pf_cache.Icache.config
+(** The fixed SA-1100-like 8 KB data cache used by both runners. *)
+
+val run :
+  ?cache_cfg:Pf_cache.Icache.config ->
+  ?pipeline_cfg:Pipeline.config ->
+  ?power_params:Pf_power.Account.Params.t ->
+  ?classify:bool ->
+  ?max_steps:int ->
+  Pf_arm.Image.t ->
+  result
+(** Default cache: 16 KB, 32-byte blocks, 32-way (the SA-1100 I-cache). *)
+
+(** Per-instruction metadata used by the timing model; exposed for the FITS
+    runner which shares the pipeline. *)
+module Meta : sig
+  val classify : Pf_arm.Insn.t -> Pipeline.insn_class
+  val read_mask : Pf_arm.Insn.t -> int
+  val write_mask : Pf_arm.Insn.t -> int
+end

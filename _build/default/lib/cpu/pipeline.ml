@@ -1,0 +1,145 @@
+type insn_class = Alu | Mul | Load | Store | Branch | System
+
+type predictor = No_prediction | Btfn
+
+type config = {
+  dual_issue : bool;
+  miss_penalty : int;
+  branch_penalty : int;
+  load_use_bubble : int;
+  mul_extra : int;
+  ldm_word_extra : int;
+  fetch_buffer : bool;
+  predictor : predictor;
+}
+
+let sa1100 =
+  {
+    dual_issue = true;
+    miss_penalty = 24;
+    branch_penalty = 2;
+    load_use_bubble = 1;
+    mul_extra = 2;
+    ldm_word_extra = 1;
+    fetch_buffer = true;
+    predictor = Btfn;
+  }
+
+type t = {
+  cfg : config;
+  cache : Pf_cache.Icache.t;
+  dcache : Pf_cache.Icache.t option;
+  account : Pf_power.Account.t;
+  fetch_data : int -> int;
+  mutable cycles : int;
+  mutable instrs : int;
+  mutable fetches : int;
+  mutable last_fetch_addr : int;       (* aligned word address, -1 = none *)
+  mutable pair_slot_free : bool;       (* current cycle can take a 2nd insn *)
+  mutable slot_writes : int;           (* writes of the 1st insn this cycle *)
+  mutable slot_mem : bool;
+  mutable prev_load_writes : int;      (* writes of the last load *)
+}
+
+let create ?(config = sa1100) ?dcache ~cache ~account ~fetch_data () =
+  {
+    cfg = config;
+    cache;
+    dcache;
+    account;
+    fetch_data;
+    cycles = 0;
+    instrs = 0;
+    fetches = 0;
+    last_fetch_addr = -1;
+    pair_slot_free = false;
+    slot_writes = 0;
+    slot_mem = false;
+    prev_load_writes = 0;
+  }
+
+let spend t n =
+  if n > 0 then begin
+    t.cycles <- t.cycles + n;
+    Pf_power.Account.on_cycles t.account n
+  end
+
+let issue t ?(backward = false) ?(mem_addr = -1) ~addr ~size ~cls ~reads
+    ~writes ~taken ~mem_words () =
+  t.instrs <- t.instrs + 1;
+  (* fetch: one I-cache access per new 32-bit word *)
+  let word_addr = addr land lnot 3 in
+  let stall = ref 0 in
+  if word_addr <> t.last_fetch_addr || not t.cfg.fetch_buffer then begin
+    let data = t.fetch_data word_addr in
+    let r = Pf_cache.Icache.access t.cache ~addr:word_addr ~data in
+    Pf_power.Account.on_access t.account ~toggles:r.Pf_cache.Icache.toggles
+      ~refilled_words:r.Pf_cache.Icache.refilled_words;
+    t.fetches <- t.fetches + 1;
+    t.last_fetch_addr <- word_addr;
+    if not r.Pf_cache.Icache.hit then stall := !stall + t.cfg.miss_penalty
+  end;
+  ignore size;
+  let is_mem = cls = Load || cls = Store in
+  (* data side: the D-cache is identical in every configuration (S5: only
+     the I-cache varies); misses stall like instruction refills *)
+  (match t.dcache with
+  | Some d when is_mem && mem_addr >= 0 ->
+      for w = 0 to mem_words - 1 do
+        let r =
+          Pf_cache.Icache.access d ~addr:((mem_addr + (4 * w)) land lnot 3)
+            ~data:0
+        in
+        if not r.Pf_cache.Icache.hit then
+          stall := !stall + t.cfg.miss_penalty
+      done
+  | Some _ | None -> ());
+  (* load-use bubble against the previous instruction *)
+  let bubble =
+    if t.prev_load_writes land reads <> 0 then t.cfg.load_use_bubble else 0
+  in
+  let can_pair =
+    t.cfg.dual_issue && t.pair_slot_free && !stall = 0 && bubble = 0
+    && reads land t.slot_writes = 0
+    && (not (is_mem && t.slot_mem))
+    && cls <> Branch
+  in
+  if can_pair then begin
+    (* issues in the already-open cycle *)
+    t.pair_slot_free <- false;
+    spend t !stall
+  end
+  else begin
+    spend t (1 + !stall + bubble);
+    t.pair_slot_free <- t.cfg.dual_issue && cls <> Branch && cls <> Mul;
+    t.slot_writes <- writes;
+    t.slot_mem <- is_mem
+  end;
+  (* back-end penalties close the pairing window *)
+  (* backward-taken/forward-not-taken static prediction: a correctly
+     predicted direct branch pays no redirect (the paper leans on MiBench
+     branches being "easily predictable"); indirect branches (backward =
+     false, taken) always pay *)
+  let mispredicted =
+    match t.cfg.predictor with
+    | No_prediction -> taken
+    | Btfn -> if cls = Branch then taken <> backward else taken
+  in
+  let extra =
+    (if cls = Mul then t.cfg.mul_extra else 0)
+    + (if mem_words > 1 then (mem_words - 1) * t.cfg.ldm_word_extra else 0)
+    + if mispredicted then t.cfg.branch_penalty else 0
+  in
+  if extra > 0 then begin
+    spend t extra;
+    t.pair_slot_free <- false
+  end;
+  if taken then
+    (* redirect: the fetch buffer does not survive a taken branch *)
+    t.last_fetch_addr <- -1;
+  t.prev_load_writes <- (if cls = Load then writes else 0)
+
+let cycles t = t.cycles
+let instructions t = t.instrs
+let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instrs /. float_of_int t.cycles
+let fetch_accesses t = t.fetches

@@ -1,0 +1,86 @@
+(** SA-1100-class in-order dual-issue timing model.
+
+    The paper's simulated core is "a dual-issue, in-order machine" with a
+    maximum IPC of 2 (§6.4.2), modeled after the StrongARM SA-1100 at
+    200 MHz.  This module charges cycles per retired instruction:
+
+    - up to two instructions issue per cycle when the second has no RAW
+      dependence on the first, at most one is a memory operation, and the
+      first is neither a branch nor a multiply;
+    - a taken branch pays a redirect penalty;
+    - a load feeding the immediately following instruction pays a bubble;
+    - multiplies and multi-word load/store multiple pay extra cycles;
+    - every instruction-fetch word goes through the I-cache; a miss stalls
+      the front end for the refill latency.
+
+    The pipeline owns the fetch path: it decides when a new 32-bit word
+    must be read from the I-cache.  16-bit (FITS) instructions that fall in
+    the word fetched by the previous instruction reuse the fetch buffer —
+    the mechanism by which halved code size halves fetch traffic. *)
+
+type insn_class = Alu | Mul | Load | Store | Branch | System
+
+type predictor =
+  | No_prediction   (** every taken branch pays the redirect *)
+  | Btfn
+      (** static backward-taken / forward-not-taken prediction: only
+          mispredicted direct branches (and all indirect ones) pay *)
+
+type config = {
+  dual_issue : bool;
+  miss_penalty : int;       (** cycles to refill a line from memory *)
+  branch_penalty : int;     (** redirect cycles on a taken branch *)
+  load_use_bubble : int;
+  mul_extra : int;
+  ldm_word_extra : int;     (** extra cycles per additional LDM/STM word *)
+  fetch_buffer : bool;
+      (** when false, every instruction re-reads the cache even within the
+          same 32-bit word — the ablation that removes FITS' fetch-traffic
+          halving *)
+  predictor : predictor;
+}
+
+val sa1100 : config
+(** 200 MHz StrongARM-like defaults: dual issue, 24-cycle miss penalty,
+    2-cycle taken-branch redirect, 1-cycle load-use bubble, 2 extra cycles
+    per multiply. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?dcache:Pf_cache.Icache.t ->
+  cache:Pf_cache.Icache.t ->
+  account:Pf_power.Account.t ->
+  fetch_data:(int -> int) ->
+  unit ->
+  t
+(** [fetch_data addr] must return the 32-bit word stored at the aligned
+    code address [addr] (it is what the cache drives on its output bus).
+    [dcache] (optional) models the data side: every memory word moved
+    goes through it and misses stall for [miss_penalty]; it is held
+    constant across the paper's four configurations, so it affects
+    absolute cycle counts but no I-cache comparison. *)
+
+val issue :
+  t ->
+  ?backward:bool ->
+  ?mem_addr:int ->
+  addr:int ->
+  size:int ->
+  cls:insn_class ->
+  reads:int ->
+  writes:int ->
+  taken:bool ->
+  mem_words:int ->
+  unit ->
+  unit
+(** Account one retired instruction.  [size] is 4 (ARM) or 2 (FITS);
+    [reads]/[writes] are register bitmasks; [taken] marks a taken branch;
+    [mem_words] the words a memory instruction transfers; [backward]
+    (direct branches only) feeds the static predictor. *)
+
+val cycles : t -> int
+val instructions : t -> int
+val ipc : t -> float
+val fetch_accesses : t -> int

@@ -1,0 +1,1 @@
+lib/fits/mapping.ml: Array Bits Format List Opkey Option Pf_arm Pf_util Spec

@@ -1,0 +1,1 @@
+lib/fits/mapping.mli: Pf_arm Spec

@@ -1,0 +1,1 @@
+lib/fits/opkey.ml: Hashtbl Pf_arm Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/fits/opkey.mli: Hashtbl Pf_arm

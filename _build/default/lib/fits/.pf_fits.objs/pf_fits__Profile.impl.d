@@ -1,0 +1,1 @@
+lib/fits/profile.ml: Array Buffer Fun Hashtbl List Opkey Pf_arm Pf_util Printf Stats

@@ -1,0 +1,1 @@
+lib/fits/profile.mli: Hashtbl Opkey Pf_arm Pf_util Stats

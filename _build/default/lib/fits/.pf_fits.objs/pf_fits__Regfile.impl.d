@@ -1,0 +1,1 @@
+lib/fits/regfile.ml: Fun List Pf_util Printf Profile Stats

@@ -1,0 +1,1 @@
+lib/fits/regfile.mli: Profile

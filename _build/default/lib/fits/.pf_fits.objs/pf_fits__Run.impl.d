@@ -1,0 +1,1 @@
+lib/fits/run.ml: Array List Mapping Pf_arm Pf_cache Pf_cpu Pf_power Printf Translate

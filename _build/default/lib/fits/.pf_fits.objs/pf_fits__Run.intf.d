@@ -1,0 +1,1 @@
+lib/fits/run.mli: Pf_cache Pf_cpu Pf_power Translate

@@ -1,0 +1,1 @@
+lib/fits/spec.ml: Array Bits Buffer Opkey Pf_arm Pf_util Printf

@@ -1,0 +1,1 @@
+lib/fits/spec.mli: Opkey Pf_arm

@@ -1,0 +1,1 @@
+lib/fits/synthesis.ml: Array Hashtbl List Logs Mapping Opkey Pf_arm Pf_util Printf Spec Stats String

@@ -1,0 +1,1 @@
+lib/fits/synthesis.mli: Pf_arm Spec

@@ -1,0 +1,1 @@
+lib/fits/translate.ml: Array Bits Buffer Fun Hashtbl List Mapping Option Pf_arm Pf_util Printf Spec Stats

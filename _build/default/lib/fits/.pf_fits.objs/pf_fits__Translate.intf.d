@@ -1,0 +1,1 @@
+lib/fits/translate.mli: Hashtbl Mapping Pf_arm Spec

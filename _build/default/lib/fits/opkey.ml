@@ -1,0 +1,122 @@
+module A = Pf_arm.Insn
+
+type shape =
+  | Sh_reg
+  | Sh_imm
+  | Sh_shift_imm of A.shift_kind * int
+  | Sh_shift_reg of A.shift_kind
+
+type mem_mode =
+  | M_imm
+  | M_reg
+  | M_reg_shift of int
+
+type t =
+  | K_dp of { op : A.dp_op; shape : shape; s : bool; two_op : bool }
+  | K_mul of { acc : bool }
+  | K_mem of { load : bool; width : A.mem_width; signed : bool;
+               mode : mem_mode; writeback : bool }
+  | K_push
+  | K_pop
+  | K_branch of { cond : A.cond; link : bool }
+  | K_bx
+  | K_swi
+
+type predicated = { key : t; cond : A.cond }
+
+let shape_of_op2 = function
+  | A.Imm _ -> Sh_imm
+  | A.Reg _ -> Sh_reg
+  | A.Reg_shift (_, k, n) -> Sh_shift_imm (k, n)
+  | A.Reg_shift_reg (_, k, _) -> Sh_shift_reg k
+
+let mode_of_offset = function
+  | A.Ofs_imm _ -> M_imm
+  | A.Ofs_reg (_, A.LSL, 0) -> M_reg
+  | A.Ofs_reg (_, _, k) -> M_reg_shift k
+
+let of_insn (i : A.t) =
+  let cond = A.cond_of i in
+  match i with
+  | A.Dp { op; s; rd; rn; op2; _ } ->
+      let commutative =
+        match op with
+        | A.ADD | A.AND | A.ORR | A.EOR -> true
+        | _ -> false
+      in
+      let two_op =
+        match op with
+        | A.MOV | A.MVN | A.TST | A.TEQ | A.CMP | A.CMN -> true
+        | A.AND | A.EOR | A.SUB | A.RSB | A.ADD | A.ADC | A.SBC | A.RSC
+        | A.ORR | A.BIC -> (
+            rd = rn
+            ||
+            (* commutative destructive form: rd = rm works after a swap *)
+            match op2 with
+            | A.Reg rm -> commutative && rd = rm
+            | A.Imm _ | A.Reg_shift _ | A.Reg_shift_reg _ -> false)
+      in
+      { key = K_dp { op; shape = shape_of_op2 op2; s; two_op }; cond }
+  | A.Mul { acc; _ } -> { key = K_mul { acc = acc <> None }; cond }
+  | A.Mem { load; width; signed; offset; writeback; _ } ->
+      { key = K_mem { load; width; signed; mode = mode_of_offset offset;
+                      writeback };
+        cond }
+  | A.Push _ -> { key = K_push; cond }
+  | A.Pop _ -> { key = K_pop; cond }
+  | A.B { link; cond; _ } -> { key = K_branch { cond; link }; cond = A.AL }
+  | A.Bx _ -> { key = K_bx; cond }
+  | A.Swi _ -> { key = K_swi; cond }
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let shape_str = function
+  | Sh_reg -> "rr"
+  | Sh_imm -> "ri"
+  | Sh_shift_imm (k, n) ->
+      Printf.sprintf "r%s%d" (String.lowercase_ascii (A.shift_name k)) n
+  | Sh_shift_reg k ->
+      Printf.sprintf "r%sr" (String.lowercase_ascii (A.shift_name k))
+
+let width_str (w : A.mem_width) signed =
+  match (w, signed) with
+  | A.Word, _ -> "w"
+  | A.Byte, false -> "b"
+  | A.Byte, true -> "sb"
+  | A.Half, false -> "h"
+  | A.Half, true -> "sh"
+
+let to_string = function
+  | K_dp { op; shape; s; two_op } ->
+      Printf.sprintf "%s%s%s.%s"
+        (A.dp_name op)
+        (if s then "s" else "")
+        (if two_op then "2" else "3")
+        (shape_str shape)
+  | K_mul { acc } -> if acc then "mla" else "mul"
+  | K_mem { load; width; signed; mode; writeback } ->
+      Printf.sprintf "%s.%s%s%s"
+        (if load then "ldr" else "str")
+        (width_str width signed)
+        (match mode with
+        | M_imm -> "+i"
+        | M_reg -> "+r"
+        | M_reg_shift k -> Printf.sprintf "+r<<%d" k)
+        (if writeback then "!" else "")
+  | K_push -> "push"
+  | K_pop -> "pop"
+  | K_branch { cond; link } ->
+      Printf.sprintf "%s.%s"
+        (if link then "bl" else "b")
+        (match A.cond_suffix cond with "" -> "al" | s -> s)
+  | K_bx -> "bx"
+  | K_swi -> "swi"
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,54 @@
+(** Operation keys: the unit of instruction-set synthesis.
+
+    A key identifies "one kind of 16-bit instruction" — the ARM operation
+    together with the operand shape and predication that a synthesized
+    FITS opcode would have to cover.  Profiling counts keys; synthesis
+    allocates encoding space to keys; translation maps an ARM instruction
+    one-to-one exactly when its key was synthesized and its operands fit
+    the synthesized fields. *)
+
+type shape =
+  | Sh_reg                         (** third operand is a plain register *)
+  | Sh_imm                         (** third operand is an immediate *)
+  | Sh_shift_imm of Pf_arm.Insn.shift_kind * int
+      (** register shifted by a fixed amount — the amount is part of the
+          key because a programmable decoder can bake it into an opcode *)
+  | Sh_shift_reg of Pf_arm.Insn.shift_kind
+
+type mem_mode =
+  | M_imm                          (** base + immediate displacement *)
+  | M_reg                          (** base + register *)
+  | M_reg_shift of int             (** base + (register << k) *)
+
+type t =
+  | K_dp of { op : Pf_arm.Insn.dp_op; shape : shape; s : bool;
+              two_op : bool }
+      (** [two_op] marks destructive form (rd = rn), which fits the
+          cheaper two-operand encoding of §3.3 *)
+  | K_mul of { acc : bool }
+  | K_mem of { load : bool; width : Pf_arm.Insn.mem_width; signed : bool;
+               mode : mem_mode; writeback : bool }
+  | K_push
+  | K_pop
+  | K_branch of { cond : Pf_arm.Insn.cond; link : bool }
+  | K_bx
+  | K_swi
+
+type predicated = { key : t; cond : Pf_arm.Insn.cond }
+(** A key together with its predicate.  Branches carry their condition in
+    the key itself; for every other instruction [cond <> AL] means the
+    operation is conditionally executed. *)
+
+val of_insn : Pf_arm.Insn.t -> predicated
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val width_str : Pf_arm.Insn.mem_width -> bool -> string
+(* e.g. ["w"], ["sb"]; second arg = signedness *)
+
+val to_string : t -> string
+(** e.g. ["add.ri"], ["ldr.w+i"], ["b.ne"]. *)
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,129 @@
+module A = Pf_arm.Insn
+open Pf_util
+
+type t = {
+  static_keys : (Opkey.predicated, int) Hashtbl.t;
+  dyn_keys : (Opkey.predicated, int) Hashtbl.t;
+  imm_op_static : Stats.histogram;
+  imm_op_dyn : Stats.histogram;
+  mem_ofs_static : Stats.histogram;
+  mem_ofs_dyn : Stats.histogram;
+  branch_disp_static : Stats.histogram;
+  reg_static : Stats.histogram;
+  reg_dyn : Stats.histogram;
+  mutable static_insns : int;
+  mutable dyn_insns : int;
+}
+
+let create () =
+  {
+    static_keys = Hashtbl.create 128;
+    dyn_keys = Hashtbl.create 128;
+    imm_op_static = Stats.histogram ();
+    imm_op_dyn = Stats.histogram ();
+    mem_ofs_static = Stats.histogram ();
+    mem_ofs_dyn = Stats.histogram ();
+    branch_disp_static = Stats.histogram ();
+    reg_static = Stats.histogram ();
+    reg_dyn = Stats.histogram ();
+    static_insns = 0;
+    dyn_insns = 0;
+  }
+
+let bump tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> Hashtbl.replace tbl key (c + n)
+  | None -> Hashtbl.add tbl key n
+
+let add t ?(dyn_weight = 0) (i : A.t) =
+  let pk = Opkey.of_insn i in
+  t.static_insns <- t.static_insns + 1;
+  t.dyn_insns <- t.dyn_insns + dyn_weight;
+  bump t.static_keys pk 1;
+  if dyn_weight > 0 then bump t.dyn_keys pk dyn_weight;
+  (* immediate fields, by category *)
+  (match i with
+  | A.Dp { op2 = A.Imm _ as op2; _ } -> (
+      match A.operand2_value op2 with
+      | Some v ->
+          Stats.add t.imm_op_static v;
+          if dyn_weight > 0 then Stats.add t.imm_op_dyn ~weight:dyn_weight v
+      | None -> ())
+  | A.Mem { offset = A.Ofs_imm ofs; _ } ->
+      Stats.add t.mem_ofs_static ofs;
+      if dyn_weight > 0 then Stats.add t.mem_ofs_dyn ~weight:dyn_weight ofs
+  | A.B { offset; _ } -> Stats.add t.branch_disp_static offset
+  | A.Dp _ | A.Mem _ | A.Mul _ | A.Push _ | A.Pop _ | A.Bx _ | A.Swi _ -> ());
+  (* register pressure *)
+  let regs = A.regs_read i @ A.regs_written i in
+  List.iter
+    (fun r ->
+      Stats.add t.reg_static r;
+      if dyn_weight > 0 then Stats.add t.reg_dyn ~weight:dyn_weight r)
+    regs
+
+let of_image (image : Pf_arm.Image.t) =
+  let t = create () in
+  Array.iter
+    (function Some i -> add t i | None -> ())
+    image.Pf_arm.Image.insns;
+  t
+
+let profile_run ?max_steps (image : Pf_arm.Image.t) =
+  let nwords = Array.length image.Pf_arm.Image.words in
+  let counts = Array.make nwords 0 in
+  let st = Pf_arm.Exec.create image in
+  let code_base = image.Pf_arm.Image.code_base in
+  Pf_arm.Exec.run ?max_steps st ~on_step:(fun _ ~pc _ _ ->
+      let idx = (pc - code_base) lsr 2 in
+      counts.(idx) <- counts.(idx) + 1);
+  let t = create () in
+  Array.iteri
+    (fun idx insn ->
+      match insn with
+      | Some i -> add t ~dyn_weight:counts.(idx) i
+      | None -> ())
+    image.Pf_arm.Image.insns;
+  (t, Pf_arm.Exec.output st)
+
+let dyn_key_count t pk =
+  match Hashtbl.find_opt t.dyn_keys pk with Some c -> c | None -> 0
+
+let static_key_count t pk =
+  match Hashtbl.find_opt t.static_keys pk with Some c -> c | None -> 0
+
+let keys_by_dyn_weight t =
+  let all = Hashtbl.create 64 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace all k ()) t.static_keys;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace all k ()) t.dyn_keys;
+  Hashtbl.fold (fun k () acc -> (k, dyn_key_count t k) :: acc) all []
+  |> List.sort (fun (k1, w1) (k2, w2) ->
+         if w1 <> w2 then compare w2 w1 else compare k1 k2)
+
+let registers_by_use t =
+  List.init 16 Fun.id
+  |> List.sort (fun a b ->
+         compare (Stats.count t.reg_dyn b) (Stats.count t.reg_dyn a))
+
+let summary t =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "static instructions: %d\n" t.static_insns;
+  Printf.bprintf buf "dynamic instructions: %d\n" t.dyn_insns;
+  Printf.bprintf buf "distinct operation keys: %d\n"
+    (Hashtbl.length t.static_keys);
+  Printf.bprintf buf "top keys by dynamic weight:\n";
+  List.iteri
+    (fun i (pk, w) ->
+      if i < 15 then
+        Printf.bprintf buf "  %-14s%s  dyn=%-10d static=%d\n"
+          (Opkey.to_string pk.Opkey.key)
+          (match pk.Opkey.cond with
+          | A.AL -> ""
+          | c -> "?" ^ A.cond_suffix c)
+          w (static_key_count t pk))
+    (keys_by_dyn_weight t);
+  Printf.bprintf buf "distinct operate immediates: %d (static)\n"
+    (Stats.distinct t.imm_op_static);
+  Printf.bprintf buf "distinct memory offsets: %d (static)\n"
+    (Stats.distinct t.mem_ofs_static);
+  Buffer.contents buf

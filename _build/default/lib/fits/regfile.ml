@@ -1,0 +1,43 @@
+open Pf_util
+
+type report = {
+  distinct_used : int;
+  hot_order : int list;
+  coverage_top8 : float;
+  feasible_3bit : bool;
+  recommended_bits : int;
+}
+
+let analyze (p : Profile.t) =
+  let used =
+    List.filter
+      (fun r -> Stats.count p.Profile.reg_static r > 0)
+      (List.init 16 Fun.id)
+  in
+  let hot_order =
+    List.filter
+      (fun r -> Stats.count p.Profile.reg_static r > 0)
+      (Profile.registers_by_use p)
+  in
+  let top8 = List.filteri (fun i _ -> i < 8) hot_order in
+  let coverage_top8 =
+    Stats.coverage p.Profile.reg_dyn (fun r -> List.mem r top8)
+  in
+  let feasible_3bit = List.length used <= 8 in
+  {
+    distinct_used = List.length used;
+    hot_order;
+    coverage_top8;
+    feasible_3bit;
+    recommended_bits = (if feasible_3bit then 3 else 4);
+  }
+
+let describe r =
+  Printf.sprintf
+    "register organization: %d architectural names used; top-8 cover %.1f%% \
+     of dynamic accesses; 3-bit register fields %s -> %d-bit fields \
+     synthesized\n"
+    r.distinct_used
+    (100.0 *. r.coverage_top8)
+    (if r.feasible_3bit then "feasible" else "infeasible")
+    r.recommended_bits

@@ -1,0 +1,26 @@
+(** Register-organization synthesis analysis (paper §3.3).
+
+    FITS trades register-file size and encoding width against spill
+    frequency: a 3-bit register field would widen every immediate/opcode
+    field, but is only sound if the program's code can live in eight
+    architectural names.  This module answers that question from a
+    profile: which registers are hot, what a remapped 8-register file
+    would cover, and whether the narrow encoding is feasible at all. *)
+
+type report = {
+  distinct_used : int;
+      (** architectural registers the program names at all *)
+  hot_order : int list;
+      (** registers by descending dynamic use *)
+  coverage_top8 : float;
+      (** fraction of dynamic register accesses hitting the 8 hottest *)
+  feasible_3bit : bool;
+      (** true iff static code references at most 8 distinct registers —
+          the condition under which a 3-bit field needs no code changes *)
+  recommended_bits : int;
+      (** 3 when feasible, else 4 *)
+}
+
+val analyze : Profile.t -> report
+
+val describe : report -> string

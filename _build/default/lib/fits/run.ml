@@ -1,0 +1,125 @@
+module A = Pf_arm.Insn
+module P = Pf_cpu.Pipeline
+
+type result = {
+  fits_instructions : int;
+  arm_instructions : int;
+  dyn_one_to_one_pct : float;
+  cycles : int;
+  ipc : float;
+  fetch_accesses : int;
+  output : string;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_per_million : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+}
+
+type meta = {
+  cls : P.insn_class;
+  reads : int;
+  writes : int;
+  backward : bool;
+}
+
+let mask_of regs =
+  List.fold_left (fun m r -> if r <> 15 then m lor (1 lsl r) else m) 0 regs
+
+let meta_of_micro (m : Mapping.micro) =
+  match m with
+  | Mapping.M_exec insn ->
+      {
+        cls = Pf_cpu.Arm_run.Meta.classify insn;
+        reads = mask_of (A.regs_read insn);
+        writes = mask_of (A.regs_written insn);
+        backward =
+          (match insn with A.B { offset; _ } -> offset < 0 | _ -> false);
+      }
+  | Mapping.M_dp32 { rd; rn; op; _ } ->
+      let reads =
+        match op with A.MOV | A.MVN -> 0 | _ -> mask_of [ rn ]
+      in
+      { cls = P.Alu; reads; writes = mask_of [ rd ]; backward = false }
+  | Mapping.M_jalr rm ->
+      { cls = P.Branch; reads = mask_of [ rm ]; writes = mask_of [ A.lr ];
+        backward = false }
+
+let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
+
+let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
+    ?(classify = false) ?(max_steps = 500_000_000) (tr : Translate.t) =
+  let cache = Pf_cache.Icache.create ~classify cache_cfg in
+  let dcache = Pf_cache.Icache.create Pf_cpu.Arm_run.dcache_cfg in
+  let geometry = Pf_power.Geometry.of_config cache_cfg in
+  let account = Pf_power.Account.create ?params:power_params geometry in
+  let code_base = tr.Translate.code_base in
+  let words = tr.Translate.words in
+  let fetch_data addr = words.((addr - code_base) lsr 2) in
+  let pipe =
+    P.create ?config:pipeline_cfg ~dcache ~cache ~account ~fetch_data ()
+  in
+  let metas = Array.map (fun fi -> meta_of_micro fi.Translate.micro) tr.Translate.insns in
+  let st = Pf_arm.Exec.create tr.Translate.image in
+  let o = Pf_arm.Exec.outcome () in
+  let pc = ref tr.Translate.entry in
+  let steps = ref 0 in
+  let src_retired = ref 0 in
+  let src_one = ref 0 in
+  let ninsns = Array.length tr.Translate.insns in
+  while not st.Pf_arm.Exec.halted do
+    if !pc = Pf_arm.Exec.halt_sentinel then st.Pf_arm.Exec.halted <- true
+    else begin
+      if !steps >= max_steps then
+        raise (Pf_arm.Exec.Fault "FITS step budget exhausted");
+      let idx = (!pc - code_base) asr 1 in
+      if idx < 0 || idx >= ninsns then
+        raise
+          (Pf_arm.Exec.Fault
+             (Printf.sprintf "FITS fetch outside code at 0x%x" !pc));
+      let fi = tr.Translate.insns.(idx) in
+      (match fi.Translate.micro with
+      | Mapping.M_exec insn -> Pf_arm.Exec.execute ~isize:2 st ~pc:!pc insn o
+      | Mapping.M_dp32 { op; s; rd; rn; value; cond } ->
+          Pf_arm.Exec.execute_dp_value ~isize:2 st ~pc:!pc ~cond ~op ~s ~rd
+            ~rn ~value o
+      | Mapping.M_jalr rm ->
+          st.Pf_arm.Exec.steps <- st.Pf_arm.Exec.steps + 1;
+          st.Pf_arm.Exec.regs.(A.lr) <- !pc + 2;
+          o.Pf_arm.Exec.executed <- true;
+          o.Pf_arm.Exec.branch_taken <- true;
+          o.Pf_arm.Exec.next_pc <- st.Pf_arm.Exec.regs.(rm) land lnot 1;
+          o.Pf_arm.Exec.mem_addr <- -1;
+          o.Pf_arm.Exec.mem_words <- 0);
+      let m = metas.(idx) in
+      P.issue pipe ~backward:m.backward ~mem_addr:o.Pf_arm.Exec.mem_addr
+        ~addr:!pc ~size:2 ~cls:m.cls ~reads:m.reads ~writes:m.writes
+        ~taken:o.Pf_arm.Exec.branch_taken
+        ~mem_words:o.Pf_arm.Exec.mem_words ();
+      if fi.Translate.first then begin
+        incr src_retired;
+        if fi.Translate.group_len = 1 then incr src_one
+      end;
+      incr steps;
+      pc := o.Pf_arm.Exec.next_pc
+    end
+  done;
+  let cycles = P.cycles pipe in
+  {
+    fits_instructions = !steps;
+    arm_instructions = !src_retired;
+    dyn_one_to_one_pct =
+      (if !src_retired = 0 then 0.0
+       else 100.0 *. float_of_int !src_one /. float_of_int !src_retired);
+    cycles;
+    ipc =
+      (if cycles = 0 then 0.0
+       else float_of_int !src_retired /. float_of_int cycles);
+    fetch_accesses = P.fetch_accesses pipe;
+    output = Pf_arm.Exec.output st;
+    cache_accesses = Pf_cache.Icache.stats_accesses cache;
+    cache_misses = Pf_cache.Icache.stats_misses cache;
+    miss_rate_per_million = Pf_cache.Icache.miss_rate_per_million cache;
+    dcache_miss_rate_pm = Pf_cache.Icache.miss_rate_per_million dcache;
+    power = Pf_power.Account.report account;
+  }

@@ -1,0 +1,36 @@
+(** Execute a translated FITS program on the simulated SA-1100-class core:
+    the FITS16/FITS8 configurations of the paper's evaluation.
+
+    The programmable decoder is modeled by the per-instruction micro-
+    operations produced at translation time; architectural state and
+    semantics are shared with the ARM runner ({!Pf_arm.Exec}), and the
+    timing, I-cache and power models are the same {!Pf_cpu.Pipeline} /
+    {!Pf_cache.Icache} / {!Pf_power.Account} instances the ARM runner
+    uses.  The only differences are the ones the paper studies: 16-bit
+    instructions (two per 32-bit fetch) and the synthesized encodings on
+    the fetch path. *)
+
+type result = {
+  fits_instructions : int;    (** 16-bit instructions retired *)
+  arm_instructions : int;     (** source instructions they implement *)
+  dyn_one_to_one_pct : float; (** Figure 4: dynamic 1-to-1 mapping rate *)
+  cycles : int;
+  ipc : float;                (** source (ARM) instructions per cycle *)
+  fetch_accesses : int;
+  output : string;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_per_million : float;
+  dcache_miss_rate_pm : float;
+      (** the fixed 8 KB data cache (constant across configurations) *)
+  power : Pf_power.Account.report;
+}
+
+val run :
+  ?cache_cfg:Pf_cache.Icache.config ->
+  ?pipeline_cfg:Pf_cpu.Pipeline.config ->
+  ?power_params:Pf_power.Account.Params.t ->
+  ?classify:bool ->
+  ?max_steps:int ->
+  Translate.t ->
+  result

@@ -1,0 +1,235 @@
+module A = Pf_arm.Insn
+open Pf_util
+
+type imm_policy =
+  | Imm_none
+  | Imm_lit of { scale : int }
+  | Imm_dict
+
+type format =
+  | Fmt_operate3
+  | Fmt_operate2
+  | Fmt_memory
+  | Fmt_branch12
+  | Fmt_bcc
+  | Fmt_movd
+  | Fmt_system
+
+type system_op =
+  | Sys_swi
+  | Sys_bx
+  | Sys_jalr
+  | Sys_push of int
+  | Sys_pop of int
+  | Sys_skip of A.cond
+
+type opdef = {
+  id : int;
+  name : string;
+  key : Opkey.t option;
+  cond : A.cond;
+  imm : imm_policy;
+  fmt : format;
+  group : int;
+  sub : int;
+  sys : system_op option;
+}
+
+type sis = {
+  mov_rr : opdef; mov_ri : opdef; movd4 : opdef; mvn_rr : opdef;
+  add2 : opdef; sub2 : opdef; cmp_rr : opdef; cmp_ri : opdef;
+  and2 : opdef; orr2 : opdef; eor2 : opdef; bic2 : opdef;
+  lsl2i : opdef; lsr2i : opdef; asr2i : opdef; orr2i : opdef;
+  ror2i : opdef; lsl2r : opdef; lsr2r : opdef; asr2r : opdef;
+  ror2r : opdef; tst_rr : opdef; cmn_rr : opdef; adc2 : opdef;
+  sbc2 : opdef; rsb2i : opdef; mul2 : opdef;
+  ldrw : opdef; strw : opdef; ldrb : opdef; strb : opdef;
+  b_al : opdef; bl_al : opdef; bcc : opdef; movd8 : opdef;
+  swi : opdef; bx : opdef; jalr : opdef; push : opdef; pop : opdef;
+  skip : opdef;
+}
+
+type t = {
+  reg_bits : int;
+  ops : opdef array;
+  sis : sis;
+  dict : int array;
+  reglists : A.reg list array;
+  groups_used : int;
+  free_subops : int;
+}
+
+let max_groups = 16
+let dict_capacity = 256
+let temp_reg = 16
+let shift_amount_wildcard = -1
+
+let dict_index t v =
+  let v = Bits.u32 v in
+  let rec go i =
+    if i >= Array.length t.dict then None
+    else if t.dict.(i) = v then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let reglist_index t regs =
+  let rec go i =
+    if i >= Array.length t.reglists then None
+    else if t.reglists.(i) = regs then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let encode _t op ~rc ~ra ~oprd =
+  let g = op.group lsl 12 in
+  match op.fmt with
+  | Fmt_operate3 | Fmt_memory ->
+      g lor ((rc land 0xF) lsl 8) lor ((ra land 0xF) lsl 4) lor (oprd land 0xF)
+  | Fmt_operate2 ->
+      g lor ((op.sub land 0xF) lsl 8) lor ((rc land 0xF) lsl 4)
+      lor (oprd land 0xF)
+  | Fmt_branch12 -> g lor (oprd land 0xFFF)
+  | Fmt_bcc -> g lor ((rc land 0xF) lsl 8) lor (oprd land 0xFF)
+  | Fmt_movd -> g lor ((rc land 0xF) lsl 8) lor (oprd land 0xFF)
+  | Fmt_system -> g lor ((op.sub land 0xF) lsl 8) lor (oprd land 0xFF)
+
+(* Base ISA: the fixed groups.  Sub-op and group numbers are stable so
+   encodings are deterministic across programs (only AIS differs). *)
+let base ~dict_head ~reglists =
+  let counter = ref (-1) in
+  let mk ?key ?(cond = A.AL) ?(imm = Imm_none) ?sys ~fmt ~group ~sub name =
+    incr counter;
+    { id = !counter; name; key; cond; imm; fmt; group; sub; sys }
+  in
+  let dp2 ?imm ~sub name op shape =
+    mk ~key:(Opkey.K_dp { op; shape; s = false; two_op = true })
+      ?imm ~fmt:Fmt_operate2 ~group:0 ~sub name
+  in
+  let dp2b ?imm ~sub name op shape =
+    mk ~key:(Opkey.K_dp { op; shape; s = false; two_op = true })
+      ?imm ~fmt:Fmt_operate2 ~group:1 ~sub name
+  in
+  let lit = Imm_lit { scale = 0 } in
+  let wild k = Opkey.Sh_shift_imm (k, shift_amount_wildcard) in
+  (* group 0 *)
+  let mov_rr = dp2 ~sub:0 "mov.rr" A.MOV Opkey.Sh_reg in
+  let mov_ri = dp2 ~imm:lit ~sub:1 "mov.ri" A.MOV Opkey.Sh_imm in
+  let movd4 = dp2 ~imm:Imm_dict ~sub:2 "mov.rd" A.MOV Opkey.Sh_imm in
+  let mvn_rr = dp2 ~sub:3 "mvn.rr" A.MVN Opkey.Sh_reg in
+  let add2 = dp2 ~sub:4 "add2.rr" A.ADD Opkey.Sh_reg in
+  let sub2 = dp2 ~sub:5 "sub2.rr" A.SUB Opkey.Sh_reg in
+  let cmp_rr = dp2 ~sub:6 "cmp.rr" A.CMP Opkey.Sh_reg in
+  let cmp_ri = dp2 ~imm:lit ~sub:7 "cmp.ri" A.CMP Opkey.Sh_imm in
+  let and2 = dp2 ~sub:8 "and2.rr" A.AND Opkey.Sh_reg in
+  let orr2 = dp2 ~sub:9 "orr2.rr" A.ORR Opkey.Sh_reg in
+  let eor2 = dp2 ~sub:10 "eor2.rr" A.EOR Opkey.Sh_reg in
+  let bic2 = dp2 ~sub:11 "bic2.rr" A.BIC Opkey.Sh_reg in
+  let lsl2i = dp2 ~imm:lit ~sub:12 "lsl2.ri" A.MOV (wild A.LSL) in
+  let lsr2i = dp2 ~imm:lit ~sub:13 "lsr2.ri" A.MOV (wild A.LSR) in
+  let asr2i = dp2 ~imm:lit ~sub:14 "asr2.ri" A.MOV (wild A.ASR) in
+  let orr2i = dp2 ~imm:lit ~sub:15 "orr2.ri" A.ORR Opkey.Sh_imm in
+  (* group 1 *)
+  let ror2i = dp2b ~imm:lit ~sub:0 "ror2.ri" A.MOV (wild A.ROR) in
+  let lsl2r = dp2b ~sub:1 "lsl2.rr" A.MOV (Opkey.Sh_shift_reg A.LSL) in
+  let lsr2r = dp2b ~sub:2 "lsr2.rr" A.MOV (Opkey.Sh_shift_reg A.LSR) in
+  let asr2r = dp2b ~sub:3 "asr2.rr" A.MOV (Opkey.Sh_shift_reg A.ASR) in
+  let ror2r = dp2b ~sub:4 "ror2.rr" A.MOV (Opkey.Sh_shift_reg A.ROR) in
+  let tst_rr = dp2b ~sub:5 "tst.rr" A.TST Opkey.Sh_reg in
+  let cmn_rr = dp2b ~sub:6 "cmn.rr" A.CMN Opkey.Sh_reg in
+  let adc2 = dp2b ~sub:7 "adc2.rr" A.ADC Opkey.Sh_reg in
+  let sbc2 = dp2b ~sub:8 "sbc2.rr" A.SBC Opkey.Sh_reg in
+  let rsb2i = dp2b ~imm:lit ~sub:9 "rsb2.ri" A.RSB Opkey.Sh_imm in
+  let mul2 =
+    mk ~key:(Opkey.K_mul { acc = false }) ~fmt:Fmt_operate2 ~group:1 ~sub:10
+      "mul2.rr"
+  in
+  let mem ~group ~scale name ~load ~width =
+    mk
+      ~key:(Opkey.K_mem
+              { load; width; signed = false; mode = Opkey.M_imm;
+                writeback = false })
+      ~imm:(Imm_lit { scale }) ~fmt:Fmt_memory ~group ~sub:0 name
+  in
+  let ldrw = mem ~group:2 ~scale:2 "ldr.w+i" ~load:true ~width:A.Word in
+  let strw = mem ~group:3 ~scale:2 "str.w+i" ~load:false ~width:A.Word in
+  let ldrb = mem ~group:4 ~scale:0 "ldr.b+i" ~load:true ~width:A.Byte in
+  let strb = mem ~group:5 ~scale:0 "str.b+i" ~load:false ~width:A.Byte in
+  let b_al =
+    mk ~key:(Opkey.K_branch { cond = A.AL; link = false }) ~fmt:Fmt_branch12
+      ~group:6 ~sub:0 "b"
+  in
+  let bl_al =
+    mk ~key:(Opkey.K_branch { cond = A.AL; link = true }) ~fmt:Fmt_branch12
+      ~group:7 ~sub:0 "bl"
+  in
+  let bcc = mk ~fmt:Fmt_bcc ~group:8 ~sub:0 "b.cc" in
+  let movd8 = mk ~fmt:Fmt_movd ~group:9 ~sub:0 "movD" in
+  let sysop ~sub name sys ?key () =
+    mk ?key ~sys ~fmt:Fmt_system ~group:10 ~sub name
+  in
+  let swi = sysop ~sub:0 "swi" Sys_swi ~key:Opkey.K_swi () in
+  let bx = sysop ~sub:1 "bx" Sys_bx ~key:Opkey.K_bx () in
+  let jalr = sysop ~sub:2 "jalr" Sys_jalr () in
+  let push = sysop ~sub:3 "push" (Sys_push 0) ~key:Opkey.K_push () in
+  let pop = sysop ~sub:4 "pop" (Sys_pop 0) ~key:Opkey.K_pop () in
+  let skip = sysop ~sub:5 "sk.cc" (Sys_skip A.AL) () in
+  let sis =
+    { mov_rr; mov_ri; movd4; mvn_rr; add2; sub2; cmp_rr; cmp_ri; and2; orr2;
+      eor2; bic2; lsl2i; lsr2i; asr2i; orr2i; ror2i; lsl2r; lsr2r; asr2r;
+      ror2r; tst_rr; cmn_rr; adc2; sbc2; rsb2i; mul2; ldrw; strw; ldrb; strb;
+      b_al; bl_al; bcc; movd8; swi; bx; jalr; push; pop; skip }
+  in
+  let ops =
+    [| mov_rr; mov_ri; movd4; mvn_rr; add2; sub2; cmp_rr; cmp_ri; and2; orr2;
+       eor2; bic2; lsl2i; lsr2i; asr2i; orr2i; ror2i; lsl2r; lsr2r; asr2r;
+       ror2r; tst_rr; cmn_rr; adc2; sbc2; rsb2i; mul2; ldrw; strw; ldrb; strb;
+       b_al; bl_al; bcc; movd8; swi; bx; jalr; push; pop; skip |]
+  in
+  {
+    reg_bits = 4;
+    ops;
+    sis;
+    dict = Array.map Bits.u32 dict_head;
+    reglists;
+    groups_used = 11;
+    free_subops = 5 + 10; (* group 1 spare + system group spare *)
+  }
+
+let with_ais t ais =
+  let ops = Array.append t.ops (Array.of_list ais) in
+  let groups_used =
+    Array.fold_left (fun acc op -> max acc (op.group + 1)) 0 ops
+  in
+  { t with ops; groups_used }
+
+let with_data_plane t ~dict ~reglists =
+  { t with dict = Array.map Bits.u32 dict; reglists }
+
+let fmt_name = function
+  | Fmt_operate3 -> "op3"
+  | Fmt_operate2 -> "op2"
+  | Fmt_memory -> "mem"
+  | Fmt_branch12 -> "b12"
+  | Fmt_bcc -> "bcc"
+  | Fmt_movd -> "movd"
+  | Fmt_system -> "sys"
+
+let describe t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf
+    "FITS ISA: %d opcodes in %d/%d groups, %d dictionary entries, %d register lists\n"
+    (Array.length t.ops) t.groups_used max_groups (Array.length t.dict)
+    (Array.length t.reglists);
+  Array.iter
+    (fun op ->
+      Printf.bprintf buf "  [%2d.%-2d] %-4s %-12s%s%s\n" op.group op.sub
+        (fmt_name op.fmt) op.name
+        (match op.imm with
+        | Imm_none -> ""
+        | Imm_lit { scale } ->
+            if scale = 0 then " lit" else Printf.sprintf " lit<<%d" scale
+        | Imm_dict -> " dict")
+        (match op.cond with A.AL -> "" | c -> " ?" ^ A.cond_suffix c))
+    t.ops;
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** Instruction-set synthesis: the "synthesize" stage of Figure 1.
+
+    Given an image and its dynamic execution weights, construct the
+    application's FITS specification:
+
+    + collect the immediate-dictionary head (the 16 hottest operate
+      immediates, per the utilization-based heuristic of §3.3) and the
+      register-list table;
+    + start from the fixed BIS/SIS base ({!Spec.base});
+    + generate application-specific candidates from every instruction the
+      base does not cover: three-operand forms, shift-baked forms,
+      literal/dictionary immediate variants, extra addressing modes, and
+      predicated variants;
+    + greedily allocate the remaining opcode groups and sub-op slots by
+      benefit = (dynamic weight + smoothed static weight) x (expansion
+      length - 1), re-evaluating as coverage changes;
+    + extend the dictionary with every value the final translation plans
+      will need. *)
+
+type result = {
+  spec : Spec.t;
+  ais : Spec.opdef list;            (** the allocated AIS, in pick order *)
+  candidates_considered : int;
+  datapath_off : float;
+      (** estimated fraction of non-cache chip power removed by
+          deactivating datapath units the synthesized ISA never maps
+          (paper §3.2); feeds {!Pf_power.Chip}. *)
+}
+
+val synthesize :
+  ?static_weight:float ->
+  ?ais_groups:int ->
+  ?dict_head:int ->
+  ?allow_two_op_ais:bool ->
+  Pf_arm.Image.t ->
+  dyn_counts:int array ->
+  result
+(** [dyn_counts] gives the execution count of each code word (as produced
+    by {!Profile.profile_run}'s underlying run, or all zeros for
+    static-only synthesis).  [static_weight] scales how much code size
+    matters relative to dynamic frequency (default 1.0 = one average
+    dynamic instruction per static occurrence).
+
+    Ablation knobs: [ais_groups] (0-5) limits the free opcode groups the
+    AIS may claim; [dict_head] (0-16) limits the directly-indexable
+    dictionary entries; [allow_two_op_ais] disables the two-operand
+    sub-op candidates of the S3.3 heuristic. *)
+
+val data_plane :
+  Pf_arm.Image.t -> dyn_counts:int array -> int array * Pf_arm.Insn.reg list array
+(** The per-application decoder *data* (dictionary head, register-list
+    table) without any opcode synthesis — what a deployed FITS part would
+    reload when its application is upgraded (§3.1).  Combine with
+    {!Spec.with_data_plane} to study cross-application ISA reuse. *)
+
+val dyn_counts_of_run :
+  ?max_steps:int -> Pf_arm.Image.t -> int array * string
+(** Execute once, returning per-word execution counts and the program
+    output. *)

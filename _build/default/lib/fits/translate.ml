@@ -1,0 +1,342 @@
+module A = Pf_arm.Insn
+open Pf_util
+
+type finsn = {
+  word : int;
+  micro : Mapping.micro;
+  opid : int;
+  first : bool;
+  group_len : int;
+  src_pc : int;
+}
+
+type stats = {
+  arm_insns : int;
+  fits_insns : int;
+  one_to_one : int;
+  expansion_hist : (int * int) list;
+  code_bytes_arm : int;
+  code_bytes_fits : int;
+}
+
+type t = {
+  spec : Spec.t;
+  image : Pf_arm.Image.t;
+  insns : finsn array;
+  words : int array;
+  code_base : int;
+  entry : int;
+  addr_of_arm : (int, int) Hashtbl.t;
+  stats : stats;
+}
+
+(* branch demotion levels *)
+type blevel = Near | Skip_near | Absolute
+
+type site = {
+  pc : int;                       (* ARM address *)
+  insn : A.t;
+  plan : Mapping.plan;
+  mutable level : blevel;         (* branches only *)
+  mutable fits_addr : int;
+  mutable len : int;              (* FITS instructions *)
+}
+
+let tr = Spec.temp_reg
+
+let branch_len (cond : A.cond) level ~link =
+  ignore link;
+  match (level, cond) with
+  | Near, _ -> 1
+  | Skip_near, A.AL -> 1 (* unconditional branches skip this level *)
+  | Skip_near, _ -> 2
+  | Absolute, A.AL -> 2
+  | Absolute, _ -> 3
+
+let site_len s =
+  match s.plan with
+  | Mapping.P_seq l -> List.length l
+  | Mapping.P_branch { cond; link; _ } -> branch_len cond s.level ~link
+
+(* signed field check, in 16-bit units *)
+let fits_disp ~bits offset =
+  offset land 1 = 0 && Bits.fits_signed ~width:bits (offset asr 1)
+
+let layout spec (image : Pf_arm.Image.t) =
+  let sites =
+    Array.to_list image.Pf_arm.Image.insns
+    |> List.mapi (fun idx insn ->
+           match insn with
+           | Some insn ->
+               let pc = image.Pf_arm.Image.code_base + (idx * 4) in
+               Some
+                 { pc; insn;
+                   plan = Mapping.plan_in_image spec image ~pc insn;
+                   level = Near; fits_addr = 0; len = 0 }
+           | None -> None)
+    |> List.filter_map Fun.id
+    |> Array.of_list
+  in
+  let addr_of_arm = Hashtbl.create (Array.length sites) in
+  let code_base = image.Pf_arm.Image.code_base in
+  let assign_addrs () =
+    let a = ref code_base in
+    Array.iter
+      (fun s ->
+        s.fits_addr <- !a;
+        s.len <- site_len s;
+        Hashtbl.replace addr_of_arm s.pc !a;
+        a := !a + (2 * s.len))
+      sites;
+    !a - code_base
+  in
+  (* demote branches until the layout is stable *)
+  let changed = ref true in
+  let total = ref 0 in
+  while !changed do
+    changed := false;
+    total := assign_addrs ();
+    Array.iter
+      (fun s ->
+        match s.plan with
+        | Mapping.P_branch { cond; link = _; arm_target } -> (
+            match Hashtbl.find_opt addr_of_arm arm_target with
+            | None ->
+                raise
+                  (Mapping.Unmappable
+                     (Printf.sprintf "branch into a literal pool at 0x%x"
+                        arm_target))
+            | Some target ->
+                let promote_to lvl =
+                  if s.level < lvl then begin
+                    s.level <- lvl;
+                    changed := true
+                  end
+                in
+                (match (s.level, cond) with
+                | Near, A.AL ->
+                    if not (fits_disp ~bits:12 (target - s.fits_addr - 4))
+                    then promote_to Absolute
+                | Near, _ ->
+                    if not (fits_disp ~bits:8 (target - s.fits_addr - 4))
+                    then promote_to Skip_near
+                | Skip_near, _ ->
+                    (* the b.al sits one slot after the skip *)
+                    if not (fits_disp ~bits:12 (target - (s.fits_addr + 2) - 4))
+                    then promote_to Absolute
+                | Absolute, _ -> ()))
+        | Mapping.P_seq _ -> ())
+      sites
+  done;
+  (sites, addr_of_arm, !total)
+
+let branch_fdescs spec ~site_addr ~target ~cond ~link level :
+    Mapping.fdesc list =
+  let sis = spec.Spec.sis in
+  let near_op c = if c = A.AL then (if link then sis.Spec.bl_al else sis.Spec.b_al) else sis.Spec.bcc in
+  let near ~at c : Mapping.fdesc =
+    let offset = target - at - 4 in
+    let od = near_op c in
+    let oprd, rc =
+      match od.Spec.fmt with
+      | Spec.Fmt_branch12 ->
+          (Mapping.O_lit ((offset asr 1) land 0xFFF), 0)
+      | Spec.Fmt_bcc ->
+          (Mapping.O_lit ((offset asr 1) land 0xFF), Pf_arm.Encode.cond_code c)
+      | _ -> assert false
+    in
+    { Mapping.op = od; rc; ra = 0; oprd;
+      micro = Mapping.M_exec (A.B { cond = c; link; offset }) }
+  in
+  match (level, cond) with
+  | Near, c -> [ near ~at:site_addr c ]
+  | Skip_near, (A.EQ | A.NE | A.CS | A.CC | A.MI | A.PL | A.VS | A.VC
+               | A.HI | A.LS | A.GE | A.LT | A.GT | A.LE as c) ->
+      [ Mapping.seq_skip spec ~cond:c ~count:1; near ~at:(site_addr + 2) A.AL ]
+  | (Skip_near | Absolute), _ ->
+      let jump =
+        if link then
+          { Mapping.op = sis.Spec.jalr; rc = 0; ra = 0;
+            oprd = Mapping.O_arg tr; micro = Mapping.M_jalr tr }
+        else
+          { Mapping.op = sis.Spec.bx; rc = 0; ra = 0;
+            oprd = Mapping.O_arg tr;
+            micro = Mapping.M_exec (A.Bx { cond = A.AL; rm = tr }) }
+      in
+      let seq =
+        [ Mapping.seq_materialize spec ~reg:tr target; jump ]
+      in
+      if cond = A.AL then seq
+      else Mapping.seq_skip spec ~cond ~count:2 :: seq
+
+(* assign dictionary indices, extending beyond the synthesis dictionary if
+   layout introduced new values (e.g. absolute branch targets) *)
+let build_dict spec fdescs_all =
+  let dict = ref (Array.to_list spec.Spec.dict) in
+  let index v =
+    let v = Bits.u32 v in
+    let rec find i = function
+      | [] ->
+          dict := !dict @ [ v ];
+          i
+      | x :: _ when x = v -> i
+      | _ :: tl -> find (i + 1) tl
+    in
+    find 0 !dict
+  in
+  List.iter
+    (fun (fd : Mapping.fdesc) ->
+      match fd.Mapping.oprd with
+      | Mapping.O_dictval v -> ignore (index v)
+      | _ -> ())
+    fdescs_all;
+  let arr = Array.of_list !dict in
+  if Array.length arr > Spec.dict_capacity then
+    raise
+      (Mapping.Unmappable
+         (Printf.sprintf "dictionary overflow after layout: %d entries"
+            (Array.length arr)));
+  arr
+
+let encode_fdesc spec dict_idx (fd : Mapping.fdesc) =
+  let field_of_reg r = r land 0xF in
+  let oprd =
+    match fd.Mapping.oprd with
+    | Mapping.O_none -> 0
+    | Mapping.O_reg r -> field_of_reg r
+    | Mapping.O_lit v -> v
+    | Mapping.O_dictval v -> dict_idx v
+    | Mapping.O_arg a -> a land 0xFF
+  in
+  Spec.encode spec fd.Mapping.op ~rc:(field_of_reg fd.Mapping.rc)
+    ~ra:(field_of_reg fd.Mapping.ra) ~oprd
+
+let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
+  let sites, addr_of_arm, code_bytes_fits = layout spec image in
+  (* produce the final fdesc lists *)
+  let per_site =
+    Array.map
+      (fun s ->
+        match s.plan with
+        | Mapping.P_seq l -> (s, l)
+        | Mapping.P_branch { cond; link; arm_target } ->
+            let target = Hashtbl.find addr_of_arm arm_target in
+            ( s,
+              branch_fdescs spec ~site_addr:s.fits_addr ~target ~cond ~link
+                s.level ))
+      sites
+  in
+  let all_fdescs =
+    Array.to_list per_site |> List.concat_map (fun (_, l) -> l)
+  in
+  let dict = build_dict spec all_fdescs in
+  let spec = { spec with Spec.dict } in
+  let dict_idx v =
+    match Spec.dict_index spec v with
+    | Some i -> i
+    | None -> assert false
+  in
+  let insns =
+    Array.to_list per_site
+    |> List.concat_map (fun (s, fds) ->
+           let n = List.length fds in
+           List.mapi
+             (fun i (fd : Mapping.fdesc) ->
+               {
+                 word = encode_fdesc spec dict_idx fd;
+                 micro = fd.Mapping.micro;
+                 opid = fd.Mapping.op.Spec.id;
+                 first = i = 0;
+                 group_len = n;
+                 src_pc = s.pc;
+               })
+             fds)
+    |> Array.of_list
+  in
+  (* pack 16-bit instructions into 32-bit fetch words (little-endian) *)
+  let nwords = (Array.length insns + 1) / 2 in
+  let words =
+    Array.init nwords (fun w ->
+        let lo = insns.(2 * w).word in
+        let hi =
+          if (2 * w) + 1 < Array.length insns then insns.((2 * w) + 1).word
+          else 0
+        in
+        lo lor (hi lsl 16))
+  in
+  let arm_insns =
+    Array.fold_left
+      (fun acc insn -> match insn with Some _ -> acc + 1 | None -> acc)
+      0 image.Pf_arm.Image.insns
+  in
+  let one_to_one =
+    Array.fold_left (fun acc (s, _) -> if s.len = 1 then acc + 1 else acc) 0
+      per_site
+  in
+  let hist = Hashtbl.create 8 in
+  Array.iter
+    (fun (s, _) ->
+      if s.len > 1 then
+        Hashtbl.replace hist s.len
+          (1 + Option.value ~default:0 (Hashtbl.find_opt hist s.len)))
+    per_site;
+  let expansion_hist =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [] |> List.sort compare
+  in
+  let stats =
+    {
+      arm_insns;
+      fits_insns = Array.length insns;
+      one_to_one;
+      expansion_hist;
+      code_bytes_arm = Pf_arm.Image.code_size_bytes image;
+      code_bytes_fits;
+    }
+  in
+  let entry =
+    match Hashtbl.find_opt addr_of_arm image.Pf_arm.Image.entry with
+    | Some a -> a
+    | None -> assert false
+  in
+  {
+    spec;
+    image;
+    insns;
+    words;
+    code_base = image.Pf_arm.Image.code_base;
+    entry;
+    addr_of_arm;
+    stats;
+  }
+
+let static_mapping_rate t =
+  if t.stats.arm_insns = 0 then 0.0
+  else
+    100.0 *. float_of_int t.stats.one_to_one /. float_of_int t.stats.arm_insns
+
+let code_size_saving t =
+  Stats.saving
+    ~baseline:(float_of_int t.stats.code_bytes_arm)
+    (float_of_int t.stats.code_bytes_fits)
+
+let disassemble t =
+  let buf = Buffer.create 4096 in
+  Array.iteri
+    (fun i fi ->
+      let addr = t.code_base + (2 * i) in
+      let od = t.spec.Spec.ops.(fi.opid) in
+      let micro_str =
+        match fi.micro with
+        | Mapping.M_exec insn -> A.to_string insn
+        | Mapping.M_dp32 { op; rd; value; _ } ->
+            Printf.sprintf "%s r%d, =%d" (A.dp_name op) rd value
+        | Mapping.M_jalr r -> Printf.sprintf "jalr r%d" r
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %06x:  %04x  %-12s ; %s%s\n" addr fi.word
+           od.Spec.name micro_str
+           (if fi.first && fi.group_len > 1 then
+              Printf.sprintf "  [1-to-%d]" fi.group_len
+            else "")))
+    t.insns;
+  Buffer.contents buf

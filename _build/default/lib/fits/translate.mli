@@ -1,0 +1,53 @@
+(** ARM-to-FITS binary translation (the "compile/configure" stages of
+    Figure 1, from the translation angle the paper evaluates in §6.1).
+
+    Translation walks the ARM image in address order, maps every
+    instruction through {!Mapping}, lays out the resulting 16-bit stream,
+    and resolves branches.  Branch forms are chosen iteratively: a branch
+    starts in its short form and is demoted (skip-prefixed, then
+    absolute-via-dictionary) when its displacement does not fit; demotion
+    only grows code, so the loop converges.
+
+    The result carries everything the FITS runner and the figures need:
+    encoded 16-bit words (packed in pairs for the 32-bit fetch path),
+    per-instruction micro-operations, the ARM-to-FITS address map, and the
+    static mapping statistics of Figure 3. *)
+
+type finsn = {
+  word : int;                (** 16-bit encoding *)
+  micro : Mapping.micro;     (** decoder output, branch offsets in FITS space *)
+  opid : int;                (** Spec op id *)
+  first : bool;              (** first FITS instruction of its ARM source *)
+  group_len : int;           (** how many FITS instructions the source took *)
+  src_pc : int;              (** ARM address of the source instruction *)
+}
+
+type stats = {
+  arm_insns : int;
+  fits_insns : int;
+  one_to_one : int;          (** sources with group_len = 1 *)
+  expansion_hist : (int * int) list;  (** (n, count of sources), n >= 2 *)
+  code_bytes_arm : int;      (** ARM code segment incl. literal pools *)
+  code_bytes_fits : int;
+}
+
+type t = {
+  spec : Spec.t;             (** with the final (possibly extended) dictionary *)
+  image : Pf_arm.Image.t;    (** the source image (provides data segment) *)
+  insns : finsn array;
+  words : int array;         (** packed pairs: what the I-cache fetches *)
+  code_base : int;
+  entry : int;               (** FITS address of _start *)
+  addr_of_arm : (int, int) Hashtbl.t;  (** ARM address -> FITS address *)
+  stats : stats;
+}
+
+val translate : Spec.t -> Pf_arm.Image.t -> t
+
+val static_mapping_rate : t -> float
+(** Percentage of ARM instructions mapped one-to-one (Figure 3). *)
+
+val code_size_saving : t -> float
+(** Percentage code-size reduction vs the ARM image (Figure 5). *)
+
+val disassemble : t -> string

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array List Pf_arm Pf_armgen Pf_cache Pf_cpu Pf_fits Pf_mibench Pf_power Pf_thumb

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Pf_cache Pf_mibench Pf_power

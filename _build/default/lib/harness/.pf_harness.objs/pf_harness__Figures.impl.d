@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Experiment List Pf_power Pf_util Printf Stats Table

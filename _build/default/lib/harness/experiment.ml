@@ -1,0 +1,115 @@
+type per_config = {
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  fetch_accesses : int;
+  cache_misses : int;
+  miss_rate_pm : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+}
+
+type bench_result = {
+  name : string;
+  category : string;
+  arm16 : per_config;
+  arm8 : per_config;
+  fits16 : per_config;
+  fits8 : per_config;
+  static_map_pct : float;
+  dyn_map_pct : float;
+  expansion_hist : (int * int) list;
+  code_arm : int;
+  code_thumb : int;
+  code_fits : int;
+  datapath_off : float;
+  ais_ops : int;
+  dict_entries : int;
+  outputs_consistent : bool;
+}
+
+let cache_16k = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
+let cache_8k = Pf_cache.Icache.config ~size_bytes:(8 * 1024) ()
+
+let of_arm (r : Pf_cpu.Arm_run.result) =
+  {
+    instructions = r.Pf_cpu.Arm_run.instructions;
+    cycles = r.Pf_cpu.Arm_run.cycles;
+    ipc = r.Pf_cpu.Arm_run.ipc;
+    fetch_accesses = r.Pf_cpu.Arm_run.fetch_accesses;
+    cache_misses = r.Pf_cpu.Arm_run.cache_misses;
+    miss_rate_pm = r.Pf_cpu.Arm_run.miss_rate_per_million;
+    dcache_miss_rate_pm = r.Pf_cpu.Arm_run.dcache_miss_rate_pm;
+    power = r.Pf_cpu.Arm_run.power;
+  }
+
+let of_fits (r : Pf_fits.Run.result) =
+  {
+    instructions = r.Pf_fits.Run.arm_instructions;
+    cycles = r.Pf_fits.Run.cycles;
+    ipc = r.Pf_fits.Run.ipc;
+    fetch_accesses = r.Pf_fits.Run.fetch_accesses;
+    cache_misses = r.Pf_fits.Run.cache_misses;
+    miss_rate_pm = r.Pf_fits.Run.miss_rate_per_million;
+    dcache_miss_rate_pm = r.Pf_fits.Run.dcache_miss_rate_pm;
+    power = r.Pf_fits.Run.power;
+  }
+
+let run_benchmark ?(scale = 1) ?(classify = false)
+    (b : Pf_mibench.Registry.benchmark) =
+  let p = b.Pf_mibench.Registry.program ~scale in
+  let image =
+    Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
+  in
+  let dyn_counts, reference_output =
+    Pf_fits.Synthesis.dyn_counts_of_run image
+  in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  let thumb = Pf_thumb.Translate.estimate image in
+  let arm16_r = Pf_cpu.Arm_run.run ~cache_cfg:cache_16k ~classify image in
+  let arm8_r = Pf_cpu.Arm_run.run ~cache_cfg:cache_8k ~classify image in
+  let fits16_r = Pf_fits.Run.run ~cache_cfg:cache_16k ~classify tr in
+  let fits8_r = Pf_fits.Run.run ~cache_cfg:cache_8k ~classify tr in
+  let outputs_consistent =
+    arm16_r.Pf_cpu.Arm_run.output = reference_output
+    && arm8_r.Pf_cpu.Arm_run.output = reference_output
+    && fits16_r.Pf_fits.Run.output = reference_output
+    && fits8_r.Pf_fits.Run.output = reference_output
+  in
+  {
+    name = b.Pf_mibench.Registry.name;
+    category = b.Pf_mibench.Registry.category;
+    arm16 = of_arm arm16_r;
+    arm8 = of_arm arm8_r;
+    fits16 = of_fits fits16_r;
+    fits8 = of_fits fits8_r;
+    static_map_pct = Pf_fits.Translate.static_mapping_rate tr;
+    dyn_map_pct = fits16_r.Pf_fits.Run.dyn_one_to_one_pct;
+    expansion_hist = tr.Pf_fits.Translate.stats.Pf_fits.Translate.expansion_hist;
+    code_arm = Pf_arm.Image.code_size_bytes image;
+    code_thumb = thumb.Pf_thumb.Translate.thumb_bytes;
+    code_fits = tr.Pf_fits.Translate.stats.Pf_fits.Translate.code_bytes_fits;
+    datapath_off = syn.Pf_fits.Synthesis.datapath_off;
+    ais_ops = List.length syn.Pf_fits.Synthesis.ais;
+    dict_entries = Array.length tr.Pf_fits.Translate.spec.Pf_fits.Spec.dict;
+    outputs_consistent;
+  }
+
+let run_all ?scale () =
+  List.map (fun b -> run_benchmark ?scale b) Pf_mibench.Registry.all
+
+let power_rows results =
+  List.filter_map
+    (fun (b : Pf_mibench.Registry.benchmark) ->
+      match
+        List.find_opt
+          (fun r ->
+            r.name
+            = (if b.Pf_mibench.Registry.name = "gsm" then "gsm.decode"
+               else b.Pf_mibench.Registry.name))
+          results
+      with
+      | Some r -> Some { r with name = b.Pf_mibench.Registry.name }
+      | None -> None)
+    Pf_mibench.Registry.power_suite

@@ -1,0 +1,56 @@
+(** The paper's experimental setup (§5): each benchmark is compiled to the
+    ARM-like ISA, profiled, FITS-synthesized and translated, then simulated
+    on four processor configurations that differ only in ISA and I-cache
+    size — ARM16, ARM8, FITS16, FITS8 (16 KB / 8 KB, 32-byte blocks,
+    32-way, SA-1100-like dual-issue core at a fixed clock).
+
+    Every run cross-checks program output across all configurations: a
+    result is only reported if the ARM and FITS executions printed exactly
+    the same thing. *)
+
+type per_config = {
+  instructions : int;     (** source (ARM) instructions retired *)
+  cycles : int;
+  ipc : float;
+  fetch_accesses : int;
+  cache_misses : int;
+  miss_rate_pm : float;   (** misses per million accesses (Figure 13) *)
+  dcache_miss_rate_pm : float;
+      (** the fixed 8 KB data cache (constant across configurations) *)
+  power : Pf_power.Account.report;
+}
+
+type bench_result = {
+  name : string;
+  category : string;
+  arm16 : per_config;
+  arm8 : per_config;
+  fits16 : per_config;
+  fits8 : per_config;
+  static_map_pct : float;        (** Figure 3 *)
+  dyn_map_pct : float;           (** Figure 4 *)
+  expansion_hist : (int * int) list;
+  code_arm : int;
+  code_thumb : int;
+  code_fits : int;
+  datapath_off : float;          (** Figure 12's decoder-deactivation term *)
+  ais_ops : int;
+  dict_entries : int;
+  outputs_consistent : bool;
+}
+
+val cache_16k : Pf_cache.Icache.config
+val cache_8k : Pf_cache.Icache.config
+
+val run_benchmark :
+  ?scale:int ->
+  ?classify:bool ->
+  Pf_mibench.Registry.benchmark ->
+  bench_result
+(** Full pipeline for one benchmark (default scale 1). *)
+
+val run_all : ?scale:int -> unit -> bench_result list
+(** All 21 benchmarks (Figures 3-5 use these). *)
+
+val power_rows : bench_result list -> bench_result list
+(** Restrict to the 19-benchmark power suite with the [gsm] rename. *)

@@ -1,0 +1,184 @@
+open Pf_util
+
+type figure = {
+  id : string;
+  title : string;
+  unit_ : string;
+  series : string list;
+  rows : (string * float list) list;
+  average : float list;
+}
+
+let make ~id ~title ~unit_ ~series rows =
+  let n = List.length series in
+  List.iter
+    (fun (_, vs) -> assert (List.length vs = n))
+    rows;
+  let average =
+    List.init n (fun k ->
+        Stats.mean (List.map (fun (_, vs) -> List.nth vs k) rows))
+  in
+  { id; title; unit_; series; rows; average }
+
+let render f =
+  let header = ("benchmark" :: f.series) @ [] in
+  let body =
+    List.map
+      (fun (label, vs) -> label :: List.map Table.pct vs)
+      f.rows
+    @ [ "AVERAGE" :: List.map Table.pct f.average ]
+  in
+  Printf.sprintf "%s: %s (%s)\n%s" f.id f.title f.unit_
+    (Table.render ~header body)
+
+open Experiment
+
+let saving get (r : bench_result) (c : per_config) =
+  Stats.saving ~baseline:(get r.arm16.power) (get c.power)
+
+let three_config ~id ~title ~unit_ get results =
+  make ~id ~title ~unit_ ~series:[ "FITS16"; "FITS8"; "ARM8" ]
+    (List.map
+       (fun r ->
+         ( r.name,
+           [ saving get r r.fits16; saving get r r.fits8; saving get r r.arm8 ]
+         ))
+       results)
+
+let fig3 results =
+  make ~id:"fig3" ~title:"ARM-to-FITS static mapping (1-to-1)" ~unit_:"%"
+    ~series:[ "static" ]
+    (List.map (fun r -> (r.name, [ r.static_map_pct ])) results)
+
+let fig4 results =
+  make ~id:"fig4" ~title:"ARM-to-FITS dynamic mapping (1-to-1)" ~unit_:"%"
+    ~series:[ "dynamic" ]
+    (List.map (fun r -> (r.name, [ r.dyn_map_pct ])) results)
+
+let fig5 results =
+  make ~id:"fig5" ~title:"Code size footprint (normalized to ARM)" ~unit_:"%"
+    ~series:[ "ARM"; "THUMB"; "FITS" ]
+    (List.map
+       (fun r ->
+         let arm = float_of_int r.code_arm in
+         ( r.name,
+           [
+             100.0;
+             Stats.percent (float_of_int r.code_thumb) arm;
+             Stats.percent (float_of_int r.code_fits) arm;
+           ] ))
+       results)
+
+let breakdown (c : per_config) =
+  let p = c.power in
+  let t = p.Pf_power.Account.total in
+  [
+    Stats.percent p.Pf_power.Account.switching t;
+    Stats.percent p.Pf_power.Account.internal t;
+    Stats.percent p.Pf_power.Account.leakage t;
+  ]
+
+let fig6 results =
+  let sub tag pick =
+    make ~id:("fig6" ^ tag)
+      ~title:("I-cache power breakdown, " ^ tag) ~unit_:"%"
+      ~series:[ "switching"; "internal"; "leakage" ]
+      (List.map (fun r -> (r.name, breakdown (pick r))) results)
+  in
+  [
+    sub "ARM16" (fun r -> r.arm16);
+    sub "ARM8" (fun r -> r.arm8);
+    sub "FITS16" (fun r -> r.fits16);
+    sub "FITS8" (fun r -> r.fits8);
+  ]
+
+let fig7 =
+  three_config ~id:"fig7" ~title:"I-cache switching power saving" ~unit_:"%"
+    (fun p -> p.Pf_power.Account.switching)
+
+let fig8 =
+  three_config ~id:"fig8" ~title:"I-cache internal power saving" ~unit_:"%"
+    (fun p -> p.Pf_power.Account.internal)
+
+let fig9 =
+  three_config ~id:"fig9" ~title:"I-cache leakage power saving" ~unit_:"%"
+    (fun p -> p.Pf_power.Account.leakage)
+
+let fig10 results =
+  make ~id:"fig10" ~title:"I-cache peak power saving" ~unit_:"%"
+    ~series:[ "FITS16"; "FITS8"; "ARM8" ]
+    (List.map
+       (fun r ->
+         let base = r.arm16.power.Pf_power.Account.peak_power in
+         let s (c : per_config) =
+           Stats.saving ~baseline:base c.power.Pf_power.Account.peak_power
+         in
+         (r.name, [ s r.fits16; s r.fits8; s r.arm8 ]))
+       results)
+
+(* power = energy / time; configurations run for different cycle counts *)
+let avg_power (c : per_config) =
+  c.power.Pf_power.Account.total /. float_of_int c.cycles
+
+let fig11 results =
+  make ~id:"fig11" ~title:"Total I-cache power saving" ~unit_:"%"
+    ~series:[ "FITS16"; "FITS8"; "ARM8" ]
+    (List.map
+       (fun r ->
+         let base = avg_power r.arm16 in
+         let s c = Stats.saving ~baseline:base (avg_power c) in
+         (r.name, [ s r.fits16; s r.fits8; s r.arm8 ]))
+       results)
+
+let fig12 results =
+  make ~id:"fig12" ~title:"Total chip power saving" ~unit_:"%"
+    ~series:[ "FITS16"; "FITS8"; "ARM8" ]
+    (List.map
+       (fun r ->
+         let baseline =
+           {
+             Pf_power.Chip.icache_energy = r.arm16.power.Pf_power.Account.total;
+             cycles = r.arm16.cycles;
+           }
+         in
+         let s ?datapath_off (c : per_config) =
+           Pf_power.Chip.chip_saving ~baseline
+             ~icache_energy:c.power.Pf_power.Account.total ~cycles:c.cycles
+             ?datapath_off ()
+         in
+         ( r.name,
+           [
+             s ~datapath_off:r.datapath_off r.fits16;
+             s ~datapath_off:r.datapath_off r.fits8;
+             s r.arm8;
+           ] ))
+       results)
+
+let fig13 results =
+  make ~id:"fig13" ~title:"I-cache miss rate" ~unit_:"misses/M accesses"
+    ~series:[ "ARM16"; "ARM8"; "FITS16"; "FITS8" ]
+    (List.map
+       (fun r ->
+         ( r.name,
+           [
+             r.arm16.miss_rate_pm; r.arm8.miss_rate_pm;
+             r.fits16.miss_rate_pm; r.fits8.miss_rate_pm;
+           ] ))
+       results)
+
+let fig14 results =
+  make ~id:"fig14" ~title:"Instructions per cycle" ~unit_:"IPC"
+    ~series:[ "ARM16"; "ARM8"; "FITS16"; "FITS8" ]
+    (List.map
+       (fun r ->
+         (r.name, [ r.arm16.ipc; r.arm8.ipc; r.fits16.ipc; r.fits8.ipc ]))
+       results)
+
+let power_figures results =
+  fig6 results
+  @ [
+      fig7 results; fig8 results; fig9 results; fig10 results;
+      fig11 results; fig12 results; fig13 results; fig14 results;
+    ]
+
+let mapping_figures results = [ fig3 results; fig4 results; fig5 results ]

@@ -1,0 +1,62 @@
+(** Reproduction of every figure in the paper's evaluation (§6).
+
+    Each function turns experiment results into a {!figure}: labeled rows
+    (one per benchmark), named series (one per processor configuration or
+    component), and the across-suite average the paper quotes in its
+    text.  [render] prints the same rows/series a reader would take off
+    the paper's charts. *)
+
+type figure = {
+  id : string;            (** "fig3" ... "fig14" *)
+  title : string;
+  unit_ : string;         (** "%", "IPC", "misses/M", ... *)
+  series : string list;
+  rows : (string * float list) list;   (** benchmark -> one value/series *)
+  average : float list;
+}
+
+val render : figure -> string
+
+val fig3 : Experiment.bench_result list -> figure
+(** ARM-to-FITS static mapping rate (all 21 benchmarks). *)
+
+val fig4 : Experiment.bench_result list -> figure
+(** ARM-to-FITS dynamic mapping rate. *)
+
+val fig5 : Experiment.bench_result list -> figure
+(** Code size footprint normalized to ARM (ARM / THUMB / FITS). *)
+
+val fig6 : Experiment.bench_result list -> figure list
+(** I-cache power breakdown per configuration (four sub-figures:
+    switching / internal / leakage shares). *)
+
+val fig7 : Experiment.bench_result list -> figure
+(** Switching power saving vs ARM16. *)
+
+val fig8 : Experiment.bench_result list -> figure
+(** Internal power saving vs ARM16. *)
+
+val fig9 : Experiment.bench_result list -> figure
+(** Leakage power saving vs ARM16. *)
+
+val fig10 : Experiment.bench_result list -> figure
+(** Peak power saving vs ARM16. *)
+
+val fig11 : Experiment.bench_result list -> figure
+(** Total I-cache power saving vs ARM16. *)
+
+val fig12 : Experiment.bench_result list -> figure
+(** Total chip power saving vs ARM16 (27 % I-cache share + datapath
+    deactivation). *)
+
+val fig13 : Experiment.bench_result list -> figure
+(** I-cache miss rate, misses per million accesses, all four configs. *)
+
+val fig14 : Experiment.bench_result list -> figure
+(** Instructions per cycle, all four configs. *)
+
+val power_figures : Experiment.bench_result list -> figure list
+(** Figures 6-14 (expects the 19-benchmark power rows). *)
+
+val mapping_figures : Experiment.bench_result list -> figure list
+(** Figures 3-5 (expects all 21 benchmarks). *)

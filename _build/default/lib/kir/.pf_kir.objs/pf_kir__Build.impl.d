@@ -1,0 +1,1 @@
+lib/kir/build.ml: Array Ast

@@ -1,0 +1,1 @@
+lib/kir/eval.ml: Array Ast Bits Bool Buffer Bytes Char Format Hashtbl Int32 List Pf_util Validate

@@ -1,0 +1,1 @@
+lib/kir/eval.mli: Ast

@@ -1,0 +1,1 @@
+lib/kir/transform.ml: Ast List

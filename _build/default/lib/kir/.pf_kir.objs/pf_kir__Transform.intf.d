@@ -1,0 +1,1 @@
+lib/kir/transform.mli: Ast

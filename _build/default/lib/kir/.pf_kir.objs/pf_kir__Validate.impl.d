@@ -1,0 +1,1 @@
+lib/kir/validate.ml: Array Ast Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/kir/validate.mli: Ast

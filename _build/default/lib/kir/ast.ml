@@ -1,0 +1,60 @@
+type scale = W8 | W16 | W32
+
+type binop =
+  | Add | Sub | Mul
+  | Div | Rem
+  | Udiv | Urem
+  | And | Or | Xor
+  | Shl
+  | Shr
+  | Sar
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge | Ult | Ule | Ugt | Uge
+
+type unop = Neg | Bnot
+
+type expr =
+  | Int of int
+  | Var of string
+  | Global_addr of string
+  | Load of { scale : scale; signed : bool; addr : expr }
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cmp of cmp * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Let of string * expr
+  | Assign of string * expr
+  | Store of { scale : scale; addr : expr; value : expr }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+  | Expr of expr
+  | Return of expr option
+  | Break
+  | Continue
+  | Print_int of expr
+  | Print_char of expr
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+}
+
+type global = {
+  gname : string;
+  gscale : scale;
+  length : int;
+  init : int array option;
+}
+
+type program = {
+  funcs : func list;
+  globals : global list;
+}
+
+let scale_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4
+
+let entry_name = "main"

@@ -1,0 +1,74 @@
+(** The kernel intermediate representation (KIR).
+
+    KIR is a small, C-like structured language in which the MiBench-workalike
+    benchmarks are written.  It has 32-bit integer scalars, global arrays of
+    8/16/32-bit elements, functions with up to four parameters, and
+    structured control flow.  The [armgen] library compiles it to the
+    ARM-like ISA; {!Eval} interprets it directly so compiled programs can be
+    cross-checked against reference semantics. *)
+
+type scale = W8 | W16 | W32
+(** Element width of a memory access or global array. *)
+
+type binop =
+  | Add | Sub | Mul
+  | Div | Rem          (** signed; lowered to runtime calls *)
+  | Udiv | Urem        (** unsigned; lowered to runtime calls *)
+  | And | Or | Xor
+  | Shl
+  | Shr                (** logical right shift *)
+  | Sar                (** arithmetic right shift *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge | Ult | Ule | Ugt | Uge
+(** [Lt]..[Ge] are signed; [Ult]..[Uge] unsigned. *)
+
+type unop = Neg | Bnot
+
+type expr =
+  | Int of int                      (** 32-bit constant *)
+  | Var of string                   (** local variable or parameter *)
+  | Global_addr of string           (** address of a global array *)
+  | Load of { scale : scale; signed : bool; addr : expr }
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cmp of cmp * expr * expr        (** 1 if true, 0 otherwise *)
+  | Call of string * expr list
+
+type stmt =
+  | Let of string * expr            (** declare-and-initialize a local *)
+  | Assign of string * expr
+  | Store of { scale : scale; addr : expr; value : expr }
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+      (** [For (i, lo, hi, body)]: i from lo while i < hi (signed), step 1.
+          [hi] is evaluated once, before the loop. *)
+  | Expr of expr                    (** evaluate for side effects *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Print_int of expr               (** SWI print: result channel *)
+  | Print_char of expr
+
+type func = {
+  name : string;
+  params : string list;
+  body : stmt list;
+}
+
+type global = {
+  gname : string;
+  gscale : scale;
+  length : int;                 (** number of elements *)
+  init : int array option;      (** initial element values, else zeros *)
+}
+
+type program = {
+  funcs : func list;
+  globals : global list;
+}
+
+val scale_bytes : scale -> int
+
+val entry_name : string
+(** The function where execution starts: ["main"] (no parameters). *)

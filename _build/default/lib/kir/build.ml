@@ -1,0 +1,82 @@
+open Ast
+
+let i n = Int n
+let v s = Var s
+let gaddr s = Global_addr s
+
+let ( +% ) a b = Binop (Add, a, b)
+let ( -% ) a b = Binop (Sub, a, b)
+let ( *% ) a b = Binop (Mul, a, b)
+let ( /% ) a b = Binop (Div, a, b)
+let ( %+ ) a b = Binop (Rem, a, b)
+let udiv a b = Binop (Udiv, a, b)
+let urem a b = Binop (Urem, a, b)
+let band a b = Binop (And, a, b)
+let bor a b = Binop (Or, a, b)
+let bxor a b = Binop (Xor, a, b)
+let bnot a = Unop (Bnot, a)
+let neg a = Unop (Neg, a)
+let shl a b = Binop (Shl, a, b)
+let shr a b = Binop (Shr, a, b)
+let sar a b = Binop (Sar, a, b)
+
+let ( =% ) a b = Cmp (Eq, a, b)
+let ( <>% ) a b = Cmp (Ne, a, b)
+let ( <% ) a b = Cmp (Lt, a, b)
+let ( <=% ) a b = Cmp (Le, a, b)
+let ( >% ) a b = Cmp (Gt, a, b)
+let ( >=% ) a b = Cmp (Ge, a, b)
+let ult a b = Cmp (Ult, a, b)
+let ule a b = Cmp (Ule, a, b)
+let ugt a b = Cmp (Ugt, a, b)
+let uge a b = Cmp (Uge, a, b)
+
+let load8u addr = Load { scale = W8; signed = false; addr }
+let load8s addr = Load { scale = W8; signed = true; addr }
+let load16u addr = Load { scale = W16; signed = false; addr }
+let load16s addr = Load { scale = W16; signed = true; addr }
+let load32 addr = Load { scale = W32; signed = false; addr }
+
+let idx8 g e = load8u (Global_addr g +% e)
+let idx16 g e = load16u (Global_addr g +% Binop (Shl, e, Int 1))
+let idx32 g e = load32 (Global_addr g +% Binop (Shl, e, Int 2))
+
+let call f args = Call (f, args)
+
+let let_ x e = Let (x, e)
+let set x e = Assign (x, e)
+let incr_ x = Assign (x, Var x +% Int 1)
+let add_ x e = Assign (x, Var x +% e)
+
+let store8 addr value = Store { scale = W8; addr; value }
+let store16 addr value = Store { scale = W16; addr; value }
+let store32 addr value = Store { scale = W32; addr; value }
+
+let setidx8 g index value = store8 (Global_addr g +% index) value
+
+let setidx16 g index value =
+  store16 (Global_addr g +% Binop (Shl, index, Int 1)) value
+
+let setidx32 g index value =
+  store32 (Global_addr g +% Binop (Shl, index, Int 2)) value
+
+let if_ c t f = If (c, t, f)
+let when_ c t = If (c, t, [])
+let while_ c body = While (c, body)
+let for_ x lo hi body = For (x, lo, hi, body)
+let do_ f args = Expr (Call (f, args))
+let ret e = Return (Some e)
+let ret0 = Return None
+let break_ = Break
+let continue_ = Continue
+let print_int e = Print_int e
+let print_char e = Print_char e
+
+let func name params body = { name; params; body }
+
+let garray gname gscale length = { gname; gscale; length; init = None }
+
+let garray_init gname gscale init =
+  { gname; gscale; length = Array.length init; init = Some init }
+
+let program globals funcs = { funcs; globals }

@@ -1,0 +1,95 @@
+(** Combinators for writing KIR programs compactly.
+
+    The benchmark sources in [pf_mibench] are written against this module;
+    open it locally ([let open Pf_kir.Build in ...]) to get infix operators
+    for the common arithmetic and comparison forms. *)
+
+open Ast
+
+(** {1 Expressions} *)
+
+val i : int -> expr
+val v : string -> expr
+val gaddr : string -> expr
+
+val ( +% ) : expr -> expr -> expr
+val ( -% ) : expr -> expr -> expr
+val ( *% ) : expr -> expr -> expr
+val ( /% ) : expr -> expr -> expr
+(* signed division *)
+val ( %+ ) : expr -> expr -> expr
+(* signed remainder *)
+val udiv : expr -> expr -> expr
+val urem : expr -> expr -> expr
+
+val band : expr -> expr -> expr
+val bor : expr -> expr -> expr
+val bxor : expr -> expr -> expr
+val bnot : expr -> expr
+val neg : expr -> expr
+val shl : expr -> expr -> expr
+val shr : expr -> expr -> expr
+(* logical *)
+val sar : expr -> expr -> expr
+(* arithmetic *)
+val ( =% ) : expr -> expr -> expr
+val ( <>% ) : expr -> expr -> expr
+val ( <% ) : expr -> expr -> expr
+(* signed *)
+val ( <=% ) : expr -> expr -> expr
+val ( >% ) : expr -> expr -> expr
+val ( >=% ) : expr -> expr -> expr
+val ult : expr -> expr -> expr
+val ule : expr -> expr -> expr
+val ugt : expr -> expr -> expr
+val uge : expr -> expr -> expr
+
+val load8u : expr -> expr
+val load8s : expr -> expr
+val load16u : expr -> expr
+val load16s : expr -> expr
+val load32 : expr -> expr
+
+val idx8 : string -> expr -> expr
+(* [idx8 g e] loads element [e] of byte-array global [g]. *)
+val idx16 : string -> expr -> expr
+val idx32 : string -> expr -> expr
+
+val call : string -> expr list -> expr
+(* {1 Statements} *)
+val let_ : string -> expr -> stmt
+val set : string -> expr -> stmt
+val incr_ : string -> stmt
+(* x := x + 1 *)
+val add_ : string -> expr -> stmt
+(* x := x + e *)
+val store8 : expr -> expr -> stmt
+(* [store8 addr value] *)
+val store16 : expr -> expr -> stmt
+val store32 : expr -> expr -> stmt
+
+val setidx8 : string -> expr -> expr -> stmt
+(* [setidx8 g index value] stores into byte-array global [g]. *)
+val setidx16 : string -> expr -> expr -> stmt
+val setidx32 : string -> expr -> expr -> stmt
+
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val for_ : string -> expr -> expr -> stmt list -> stmt
+val do_ : string -> expr list -> stmt
+(* call for effect *)
+val ret : expr -> stmt
+val ret0 : stmt
+val break_ : stmt
+val continue_ : stmt
+val print_int : expr -> stmt
+val print_char : expr -> stmt
+(* {1 Definitions} *)
+val func : string -> string list -> stmt list -> func
+
+val garray : string -> scale -> int -> global
+(* Zero-initialized global array. *)
+val garray_init : string -> scale -> int array -> global
+
+val program : global list -> func list -> program

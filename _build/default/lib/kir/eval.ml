@@ -1,0 +1,232 @@
+open Ast
+open Pf_util
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type result = { output : string; steps : int }
+
+exception Return_exc of int
+exception Break_exc
+exception Continue_exc
+
+type state = {
+  mem : Bytes.t;
+  global_addr : (string, int) Hashtbl.t;
+  funcs : (string, func) Hashtbl.t;
+  out : Buffer.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+(* ARM-style shift: amount is the low byte of the rhs; >= 32 saturates. *)
+let shift_semantics kind x amount =
+  let amount = amount land 0xFF in
+  match kind with
+  | `Shl -> if amount >= 32 then 0 else Bits.u32 (x lsl amount)
+  | `Shr -> if amount >= 32 then 0 else x lsr amount
+  | `Sar ->
+      let s = Bits.to_signed32 x in
+      if amount >= 32 then if s < 0 then 0xFFFF_FFFF else 0
+      else Bits.u32 (s asr amount)
+
+let binop op a b =
+  let sa = Bits.to_signed32 a and sb = Bits.to_signed32 b in
+  match op with
+  | Add -> Bits.u32 (a + b)
+  | Sub -> Bits.u32 (a - b)
+  | Mul -> Bits.u32 (a * b)
+  | Div -> if b = 0 then 0 else Bits.u32 (sa / sb)
+  | Rem -> if b = 0 then 0 else Bits.u32 (sa mod sb)
+  | Udiv -> if b = 0 then 0 else a / b
+  | Urem -> if b = 0 then 0 else a mod b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> shift_semantics `Shl a b
+  | Shr -> shift_semantics `Shr a b
+  | Sar -> shift_semantics `Sar a b
+
+let compare_op op a b =
+  let sa = Bits.to_signed32 a and sb = Bits.to_signed32 b in
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> sa < sb
+    | Le -> sa <= sb
+    | Gt -> sa > sb
+    | Ge -> sa >= sb
+    | Ult -> a < b
+    | Ule -> a <= b
+    | Ugt -> a > b
+    | Uge -> a >= b
+  in
+  Bool.to_int r
+
+let check_range st addr len what =
+  if addr < 0 || addr + len > Bytes.length st.mem then
+    error "%s out of range: 0x%x" what addr
+
+let load st scale signed addr =
+  match scale with
+  | W8 ->
+      check_range st addr 1 "load";
+      let x = Char.code (Bytes.get st.mem addr) in
+      if signed then Bits.u32 (Bits.sign_extend ~width:8 x) else x
+  | W16 ->
+      if addr land 1 <> 0 then error "unaligned half load: 0x%x" addr;
+      check_range st addr 2 "load";
+      let x = Bytes.get_uint16_le st.mem addr in
+      if signed then Bits.u32 (Bits.sign_extend ~width:16 x) else x
+  | W32 ->
+      if addr land 3 <> 0 then error "unaligned word load: 0x%x" addr;
+      check_range st addr 4 "load";
+      Int32.to_int (Bytes.get_int32_le st.mem addr) land 0xFFFF_FFFF
+
+let store st scale addr value =
+  match scale with
+  | W8 ->
+      check_range st addr 1 "store";
+      Bytes.set st.mem addr (Char.chr (value land 0xFF))
+  | W16 ->
+      if addr land 1 <> 0 then error "unaligned half store: 0x%x" addr;
+      check_range st addr 2 "store";
+      Bytes.set_uint16_le st.mem addr (value land 0xFFFF)
+  | W32 ->
+      if addr land 3 <> 0 then error "unaligned word store: 0x%x" addr;
+      check_range st addr 4 "store";
+      Bytes.set_int32_le st.mem addr (Int32.of_int (Bits.u32 value))
+
+let tick st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then error "step budget exhausted"
+
+let rec eval_expr st env = function
+  | Int n -> Bits.u32 n
+  | Var x -> (
+      match Hashtbl.find_opt env x with
+      | Some v -> v
+      | None -> error "unbound variable %s" x)
+  | Global_addr g -> (
+      match Hashtbl.find_opt st.global_addr g with
+      | Some a -> a
+      | None -> error "unbound global %s" g)
+  | Load { scale; signed; addr } ->
+      load st scale signed (eval_expr st env addr)
+  | Binop (op, a, b) ->
+      let a = eval_expr st env a in
+      let b = eval_expr st env b in
+      binop op a b
+  | Unop (Neg, a) -> Bits.u32 (-eval_expr st env a)
+  | Unop (Bnot, a) -> Bits.u32 (lnot (eval_expr st env a))
+  | Cmp (op, a, b) ->
+      let a = eval_expr st env a in
+      let b = eval_expr st env b in
+      compare_op op a b
+  | Call (f, args) ->
+      let vals = List.map (eval_expr st env) args in
+      call_func st f vals
+
+and call_func st name args =
+  match Hashtbl.find_opt st.funcs name with
+  | None -> error "undefined function %s" name
+  | Some f ->
+      let env = Hashtbl.create 16 in
+      List.iter2 (fun p a -> Hashtbl.replace env p a) f.params args;
+      (try
+         exec_block st env f.body;
+         0
+       with Return_exc v -> v)
+
+and exec_block st env stmts = List.iter (exec_stmt st env) stmts
+
+and exec_stmt st env stmt =
+  tick st;
+  match stmt with
+  | Let (x, e) | Assign (x, e) -> Hashtbl.replace env x (eval_expr st env e)
+  | Store { scale; addr; value } ->
+      let a = eval_expr st env addr in
+      let v = eval_expr st env value in
+      store st scale a v
+  | If (c, t, e) ->
+      if eval_expr st env c <> 0 then exec_block st env t
+      else exec_block st env e
+  | While (c, body) ->
+      let rec loop () =
+        (* charge each condition evaluation so empty loops still consume
+           the step budget *)
+        tick st;
+        if eval_expr st env c <> 0 then begin
+          (try exec_block st env body with Continue_exc -> ());
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ())
+  | For (x, lo, hi, body) ->
+      (* the induction variable is bound before the bound is evaluated,
+         matching the compiler's lowering *)
+      let lo = eval_expr st env lo in
+      Hashtbl.replace env x lo;
+      let hi = Bits.to_signed32 (eval_expr st env hi) in
+      let rec loop () =
+        let iv = Bits.to_signed32 (Hashtbl.find env x) in
+        if iv < hi then begin
+          (try exec_block st env body with Continue_exc -> ());
+          (* re-read: the body may assign the induction variable *)
+          let iv' = Hashtbl.find env x in
+          Hashtbl.replace env x (Bits.u32 (iv' + 1));
+          tick st;
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ())
+  | Expr e -> ignore (eval_expr st env e)
+  | Return (Some e) -> raise (Return_exc (eval_expr st env e))
+  | Return None -> raise (Return_exc 0)
+  | Break -> raise Break_exc
+  | Continue -> raise Continue_exc
+  | Print_int e ->
+      let x = eval_expr st env e in
+      Buffer.add_string st.out (string_of_int (Bits.to_signed32 x));
+      Buffer.add_char st.out '\n'
+  | Print_char e ->
+      Buffer.add_char st.out (Char.chr (eval_expr st env e land 0xFF))
+
+let layout_globals (p : program) =
+  let tbl = Hashtbl.create 16 in
+  let next = ref 16 in
+  List.iter
+    (fun g ->
+      let addr = (!next + 3) land lnot 3 in
+      Hashtbl.replace tbl g.gname addr;
+      next := addr + (g.length * scale_bytes g.gscale))
+    p.globals;
+  (tbl, !next)
+
+let run ?(max_steps = 200_000_000) (p : program) =
+  Validate.check_exn p;
+  let global_addr, size = layout_globals p in
+  let st =
+    { mem = Bytes.make (size + 16) '\000';
+      global_addr;
+      funcs = Hashtbl.create 16;
+      out = Buffer.create 256;
+      steps = 0;
+      max_steps }
+  in
+  List.iter (fun f -> Hashtbl.replace st.funcs f.name f) p.funcs;
+  List.iter
+    (fun g ->
+      match g.init with
+      | None -> ()
+      | Some a ->
+          let base = Hashtbl.find global_addr g.gname in
+          Array.iteri
+            (fun idx value ->
+              store st g.gscale (base + (idx * scale_bytes g.gscale)) value)
+            a)
+    p.globals;
+  ignore (call_func st entry_name []);
+  { output = Buffer.contents st.out; steps = st.steps }

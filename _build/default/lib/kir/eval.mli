@@ -1,0 +1,19 @@
+(** Reference interpreter for KIR.
+
+    The evaluator defines the source-language semantics independently of the
+    compiler: 32-bit wraparound arithmetic, ARM-style shift semantics
+    (amount taken from the low byte, shifts >= 32 saturate), and
+    division-by-zero yielding zero.  The test suite compares its printed
+    output against the output of compiled images. *)
+
+exception Runtime_error of string
+
+type result = {
+  output : string;          (** text from [Print_int]/[Print_char] *)
+  steps : int;              (** statements executed *)
+}
+
+val run : ?max_steps:int -> Ast.program -> result
+(** Evaluate the program from [main].
+    @raise Runtime_error on memory faults or step exhaustion
+    (default 200 million). *)

@@ -1,0 +1,103 @@
+open Ast
+
+(* Does this statement list contain a loop (at any depth)? *)
+let rec has_loop stmts =
+  List.exists
+    (function
+      | While _ | For _ -> true
+      | If (_, t, e) -> has_loop t || has_loop e
+      | Let _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue
+      | Print_int _ | Print_char _ ->
+          false)
+    stmts
+
+(* Break/Continue appearing at this loop's own level (not inside nested
+   loops — irrelevant here because unroll candidates contain none). *)
+let rec has_direct_break stmts =
+  List.exists
+    (function
+      | Break | Continue -> true
+      | If (_, t, e) -> has_direct_break t || has_direct_break e
+      | While _ | For _ -> false
+      | Let _ | Assign _ | Store _ | Expr _ | Return _ | Print_int _
+      | Print_char _ ->
+          false)
+    stmts
+
+let rec binds_var x stmts =
+  List.exists
+    (function
+      | Let (y, _) | Assign (y, _) -> x = y
+      | For (y, _, _, body) -> x = y || binds_var x body
+      | While (_, body) -> binds_var x body
+      | If (_, t, e) -> binds_var x t || binds_var x e
+      | Store _ | Expr _ | Return _ | Break | Continue | Print_int _
+      | Print_char _ ->
+          false)
+    stmts
+
+(* [Return] inside an unrolled copy is fine (it leaves the function), but a
+   body that can return makes the trip-count bookkeeping irrelevant anyway;
+   keep it simple and allow it. *)
+let unrollable x body =
+  (not (has_loop body)) && (not (has_direct_break body))
+  && not (binds_var x body)
+
+let rec unroll_stmt ~factor s =
+  match s with
+  | For (x, Int lo, Int hi, body)
+    when factor > 1 && unrollable x body && hi > lo
+         && hi - lo <= max 8 (2 * factor) ->
+      (* small constant trip count: unroll completely *)
+      let bump = Assign (x, Binop (Add, Var x, Int 1)) in
+      Let (x, Int lo)
+      :: List.concat (List.init (hi - lo) (fun _ -> body @ [ bump ]))
+  | For (x, lo, hi, body) when factor > 1 && unrollable x body ->
+      let lim = x ^ "$lim" in
+      let bump = Assign (x, Binop (Add, Var x, Int 1)) in
+      let copies =
+        List.concat (List.init factor (fun _ -> body @ [ bump ]))
+      in
+      [
+        Let (x, lo);
+        Let (lim, hi);
+        While
+          ( Cmp (Lt, Binop (Add, Var x, Int (factor - 1)), Var lim),
+            copies );
+        While (Cmp (Lt, Var x, Var lim), body @ [ bump ]);
+      ]
+  | For (x, lo, hi, body) -> [ For (x, lo, hi, unroll_block ~factor body) ]
+  | While (c, body) -> [ While (c, unroll_block ~factor body) ]
+  | If (c, t, e) -> [ If (c, unroll_block ~factor t, unroll_block ~factor e) ]
+  | Let _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue
+  | Print_int _ | Print_char _ ->
+      [ s ]
+
+and unroll_block ~factor stmts = List.concat_map (unroll_stmt ~factor) stmts
+
+let unroll ~factor (p : program) =
+  if factor <= 1 then p
+  else
+    { p with
+      funcs =
+        List.map
+          (fun f -> { f with body = unroll_block ~factor f.body })
+          p.funcs }
+
+let count_loops (p : program) =
+  let total = ref 0 and candidates = ref 0 in
+  let rec stmt = function
+    | For (x, _, _, body) ->
+        incr total;
+        if unrollable x body then incr candidates;
+        List.iter stmt body
+    | While (_, body) -> List.iter stmt body
+    | If (_, t, e) ->
+        List.iter stmt t;
+        List.iter stmt e
+    | Let _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue
+    | Print_int _ | Print_char _ ->
+        ()
+  in
+  List.iter (fun f -> List.iter stmt f.body) p.funcs;
+  (!total, !candidates)

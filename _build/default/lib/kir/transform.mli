@@ -1,0 +1,17 @@
+(** Source-level optimization passes.
+
+    {!unroll} performs innermost-loop unrolling, the classic embedded-
+    compiler optimization (and the reason real codec binaries are much
+    larger than their textbook cores).  It is semantics-preserving: the
+    test suite checks that unrolled programs print exactly what the
+    original prints. *)
+
+val unroll : factor:int -> Ast.program -> Ast.program
+(** Unroll every innermost [For] loop by [factor].  A loop qualifies when
+    its body contains no other loop, no [Break]/[Continue] targeting it,
+    and does not rebind or assign the induction variable.  [factor <= 1]
+    is the identity. *)
+
+val count_loops : Ast.program -> int * int
+(** (total for-loops, unrollable innermost for-loops) — used by reports
+    and tests. *)

@@ -1,0 +1,12 @@
+(** Static well-formedness checks for KIR programs.
+
+    Run before compilation or evaluation; catches undefined
+    variables/functions/globals, arity errors (including the four-argument
+    ABI limit), duplicate definitions, and misplaced [Break]/[Continue]. *)
+
+type error = { where : string; what : string }
+
+val check : Ast.program -> (unit, error list) result
+
+val check_exn : Ast.program -> unit
+(** @raise Invalid_argument with a readable message on the first error. *)

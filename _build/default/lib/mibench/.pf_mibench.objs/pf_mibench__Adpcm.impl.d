@@ -1,0 +1,1 @@
+lib/mibench/adpcm.ml: Gen Pf_kir

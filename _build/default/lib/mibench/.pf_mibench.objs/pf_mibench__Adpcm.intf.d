@@ -1,0 +1,1 @@
+lib/mibench/adpcm.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/basicmath.ml: Pf_kir

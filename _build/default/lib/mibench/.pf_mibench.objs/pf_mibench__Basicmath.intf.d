@@ -1,0 +1,1 @@
+lib/mibench/basicmath.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/bitcount.ml: Array Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/bitcount.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/blowfish.ml: Gen Pf_kir

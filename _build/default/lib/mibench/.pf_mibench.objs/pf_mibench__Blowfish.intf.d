@@ -1,0 +1,1 @@
+lib/mibench/blowfish.mli: Pf_kir

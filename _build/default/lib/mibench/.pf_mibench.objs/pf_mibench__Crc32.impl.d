@@ -1,0 +1,1 @@
+lib/mibench/crc32.ml: Gen Pf_kir

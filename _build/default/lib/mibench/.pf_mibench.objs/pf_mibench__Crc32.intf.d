@@ -1,0 +1,1 @@
+lib/mibench/crc32.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/dijkstra.ml: Array Pf_kir Pf_util

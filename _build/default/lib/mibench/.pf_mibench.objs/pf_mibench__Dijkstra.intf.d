@@ -1,0 +1,1 @@
+lib/mibench/dijkstra.mli: Pf_kir

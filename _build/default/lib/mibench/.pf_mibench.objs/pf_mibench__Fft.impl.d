@@ -1,0 +1,1 @@
+lib/mibench/fft.ml: Gen Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/fft.mli: Pf_kir

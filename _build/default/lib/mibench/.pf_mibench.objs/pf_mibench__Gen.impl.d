@@ -1,0 +1,1 @@
+lib/mibench/gen.ml: Array Char Float Pf_util Rng

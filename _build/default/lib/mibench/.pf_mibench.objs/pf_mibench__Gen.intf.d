@@ -1,0 +1,1 @@
+lib/mibench/gen.mli:

@@ -1,0 +1,1 @@
+lib/mibench/gsm.ml: Gen Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/gsm.mli: Pf_kir

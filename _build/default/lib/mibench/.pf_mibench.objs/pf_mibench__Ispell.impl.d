@@ -1,0 +1,1 @@
+lib/mibench/ispell.ml: Array Buffer Char Gen List Pf_kir String

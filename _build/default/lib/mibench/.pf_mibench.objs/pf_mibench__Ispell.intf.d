@@ -1,0 +1,1 @@
+lib/mibench/ispell.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/jpeg.ml: Array Float Gen Pf_kir

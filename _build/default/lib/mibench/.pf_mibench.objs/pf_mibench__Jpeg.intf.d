@@ -1,0 +1,1 @@
+lib/mibench/jpeg.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/lame.ml: Array Float Gen Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/lame.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/patricia.ml: Pf_kir

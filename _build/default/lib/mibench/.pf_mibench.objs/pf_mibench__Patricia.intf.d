@@ -1,0 +1,1 @@
+lib/mibench/patricia.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/qsort_bench.ml: Gen Pf_kir

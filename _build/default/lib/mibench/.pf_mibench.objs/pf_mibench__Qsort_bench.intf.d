@@ -1,0 +1,1 @@
+lib/mibench/qsort_bench.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/registry.ml: Adpcm Basicmath Bitcount Blowfish Crc32 Dijkstra Fft Gsm Ispell Jpeg Lame List Patricia Pf_kir Qsort_bench Rijndael Sha1 Stringsearch Susan

@@ -1,0 +1,1 @@
+lib/mibench/registry.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/rijndael.ml: Gen Pf_kir

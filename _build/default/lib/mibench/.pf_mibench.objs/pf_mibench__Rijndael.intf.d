@@ -1,0 +1,1 @@
+lib/mibench/rijndael.mli: Pf_kir

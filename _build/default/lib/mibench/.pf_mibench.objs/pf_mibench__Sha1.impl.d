@@ -1,0 +1,1 @@
+lib/mibench/sha1.ml: Array Gen Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/sha1.mli: Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/stringsearch.ml: Array Gen Pf_kir Pf_util

@@ -1,0 +1,1 @@
+lib/mibench/stringsearch.mli: Pf_kir

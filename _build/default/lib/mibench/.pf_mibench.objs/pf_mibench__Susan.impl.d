@@ -1,0 +1,1 @@
+lib/mibench/susan.ml: Array Float Gen List Pf_kir

@@ -1,0 +1,1 @@
+lib/mibench/susan.mli: Pf_kir

@@ -1,0 +1,161 @@
+(* MiBench telecomm/adpcm: IMA ADPCM voice codec (encode and decode are
+   separate benchmarks, as in the suite).  The decode benchmark first
+   encodes the stream — it needs a bitstream to decode — then measures
+   reconstruction drift. *)
+
+open Pf_kir.Build
+
+let name_encode = "adpcm.encode"
+let name_decode = "adpcm.decode"
+
+let step_table =
+  [|
+    7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37; 41;
+    45; 50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173; 190;
+    209; 230; 253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658; 724;
+    796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066; 2272;
+    2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894; 6484; 7132;
+    7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289; 16818; 18500;
+    20350; 22385; 24623; 27086; 29794; 32767;
+  |]
+
+let index_table =
+  [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let clamp_stmts value lo hi =
+  [
+    when_ (v value <% i lo) [ set value (i lo) ];
+    when_ (v value >% i hi) [ set value (i hi) ];
+  ]
+
+(* sample in [p]..: signed 16-bit value loaded via load16s *)
+let common_globals ~n ~seed =
+  [
+    garray_init "pcm" W16 (Gen.samples16 ~seed n);
+    garray "code" W8 n;
+    garray "out" W16 n;
+    garray_init "steps" W32 step_table;
+    garray_init "idxtab" W32 index_table;
+  ]
+
+let encoder =
+  func "adpcm_encode" [ "n" ]
+    [
+      let_ "pred" (i 0);
+      let_ "index" (i 0);
+      for_ "k" (i 0) (v "n")
+        ([
+          let_ "sample" (load16s (gaddr "pcm" +% shl (v "k") (i 1)));
+          let_ "step" (idx32 "steps" (v "index"));
+          let_ "diff" (v "sample" -% v "pred");
+          let_ "sign" (i 0);
+          when_ (v "diff" <% i 0)
+            [ set "sign" (i 8); set "diff" (neg (v "diff")) ];
+          (* 3-bit magnitude quantization *)
+          let_ "delta" (i 0);
+          let_ "vpdiff" (shr (v "step") (i 3));
+          when_ (v "diff" >=% v "step")
+            [
+              set "delta" (i 4);
+              set "diff" (v "diff" -% v "step");
+              set "vpdiff" (v "vpdiff" +% v "step");
+            ];
+          let_ "half" (shr (v "step") (i 1));
+          when_ (v "diff" >=% v "half")
+            [
+              set "delta" (bor (v "delta") (i 2));
+              set "diff" (v "diff" -% v "half");
+              set "vpdiff" (v "vpdiff" +% v "half");
+            ];
+          let_ "quarter" (shr (v "step") (i 2));
+          when_ (v "diff" >=% v "quarter")
+            [
+              set "delta" (bor (v "delta") (i 1));
+              set "vpdiff" (v "vpdiff" +% v "quarter");
+            ];
+          if_ (v "sign" <>% i 0)
+            [ set "pred" (v "pred" -% v "vpdiff") ]
+            [ set "pred" (v "pred" +% v "vpdiff") ];
+        ]
+        @ clamp_stmts "pred" (-32768) 32767
+        @ [
+            set "index" (v "index" +% idx32 "idxtab" (bor (v "delta") (v "sign")));
+          ]
+        @ clamp_stmts "index" 0 88
+        @ [ setidx8 "code" (v "k") (bor (v "delta") (v "sign")) ]);
+      ret (v "pred");
+    ]
+
+let decoder =
+  func "adpcm_decode" [ "n" ]
+    [
+      let_ "pred" (i 0);
+      let_ "index" (i 0);
+      for_ "k" (i 0) (v "n")
+        ([
+           let_ "delta" (idx8 "code" (v "k"));
+           let_ "step" (idx32 "steps" (v "index"));
+           let_ "vpdiff" (shr (v "step") (i 3));
+           when_ (band (v "delta") (i 4) <>% i 0)
+             [ set "vpdiff" (v "vpdiff" +% v "step") ];
+           when_ (band (v "delta") (i 2) <>% i 0)
+             [ set "vpdiff" (v "vpdiff" +% shr (v "step") (i 1)) ];
+           when_ (band (v "delta") (i 1) <>% i 0)
+             [ set "vpdiff" (v "vpdiff" +% shr (v "step") (i 2)) ];
+           if_ (band (v "delta") (i 8) <>% i 0)
+             [ set "pred" (v "pred" -% v "vpdiff") ]
+             [ set "pred" (v "pred" +% v "vpdiff") ];
+         ]
+        @ clamp_stmts "pred" (-32768) 32767
+        @ [
+            set "index" (v "index" +% idx32 "idxtab" (v "delta"));
+          ]
+        @ clamp_stmts "index" 0 88
+        @ [ setidx16 "out" (v "k") (band (v "pred") (i 0xFFFF)) ]);
+      ret (v "pred");
+    ]
+
+let checksum_code n =
+  [
+    let_ "cks" (i 0);
+    for_ "k" (i 0) (i n)
+      [ set "cks" (bxor (v "cks" *% i 33) (idx8 "code" (v "k"))) ];
+    print_int (v "cks");
+  ]
+
+let program_encode ~scale =
+  let n = 6144 * scale in
+  program
+    (common_globals ~n ~seed:0xADE)
+    [
+      encoder;
+      func "main" []
+        ([ let_ "p" (call "adpcm_encode" [ i n ]); print_int (v "p") ]
+        @ checksum_code n);
+    ]
+
+let program_decode ~scale =
+  let n = 6144 * scale in
+  program
+    (common_globals ~n ~seed:0xADD)
+    [
+      encoder;
+      decoder;
+      func "main" []
+        [
+          do_ "adpcm_encode" [ i n ];
+          let_ "p" (call "adpcm_decode" [ i n ]);
+          print_int (v "p");
+          (* reconstruction drift: mean absolute error proxy *)
+          let_ "err" (i 0);
+          for_ "k" (i 0) (i n)
+            [
+              let_ "d"
+                (load16s (gaddr "pcm" +% shl (v "k") (i 1))
+                -% load16s (gaddr "out" +% shl (v "k") (i 1)));
+              when_ (v "d" <% i 0) [ set "d" (neg (v "d")) ];
+              set "err" (v "err" +% v "d");
+            ];
+          print_int (v "err" /% i n);
+        ];
+    ]

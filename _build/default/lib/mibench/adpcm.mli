@@ -1,0 +1,8 @@
+(** MiBench telecomm/adpcm: IMA ADPCM voice codec.  Encode and decode are
+    separate benchmarks (the decoder first encodes — it needs a
+    bitstream), as in the suite. *)
+
+val name_encode : string
+val name_decode : string
+val program_encode : scale:int -> Pf_kir.Ast.program
+val program_decode : scale:int -> Pf_kir.Ast.program

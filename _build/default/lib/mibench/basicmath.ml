@@ -1,0 +1,100 @@
+(* MiBench automotive/basicmath, fixed-point substitution.
+
+   The original exercises cube roots, square roots, angle conversions and
+   integer math on a scalar stream.  Our core has no FPU (and KIR no
+   floats), so the same kernels run in integer/Q16 arithmetic: binary
+   integer square root, bit-by-bit integer cube root, Q16 degree<->radian
+   conversion, and a GCD loop.  This benchmark is excluded from the power
+   study, as in the paper (S5). *)
+
+open Pf_kir.Build
+
+let name = "basicmath"
+
+let program ~scale =
+  let iters = 2500 * scale in
+  program []
+    [
+      func "isqrt" [ "x" ]
+        [
+          let_ "res" (i 0);
+          let_ "bit" (shl (i 1) (i 30));
+          while_ (ugt (v "bit") (v "x")) [ set "bit" (shr (v "bit") (i 2)) ];
+          while_ (v "bit" <>% i 0)
+            [
+              if_ (uge (v "x") (v "res" +% v "bit"))
+                [
+                  set "x" (v "x" -% v "res" -% v "bit");
+                  set "res" (shr (v "res") (i 1) +% v "bit");
+                ]
+                [ set "res" (shr (v "res") (i 1)) ];
+              set "bit" (shr (v "bit") (i 2));
+            ];
+          ret (v "res");
+        ];
+      func "icbrt" [ "x" ]
+        [
+          let_ "y" (i 0);
+          let_ "s" (i 30);
+          while_ (v "s" >=% i 0)
+            [
+              set "y" (shl (v "y") (i 1));
+              let_ "b" (v "y" *% v "y" *% i 3 +% v "y" *% i 3 +% i 1);
+              when_ (uge (shr (v "x") (v "s")) (v "b"))
+                [
+                  set "x" (v "x" -% shl (v "b") (v "s"));
+                  set "y" (v "y" +% i 1);
+                ];
+              set "s" (v "s" -% i 3);
+            ];
+          ret (v "y");
+        ];
+      func "gcd" [ "a"; "b" ]
+        [
+          while_ (v "b" <>% i 0)
+            [
+              let_ "t" (urem (v "a") (v "b"));
+              set "a" (v "b");
+              set "b" (v "t");
+            ];
+          ret (v "a");
+        ];
+      (* degrees -> radians in Q16: x * 2*pi/360 *)
+      func "deg2rad_q16" [ "deg" ]
+        [ ret (shr (v "deg" *% i 1144) (i 6)) ];
+      func "rad2deg_q16" [ "rad" ]
+        [ ret (shr (v "rad" *% i 3754936) (i 16)) ];
+      func "main" []
+        [
+          let_ "seed" (i 7);
+          let_ "sq" (i 0);
+          let_ "cb" (i 0);
+          let_ "gc" (i 0);
+          let_ "an" (i 0);
+          for_ "k" (i 0) (i iters)
+            [
+              set "seed" (v "seed" *% i 1103515245 +% i 12345);
+              let_ "x" (shr (v "seed") (i 4));
+              set "sq" (v "sq" +% call "isqrt" [ v "x" ]);
+              set "cb" (v "cb" +% call "icbrt" [ v "x" ]);
+              when_ (band (v "k") (i 7) =% i 0)
+                [
+                  set "gc"
+                    (v "gc"
+                    +% call "gcd"
+                         [
+                           band (v "x") (i 0xFFFF) +% i 1;
+                           band (shr (v "x") (i 8)) (i 0xFFFF) +% i 1;
+                         ]);
+                ];
+              let_ "deg" (urem (v "x") (i 360));
+              let_ "rad" (call "deg2rad_q16" [ v "deg" ]);
+              set "an"
+                (v "an" +% (call "rad2deg_q16" [ v "rad" ] -% v "deg"));
+            ];
+          print_int (v "sq");
+          print_int (v "cb");
+          print_int (v "gc");
+          print_int (v "an");
+        ];
+    ]

@@ -1,0 +1,6 @@
+(** MiBench automotive/basicmath, fixed-point substitution: integer square
+    root, bit-at-a-time cube root, GCD, and Q16 angle conversions over a
+    scalar stream.  Excluded from the power study, as in the paper. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

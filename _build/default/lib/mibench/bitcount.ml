@@ -1,0 +1,94 @@
+(* MiBench automotive/bitcount: the same value stream counted with five
+   different bit-counting algorithms (table lookup, nibble table, sparse
+   ones, dense zeros, SWAR reduction), as in the original's rotating set
+   of counters. *)
+
+open Pf_kir.Build
+
+let name = "bitcount"
+
+let nibble_table = Array.init 16 (fun n ->
+    let rec pop n = if n = 0 then 0 else (n land 1) + pop (n lsr 1) in
+    pop n)
+
+let program ~scale =
+  let iters = 6000 * scale in
+  program
+    [ garray_init "nib_tab" W8 nibble_table; garray "byte_tab" W8 256 ]
+    [
+      func "init_byte_tab" []
+        [
+          for_ "n" (i 0) (i 256)
+            [
+              setidx8 "byte_tab" (v "n")
+                (idx8 "nib_tab" (band (v "n") (i 15))
+                +% idx8 "nib_tab" (band (shr (v "n") (i 4)) (i 15)));
+            ];
+        ];
+      func "bc_sparse" [ "x" ]
+        [
+          let_ "n" (i 0);
+          while_ (v "x" <>% i 0)
+            [ incr_ "n"; set "x" (band (v "x") (v "x" -% i 1)) ];
+          ret (v "n");
+        ];
+      func "bc_dense" [ "x" ]
+        [
+          let_ "n" (i 32);
+          set "x" (bnot (v "x"));
+          while_ (v "x" <>% i 0)
+            [ set "n" (v "n" -% i 1); set "x" (band (v "x") (v "x" -% i 1)) ];
+          ret (v "n");
+        ];
+      func "bc_table" [ "x" ]
+        [
+          ret
+            (idx8 "byte_tab" (band (v "x") (i 255))
+            +% idx8 "byte_tab" (band (shr (v "x") (i 8)) (i 255))
+            +% idx8 "byte_tab" (band (shr (v "x") (i 16)) (i 255))
+            +% idx8 "byte_tab" (shr (v "x") (i 24)));
+        ];
+      func "bc_nibble" [ "x" ]
+        [
+          let_ "n" (i 0);
+          while_ (v "x" <>% i 0)
+            [
+              set "n" (v "n" +% idx8 "nib_tab" (band (v "x") (i 15)));
+              set "x" (shr (v "x") (i 4));
+            ];
+          ret (v "n");
+        ];
+      func "bc_swar" [ "x" ]
+        [
+          set "x" (v "x" -% band (shr (v "x") (i 1)) (i 0x55555555));
+          set "x"
+            (band (v "x") (i 0x33333333)
+            +% band (shr (v "x") (i 2)) (i 0x33333333));
+          set "x" (band (v "x" +% shr (v "x") (i 4)) (i 0x0F0F0F0F));
+          ret (shr (band (v "x" *% i 0x01010101) (i 0xFF000000)) (i 24));
+        ];
+      func "main" []
+        [
+          do_ "init_byte_tab" [];
+          let_ "seed" (i 0x12345);
+          let_ "s1" (i 0);
+          let_ "s2" (i 0);
+          let_ "s3" (i 0);
+          let_ "s4" (i 0);
+          let_ "s5" (i 0);
+          for_ "k" (i 0) (i iters)
+            [
+              set "seed" (v "seed" *% i 1103515245 +% i 12345);
+              set "s1" (v "s1" +% call "bc_sparse" [ v "seed" ]);
+              set "s2" (v "s2" +% call "bc_dense" [ v "seed" ]);
+              set "s3" (v "s3" +% call "bc_table" [ v "seed" ]);
+              set "s4" (v "s4" +% call "bc_nibble" [ v "seed" ]);
+              set "s5" (v "s5" +% call "bc_swar" [ v "seed" ]);
+            ];
+          print_int (v "s1");
+          print_int (v "s2" -% v "s1");
+          print_int (v "s3" -% v "s1");
+          print_int (v "s4" -% v "s1");
+          print_int (v "s5" -% v "s1");
+        ];
+    ]

@@ -1,0 +1,6 @@
+(** MiBench automotive/bitcount: one pseudo-random value stream counted
+    with five bit-counting algorithms (sparse, dense, byte table, nibble
+    table, SWAR), mirroring the original's rotating counter set. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

@@ -1,0 +1,189 @@
+(* MiBench security/blowfish: the full Blowfish cipher — 16-round Feistel
+   network, 18-word P-array, 4x256 S-boxes, and the real key schedule
+   (521 chained block encryptions to regenerate P and S from the key).
+
+   The P/S initialization constants are pseudo-random rather than the
+   digits of pi; the cipher's structure, schedule and data flow are
+   identical, and the decode benchmark verifies the encrypt/decrypt
+   round trip. *)
+
+open Pf_kir.Build
+
+let name_encode = "blowfish.encode"
+let name_decode = "blowfish.decode"
+
+let p_init = Gen.words ~seed:0xB10F15 18
+let s_init = Gen.words ~seed:0x5B0CE5 1024
+
+let common_globals ~n ~seed =
+  [
+    garray_init "bf_p" W32 p_init;
+    garray_init "bf_s" W32 s_init;
+    garray_init "key" W8 (Gen.bytes ~seed:0x6E4 16);
+    garray_init "buf" W32 (Gen.words ~seed n);
+    garray "bf_lr" W32 2;
+  ]
+
+let feistel =
+  func "bf_f" [ "x" ]
+    [
+      ret
+        (bxor
+            (idx32 "bf_s" (shr (v "x") (i 24))
+            +% idx32 "bf_s" (i 256 +% band (shr (v "x") (i 16)) (i 255)))
+            (idx32 "bf_s" (i 512 +% band (shr (v "x") (i 8)) (i 255)))
+        +% idx32 "bf_s" (i 768 +% band (v "x") (i 255)));
+    ]
+
+let encrypt_block =
+  func "bf_encrypt" []
+    [
+      let_ "l" (idx32 "bf_lr" (i 0));
+      let_ "r" (idx32 "bf_lr" (i 1));
+      for_ "round" (i 0) (i 16)
+        [
+          set "l" (bxor (v "l") (idx32 "bf_p" (v "round")));
+          set "r" (bxor (v "r") (call "bf_f" [ v "l" ]));
+          let_ "t" (v "l");
+          set "l" (v "r");
+          set "r" (v "t");
+        ];
+      (* undo the final swap, apply P16/P17 *)
+      let_ "t" (v "l");
+      set "l" (v "r");
+      set "r" (v "t");
+      set "r" (bxor (v "r") (idx32 "bf_p" (i 16)));
+      set "l" (bxor (v "l") (idx32 "bf_p" (i 17)));
+      setidx32 "bf_lr" (i 0) (v "l");
+      setidx32 "bf_lr" (i 1) (v "r");
+    ]
+
+let decrypt_block =
+  func "bf_decrypt" []
+    [
+      let_ "l" (idx32 "bf_lr" (i 0));
+      let_ "r" (idx32 "bf_lr" (i 1));
+      set "l" (bxor (v "l") (idx32 "bf_p" (i 17)));
+      set "r" (bxor (v "r") (idx32 "bf_p" (i 16)));
+      let_ "t" (v "l");
+      set "l" (v "r");
+      set "r" (v "t");
+      let_ "round" (i 15);
+      while_ (v "round" >=% i 0)
+        [
+          let_ "t2" (v "l");
+          set "l" (v "r");
+          set "r" (v "t2");
+          set "r" (bxor (v "r") (call "bf_f" [ v "l" ]));
+          set "l" (bxor (v "l") (idx32 "bf_p" (v "round")));
+          set "round" (v "round" -% i 1);
+        ];
+      setidx32 "bf_lr" (i 0) (v "l");
+      setidx32 "bf_lr" (i 1) (v "r");
+    ]
+
+let key_schedule =
+  func "bf_schedule" []
+    [
+      (* fold the key into P *)
+      let_ "kpos" (i 0);
+      for_ "k" (i 0) (i 18)
+        [
+          let_ "w" (i 0);
+          for_ "b" (i 0) (i 4)
+            [
+              set "w"
+                (bor (shl (v "w") (i 8))
+                   (idx8 "key" (urem (v "kpos") (i 16))));
+              set "kpos" (v "kpos" +% i 1);
+            ];
+          setidx32 "bf_p" (v "k") (bxor (idx32 "bf_p" (v "k")) (v "w"));
+        ];
+      (* regenerate P and S by chained encryption of the zero block *)
+      setidx32 "bf_lr" (i 0) (i 0);
+      setidx32 "bf_lr" (i 1) (i 0);
+      let_ "k" (i 0);
+      while_ (v "k" <% i 18)
+        [
+          do_ "bf_encrypt" [];
+          setidx32 "bf_p" (v "k") (idx32 "bf_lr" (i 0));
+          setidx32 "bf_p" (v "k" +% i 1) (idx32 "bf_lr" (i 1));
+          set "k" (v "k" +% i 2);
+        ];
+      set "k" (i 0);
+      while_ (v "k" <% i 1024)
+        [
+          do_ "bf_encrypt" [];
+          setidx32 "bf_s" (v "k") (idx32 "bf_lr" (i 0));
+          setidx32 "bf_s" (v "k" +% i 1) (idx32 "bf_lr" (i 1));
+          set "k" (v "k" +% i 2);
+        ];
+    ]
+
+let encrypt_buffer n =
+  [
+    let_ "blk" (i 0);
+    while_ (v "blk" <% i (n / 2))
+      [
+        setidx32 "bf_lr" (i 0) (idx32 "buf" (shl (v "blk") (i 1)));
+        setidx32 "bf_lr" (i 1) (idx32 "buf" (shl (v "blk") (i 1) +% i 1));
+        do_ "bf_encrypt" [];
+        setidx32 "buf" (shl (v "blk") (i 1)) (idx32 "bf_lr" (i 0));
+        setidx32 "buf" (shl (v "blk") (i 1) +% i 1) (idx32 "bf_lr" (i 1));
+        incr_ "blk";
+      ];
+  ]
+
+let checksum =
+  fun n ->
+  [
+    let_ "cks" (i 0);
+    for_ "k" (i 0) (i n)
+      [ set "cks" (bxor (v "cks" *% i 131) (idx32 "buf" (v "k"))) ];
+    print_int (v "cks");
+  ]
+
+let program_encode ~scale =
+  let n = 512 * scale in
+  (* words *)
+  program
+    (common_globals ~n ~seed:0xB1E)
+    [
+      feistel;
+      encrypt_block;
+      key_schedule;
+      func "main" []
+        ([ do_ "bf_schedule" [] ] @ encrypt_buffer n @ checksum n);
+    ]
+
+let program_decode ~scale =
+  let n = 512 * scale in
+  program
+    (common_globals ~n ~seed:0xB1D)
+    [
+      feistel;
+      encrypt_block;
+      decrypt_block;
+      key_schedule;
+      func "main" []
+        ([ do_ "bf_schedule" [] ] @ encrypt_buffer n
+        @ [
+            (* decrypt in place and verify the round trip *)
+            let_ "orig" (i 0);
+            let_ "blk" (i 0);
+            while_ (v "blk" <% i (n / 2))
+              [
+                setidx32 "bf_lr" (i 0) (idx32 "buf" (shl (v "blk") (i 1)));
+                setidx32 "bf_lr" (i 1)
+                  (idx32 "buf" (shl (v "blk") (i 1) +% i 1));
+                do_ "bf_decrypt" [];
+                setidx32 "buf" (shl (v "blk") (i 1)) (idx32 "bf_lr" (i 0));
+                setidx32 "buf"
+                  (shl (v "blk") (i 1) +% i 1)
+                  (idx32 "bf_lr" (i 1));
+                incr_ "blk";
+              ];
+            set "orig" (i 0);
+          ]
+        @ checksum n);
+    ]

@@ -1,0 +1,9 @@
+(** MiBench security/blowfish: the full 16-round Feistel cipher with the
+    real key schedule (521 chained block encryptions regenerate P and S).
+    P/S initialization constants are pseudo-random rather than digits of
+    pi; the decode benchmark verifies decrypt(encrypt(x)) = x. *)
+
+val name_encode : string
+val name_decode : string
+val program_encode : scale:int -> Pf_kir.Ast.program
+val program_decode : scale:int -> Pf_kir.Ast.program

@@ -1,0 +1,9 @@
+(** MiBench telecomm/CRC32: table-driven CRC-32 over a byte stream — the
+    program the paper itself uses to illustrate the synthesized
+    instruction formats (Figure 2). *)
+
+val name : string
+
+val program : scale:int -> Pf_kir.Ast.program
+(** Builds the CRC table at startup, then checksums [8192 * scale] bytes
+    in two passes; prints both CRCs and their xor. *)

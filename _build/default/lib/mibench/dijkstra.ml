@@ -1,0 +1,87 @@
+(* MiBench network/dijkstra: repeated single-source shortest paths over a
+   dense adjacency matrix, selecting the next node by linear scan exactly
+   as the original does (no priority queue). *)
+
+open Pf_kir.Build
+
+let name = "dijkstra"
+
+let nodes = 64
+let inf = 0x3FFFFFFF
+
+let adjacency ~seed =
+  let rng = Pf_util.Rng.create seed in
+  Array.init (nodes * nodes) (fun idx ->
+      let r = idx / nodes and c = idx mod nodes in
+      if r = c then 0
+      else if Pf_util.Rng.int rng 100 < 18 then 1 + Pf_util.Rng.int rng 99
+      else inf)
+
+let program ~scale =
+  let sources = 3 * scale in
+  program
+    [
+      garray_init "adj" W32 (adjacency ~seed:0xD1785);
+      garray "dist" W32 nodes;
+      garray "visited" W32 nodes;
+    ]
+    [
+      func "shortest" [ "src" ]
+        [
+          for_ "k" (i 0) (i nodes)
+            [
+              setidx32 "dist" (v "k") (i inf);
+              setidx32 "visited" (v "k") (i 0);
+            ];
+          setidx32 "dist" (v "src") (i 0);
+          for_ "round" (i 0) (i nodes)
+            [
+              (* pick the unvisited node with the smallest distance *)
+              let_ "best" (i (-1));
+              let_ "bestd" (i inf);
+              for_ "k" (i 0) (i nodes)
+                [
+                  when_
+                    (band
+                       (idx32 "visited" (v "k") =% i 0)
+                       (idx32 "dist" (v "k") <% v "bestd")
+                    <>% i 0)
+                    [
+                      set "best" (v "k");
+                      set "bestd" (idx32 "dist" (v "k"));
+                    ];
+                ];
+              when_ (v "best" <% i 0) [ break_ ];
+              setidx32 "visited" (v "best") (i 1);
+              let_ "row" (gaddr "adj" +% shl (v "best" *% i nodes) (i 2));
+              for_ "k" (i 0) (i nodes)
+                [
+                  let_ "w" (load32 (v "row" +% shl (v "k") (i 2)));
+                  when_ (v "w" <% i inf)
+                    [
+                      let_ "nd" (v "bestd" +% v "w");
+                      when_ (v "nd" <% idx32 "dist" (v "k"))
+                        [ setidx32 "dist" (v "k") (v "nd") ];
+                    ];
+                ];
+            ];
+          let_ "sum" (i 0);
+          for_ "k" (i 0) (i nodes)
+            [
+              when_ (idx32 "dist" (v "k") <% i inf)
+                [ set "sum" (v "sum" +% idx32 "dist" (v "k")) ];
+            ];
+          ret (v "sum");
+        ];
+      func "main" []
+        [
+          let_ "acc" (i 0);
+          for_ "s" (i 0) (i sources)
+            [
+              set "acc"
+                (v "acc"
+                +% call "shortest" [ urem (v "s" *% i 17) (i nodes) ]);
+            ];
+          print_int (v "acc");
+        ];
+    ]

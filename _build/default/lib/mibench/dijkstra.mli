@@ -1,0 +1,6 @@
+(** MiBench network/dijkstra: repeated single-source shortest paths over a
+    dense adjacency matrix with linear-scan node selection (no priority
+    queue), exactly like the original. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

@@ -1,0 +1,114 @@
+(* MiBench telecomm/fft: in-place radix-2 decimation-in-time FFT in Q14
+   fixed point with per-stage scaling (the standard integer-FFT guard
+   against overflow), over several audio frames. *)
+
+open Pf_kir.Build
+
+let name = "fft"
+
+let size = 256
+
+let program ~scale =
+  let frames = 3 * scale in
+  let input = Gen.samples16 ~seed:0xFF7 (size * frames) in
+  program
+    [
+      garray_init "input" W16 input;
+      garray "re" W32 size;
+      garray "im" W32 size;
+      garray_init "sine" W32 (Gen.sine_q14 size);
+    ]
+    [
+      (* bit reversal permutation *)
+      func "bitrev" []
+        [
+          let_ "j" (i 0);
+          for_ "k" (i 0) (i (size - 1))
+            [
+              when_ (v "k" <% v "j")
+                [
+                  let_ "tr" (idx32 "re" (v "k"));
+                  setidx32 "re" (v "k") (idx32 "re" (v "j"));
+                  setidx32 "re" (v "j") (v "tr");
+                  let_ "ti" (idx32 "im" (v "k"));
+                  setidx32 "im" (v "k") (idx32 "im" (v "j"));
+                  setidx32 "im" (v "j") (v "ti");
+                ];
+              let_ "m" (i (size / 2));
+              while_ (band (v "m" >=% i 1) (v "j" >=% v "m") <>% i 0)
+                [ set "j" (v "j" -% v "m"); set "m" (shr (v "m") (i 1)) ];
+              set "j" (v "j" +% v "m");
+            ];
+        ];
+      func "fft" []
+        [
+          do_ "bitrev" [];
+          let_ "span" (i 1);
+          let_ "stage" (i 0);
+          while_ (v "span" <% i size)
+            [
+              let_ "step" (shl (v "span") (i 1));
+              let_ "tstep" (i size /% v "step");
+              for_ "grp" (i 0) (v "span")
+                [
+                  let_ "angle" (v "grp" *% v "tstep");
+                  let_ "wr"
+                    (load32
+                       (gaddr "sine"
+                       +% shl
+                            (band (v "angle" +% i (size / 4)) (i (size - 1)))
+                            (i 2)));
+                  let_ "wi" (neg (idx32 "sine" (v "angle")));
+                  let_ "p" (v "grp");
+                  while_ (v "p" <% i size)
+                    [
+                      let_ "q" (v "p" +% v "span");
+                      let_ "xr" (idx32 "re" (v "q"));
+                      let_ "xi" (idx32 "im" (v "q"));
+                      let_ "tr"
+                        (sar (v "wr" *% v "xr" -% v "wi" *% v "xi") (i 14));
+                      let_ "ti"
+                        (sar (v "wr" *% v "xi" +% v "wi" *% v "xr") (i 14));
+                      let_ "ur" (idx32 "re" (v "p"));
+                      let_ "ui" (idx32 "im" (v "p"));
+                      (* scale each stage by 1/2 to stay within Q14 range *)
+                      setidx32 "re" (v "q") (sar (v "ur" -% v "tr") (i 1));
+                      setidx32 "im" (v "q") (sar (v "ui" -% v "ti") (i 1));
+                      setidx32 "re" (v "p") (sar (v "ur" +% v "tr") (i 1));
+                      setidx32 "im" (v "p") (sar (v "ui" +% v "ti") (i 1));
+                      set "p" (v "p" +% v "step");
+                    ];
+                ];
+              set "span" (v "step");
+              incr_ "stage";
+            ];
+        ];
+      func "main" []
+        [
+          let_ "acc" (i 0);
+          for_ "f" (i 0) (i frames)
+            [
+              for_ "k" (i 0) (i size)
+                [
+                  setidx32 "re" (v "k")
+                    (sar
+                       (load16s
+                          (gaddr "input"
+                          +% shl (v "f" *% i size +% v "k") (i 1)))
+                       (i 2));
+                  setidx32 "im" (v "k") (i 0);
+                ];
+              do_ "fft" [];
+              (* spectral energy checksum over the low bins *)
+              for_ "k" (i 0) (i (size / 4))
+                [
+                  let_ "r" (idx32 "re" (v "k"));
+                  let_ "m" (idx32 "im" (v "k"));
+                  set "acc"
+                    (bxor (v "acc" *% i 17)
+                       (v "r" *% v "r" +% v "m" *% v "m"));
+                ];
+            ];
+          print_int (v "acc");
+        ];
+    ]

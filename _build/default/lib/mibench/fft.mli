@@ -1,0 +1,5 @@
+(** MiBench telecomm/fft: radix-2 decimation-in-time FFT in Q14 fixed
+    point with per-stage scaling, over several audio frames. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

@@ -1,0 +1,99 @@
+open Pf_util
+
+let bytes ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int rng 256)
+
+let words ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int32u rng)
+
+let samples16 ~seed n =
+  let rng = Rng.create seed in
+  let f1 = 0.013 +. Rng.float rng 0.01 in
+  let f2 = 0.037 +. Rng.float rng 0.01 in
+  let f3 = 0.21 +. Rng.float rng 0.05 in
+  Array.init n (fun i ->
+      let t = float_of_int i in
+      let v =
+        (8000.0 *. sin (f1 *. t))
+        +. (3000.0 *. sin (f2 *. t))
+        +. (900.0 *. sin (f3 *. t))
+        +. float_of_int (Rng.int rng 201 - 100)
+      in
+      int_of_float v land 0xFFFF)
+
+let text ~seed n =
+  let rng = Rng.create seed in
+  let buf = Array.make n (Char.code ' ') in
+  let i = ref 0 in
+  while !i < n do
+    let word_len = 2 + Rng.int rng 9 in
+    (* bias letter choice so common substrings recur, like natural text *)
+    let base = Char.code 'a' + Rng.int rng 6 in
+    for _ = 1 to word_len do
+      if !i < n then begin
+        let c =
+          if Rng.int rng 3 = 0 then Char.code 'a' + Rng.int rng 26
+          else base + Rng.int rng 8
+        in
+        buf.(!i) <- min c (Char.code 'z');
+        incr i
+      end
+    done;
+    if !i < n then begin
+      buf.(!i) <- Char.code ' ';
+      incr i
+    end
+  done;
+  buf
+
+let image8 ~seed ~width ~height =
+  let rng = Rng.create seed in
+  let cx = float_of_int (Rng.int rng width) in
+  let cy = float_of_int (Rng.int rng height) in
+  let gx = Rng.float rng 2.0 in
+  let gy = Rng.float rng 2.0 in
+  Array.init (width * height) (fun idx ->
+      let x = float_of_int (idx mod width) in
+      let y = float_of_int (idx / width) in
+      let grad = (gx *. x) +. (gy *. y) in
+      let dx = x -. cx and dy = y -. cy in
+      let blob = 90.0 *. exp (-.((dx *. dx) +. (dy *. dy)) /. 200.0) in
+      let noise = float_of_int (Rng.int rng 11) -. 5.0 in
+      let v = 60.0 +. grad +. blob +. noise in
+      max 0 (min 255 (int_of_float v)))
+
+(* AES S-box: multiplicative inverse in GF(2^8) followed by the affine
+   transform. *)
+let gf_mul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 = 1 then acc lxor a else acc in
+      let a = if a land 0x80 <> 0 then (a lsl 1) lxor 0x11B else a lsl 1 in
+      go a (b lsr 1) acc
+  in
+  go a b 0
+
+let gf_inv a =
+  if a = 0 then 0
+  else
+    let rec search x = if gf_mul a x = 1 then x else search (x + 1) in
+    search 1
+
+let aes_sbox =
+  Array.init 256 (fun a ->
+      let x = gf_inv a in
+      let rot v n = ((v lsl n) lor (v lsr (8 - n))) land 0xFF in
+      x lxor rot x 1 lxor rot x 2 lxor rot x 3 lxor rot x 4 lxor 0x63)
+
+let aes_inv_sbox =
+  let inv = Array.make 256 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) aes_sbox;
+  inv
+
+let sine_q14 n =
+  Array.init n (fun i ->
+      let v = sin (2.0 *. Float.pi *. float_of_int i /. float_of_int n) in
+      int_of_float (Float.round (v *. 16384.0)) land 0xFFFF_FFFF)

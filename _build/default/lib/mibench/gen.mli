@@ -1,0 +1,31 @@
+(** Deterministic input and table generation for the benchmark suite.
+
+    All benchmark inputs are synthesized host-side with the seeded PRNG so
+    every run of every experiment sees identical data (MiBench ships fixed
+    input files; this is our equivalent). *)
+
+val bytes : seed:int -> int -> int array
+(** [n] uniform bytes (0..255). *)
+
+val words : seed:int -> int -> int array
+(** [n] uniform 32-bit values. *)
+
+val samples16 : seed:int -> int -> int array
+(** [n] smooth 16-bit signed audio-like samples (sum of a few detuned
+    sawtooth/triangle partials plus noise), as unsigned 16-bit words. *)
+
+val text : seed:int -> int -> int array
+(** [n] bytes of word-like lowercase text with spaces ('a'..'z', ' '). *)
+
+val image8 : seed:int -> width:int -> height:int -> int array
+(** Smooth grayscale image bytes (low-frequency gradients + blobs) —
+    realistic input for the image kernels. *)
+
+val aes_sbox : int array
+(** The real AES S-box (computed, not transcribed). *)
+
+val aes_inv_sbox : int array
+
+val sine_q14 : int -> int array
+(** [sine_q14 n] = first quarter-extended full sine table of length [n],
+    values in Q1.14 stored as signed-in-u32. *)

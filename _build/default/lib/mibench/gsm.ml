@@ -1,0 +1,325 @@
+(* MiBench telecomm/gsm: a GSM-06.10-flavoured LPC voice codec in fixed
+   point.  Encode runs the full RPE-LTP pipeline shape: preprocessing
+   (offset compensation + pre-emphasis), autocorrelation, Schur recursion
+   for reflection coefficients, log-area-ratio quantization, per-subframe
+   long-term-prediction lag search, and RPE grid selection + APCM
+   quantization.  Decode reverses the quantization and synthesis.  The
+   decode benchmark encodes first (it needs a bitstream), as the suite's
+   paired encode/decode programs do. *)
+
+open Pf_kir.Build
+
+let name_encode = "gsm.encode"
+let name_decode = "gsm.decode"
+
+let frame = 160
+let subframe = 40
+
+let common_globals ~frames ~seed =
+  let n = frame * (frames + 1) in
+  [
+    garray_init "pcm" W16 (Gen.samples16 ~seed n);
+    garray "x" W32 (frame * 2);      (* preprocessed, plus history *)
+    garray "acf" W32 9;
+    garray "refl" W32 8;
+    garray "lar" W32 8;
+    garray "pp" W32 9;               (* Schur workspace *)
+    garray "kk" W32 9;
+    garray "lags" W32 4;
+    garray "gains" W32 4;
+    garray "grid" W32 4;
+    garray "rpe" W32 (4 * 13);
+    garray "xmax" W32 4;
+    garray "hist" W32 frame;         (* LTP history (reconstructed) *)
+    garray "outsp" W32 frame;        (* decoded samples of the subframe set *)
+  ]
+
+let preprocess =
+  func "preprocess" [ "off" ]
+    [
+      let_ "prev" (i 0);
+      let_ "emph" (i 0);
+      for_ "k" (i 0) (i frame)
+        [
+          let_ "s" (load16s (gaddr "pcm" +% shl (v "off" +% v "k") (i 1)));
+          (* offset compensation: s - 0.999*prev accumulator *)
+          let_ "so" (v "s" -% sar (v "prev" *% i 32735) (i 15));
+          set "prev" (v "so");
+          (* pre-emphasis then scale to 10 bits to keep autocorr in range *)
+          let_ "e" (v "so" -% sar (v "emph" *% i 28180) (i 15));
+          set "emph" (v "so");
+          setidx32 "x" (v "k") (sar (v "e") (i 6));
+        ];
+    ]
+
+let autocorrelation =
+  func "autocorr" []
+    [
+      for_ "lag" (i 0) (i 9)
+        [
+          let_ "acc" (i 0);
+          for_ "k" (v "lag") (i frame)
+            [
+              set "acc"
+                (v "acc"
+                +% idx32 "x" (v "k") *% idx32 "x" (v "k" -% v "lag"));
+            ];
+          setidx32 "acf" (v "lag") (v "acc");
+        ];
+    ]
+
+(* Schur recursion: reflection coefficients in Q12 *)
+let schur =
+  func "schur" []
+    [
+      when_ (idx32 "acf" (i 0) =% i 0)
+        [
+          for_ "k" (i 0) (i 8) [ setidx32 "refl" (v "k") (i 0) ];
+          ret0;
+        ];
+      for_ "k" (i 0) (i 9)
+        [
+          setidx32 "pp" (v "k") (idx32 "acf" (v "k"));
+          setidx32 "kk" (v "k") (idx32 "acf" (v "k"));
+        ];
+      for_ "n" (i 0) (i 8)
+        [
+          let_ "den" (idx32 "pp" (i 0));
+          when_ (v "den" =% i 0)
+            [ setidx32 "refl" (v "n") (i 0); continue_ ];
+          let_ "num" (idx32 "kk" (i 1));
+          (* r = -num/den in Q12 *)
+          let_ "r" (neg (shl (v "num") (i 12)) /% v "den");
+          when_ (v "r" >% i 4095) [ set "r" (i 4095) ];
+          when_ (v "r" <% neg (i 4095)) [ set "r" (neg (i 4095)) ];
+          setidx32 "refl" (v "n") (v "r");
+          (* update recursions *)
+          for_ "m" (i 0) (i (8 - 1))
+            [
+              let_ "p0" (idx32 "pp" (v "m"));
+              let_ "k1" (idx32 "kk" (v "m" +% i 1));
+              setidx32 "pp" (v "m")
+                (v "p0" +% sar (v "k1" *% v "r") (i 12));
+              setidx32 "kk" (v "m" +% i 1)
+                (v "k1" +% sar (v "p0" *% v "r") (i 12));
+            ];
+        ];
+    ]
+
+(* log-area-ratio-flavoured companding of the reflection coefficients *)
+let lar_quantize =
+  func "lar_quant" []
+    [
+      for_ "k" (i 0) (i 8)
+        [
+          let_ "r" (idx32 "refl" (v "k"));
+          let_ "a" (v "r");
+          when_ (v "a" <% i 0) [ set "a" (neg (v "a")) ];
+          let_ "l" (i 0);
+          if_ (v "a" <% i 2731) [ set "l" (v "a") ]
+            [
+              if_ (v "a" <% i 3544)
+                [ set "l" (shl (v "a") (i 1) -% i 2731) ]
+                [ set "l" (shl (v "a") (i 2) -% i 9819) ];
+            ];
+          when_ (v "r" <% i 0) [ set "l" (neg (v "l")) ];
+          (* 6-bit code *)
+          setidx32 "lar" (v "k") (sar (v "l") (i 7));
+        ];
+    ]
+
+let ltp_search =
+  func "ltp" [ "sub" ]
+    [
+      let_ "base" (v "sub" *% i subframe);
+      let_ "best" (i 40);
+      let_ "bestc" (i 0);
+      let_ "lag" (i 40);
+      while_ (v "lag" <=% i 120)
+        [
+          let_ "acc" (i 0);
+          for_ "k" (i 0) (i subframe)
+            [
+              (* history index is in [40, 320): one conditional fold *)
+              let_ "hidx" (v "base" +% v "k" -% v "lag" +% i frame);
+              when_ (v "hidx" >=% i frame)
+                [ set "hidx" (v "hidx" -% i frame) ];
+              set "acc"
+                (v "acc"
+                +% idx32 "x" (v "base" +% v "k")
+                   *% idx32 "hist" (v "hidx"));
+            ];
+          when_ (v "acc" >% v "bestc")
+            [ set "bestc" (v "acc"); set "best" (v "lag") ];
+          set "lag" (v "lag" +% i 1);
+        ];
+      setidx32 "lags" (v "sub") (v "best");
+      (* 2-bit gain from the normalized peak *)
+      let_ "g" (i 0);
+      when_ (v "bestc" >% i 100000) [ set "g" (i 1) ];
+      when_ (v "bestc" >% i 400000) [ set "g" (i 2) ];
+      when_ (v "bestc" >% i 1600000) [ set "g" (i 3) ];
+      setidx32 "gains" (v "sub") (v "g");
+    ]
+
+let rpe_encode =
+  func "rpe_enc" [ "sub" ]
+    [
+      let_ "base" (v "sub" *% i subframe);
+      (* choose the decimation grid with the most energy *)
+      let_ "bestg" (i 0);
+      let_ "beste" (i 0);
+      for_ "g" (i 0) (i 3)
+        [
+          let_ "e" (i 0);
+          let_ "k" (v "g");
+          while_ (v "k" <% i subframe)
+            [
+              let_ "s" (idx32 "x" (v "base" +% v "k"));
+              set "e" (v "e" +% sar (v "s" *% v "s") (i 4));
+              set "k" (v "k" +% i 3);
+            ];
+          when_ (v "e" >% v "beste")
+            [ set "beste" (v "e"); set "bestg" (v "g") ];
+        ];
+      setidx32 "grid" (v "sub") (v "bestg");
+      (* block max *)
+      let_ "mx" (i 1);
+      let_ "k" (v "bestg");
+      while_ (v "k" <% i subframe)
+        [
+          let_ "a" (idx32 "x" (v "base" +% v "k"));
+          when_ (v "a" <% i 0) [ set "a" (neg (v "a")) ];
+          when_ (v "a" >% v "mx") [ set "mx" (v "a") ];
+          set "k" (v "k" +% i 3);
+        ];
+      setidx32 "xmax" (v "sub") (v "mx");
+      (* APCM: 3-bit quantization against the block max *)
+      let_ "j" (i 0);
+      set "k" (v "bestg");
+      while_ (v "k" <% i subframe)
+        [
+          let_ "s" (idx32 "x" (v "base" +% v "k"));
+          let_ "q" (shl (v "s") (i 2) /% v "mx");
+          when_ (v "q" >% i 3) [ set "q" (i 3) ];
+          when_ (v "q" <% neg (i 4)) [ set "q" (neg (i 4)) ];
+          setidx32 "rpe" (v "sub" *% i 13 +% v "j") (band (v "q") (i 7));
+          set "j" (v "j" +% i 1);
+          set "k" (v "k" +% i 3);
+        ];
+    ]
+
+let frame_encode =
+  func "encode_frame" [ "off" ]
+    [
+      do_ "preprocess" [ v "off" ];
+      do_ "autocorr" [];
+      do_ "schur" [];
+      do_ "lar_quant" [];
+      for_ "sub" (i 0) (i 4)
+        [ do_ "ltp" [ v "sub" ]; do_ "rpe_enc" [ v "sub" ] ];
+      (* update LTP history with the (roughly reconstructed) excitation *)
+      for_ "k" (i 0) (i frame) [ setidx32 "hist" (v "k") (idx32 "x" (v "k")) ];
+      (* frame checksum over all coded parameters *)
+      let_ "cks" (i 0);
+      for_ "k" (i 0) (i 8)
+        [ set "cks" (bxor (v "cks" *% i 31) (idx32 "lar" (v "k"))) ];
+      for_ "s" (i 0) (i 4)
+        [
+          set "cks" (bxor (v "cks" *% i 31) (idx32 "lags" (v "s")));
+          set "cks" (bxor (v "cks" *% i 31) (idx32 "gains" (v "s")));
+          set "cks" (bxor (v "cks" *% i 31) (idx32 "grid" (v "s")));
+          for_ "j" (i 0) (i 13)
+            [
+              set "cks"
+                (bxor (v "cks" *% i 31) (idx32 "rpe" (v "s" *% i 13 +% v "j")));
+            ];
+        ];
+      ret (v "cks");
+    ]
+
+let frame_decode =
+  func "decode_frame" []
+    [
+      (* inverse APCM + grid placement + LTP contribution + de-emphasis *)
+      let_ "emph" (i 0);
+      for_ "k" (i 0) (i frame) [ setidx32 "outsp" (v "k") (i 0) ];
+      for_ "sub" (i 0) (i 4)
+        [
+          let_ "base" (v "sub" *% i subframe);
+          let_ "g" (idx32 "grid" (v "sub"));
+          let_ "mx" (idx32 "xmax" (v "sub"));
+          let_ "j" (i 0);
+          let_ "k" (v "g");
+          while_ (v "k" <% i subframe)
+            [
+              let_ "q" (idx32 "rpe" (v "sub" *% i 13 +% v "j"));
+              (* sign-extend the 3-bit code *)
+              when_ (v "q" >% i 3) [ set "q" (v "q" -% i 8) ];
+              setidx32 "outsp" (v "base" +% v "k")
+                (sar (v "q" *% v "mx") (i 2));
+              set "j" (v "j" +% i 1);
+              set "k" (v "k" +% i 3);
+            ];
+          (* add scaled LTP history at the coded lag *)
+          let_ "lag" (idx32 "lags" (v "sub"));
+          let_ "gain" (idx32 "gains" (v "sub"));
+          for_ "k2" (i 0) (i subframe)
+            [
+              let_ "hidx" (v "base" +% v "k2" -% v "lag" +% i frame);
+              when_ (v "hidx" >=% i frame)
+                [ set "hidx" (v "hidx" -% i frame) ];
+              setidx32 "outsp" (v "base" +% v "k2")
+                (idx32 "outsp" (v "base" +% v "k2")
+                +% sar (idx32 "hist" (v "hidx") *% v "gain") (i 2));
+            ];
+        ];
+      (* de-emphasis *)
+      let_ "cks" (i 0);
+      for_ "k" (i 0) (i frame)
+        [
+          let_ "s" (idx32 "outsp" (v "k") +% sar (v "emph" *% i 28180) (i 15));
+          set "emph" (v "s");
+          set "cks" (bxor (v "cks" *% i 33) (band (v "s") (i 0xFFFF)));
+        ];
+      ret (v "cks");
+    ]
+
+let program_encode ~scale =
+  let frames = 4 * scale in
+  program
+    (common_globals ~frames ~seed:0x65E)
+    [
+      preprocess; autocorrelation; schur; lar_quantize; ltp_search;
+      rpe_encode; frame_encode;
+      func "main" []
+        [
+          let_ "acc" (i 0);
+          for_ "f" (i 0) (i frames)
+            [
+              set "acc"
+                (bxor (v "acc" *% i 7)
+                   (call "encode_frame" [ v "f" *% i frame ]));
+            ];
+          print_int (v "acc");
+        ];
+    ]
+
+let program_decode ~scale =
+  let frames = 4 * scale in
+  program
+    (common_globals ~frames ~seed:0x65D)
+    [
+      preprocess; autocorrelation; schur; lar_quantize; ltp_search;
+      rpe_encode; frame_encode; frame_decode;
+      func "main" []
+        [
+          let_ "acc" (i 0);
+          for_ "f" (i 0) (i frames)
+            [
+              do_ "encode_frame" [ v "f" *% i frame ];
+              set "acc" (bxor (v "acc" *% i 7) (call "decode_frame" []));
+            ];
+          print_int (v "acc");
+        ];
+    ]

@@ -1,0 +1,9 @@
+(** MiBench telecomm/gsm: a GSM-06.10-flavoured RPE-LTP voice codec in
+    fixed point (preprocessing, autocorrelation, Schur recursion, LAR
+    quantization, LTP lag search, RPE grid selection + APCM).  The paper's
+    power study keeps only the decoder, renamed "gsm". *)
+
+val name_encode : string
+val name_decode : string
+val program_encode : scale:int -> Pf_kir.Ast.program
+val program_decode : scale:int -> Pf_kir.Ast.program

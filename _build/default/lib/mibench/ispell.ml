@@ -1,0 +1,164 @@
+(* MiBench office/ispell: dictionary spell check — a chained hash table of
+   words, lookups over a text with simple suffix stripping ("-s", "-ed",
+   "-ing") for near-miss acceptance, as the real ispell's affix logic
+   does in miniature. *)
+
+open Pf_kir.Build
+
+let name = "ispell"
+
+let dict_words = 600
+let buckets = 256
+let word_bytes = 12    (* fixed slot: length byte + up to 11 chars *)
+
+let build_dictionary ~seed =
+  (* draw words from the same text distribution the check text uses *)
+  let text = Gen.text ~seed (dict_words * 16) in
+  let words = ref [] in
+  let cur = Buffer.create 12 in
+  Array.iter
+    (fun c ->
+      if c = Char.code ' ' then begin
+        if Buffer.length cur >= 2 && List.length !words < dict_words then
+          words := Buffer.contents cur :: !words;
+        Buffer.clear cur
+      end
+      else if Buffer.length cur < 11 then Buffer.add_char cur (Char.chr c))
+    text;
+  List.rev !words
+
+let program ~scale =
+  let text_len = 8192 * scale in
+  let dict = build_dictionary ~seed:0x15BE11 in
+  let slots = Array.make (dict_words * word_bytes) 0 in
+  List.iteri
+    (fun idx w ->
+      let base = idx * word_bytes in
+      slots.(base) <- String.length w;
+      String.iteri (fun j c -> slots.(base + 1 + j) <- Char.code c) w)
+    dict;
+  program
+    [
+      garray_init "slots" W8 slots;
+      garray "heads" W32 buckets;       (* bucket -> slot index + 1 *)
+      garray "next" W32 dict_words;     (* chain links, slot index + 1 *)
+      garray_init "text" W8 (Gen.text ~seed:0x7E57 text_len);
+      garray "word" W8 16;
+    ]
+    [
+      func "hash" [ "ptr"; "len" ]
+        [
+          let_ "h" (i 5381);
+          for_ "k" (i 0) (v "len")
+            [
+              set "h"
+                (bxor (v "h" *% i 33) (load8u (v "ptr" +% v "k")));
+            ];
+          ret (band (v "h") (i (buckets - 1)));
+        ];
+      func "dict_insert" [ "slot" ]
+        [
+          let_ "base" (gaddr "slots" +% v "slot" *% i word_bytes);
+          let_ "h" (call "hash" [ v "base" +% i 1; load8u (v "base") ]);
+          setidx32 "next" (v "slot") (idx32 "heads" (v "h"));
+          setidx32 "heads" (v "h") (v "slot" +% i 1);
+        ];
+      func "dict_lookup" [ "ptr"; "len" ]
+        [
+          when_ (bor (v "len" <% i 1) (v "len" >% i 11) <>% i 0)
+            [ ret (i 0) ];
+          let_ "h" (call "hash" [ v "ptr"; v "len" ]);
+          let_ "cur" (idx32 "heads" (v "h"));
+          while_ (v "cur" <>% i 0)
+            [
+              let_ "slot" (v "cur" -% i 1);
+              let_ "base" (gaddr "slots" +% v "slot" *% i word_bytes);
+              when_ (load8u (v "base") =% v "len")
+                [
+                  let_ "k" (i 0);
+                  while_ (v "k" <% v "len")
+                    [
+                      when_
+                        (load8u (v "base" +% i 1 +% v "k")
+                        <>% load8u (v "ptr" +% v "k"))
+                        [ break_ ];
+                      incr_ "k";
+                    ];
+                  when_ (v "k" =% v "len") [ ret (i 1) ];
+                ];
+              set "cur" (idx32 "next" (v "slot"));
+            ];
+          ret (i 0);
+        ];
+      (* accept word, word-s, word-ed, word-ing *)
+      func "check_word" [ "ptr"; "len" ]
+        [
+          when_ (call "dict_lookup" [ v "ptr"; v "len" ] <>% i 0)
+            [ ret (i 1) ];
+          when_
+            (band (v "len" >% i 2)
+               (load8u (v "ptr" +% v "len" -% i 1) =% i (Char.code 's'))
+            <>% i 0)
+            [
+              when_ (call "dict_lookup" [ v "ptr"; v "len" -% i 1 ] <>% i 0)
+                [ ret (i 1) ];
+            ];
+          when_
+            (band (v "len" >% i 3)
+               (band
+                  (load8u (v "ptr" +% v "len" -% i 2) =% i (Char.code 'e'))
+                  (load8u (v "ptr" +% v "len" -% i 1) =% i (Char.code 'd')))
+            <>% i 0)
+            [
+              when_ (call "dict_lookup" [ v "ptr"; v "len" -% i 2 ] <>% i 0)
+                [ ret (i 1) ];
+            ];
+          when_ (v "len" >% i 4)
+            [
+              when_
+                (band
+                   (load8u (v "ptr" +% v "len" -% i 3) =% i (Char.code 'i'))
+                   (band
+                      (load8u (v "ptr" +% v "len" -% i 2)
+                      =% i (Char.code 'n'))
+                      (load8u (v "ptr" +% v "len" -% i 1)
+                      =% i (Char.code 'g')))
+                <>% i 0)
+                [
+                  when_
+                    (call "dict_lookup" [ v "ptr"; v "len" -% i 3 ] <>% i 0)
+                    [ ret (i 1) ];
+                ];
+            ];
+          ret (i 0);
+        ];
+      func "main" []
+        [
+          for_ "s" (i 0) (i dict_words) [ do_ "dict_insert" [ v "s" ] ];
+          let_ "good" (i 0);
+          let_ "bad" (i 0);
+          let_ "p" (gaddr "text");
+          let_ "endp" (gaddr "text" +% i text_len);
+          while_ (ult (v "p") (v "endp"))
+            [
+              (* skip separators *)
+              while_
+                (band (ult (v "p") (v "endp"))
+                   (load8u (v "p") =% i (Char.code ' '))
+                <>% i 0)
+                [ set "p" (v "p" +% i 1) ];
+              when_ (uge (v "p") (v "endp")) [ break_ ];
+              let_ "start" (v "p");
+              while_
+                (band (ult (v "p") (v "endp"))
+                   (load8u (v "p") <>% i (Char.code ' '))
+                <>% i 0)
+                [ set "p" (v "p" +% i 1) ];
+              if_ (call "check_word" [ v "start"; v "p" -% v "start" ] <>% i 0)
+                [ incr_ "good" ]
+                [ incr_ "bad" ];
+            ];
+          print_int (v "good");
+          print_int (v "bad");
+        ];
+    ]

@@ -1,0 +1,5 @@
+(** MiBench office/ispell: chained-hash dictionary spell check with
+    miniature affix stripping ("-s", "-ed", "-ing"). *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

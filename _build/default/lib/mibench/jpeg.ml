@@ -1,0 +1,256 @@
+(* MiBench consumer/jpeg (encoder core): per-8x8-block level shift, 2-D
+   integer DCT (Q13 cosine table), reciprocal-multiply quantization,
+   zigzag reordering, and run-length + category bit packing into an
+   output stream — the compute pipeline of cjpeg's inner loop. *)
+
+open Pf_kir.Build
+
+let name = "jpeg"
+
+let width = 64
+let height = 64
+
+(* C[u*8+x] = c(u)/2 * cos((2x+1) u pi / 16) in Q13 *)
+let dct_table =
+  Array.init 64 (fun idx ->
+      let u = idx / 8 and x = idx mod 8 in
+      let cu = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+      let v =
+        0.5 *. cu
+        *. cos ((2.0 *. float_of_int x +. 1.0) *. float_of_int u *. Float.pi /. 16.0)
+      in
+      int_of_float (Float.round (v *. 8192.0)) land 0xFFFFFFFF)
+
+let quant_table =
+  [|
+    16; 11; 10; 16; 24; 40; 51; 61;
+    12; 12; 14; 19; 26; 58; 60; 55;
+    14; 13; 16; 24; 40; 57; 69; 56;
+    14; 17; 22; 29; 51; 87; 80; 62;
+    18; 22; 37; 56; 68; 109; 103; 77;
+    24; 35; 55; 64; 81; 104; 113; 92;
+    49; 64; 78; 87; 103; 121; 120; 101;
+    72; 92; 95; 98; 112; 100; 103; 99;
+  |]
+
+let recip_table = Array.map (fun q -> (1 lsl 16) / q) quant_table
+
+let zigzag =
+  [|
+    0; 1; 8; 16; 9; 2; 3; 10; 17; 24; 32; 25; 18; 11; 4; 5;
+    12; 19; 26; 33; 40; 48; 41; 34; 27; 20; 13; 6; 7; 14; 21; 28;
+    35; 42; 49; 56; 57; 50; 43; 36; 29; 22; 15; 23; 30; 37; 44; 51;
+    58; 59; 52; 45; 38; 31; 39; 46; 53; 60; 61; 54; 47; 55; 62; 63;
+  |]
+
+let program ~scale =
+  let images = scale in
+  program
+    [
+      garray_init "img" W8 (Gen.image8 ~seed:0x91E6 ~width ~height);
+      garray "blk" W32 64;      (* current block, level-shifted *)
+      garray "tmp" W32 64;      (* DCT intermediate *)
+      garray "coef" W32 64;     (* quantized, zigzagged *)
+      garray_init "dctc" W32 dct_table;
+      garray_init "recip" W32 recip_table;
+      garray_init "qtab" W32 quant_table;
+      garray_init "zig" W32 zigzag;
+      garray "out" W8 16384;
+      garray "bits" W32 3;      (* bitbuf, bitcnt, outpos *)
+    ]
+    [
+      (* append [n] low bits of [val] to the output stream *)
+      func "put_bits" [ "value"; "n" ]
+        [
+          let_ "buf"
+            (bor
+               (shl (idx32 "bits" (i 0)) (v "n"))
+               (band (v "value") (shl (i 1) (v "n") -% i 1)));
+          let_ "cnt" (idx32 "bits" (i 1) +% v "n");
+          while_ (v "cnt" >=% i 8)
+            [
+              set "cnt" (v "cnt" -% i 8);
+              let_ "pos" (idx32 "bits" (i 2));
+              setidx8 "out" (v "pos")
+                (band (shr (v "buf") (v "cnt")) (i 255));
+              setidx32 "bits" (i 2) (v "pos" +% i 1);
+            ];
+          setidx32 "bits" (i 0)
+            (band (v "buf") (shl (i 1) (v "cnt") -% i 1));
+          setidx32 "bits" (i 1) (v "cnt");
+        ];
+      (* 1-D DCT of 8 values: src/dst strides allow row and column passes *)
+      func "dct8" [ "src"; "dst"; "sstep"; "dstep" ]
+        [
+          for_ "u" (i 0) (i 8)
+            [
+              let_ "acc" (i 0);
+              for_ "x" (i 0) (i 8)
+                [
+                  set "acc"
+                    (v "acc"
+                    +% load32 (v "src" +% v "x" *% v "sstep")
+                       *% idx32 "dctc" (shl (v "u") (i 3) +% v "x"));
+                ];
+              store32 (v "dst" +% v "u" *% v "dstep") (sar (v "acc") (i 13));
+            ];
+        ];
+      func "encode_block" [ "bx"; "by" ]
+        [
+          (* load and level-shift *)
+          for_ "y" (i 0) (i 8)
+            [
+              for_ "x" (i 0) (i 8)
+                [
+                  setidx32 "blk"
+                    (shl (v "y") (i 3) +% v "x")
+                    (idx8 "img"
+                       ((v "by" *% i 8 +% v "y") *% i width
+                       +% v "bx" *% i 8 +% v "x")
+                    -% i 128);
+                ];
+            ];
+          (* rows then columns *)
+          for_ "r" (i 0) (i 8)
+            [
+              do_ "dct8"
+                [
+                  gaddr "blk" +% shl (v "r") (i 5); gaddr "tmp" +% shl (v "r") (i 5);
+                  i 4; i 4;
+                ];
+            ];
+          for_ "c" (i 0) (i 8)
+            [
+              do_ "dct8"
+                [
+                  gaddr "tmp" +% shl (v "c") (i 2); gaddr "blk" +% shl (v "c") (i 2);
+                  i 32; i 32;
+                ];
+            ];
+          (* quantize (reciprocal multiply) into zigzag order *)
+          for_ "k" (i 0) (i 64)
+            [
+              let_ "src" (idx32 "zig" (v "k"));
+              let_ "cf" (idx32 "blk" (v "src"));
+              let_ "neg" (i 0);
+              when_ (v "cf" <% i 0) [ set "neg" (i 1); set "cf" (neg (v "cf")) ];
+              let_ "q" (shr (v "cf" *% idx32 "recip" (v "src")) (i 16));
+              when_ (v "neg" <>% i 0) [ set "q" (neg (v "q")) ];
+              setidx32 "coef" (v "k") (v "q");
+            ];
+          (* run-length + category coding *)
+          let_ "run" (i 0);
+          for_ "k" (i 0) (i 64)
+            [
+              let_ "q" (idx32 "coef" (v "k"));
+              if_ (v "q" =% i 0) [ incr_ "run" ]
+                [
+                  while_ (v "run" >% i 15)
+                    [
+                      do_ "put_bits" [ i 0xF0; i 8 ];
+                      set "run" (v "run" -% i 16);
+                    ];
+                  let_ "a" (v "q");
+                  when_ (v "a" <% i 0) [ set "a" (neg (v "a")) ];
+                  let_ "cat" (i 0);
+                  let_ "m" (v "a");
+                  while_ (v "m" <>% i 0)
+                    [ incr_ "cat"; set "m" (shr (v "m") (i 1)) ];
+                  do_ "put_bits"
+                    [ bor (shl (v "run") (i 4)) (v "cat"); i 8 ];
+                  (* one's-complement negative convention, like JPEG *)
+                  when_ (v "q" <% i 0) [ set "a" (bnot (v "a")) ];
+                  do_ "put_bits" [ v "a"; v "cat" ];
+                  set "run" (i 0);
+                ];
+            ];
+          do_ "put_bits" [ i 0; i 8 ];  (* end-of-block *)
+        ];
+      (* dequantize + inverse DCT: the encoder's distortion feedback loop *)
+      func "idct8" [ "src"; "dst"; "sstep"; "dstep" ]
+        [
+          for_ "x" (i 0) (i 8)
+            [
+              let_ "acc" (i 0);
+              for_ "u" (i 0) (i 8)
+                [
+                  set "acc"
+                    (v "acc"
+                    +% load32 (v "src" +% v "u" *% v "sstep")
+                       *% idx32 "dctc" (shl (v "u") (i 3) +% v "x"));
+                ];
+              store32 (v "dst" +% v "x" *% v "dstep") (sar (v "acc") (i 12));
+            ];
+        ];
+      func "reconstruct_error" [ "bx"; "by" ]
+        [
+          (* dequantize back out of zigzag order *)
+          for_ "k" (i 0) (i 64)
+            [
+              let_ "dstq" (idx32 "zig" (v "k"));
+              setidx32 "tmp" (v "dstq")
+                (idx32 "coef" (v "k") *% idx32 "qtab" (v "dstq"));
+            ];
+          for_ "r" (i 0) (i 8)
+            [
+              do_ "idct8"
+                [
+                  gaddr "tmp" +% shl (v "r") (i 2); gaddr "blk" +% shl (v "r") (i 2);
+                  i 32; i 32;
+                ];
+            ];
+          for_ "c" (i 0) (i 8)
+            [
+              do_ "idct8"
+                [
+                  gaddr "blk" +% shl (v "c") (i 5); gaddr "tmp" +% shl (v "c") (i 5);
+                  i 4; i 4;
+                ];
+            ];
+          (* squared error against the source block *)
+          let_ "err" (i 0);
+          for_ "y" (i 0) (i 8)
+            [
+              for_ "x" (i 0) (i 8)
+                [
+                  let_ "orig"
+                    (idx8 "img"
+                       ((v "by" *% i 8 +% v "y") *% i width
+                       +% v "bx" *% i 8 +% v "x")
+                    -% i 128);
+                  let_ "rec"
+                    (sar (idx32 "tmp" (shl (v "y") (i 3) +% v "x")) (i 2));
+                  let_ "d" (v "orig" -% v "rec");
+                  set "err" (v "err" +% v "d" *% v "d");
+                ];
+            ];
+          ret (v "err");
+        ];
+      func "main" []
+        [
+          for_ "pass" (i 0) (i images)
+            [
+              setidx32 "bits" (i 0) (i 0);
+              setidx32 "bits" (i 1) (i 0);
+              setidx32 "bits" (i 2) (i 0);
+              let_ "sse" (i 0);
+              for_ "by" (i 0) (i (height / 8))
+                [
+                  for_ "bx" (i 0) (i (width / 8))
+                    [
+                      do_ "encode_block" [ v "bx"; v "by" ];
+                      set "sse"
+                        (v "sse"
+                        +% call "reconstruct_error" [ v "bx"; v "by" ]);
+                    ];
+                ];
+              print_int (udiv (v "sse") (i (width * height)));
+              let_ "bytes" (idx32 "bits" (i 2));
+              print_int (v "bytes");
+              let_ "cks" (i 0);
+              for_ "k" (i 0) (v "bytes")
+                [ set "cks" (bxor (v "cks" *% i 31) (idx8 "out" (v "k"))) ];
+              print_int (v "cks");
+            ];
+        ];
+    ]

@@ -1,0 +1,9 @@
+(** MiBench consumer/jpeg (encoder core): per-8x8-block level shift, 2-D
+    integer DCT (Q13), reciprocal-multiply quantization, zigzag + RLE +
+    category bit packing, plus the dequantize/inverse-DCT distortion
+    loop.  The largest I-footprint in the suite — the benchmark whose
+    working set exceeds an 8 KB cache in ARM form but not in FITS form
+    (the Figure 13 crossover). *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

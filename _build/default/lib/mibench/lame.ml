@@ -1,0 +1,207 @@
+(* MiBench consumer/lame (encoder core): the MP3 front end in fixed point —
+   512-tap windowing, 32-subband analysis matrixing (Q14 cosine bank),
+   per-band scalefactor extraction and bit allocation by relative band
+   energy, then quantization of the subband samples to the allocated
+   widths with a final bit count. *)
+
+open Pf_kir.Build
+
+let name = "lame"
+
+let taps = 512
+let bands = 32
+
+(* analysis window: sine window tapered (Q14) *)
+let window_q14 =
+  Array.init taps (fun k ->
+      let x = (float_of_int k +. 0.5) /. float_of_int taps in
+      let w = sin (Float.pi *. x) *. 0.9 in
+      int_of_float (Float.round (w *. 16384.0)) land 0xFFFFFFFF)
+
+(* matrixing bank: M[b][j] = cos((2b+1)(j-16) pi / 64), Q14, 32x64 *)
+let bank_q14 =
+  Array.init (bands * 64) (fun idx ->
+      let b = idx / 64 and j = idx mod 64 in
+      let v =
+        cos
+          (float_of_int ((2 * b) + 1)
+          *. float_of_int (j - 16)
+          *. Float.pi /. 64.0)
+      in
+      int_of_float (Float.round (v *. 16384.0)) land 0xFFFFFFFF)
+
+let program ~scale =
+  let granules = 8 * scale in
+  let nsamples = taps + (32 * granules) in
+  program
+    [
+      garray_init "pcm" W16 (Gen.samples16 ~seed:0x1A3E nsamples);
+      garray_init "win" W32 window_q14;
+      garray_init "bank" W32 bank_q14;
+      garray "z" W32 taps;
+      garray "y" W32 64;
+      garray "sb" W32 bands;        (* subband samples of this granule *)
+      garray "energy" W32 bands;
+      garray "alloc" W32 bands;
+    ]
+    [
+      (* one granule of polyphase analysis at sample offset [off] *)
+      func "analyze" [ "off" ]
+        [
+          for_ "k" (i 0) (i taps)
+            [
+              let_ "x"
+                (load16s (gaddr "pcm" +% shl (v "off" +% v "k") (i 1)));
+              setidx32 "z" (v "k")
+                (sar (v "x" *% idx32 "win" (v "k")) (i 14));
+            ];
+          for_ "j" (i 0) (i 64)
+            [
+              let_ "acc" (i 0);
+              let_ "m" (i 0);
+              while_ (v "m" <% i 8)
+                [
+                  set "acc"
+                    (v "acc" +% idx32 "z" (v "j" +% shl (v "m") (i 6)));
+                  incr_ "m";
+                ];
+              setidx32 "y" (v "j") (sar (v "acc") (i 3));
+            ];
+          for_ "b" (i 0) (i bands)
+            [
+              let_ "acc" (i 0);
+              for_ "j" (i 0) (i 64)
+                [
+                  set "acc"
+                    (v "acc"
+                    +% sar
+                         (idx32 "y" (v "j")
+                         *% idx32 "bank" (shl (v "b") (i 6) +% v "j"))
+                         (i 14));
+                ];
+              setidx32 "sb" (v "b") (v "acc");
+            ];
+        ];
+      (* scalefactor: position of the highest magnitude bit per band *)
+      func "scalefactors" []
+        [
+          for_ "b" (i 0) (i bands)
+            [
+              let_ "a" (idx32 "sb" (v "b"));
+              when_ (v "a" <% i 0) [ set "a" (neg (v "a")) ];
+              let_ "sf" (i 0);
+              while_ (v "a" <>% i 0)
+                [ incr_ "sf"; set "a" (shr (v "a") (i 1)) ];
+              setidx32 "energy" (v "b")
+                (idx32 "energy" (v "b") +% v "sf");
+            ];
+        ];
+      (* crude psychoacoustic stand-in: bits by energy above the mean *)
+      func "allocate" []
+        [
+          let_ "mean" (i 0);
+          for_ "b" (i 0) (i bands)
+            [ set "mean" (v "mean" +% idx32 "energy" (v "b")) ];
+          set "mean" (v "mean" /% i bands);
+          for_ "b" (i 0) (i bands)
+            [
+              let_ "d" (idx32 "energy" (v "b") -% v "mean");
+              let_ "bits" (i 4 +% sar (v "d") (i 2));
+              when_ (v "bits" <% i 0) [ set "bits" (i 0) ];
+              when_ (v "bits" >% i 12) [ set "bits" (i 12) ];
+              setidx32 "alloc" (v "b") (v "bits");
+            ];
+        ];
+      func "quantize" []
+        [
+          let_ "total" (i 0);
+          let_ "cks" (i 0);
+          for_ "b" (i 0) (i bands)
+            [
+              let_ "bits" (idx32 "alloc" (v "b"));
+              when_ (v "bits" >% i 0)
+                [
+                  let_ "s" (idx32 "sb" (v "b"));
+                  let_ "q" (sar (v "s") (i 16 -% v "bits"));
+                  set "cks" (bxor (v "cks" *% i 33) (v "q"));
+                  set "total" (v "total" +% v "bits");
+                ];
+            ];
+          setidx32 "energy" (i 0)
+            (bxor (idx32 "energy" (i 0)) (band (v "cks") (i 0xFF)));
+          ret (v "total");
+        ];
+      (* short-block path: three half-length transforms with attack
+         detection, as the encoder's window switching does *)
+      func "analyze_short" [ "off" ]
+        [
+          for_ "w" (i 0) (i 3)
+            [
+              for_ "k" (i 0) (i (taps / 4))
+                [
+                  let_ "x"
+                    (load16s
+                       (gaddr "pcm"
+                       +% shl (v "off" +% shl (v "w") (i 4) +% v "k") (i 1)));
+                  setidx32 "z" (v "k")
+                    (sar (v "x" *% idx32 "win" (shl (v "k") (i 2))) (i 14));
+                ];
+              for_ "b" (i 0) (i bands)
+                [
+                  let_ "acc" (i 0);
+                  let_ "j" (i 0);
+                  while_ (v "j" <% i 16)
+                    [
+                      set "acc"
+                        (v "acc"
+                        +% sar
+                             (idx32 "z" (shl (v "j") (i 3))
+                             *% idx32 "bank" (shl (v "b") (i 6) +% v "j"))
+                             (i 14));
+                      incr_ "j";
+                    ];
+                  setidx32 "sb" (v "b")
+                    (bxor (idx32 "sb" (v "b")) (v "acc"));
+                ];
+            ];
+        ];
+      (* attack detector: energy ratio between granule halves *)
+      func "is_attack" [ "off" ]
+        [
+          let_ "e1" (i 0);
+          let_ "e2" (i 0);
+          for_ "k" (i 0) (i 16)
+            [
+              let_ "a" (load16s (gaddr "pcm" +% shl (v "off" +% v "k") (i 1)));
+              set "e1" (v "e1" +% sar (v "a" *% v "a") (i 6));
+              let_ "b2"
+                (load16s
+                   (gaddr "pcm" +% shl (v "off" +% i 16 +% v "k") (i 1)));
+              set "e2" (v "e2" +% sar (v "b2" *% v "b2") (i 6));
+            ];
+          ret (v "e2" >% v "e1" *% i 4);
+        ];
+      func "main" []
+        [
+          let_ "bits_used" (i 0);
+          let_ "shorts" (i 0);
+          for_ "g" (i 0) (i granules)
+            [
+              do_ "analyze" [ shl (v "g") (i 5) ];
+              when_ (call "is_attack" [ shl (v "g") (i 5) ] <>% i 0)
+                [
+                  do_ "analyze_short" [ shl (v "g") (i 5) ];
+                  incr_ "shorts";
+                ];
+              do_ "scalefactors" [];
+              do_ "allocate" [];
+              set "bits_used" (v "bits_used" +% call "quantize" []);
+            ];
+          print_int (v "shorts");
+          print_int (v "bits_used");
+          let_ "e" (i 0);
+          for_ "b" (i 0) (i bands)
+            [ set "e" (bxor (v "e" *% i 17) (idx32 "energy" (v "b"))) ];
+          print_int (v "e");
+        ];
+    ]

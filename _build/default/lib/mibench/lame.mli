@@ -1,0 +1,6 @@
+(** MiBench consumer/lame (MP3 front end): 512-tap windowing, 32-subband
+    analysis matrixing (Q14), attack detection with a short-block path,
+    scalefactors, energy-proportional bit allocation and quantization. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

@@ -1,0 +1,134 @@
+(* MiBench network/patricia: crit-bit (PATRICIA) trie over 32-bit keys
+   (IP addresses in the original), array-backed nodes, insert + lookup
+   streams with hit/miss accounting. *)
+
+open Pf_kir.Build
+
+let name = "patricia"
+
+let program ~scale =
+  let inserts = 1200 * scale in
+  let lookups = 2 * inserts in
+  let pool = (2 * inserts) + 4 in
+  program
+    [
+      (* node arrays: internal nodes branch on [bit]; leaves hold [key].
+         kind: 0 = free, 1 = internal, 2 = leaf *)
+      garray "kind" W32 pool;
+      garray "nbit" W32 pool;
+      garray "left" W32 pool;
+      garray "right" W32 pool;
+      garray "nkey" W32 pool;
+      garray "root" W32 1;
+      garray "nnodes" W32 1;
+    ]
+    [
+      func "alloc" []
+        [
+          let_ "n" (idx32 "nnodes" (i 0));
+          setidx32 "nnodes" (i 0) (v "n" +% i 1);
+          ret (v "n");
+        ];
+      func "walk" [ "key" ]
+        [
+          (* descend to the closest leaf *)
+          let_ "n" (idx32 "root" (i 0));
+          while_ (idx32 "kind" (v "n") =% i 1)
+            [
+              if_
+                (band (shr (v "key") (idx32 "nbit" (v "n"))) (i 1) <>% i 0)
+                [ set "n" (idx32 "right" (v "n")) ]
+                [ set "n" (idx32 "left" (v "n")) ];
+            ];
+          ret (v "n");
+        ];
+      func "lookup" [ "key" ]
+        [
+          when_ (idx32 "root" (i 0) =% i 0) [ ret (i 0) ];
+          let_ "leaf" (call "walk" [ v "key" ]);
+          ret (idx32 "nkey" (v "leaf") =% v "key");
+        ];
+      func "insert" [ "key" ]
+        [
+          when_ (idx32 "root" (i 0) =% i 0)
+            [
+              let_ "leaf" (call "alloc" []);
+              setidx32 "kind" (v "leaf") (i 2);
+              setidx32 "nkey" (v "leaf") (v "key");
+              setidx32 "root" (i 0) (v "leaf");
+              ret (i 1);
+            ];
+          let_ "near" (idx32 "nkey" (call "walk" [ v "key" ]));
+          when_ (v "near" =% v "key") [ ret (i 0) ];
+          (* highest differing bit *)
+          let_ "diff" (bxor (v "near") (v "key"));
+          let_ "bitn" (i 31);
+          while_ (band (shr (v "diff") (v "bitn")) (i 1) =% i 0)
+            [ set "bitn" (v "bitn" -% i 1) ];
+          (* re-descend until the branch bit is below bitn *)
+          let_ "parent" (i (-1));
+          let_ "cur" (idx32 "root" (i 0));
+          while_
+            (band (idx32 "kind" (v "cur") =% i 1)
+               (idx32 "nbit" (v "cur") >% v "bitn")
+            <>% i 0)
+            [
+              set "parent" (v "cur");
+              if_
+                (band (shr (v "key") (idx32 "nbit" (v "cur"))) (i 1) <>% i 0)
+                [ set "cur" (idx32 "right" (v "cur")) ]
+                [ set "cur" (idx32 "left" (v "cur")) ];
+            ];
+          let_ "leaf" (call "alloc" []);
+          setidx32 "kind" (v "leaf") (i 2);
+          setidx32 "nkey" (v "leaf") (v "key");
+          let_ "inner" (call "alloc" []);
+          setidx32 "kind" (v "inner") (i 1);
+          setidx32 "nbit" (v "inner") (v "bitn");
+          if_ (band (shr (v "key") (v "bitn")) (i 1) <>% i 0)
+            [
+              setidx32 "right" (v "inner") (v "leaf");
+              setidx32 "left" (v "inner") (v "cur");
+            ]
+            [
+              setidx32 "left" (v "inner") (v "leaf");
+              setidx32 "right" (v "inner") (v "cur");
+            ];
+          if_ (v "parent" <% i 0)
+            [ setidx32 "root" (i 0) (v "inner") ]
+            [
+              if_
+                (band (shr (v "key") (idx32 "nbit" (v "parent"))) (i 1)
+                <>% i 0)
+                [ setidx32 "right" (v "parent") (v "inner") ]
+                [ setidx32 "left" (v "parent") (v "inner") ];
+            ];
+          ret (i 1);
+        ];
+      func "main" []
+        [
+          setidx32 "nnodes" (i 0) (i 1);
+          (* node 0 reserved as null *)
+          let_ "seed" (i 0xACE1);
+          let_ "added" (i 0);
+          for_ "k" (i 0) (i inserts)
+            [
+              set "seed" (v "seed" *% i 1103515245 +% i 12345);
+              set "added"
+                (v "added" +% call "insert" [ band (v "seed") (i 0xFFFFF) ]);
+            ];
+          let_ "hits" (i 0);
+          set "seed" (i 0xACE1);
+          for_ "k" (i 0) (i lookups)
+            [
+              set "seed" (v "seed" *% i 1103515245 +% i 12345);
+              let_ "key" (band (v "seed") (i 0xFFFFF));
+              when_ (band (v "k") (i 1) =% i 1)
+                [ set "key" (bxor (v "key") (i 0x55)) ];
+              set "hits" (v "hits" +% call "lookup" [ v "key" ]);
+            ];
+          print_int (v "added");
+          print_int (v "hits");
+          print_int (idx32 "nnodes" (i 0));
+        ];
+    ]

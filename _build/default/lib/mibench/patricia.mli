@@ -1,0 +1,6 @@
+(** MiBench network/patricia: crit-bit (PATRICIA) trie over 32-bit keys
+    with array-backed nodes; insert and lookup streams with hit/miss
+    accounting. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

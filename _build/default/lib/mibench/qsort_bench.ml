@@ -1,0 +1,83 @@
+(* MiBench automotive/qsort: recursive quicksort (median-of-three pivot,
+   insertion sort below a cutoff) over a pseudo-random word array, with a
+   sortedness check and order-sensitive checksum. *)
+
+open Pf_kir.Build
+
+let name = "qsort"
+
+let program ~scale =
+  let n = 2048 * scale in
+  program
+    [ garray_init "arr" W32 (Gen.words ~seed:0x9507 n) ]
+    [
+      func "swap" [ "a"; "b" ]
+        [
+          let_ "t" (load32 (v "a"));
+          store32 (v "a") (load32 (v "b"));
+          store32 (v "b") (v "t");
+        ];
+      func "insertion" [ "lo"; "hi" ]
+        [
+          let_ "p" (v "lo" +% i 4);
+          while_ (ule (v "p") (v "hi"))
+            [
+              let_ "key" (load32 (v "p"));
+              let_ "q" (v "p" -% i 4);
+              while_ (uge (v "q") (v "lo"))
+                [
+                  when_ (ule (load32 (v "q")) (v "key")) [ break_ ];
+                  store32 (v "q" +% i 4) (load32 (v "q"));
+                  set "q" (v "q" -% i 4);
+                ];
+              store32 (v "q" +% i 4) (v "key");
+              set "p" (v "p" +% i 4);
+            ];
+        ];
+      func "quicksort" [ "lo"; "hi" ]
+        [
+          when_ (ule (v "hi" -% v "lo") (i 40))
+            [ do_ "insertion" [ v "lo"; v "hi" ]; ret0 ];
+          (* median-of-three pivot selection *)
+          let_ "mid" (v "lo" +% shl (shr (v "hi" -% v "lo") (i 3)) (i 2));
+          when_ (ugt (load32 (v "lo")) (load32 (v "mid")))
+            [ do_ "swap" [ v "lo"; v "mid" ] ];
+          when_ (ugt (load32 (v "mid")) (load32 (v "hi")))
+            [ do_ "swap" [ v "mid"; v "hi" ] ];
+          when_ (ugt (load32 (v "lo")) (load32 (v "mid")))
+            [ do_ "swap" [ v "lo"; v "mid" ] ];
+          let_ "pivot" (load32 (v "mid"));
+          let_ "a" (v "lo");
+          let_ "b" (v "hi");
+          while_ (i 1)
+            [
+              while_ (ult (load32 (v "a")) (v "pivot"))
+                [ set "a" (v "a" +% i 4) ];
+              while_ (ugt (load32 (v "b")) (v "pivot"))
+                [ set "b" (v "b" -% i 4) ];
+              when_ (uge (v "a") (v "b")) [ break_ ];
+              do_ "swap" [ v "a"; v "b" ];
+              set "a" (v "a" +% i 4);
+              set "b" (v "b" -% i 4);
+            ];
+          do_ "quicksort" [ v "lo"; v "b" ];
+          do_ "quicksort" [ v "b" +% i 4; v "hi" ];
+        ];
+      func "main" []
+        [
+          let_ "base" (gaddr "arr");
+          do_ "quicksort" [ v "base"; v "base" +% i (4 * (n - 1)) ];
+          let_ "sorted" (i 1);
+          let_ "sum" (i 0);
+          for_ "k" (i 0) (i (n - 1))
+            [
+              when_
+                (ugt (idx32 "arr" (v "k")) (idx32 "arr" (v "k" +% i 1)))
+                [ set "sorted" (i 0) ];
+              set "sum"
+                (bxor (v "sum" *% i 31) (idx32 "arr" (v "k")));
+            ];
+          print_int (v "sorted");
+          print_int (v "sum");
+        ];
+    ]

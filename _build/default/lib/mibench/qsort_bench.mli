@@ -1,0 +1,6 @@
+(** MiBench automotive/qsort: recursive quicksort (median-of-three +
+    insertion sort below a cutoff) over a random word array; prints a
+    sortedness flag and an order-sensitive checksum. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

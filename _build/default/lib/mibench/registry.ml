@@ -1,0 +1,64 @@
+type benchmark = {
+  name : string;
+  category : string;
+  program : scale:int -> Pf_kir.Ast.program;
+  power_study : bool;
+  unroll : int;
+}
+
+let bench ?(power_study = true) ?(unroll = 1) name category program =
+  { name; category; program; power_study; unroll }
+
+let all =
+  [
+    (* automotive *)
+    bench ~power_study:false ~unroll:4 Basicmath.name "automotive" (fun ~scale ->
+        Basicmath.program ~scale);
+    bench ~unroll:2 Bitcount.name "automotive" (fun ~scale -> Bitcount.program ~scale);
+    bench ~unroll:2 Qsort_bench.name "automotive" (fun ~scale ->
+        Qsort_bench.program ~scale);
+    bench ~unroll:6 Susan.name "automotive" (fun ~scale -> Susan.program ~scale);
+    (* consumer *)
+    bench ~unroll:16 Jpeg.name "consumer" (fun ~scale -> Jpeg.program ~scale);
+    bench ~unroll:12 Lame.name "consumer" (fun ~scale -> Lame.program ~scale);
+    (* network *)
+    bench ~unroll:4 Dijkstra.name "network" (fun ~scale -> Dijkstra.program ~scale);
+    bench ~unroll:2 Patricia.name "network" (fun ~scale -> Patricia.program ~scale);
+    (* office *)
+    bench ~unroll:2 Stringsearch.name "office" (fun ~scale ->
+        Stringsearch.program ~scale);
+    bench ~unroll:3 Ispell.name "office" (fun ~scale -> Ispell.program ~scale);
+    (* security *)
+    bench ~unroll:4 Blowfish.name_encode "security" (fun ~scale ->
+        Blowfish.program_encode ~scale);
+    bench ~unroll:4 Blowfish.name_decode "security" (fun ~scale ->
+        Blowfish.program_decode ~scale);
+    bench ~unroll:8 Rijndael.name_encode "security" (fun ~scale ->
+        Rijndael.program_encode ~scale);
+    bench ~unroll:8 Rijndael.name_decode "security" (fun ~scale ->
+        Rijndael.program_decode ~scale);
+    bench ~unroll:8 Sha1.name "security" (fun ~scale -> Sha1.program ~scale);
+    (* telecomm *)
+    bench ~unroll:2 Adpcm.name_encode "telecomm" (fun ~scale ->
+        Adpcm.program_encode ~scale);
+    bench ~unroll:2 Adpcm.name_decode "telecomm" (fun ~scale ->
+        Adpcm.program_decode ~scale);
+    bench ~unroll:1 Crc32.name "telecomm" (fun ~scale -> Crc32.program ~scale);
+    bench ~unroll:4 Fft.name "telecomm" (fun ~scale -> Fft.program ~scale);
+    bench ~power_study:false ~unroll:12 Gsm.name_encode "telecomm" (fun ~scale ->
+        Gsm.program_encode ~scale);
+    bench ~unroll:12 Gsm.name_decode "telecomm" (fun ~scale ->
+        Gsm.program_decode ~scale);
+  ]
+
+let power_suite =
+  List.filter_map
+    (fun b ->
+      if not b.power_study then None
+      else if b.name = Gsm.name_decode then Some { b with name = "gsm" }
+      else Some b)
+    all
+
+let find name =
+  let name = if name = "gsm" then Gsm.name_decode else name in
+  List.find (fun b -> b.name = name) all

@@ -1,0 +1,27 @@
+(** The benchmark suite: 21 MiBench-workalike programs (paper §5).
+
+    Categories follow MiBench: automotive, consumer, network, office,
+    security, telecomm.  The power study uses 19 of them — [basicmath]
+    and [gsm.encode] are dropped and [gsm.decode] is renamed to [gsm],
+    exactly as the paper describes. *)
+
+type benchmark = {
+  name : string;
+  category : string;
+  program : scale:int -> Pf_kir.Ast.program;
+  power_study : bool;   (** member of the 19-benchmark power suite *)
+  unroll : int;
+      (** loop-unroll factor used when compiling this benchmark — larger
+          for the codec-class programs whose real binaries carry big
+          unrolled loops (jpeg, lame, gsm, sha, rijndael) *)
+}
+
+val all : benchmark list
+(** The full 21-benchmark suite, grouped by category. *)
+
+val power_suite : benchmark list
+(** The 19 benchmarks of the power figures; [gsm.decode] appears under the
+    name ["gsm"]. *)
+
+val find : string -> benchmark
+(** @raise Not_found for unknown names ([find "gsm"] resolves). *)

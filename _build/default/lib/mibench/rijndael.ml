@@ -1,0 +1,274 @@
+(* MiBench security/rijndael: AES-128, byte-oriented (real S-box computed
+   over GF(2^8), key expansion, SubBytes/ShiftRows/MixColumns rounds) in
+   ECB over a buffer.  The decode benchmark runs the inverse cipher and
+   verifies the round trip. *)
+
+open Pf_kir.Build
+
+let name_encode = "rijndael.encode"
+let name_decode = "rijndael.decode"
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1B; 0x36 |]
+
+let common_globals ~n ~seed =
+  [
+    garray_init "sbox" W8 Gen.aes_sbox;
+    garray_init "inv_sbox" W8 Gen.aes_inv_sbox;
+    garray_init "rcon" W8 rcon;
+    garray_init "aes_key" W8 (Gen.bytes ~seed:0xAE5 16);
+    garray "rk" W8 176;      (* 11 round keys *)
+    garray_init "buf" W8 (Gen.bytes ~seed n);
+    garray "st" W8 16;       (* the state block *)
+  ]
+
+(* xtime: multiply by 2 in GF(2^8) *)
+let xtime =
+  func "xtime" [ "x" ]
+    [
+      set "x" (shl (v "x") (i 1));
+      when_ (band (v "x") (i 0x100) <>% i 0)
+        [ set "x" (bxor (v "x") (i 0x11B)) ];
+      ret (v "x");
+    ]
+
+let key_expand =
+  func "key_expand" []
+    [
+      for_ "k" (i 0) (i 16) [ setidx8 "rk" (v "k") (idx8 "aes_key" (v "k")) ];
+      for_ "w" (i 4) (i 44)
+        [
+          let_ "base" (shl (v "w") (i 2));
+          let_ "prev" (v "base" -% i 4);
+          let_ "b0" (idx8 "rk" (v "prev"));
+          let_ "b1" (idx8 "rk" (v "prev" +% i 1));
+          let_ "b2" (idx8 "rk" (v "prev" +% i 2));
+          let_ "b3" (idx8 "rk" (v "prev" +% i 3));
+          when_ (urem (v "w") (i 4) =% i 0)
+            [
+              (* RotWord + SubWord + Rcon *)
+              let_ "t" (v "b0");
+              set "b0"
+                (bxor (idx8 "sbox" (v "b1"))
+                   (idx8 "rcon" (udiv (v "w") (i 4) -% i 1)));
+              set "b1" (idx8 "sbox" (v "b2"));
+              set "b2" (idx8 "sbox" (v "b3"));
+              set "b3" (idx8 "sbox" (v "t"));
+            ];
+          let_ "back" (v "base" -% i 16);
+          setidx8 "rk" (v "base") (bxor (idx8 "rk" (v "back")) (v "b0"));
+          setidx8 "rk" (v "base" +% i 1)
+            (bxor (idx8 "rk" (v "back" +% i 1)) (v "b1"));
+          setidx8 "rk" (v "base" +% i 2)
+            (bxor (idx8 "rk" (v "back" +% i 2)) (v "b2"));
+          setidx8 "rk" (v "base" +% i 3)
+            (bxor (idx8 "rk" (v "back" +% i 3)) (v "b3"));
+        ];
+    ]
+
+let add_round_key =
+  func "add_round_key" [ "round" ]
+    [
+      let_ "base" (shl (v "round") (i 4));
+      for_ "k" (i 0) (i 16)
+        [
+          setidx8 "st" (v "k")
+            (bxor (idx8 "st" (v "k")) (idx8 "rk" (v "base" +% v "k")));
+        ];
+    ]
+
+let sub_shift =
+  (* SubBytes + ShiftRows fused (column-major state layout) *)
+  func "sub_shift" []
+    [
+      for_ "k" (i 0) (i 16) [ setidx8 "st" (v "k") (idx8 "sbox" (idx8 "st" (v "k"))) ];
+      (* row r rotates left by r; state index = col*4 + row *)
+      let_ "t" (idx8 "st" (i 1));
+      setidx8 "st" (i 1) (idx8 "st" (i 5));
+      setidx8 "st" (i 5) (idx8 "st" (i 9));
+      setidx8 "st" (i 9) (idx8 "st" (i 13));
+      setidx8 "st" (i 13) (v "t");
+      set "t" (idx8 "st" (i 2));
+      setidx8 "st" (i 2) (idx8 "st" (i 10));
+      setidx8 "st" (i 10) (v "t");
+      set "t" (idx8 "st" (i 6));
+      setidx8 "st" (i 6) (idx8 "st" (i 14));
+      setidx8 "st" (i 14) (v "t");
+      set "t" (idx8 "st" (i 15));
+      setidx8 "st" (i 15) (idx8 "st" (i 11));
+      setidx8 "st" (i 11) (idx8 "st" (i 7));
+      setidx8 "st" (i 7) (idx8 "st" (i 3));
+      setidx8 "st" (i 3) (v "t");
+    ]
+
+let inv_sub_shift =
+  func "inv_sub_shift" []
+    [
+      (* inverse ShiftRows *)
+      let_ "t" (idx8 "st" (i 13));
+      setidx8 "st" (i 13) (idx8 "st" (i 9));
+      setidx8 "st" (i 9) (idx8 "st" (i 5));
+      setidx8 "st" (i 5) (idx8 "st" (i 1));
+      setidx8 "st" (i 1) (v "t");
+      set "t" (idx8 "st" (i 2));
+      setidx8 "st" (i 2) (idx8 "st" (i 10));
+      setidx8 "st" (i 10) (v "t");
+      set "t" (idx8 "st" (i 6));
+      setidx8 "st" (i 6) (idx8 "st" (i 14));
+      setidx8 "st" (i 14) (v "t");
+      set "t" (idx8 "st" (i 3));
+      setidx8 "st" (i 3) (idx8 "st" (i 7));
+      setidx8 "st" (i 7) (idx8 "st" (i 11));
+      setidx8 "st" (i 11) (idx8 "st" (i 15));
+      setidx8 "st" (i 15) (v "t");
+      for_ "k" (i 0) (i 16)
+        [ setidx8 "st" (v "k") (idx8 "inv_sbox" (idx8 "st" (v "k"))) ];
+    ]
+
+let mix_columns =
+  func "mix_columns" []
+    [
+      for_ "c" (i 0) (i 4)
+        [
+          let_ "b" (shl (v "c") (i 2));
+          let_ "a0" (idx8 "st" (v "b"));
+          let_ "a1" (idx8 "st" (v "b" +% i 1));
+          let_ "a2" (idx8 "st" (v "b" +% i 2));
+          let_ "a3" (idx8 "st" (v "b" +% i 3));
+          let_ "x" (bxor (bxor (v "a0") (v "a1")) (bxor (v "a2") (v "a3")));
+          setidx8 "st" (v "b")
+            (bxor (v "a0")
+               (bxor (v "x") (call "xtime" [ bxor (v "a0") (v "a1") ])));
+          setidx8 "st" (v "b" +% i 1)
+            (bxor (v "a1")
+               (bxor (v "x") (call "xtime" [ bxor (v "a1") (v "a2") ])));
+          setidx8 "st" (v "b" +% i 2)
+            (bxor (v "a2")
+               (bxor (v "x") (call "xtime" [ bxor (v "a2") (v "a3") ])));
+          setidx8 "st" (v "b" +% i 3)
+            (bxor (v "a3")
+               (bxor (v "x") (call "xtime" [ bxor (v "a3") (v "a0") ])));
+        ];
+    ]
+
+(* gmul by 9/11/13/14 via xtime chains for the inverse MixColumns *)
+let gmul =
+  func "gmul" [ "a"; "m" ]
+    [
+      let_ "r" (i 0);
+      let_ "x" (v "a");
+      while_ (v "m" <>% i 0)
+        [
+          when_ (band (v "m") (i 1) <>% i 0)
+            [ set "r" (bxor (v "r") (v "x")) ];
+          set "x" (call "xtime" [ v "x" ]);
+          set "m" (shr (v "m") (i 1));
+        ];
+      ret (v "r");
+    ]
+
+let inv_mix_columns =
+  func "inv_mix_columns" []
+    [
+      for_ "c" (i 0) (i 4)
+        [
+          let_ "b" (shl (v "c") (i 2));
+          let_ "a0" (idx8 "st" (v "b"));
+          let_ "a1" (idx8 "st" (v "b" +% i 1));
+          let_ "a2" (idx8 "st" (v "b" +% i 2));
+          let_ "a3" (idx8 "st" (v "b" +% i 3));
+          setidx8 "st" (v "b")
+            (bxor
+               (bxor (call "gmul" [ v "a0"; i 14 ]) (call "gmul" [ v "a1"; i 11 ]))
+               (bxor (call "gmul" [ v "a2"; i 13 ]) (call "gmul" [ v "a3"; i 9 ])));
+          setidx8 "st" (v "b" +% i 1)
+            (bxor
+               (bxor (call "gmul" [ v "a0"; i 9 ]) (call "gmul" [ v "a1"; i 14 ]))
+               (bxor (call "gmul" [ v "a2"; i 11 ]) (call "gmul" [ v "a3"; i 13 ])));
+          setidx8 "st" (v "b" +% i 2)
+            (bxor
+               (bxor (call "gmul" [ v "a0"; i 13 ]) (call "gmul" [ v "a1"; i 9 ]))
+               (bxor (call "gmul" [ v "a2"; i 14 ]) (call "gmul" [ v "a3"; i 11 ])));
+          setidx8 "st" (v "b" +% i 3)
+            (bxor
+               (bxor (call "gmul" [ v "a0"; i 11 ]) (call "gmul" [ v "a1"; i 13 ]))
+               (bxor (call "gmul" [ v "a2"; i 9 ]) (call "gmul" [ v "a3"; i 14 ])));
+        ];
+    ]
+
+let encrypt_block =
+  func "aes_encrypt" []
+    [
+      do_ "add_round_key" [ i 0 ];
+      for_ "round" (i 1) (i 10)
+        [
+          do_ "sub_shift" [];
+          do_ "mix_columns" [];
+          do_ "add_round_key" [ v "round" ];
+        ];
+      do_ "sub_shift" [];
+      do_ "add_round_key" [ i 10 ];
+    ]
+
+let decrypt_block =
+  func "aes_decrypt" []
+    [
+      do_ "add_round_key" [ i 10 ];
+      do_ "inv_sub_shift" [];
+      let_ "round" (i 9);
+      while_ (v "round" >=% i 1)
+        [
+          do_ "add_round_key" [ v "round" ];
+          do_ "inv_mix_columns" [];
+          do_ "inv_sub_shift" [];
+          set "round" (v "round" -% i 1);
+        ];
+      do_ "add_round_key" [ i 0 ];
+    ]
+
+let block_loop ~n fname =
+  [
+    let_ "blk" (i 0);
+    while_ (v "blk" <% i (n / 16))
+      [
+        let_ "base" (shl (v "blk") (i 4));
+        for_ "k" (i 0) (i 16)
+          [ setidx8 "st" (v "k") (idx8 "buf" (v "base" +% v "k")) ];
+        do_ fname [];
+        for_ "k" (i 0) (i 16)
+          [ setidx8 "buf" (v "base" +% v "k") (idx8 "st" (v "k")) ];
+        incr_ "blk";
+      ];
+  ]
+
+let checksum n =
+  [
+    let_ "cks" (i 0);
+    for_ "k" (i 0) (i n)
+      [ set "cks" (bxor (v "cks" *% i 131) (idx8 "buf" (v "k"))) ];
+    print_int (v "cks");
+  ]
+
+let program_encode ~scale =
+  let n = 768 * scale in
+  program
+    (common_globals ~n ~seed:0xAE0)
+    [
+      xtime; key_expand; add_round_key; sub_shift; mix_columns;
+      encrypt_block;
+      func "main" []
+        ([ do_ "key_expand" [] ] @ block_loop ~n "aes_encrypt" @ checksum n);
+    ]
+
+let program_decode ~scale =
+  let n = 768 * scale in
+  program
+    (common_globals ~n ~seed:0xAE1)
+    [
+      xtime; gmul; key_expand; add_round_key; sub_shift; inv_sub_shift;
+      mix_columns; inv_mix_columns; encrypt_block; decrypt_block;
+      func "main" []
+        ([ do_ "key_expand" [] ]
+        @ block_loop ~n "aes_encrypt"
+        @ block_loop ~n "aes_decrypt"
+        @ checksum n);
+    ]

@@ -1,0 +1,8 @@
+(** MiBench security/rijndael: byte-oriented AES-128 (computed S-box, key
+    expansion, SubBytes/ShiftRows/MixColumns; GF multiplication chains for
+    the inverse cipher) in ECB over a buffer, with a decode round-trip. *)
+
+val name_encode : string
+val name_decode : string
+val program_encode : scale:int -> Pf_kir.Ast.program
+val program_decode : scale:int -> Pf_kir.Ast.program

@@ -1,0 +1,131 @@
+(* MiBench security/sha: SHA-1 over a byte buffer, with proper padding and
+   big-endian block handling. *)
+
+open Pf_kir.Build
+
+let name = "sha"
+
+let rotl x n = bor (shl x (i n)) (shr x (i (32 - n)))
+
+let program ~scale =
+  let n = 4096 * scale in
+  (* room for the 0x80 marker, zero pad and 8-byte length *)
+  let buf = Array.append (Gen.bytes ~seed:0x54A1 n) (Array.make 128 0) in
+  program
+    [
+      garray_init "msg" W8 buf;
+      garray "h" W32 5;
+      garray "w" W32 80;
+    ]
+    [
+      func "load_be" [ "p" ]
+        [
+          ret
+            (bor
+               (bor
+                  (shl (load8u (v "p")) (i 24))
+                  (shl (load8u (v "p" +% i 1)) (i 16)))
+               (bor
+                  (shl (load8u (v "p" +% i 2)) (i 8))
+                  (load8u (v "p" +% i 3))));
+        ];
+      func "process_block" [ "p" ]
+        [
+          for_ "t" (i 0) (i 16)
+            [
+              setidx32 "w" (v "t")
+                (call "load_be" [ v "p" +% shl (v "t") (i 2) ]);
+            ];
+          for_ "t" (i 16) (i 80)
+            [
+              let_ "x"
+                (bxor
+                   (bxor (idx32 "w" (v "t" -% i 3)) (idx32 "w" (v "t" -% i 8)))
+                   (bxor
+                      (idx32 "w" (v "t" -% i 14))
+                      (idx32 "w" (v "t" -% i 16))));
+              setidx32 "w" (v "t") (rotl (v "x") 1);
+            ];
+          let_ "a" (idx32 "h" (i 0));
+          let_ "b" (idx32 "h" (i 1));
+          let_ "c" (idx32 "h" (i 2));
+          let_ "d" (idx32 "h" (i 3));
+          let_ "e" (idx32 "h" (i 4));
+          let_ "f" (i 0);
+          let_ "k" (i 0);
+          for_ "t" (i 0) (i 80)
+            [
+              if_ (v "t" <% i 20)
+                [
+                  set "f"
+                    (bor
+                       (band (v "b") (v "c"))
+                       (band (bnot (v "b")) (v "d")));
+                  set "k" (i 0x5A827999);
+                ]
+                [
+                  if_ (v "t" <% i 40)
+                    [
+                      set "f" (bxor (bxor (v "b") (v "c")) (v "d"));
+                      set "k" (i 0x6ED9EBA1);
+                    ]
+                    [
+                      if_ (v "t" <% i 60)
+                        [
+                          set "f"
+                            (bor
+                               (bor
+                                  (band (v "b") (v "c"))
+                                  (band (v "b") (v "d")))
+                               (band (v "c") (v "d")));
+                          set "k" (i 0x8F1BBCDC);
+                        ]
+                        [
+                          set "f" (bxor (bxor (v "b") (v "c")) (v "d"));
+                          set "k" (i 0xCA62C1D6);
+                        ];
+                    ];
+                ];
+              let_ "tmp"
+                (rotl (v "a") 5 +% v "f" +% v "e" +% v "k"
+                +% idx32 "w" (v "t"));
+              set "e" (v "d");
+              set "d" (v "c");
+              set "c" (rotl (v "b") 30);
+              set "b" (v "a");
+              set "a" (v "tmp");
+            ];
+          setidx32 "h" (i 0) (idx32 "h" (i 0) +% v "a");
+          setidx32 "h" (i 1) (idx32 "h" (i 1) +% v "b");
+          setidx32 "h" (i 2) (idx32 "h" (i 2) +% v "c");
+          setidx32 "h" (i 3) (idx32 "h" (i 3) +% v "d");
+          setidx32 "h" (i 4) (idx32 "h" (i 4) +% v "e");
+        ];
+      func "main" []
+        [
+          setidx32 "h" (i 0) (i 0x67452301);
+          setidx32 "h" (i 1) (i 0xEFCDAB89);
+          setidx32 "h" (i 2) (i 0x98BADCFE);
+          setidx32 "h" (i 3) (i 0x10325476);
+          setidx32 "h" (i 4) (i 0xC3D2E1F0);
+          (* pad: 0x80, zeros, 64-bit big-endian bit length *)
+          let_ "len" (i n);
+          setidx8 "msg" (v "len") (i 0x80);
+          let_ "total" (band (v "len" +% i 9 +% i 63) (bnot (i 63)));
+          let_ "bits" (shl (v "len") (i 3));
+          setidx8 "msg" (v "total" -% i 4) (shr (v "bits") (i 24));
+          setidx8 "msg" (v "total" -% i 3)
+            (band (shr (v "bits") (i 16)) (i 255));
+          setidx8 "msg" (v "total" -% i 2)
+            (band (shr (v "bits") (i 8)) (i 255));
+          setidx8 "msg" (v "total" -% i 1) (band (v "bits") (i 255));
+          let_ "p" (gaddr "msg");
+          let_ "endp" (gaddr "msg" +% v "total");
+          while_ (ult (v "p") (v "endp"))
+            [
+              do_ "process_block" [ v "p" ];
+              set "p" (v "p" +% i 64);
+            ];
+          for_ "k" (i 0) (i 5) [ print_int (idx32 "h" (v "k")) ];
+        ];
+    ]

@@ -1,0 +1,5 @@
+(** MiBench security/sha: SHA-1 with proper padding and big-endian block
+    handling; prints the five digest words. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

@@ -1,0 +1,81 @@
+(* MiBench office/stringsearch: Boyer-Moore-Horspool search of several
+   patterns over a synthetic text corpus.  Patterns are cut from the text
+   itself so every search terminates with hits. *)
+
+open Pf_kir.Build
+
+let name = "stringsearch"
+
+let npats = 8
+let patlen = 8
+
+let program ~scale =
+  let n = 12288 * scale in
+  let corpus = Gen.text ~seed:0x57A1 n in
+  let rng = Pf_util.Rng.create 0xBEE in
+  let pats =
+    Array.init npats (fun _ ->
+        let off = Pf_util.Rng.int rng (n - patlen) in
+        Array.sub corpus off patlen)
+  in
+  let patterns_flat = Array.concat (Array.to_list pats) in
+  program
+    [
+      garray_init "text" W8 corpus;
+      garray_init "pats" W8 patterns_flat;
+      garray "shift" W32 256;
+    ]
+    [
+      func "build_shift" [ "pat"; "m" ]
+        [
+          for_ "c" (i 0) (i 256) [ setidx32 "shift" (v "c") (v "m") ];
+          for_ "k" (i 0) (v "m" -% i 1)
+            [
+              setidx32 "shift"
+                (load8u (v "pat" +% v "k"))
+                (v "m" -% i 1 -% v "k");
+            ];
+        ];
+      func "search" [ "pat"; "m"; "txt"; "n" ]
+        [
+          do_ "build_shift" [ v "pat"; v "m" ];
+          let_ "count" (i 0);
+          let_ "pos" (i 0);
+          while_ (v "pos" <=% v "n" -% v "m")
+            [
+              let_ "j" (v "m" -% i 1);
+              while_ (v "j" >=% i 0)
+                [
+                  when_
+                    (load8u (v "txt" +% v "pos" +% v "j")
+                    <>% load8u (v "pat" +% v "j"))
+                    [ break_ ];
+                  set "j" (v "j" -% i 1);
+                ];
+              when_ (v "j" <% i 0) [ incr_ "count" ];
+              set "pos"
+                (v "pos"
+                +% idx32 "shift"
+                     (load8u (v "txt" +% v "pos" +% v "m" -% i 1)));
+            ];
+          ret (v "count");
+        ];
+      func "main" []
+        [
+          let_ "total" (i 0);
+          for_ "p" (i 0) (i npats)
+            [
+              let_ "hits"
+                (call "search"
+                   [
+                     gaddr "pats" +% v "p" *% i patlen;
+                     i patlen;
+                     gaddr "text";
+                     i n;
+                   ]);
+              set "total" (v "total" +% v "hits");
+              print_int (v "hits");
+            ];
+          print_int (v "total");
+        ];
+    ]

@@ -1,0 +1,6 @@
+(** MiBench office/stringsearch: Boyer-Moore-Horspool search of several
+    patterns (cut from the corpus itself, so hits are guaranteed) over a
+    synthetic text. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

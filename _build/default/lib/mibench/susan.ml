@@ -1,0 +1,150 @@
+(* MiBench automotive/susan: SUSAN low-level image processing — the USAN
+   (Univalue Segment Assimilating Nucleus) edge response with the
+   brightness-similarity lookup table, run at several thresholds, plus the
+   3x3 smoothing pass. *)
+
+open Pf_kir.Build
+
+let name = "susan"
+
+let width = 48
+let height = 48
+
+(* c(diff) = 100 * exp(-(diff/t)^6), t = 20 — host-computed LUT as in the
+   original implementation. *)
+let similarity_lut =
+  Array.init 512 (fun k ->
+      let diff = float_of_int (k - 255) in
+      let x = diff /. 20.0 in
+      let c = 100.0 *. exp (-.(x ** 6.0)) in
+      int_of_float (Float.round c))
+
+(* 37-pixel circular mask offsets (dx, dy) *)
+let mask =
+  [
+    (-1, -3); (0, -3); (1, -3);
+    (-2, -2); (-1, -2); (0, -2); (1, -2); (2, -2);
+    (-3, -1); (-2, -1); (-1, -1); (0, -1); (1, -1); (2, -1); (3, -1);
+    (-3, 0); (-2, 0); (-1, 0); (0, 0); (1, 0); (2, 0); (3, 0);
+    (-3, 1); (-2, 1); (-1, 1); (0, 1); (1, 1); (2, 1); (3, 1);
+    (-2, 2); (-1, 2); (0, 2); (1, 2); (2, 2);
+    (-1, 3); (0, 3); (1, 3);
+  ]
+
+let mask_offsets = Array.of_list (List.map (fun (dx, dy) -> (dy * width) + dx) mask)
+
+let program ~scale =
+  let passes = scale in
+  program
+    [
+      garray_init "img" W8 (Gen.image8 ~seed:0x5A5A ~width ~height);
+      garray "smooth" W8 (width * height);
+      garray_init "lut" W8 similarity_lut;
+      garray_init "mask" W32 (Array.map (fun x -> x land 0xFFFFFFFF) mask_offsets);
+      garray "edges" W32 1;
+    ]
+    [
+      func "smooth3x3" []
+        [
+          for_ "y" (i 1) (i (height - 1))
+            [
+              for_ "x" (i 1) (i (width - 1))
+                [
+                  let_ "p" (gaddr "img" +% v "y" *% i width +% v "x");
+                  let_ "sum"
+                    (load8u (v "p" -% i (width + 1))
+                    +% load8u (v "p" -% i width)
+                    +% load8u (v "p" -% i (width - 1))
+                    +% load8u (v "p" -% i 1)
+                    +% load8u (v "p")
+                    +% load8u (v "p" +% i 1)
+                    +% load8u (v "p" +% i (width - 1))
+                    +% load8u (v "p" +% i width)
+                    +% load8u (v "p" +% i (width + 1)));
+                  store8
+                    (gaddr "smooth" +% v "y" *% i width +% v "x")
+                    (v "sum" /% i 9);
+                ];
+            ];
+        ];
+      func "usan_pass" [ "thresh" ]
+        [
+          let_ "count" (i 0);
+          let_ "resp" (i 0);
+          for_ "y" (i 3) (i (height - 3))
+            [
+              for_ "x" (i 3) (i (width - 3))
+                [
+                  let_ "p" (gaddr "smooth" +% v "y" *% i width +% v "x");
+                  let_ "center" (load8u (v "p"));
+                  let_ "usan" (i 0);
+                  for_ "m" (i 0) (i 37)
+                    [
+                      let_ "q" (load8u (v "p" +% idx32 "mask" (v "m")));
+                      set "usan"
+                        (v "usan"
+                        +% idx8 "lut" (v "q" -% v "center" +% i 255));
+                    ];
+                  when_ (v "usan" <% v "thresh")
+                    [
+                      incr_ "count";
+                      set "resp" (v "resp" +% (v "thresh" -% v "usan"));
+                    ];
+                ];
+            ];
+          setidx32 "edges" (i 0) (v "count");
+          ret (v "resp");
+        ];
+      (* corner response: small-mask USAN with a centroid farness test *)
+      func "corner_pass" [ "thresh" ]
+        [
+          let_ "corners" (i 0);
+          for_ "y" (i 2) (i (height - 2))
+            [
+              for_ "x" (i 2) (i (width - 2))
+                [
+                  let_ "p" (gaddr "smooth" +% v "y" *% i width +% v "x");
+                  let_ "center" (load8u (v "p"));
+                  let_ "usan" (i 0);
+                  let_ "cgx" (i 0);
+                  let_ "cgy" (i 0);
+                  for_ "dy" (neg (i 2)) (i 3)
+                    [
+                      for_ "dx" (neg (i 2)) (i 3)
+                        [
+                          let_ "q"
+                            (load8u (v "p" +% v "dy" *% i width +% v "dx"));
+                          let_ "c"
+                            (idx8 "lut" (v "q" -% v "center" +% i 255));
+                          set "usan" (v "usan" +% v "c");
+                          set "cgx" (v "cgx" +% v "c" *% v "dx");
+                          set "cgy" (v "cgy" +% v "c" *% v "dy");
+                        ];
+                    ];
+                  when_ (v "usan" <% v "thresh")
+                    [
+                      (* centroid far from nucleus -> corner candidate *)
+                      let_ "d2"
+                        (v "cgx" *% v "cgx" +% v "cgy" *% v "cgy");
+                      when_ (v "d2" >% v "usan" *% v "usan")
+                        [ incr_ "corners" ];
+                    ];
+                ];
+            ];
+          ret (v "corners");
+        ];
+      func "main" []
+        [
+          do_ "smooth3x3" [];
+          let_ "acc" (i 0);
+          for_ "pass" (i 0) (i passes)
+            [
+              let_ "resp"
+                (call "usan_pass" [ i 2700 +% v "pass" *% i 120 ]);
+              set "acc" (bxor (v "acc" *% i 7) (v "resp"));
+              print_int (idx32 "edges" (i 0));
+              print_int (call "corner_pass" [ i 1500 +% v "pass" *% i 60 ]);
+            ];
+          print_int (v "acc");
+        ];
+    ]

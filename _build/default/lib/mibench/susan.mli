@@ -1,0 +1,6 @@
+(** MiBench automotive/susan: SUSAN image processing — 3x3 smoothing, the
+    37-pixel USAN edge response with the brightness-similarity LUT, and a
+    small-mask corner pass with the centroid test. *)
+
+val name : string
+val program : scale:int -> Pf_kir.Ast.program

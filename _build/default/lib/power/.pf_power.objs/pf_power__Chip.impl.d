@@ -1,0 +1,1 @@
+lib/power/chip.ml:

@@ -1,0 +1,1 @@
+lib/power/geometry.ml: Pf_cache Pf_util

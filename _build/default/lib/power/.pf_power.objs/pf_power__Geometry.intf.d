@@ -1,0 +1,1 @@
+lib/power/geometry.mli: Pf_cache

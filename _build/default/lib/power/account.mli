@@ -1,0 +1,62 @@
+(** Sim-panalyzer-style power accounting for one instruction cache.
+
+    Implements the paper's model (§4.1):  P = A·C·V²·f + V·I_leak, split as
+
+    - {b switching} power: output drivers and address path, proportional to
+      per-access bit toggles plus refill traffic on misses;
+    - {b internal} power: clock/precharge power of the whole cache block,
+      proportional to gate count, accrued every cycle the cache is on;
+    - {b leakage} power: proportional to gate count and elapsed time;
+    - {b peak} power: maximum power over any accounting window.
+
+    Energies are in arbitrary consistent units; every figure reports
+    ratios against the ARM16 baseline, where the units cancel. *)
+
+module Params : sig
+  type t = {
+    k_access : float;
+        (** fixed energy per access: bitline precharge, wordline drive and
+            output-bus switching at a constant activity factor — the term
+            that makes switching power proportional to fetch count *)
+    k_output : float;
+        (** energy per data-dependent output/address toggle *)
+    k_refill_per_bit : float;
+        (** energy per bit written on refill (switching component) *)
+    k_internal_per_gate : float;
+        (** per-gate per-cycle clock energy (internal component) *)
+    k_leakage_per_gate : float;
+        (** per-gate per-cycle leakage energy (static component) *)
+    peak_window_cycles : int;
+        (** window over which peak power is evaluated *)
+  }
+
+  val default : t
+  (** Calibrated so an ARM16/SA-1100-like run shows the paper's Figure 6
+      breakdown: internal > 50 %, switching ≈ a third, leakage ≈ a tenth
+      (0.35 um process, where leakage is minor). *)
+end
+
+type t
+
+val create : ?params:Params.t -> Geometry.t -> t
+
+val on_access : t -> toggles:int -> refilled_words:int -> unit
+(** Record one cache access (switching energy). *)
+
+val on_cycles : t -> int -> unit
+(** Advance simulated time: accrues internal and leakage energy and
+    advances the peak-power window. *)
+
+type report = {
+  switching : float;
+  internal : float;
+  leakage : float;
+  total : float;          (** switching + internal + leakage *)
+  peak_power : float;     (** max energy/cycle over any window *)
+  cycles : int;
+}
+
+val report : t -> report
+
+val avg_power : report -> float
+(** Mean power in energy units per cycle. *)

@@ -1,0 +1,21 @@
+type baseline = {
+  icache_energy : float;
+  cycles : int;
+}
+
+let icache_share = 0.27
+
+let rest_energy_baseline (b : baseline) =
+  b.icache_energy *. (1.0 -. icache_share) /. icache_share
+
+let chip_energy ~baseline ~icache_energy ~cycles ?(datapath_off = 0.0) () =
+  let rest0 = rest_energy_baseline baseline in
+  let scale = float_of_int cycles /. float_of_int baseline.cycles in
+  icache_energy +. (rest0 *. scale *. (1.0 -. datapath_off))
+
+let chip_saving ~baseline ~icache_energy ~cycles ?datapath_off () =
+  let e0 = baseline.icache_energy +. rest_energy_baseline baseline in
+  let p0 = e0 /. float_of_int baseline.cycles in
+  let e = chip_energy ~baseline ~icache_energy ~cycles ?datapath_off () in
+  let p = e /. float_of_int cycles in
+  100.0 *. (p0 -. p) /. p0

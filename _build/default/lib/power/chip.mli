@@ -1,0 +1,34 @@
+(** Chip-level power model (paper §6.3, Figure 12).
+
+    The StrongARM breakdown attributes 27 % of total chip power to the
+    instruction cache [Montanaro et al.].  The rest of the chip is modeled
+    as energy proportional to run time (it is clocked every cycle), with an
+    optional reduction for FITS configurations where the programmable
+    decoder leaves unmapped datapath units powered off (paper §3.2). *)
+
+type baseline = {
+  icache_energy : float;   (** ARM16 I-cache energy *)
+  cycles : int;            (** ARM16 run cycles *)
+}
+
+val icache_share : float
+(** 0.27 — I-cache fraction of total chip power on the StrongARM. *)
+
+val chip_energy :
+  baseline:baseline ->
+  icache_energy:float ->
+  cycles:int ->
+  ?datapath_off:float ->
+  unit ->
+  float
+(** Total chip energy of a configuration.  [datapath_off] is the fraction
+    of non-cache power switched off by decoder deactivation (default 0). *)
+
+val chip_saving :
+  baseline:baseline ->
+  icache_energy:float ->
+  cycles:int ->
+  ?datapath_off:float ->
+  unit ->
+  float
+(** Percentage chip power saving vs the ARM16 baseline (power = E/T). *)

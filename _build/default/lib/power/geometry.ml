@@ -1,0 +1,42 @@
+type t = {
+  nsets : int;
+  assoc : int;
+  block_bytes : int;
+  tag_bits : int;
+  data_cells : int;
+  tag_cells : int;
+  decoder_gates : int;
+  periph_gates : int;
+  gate_count : int;
+}
+
+let output_width_bits = 32
+
+let of_config (cfg : Pf_cache.Icache.config) =
+  let nsets = Pf_cache.Icache.sets cfg in
+  let tag_bits = Pf_cache.Icache.tag_bits cfg in
+  let data_cells = cfg.size_bytes * 8 in
+  (* tag + valid + per-line LRU state (~5 bits for 32-way) *)
+  let line_state_bits = tag_bits + 1 + 5 in
+  let tag_cells = nsets * cfg.assoc * line_state_bits in
+  let decoder_gates =
+    (* a tree decoder per row plus wordline drivers *)
+    (nsets * 4) + (nsets * Pf_util.Bits.log2_exact (max 2 nsets))
+  in
+  let periph_gates =
+    (* sense amps on every bitline column, tag comparators, output mux *)
+    (cfg.block_bytes * 8 * cfg.assoc / 4)
+    + (cfg.assoc * tag_bits * 3)
+    + (output_width_bits * cfg.assoc)
+  in
+  {
+    nsets;
+    assoc = cfg.assoc;
+    block_bytes = cfg.block_bytes;
+    tag_bits;
+    data_cells;
+    tag_cells;
+    decoder_gates;
+    periph_gates;
+    gate_count = data_cells + tag_cells + decoder_gates + periph_gates;
+  }

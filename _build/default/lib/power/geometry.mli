@@ -1,0 +1,24 @@
+(** CACTI-lite: derive gate counts and capacitances from cache
+    organization.
+
+    Absolute numbers are arbitrary units calibrated so that the ARM16
+    baseline reproduces the paper's Figure 6 power breakdown; what matters
+    for every reported result is how the quantities *scale* with cache
+    size, block size and associativity. *)
+
+type t = {
+  nsets : int;
+  assoc : int;
+  block_bytes : int;
+  tag_bits : int;
+  data_cells : int;       (** SRAM bits in the data array *)
+  tag_cells : int;        (** SRAM bits in tag array incl. valid *)
+  decoder_gates : int;    (** row decoders *)
+  periph_gates : int;     (** sense amps, comparators, output muxes *)
+  gate_count : int;       (** total gate-equivalents of the block *)
+}
+
+val of_config : Pf_cache.Icache.config -> t
+
+val output_width_bits : int
+(** Width of the fetch output bus (one 32-bit word). *)

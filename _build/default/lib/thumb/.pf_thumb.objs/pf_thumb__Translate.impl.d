@@ -1,0 +1,1 @@
+lib/thumb/translate.ml: Array List Pf_arm Pf_util

@@ -1,0 +1,1 @@
+lib/thumb/translate.mli: Pf_arm

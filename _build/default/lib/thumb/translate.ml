@@ -1,0 +1,140 @@
+module A = Pf_arm.Insn
+
+type estimate = {
+  arm_bytes : int;
+  thumb_bytes : int;
+  halfwords : int;
+  expanded : int;
+}
+
+(* Registers a Thumb compiler would reach with low-register forms: r0-r7
+   plus the two scratch registers our ARM code generator uses (r11, r12) —
+   recompiling for Thumb would simply allocate those scratches low, so
+   charging a shuffle for them would overstate Thumb's cost. *)
+let low r = r <= 7 || r = 11 || r = 12
+
+(* A register Thumb data-processing cannot name directly costs a MOV
+   shuffle through a low register. *)
+let high_reg_penalty regs =
+  List.length (List.filter (fun r -> r >= 8 && r <= 12) regs)
+
+let dp_cost (op : A.dp_op) ~rd ~rn ~(op2 : A.operand2) ~two_op =
+  let shift_move =
+    (* LSL/LSR/ASR Rd, Rm, #imm and Rd, Rs are single Thumb instructions *)
+    match (op, op2) with
+    | A.MOV, A.Reg_shift (rm, _, _) -> low rm
+    | A.MOV, A.Reg_shift_reg (rm, _, rs) -> low rm && low rs && rd = rm
+    | _ -> false
+  in
+  if shift_move then (if low rd then 1 else 2)
+  else
+  let operand_cost =
+    match op2 with
+    | A.Reg rm -> if low rm then 0 else 1
+    | A.Imm _ -> (
+        match A.operand2_value op2 with
+        | Some v when v <= 255 -> (
+            (* imm8 forms exist for MOV/CMP/ADD/SUB only *)
+            match op with
+            | A.MOV | A.CMP | A.ADD | A.SUB -> 0
+            | _ -> 1 (* build the constant first *))
+        | Some _ -> 1 (* literal-pool load *)
+        | None -> 1)
+    | A.Reg_shift (rm, _, n) ->
+        (if low rm then 0 else 1) + if n <= 31 then 1 else 2
+    | A.Reg_shift_reg (rm, _, rs) ->
+        (if low rm then 0 else 1) + if low rs then 1 else 2
+  in
+  let base =
+    match op with
+    | A.MOV | A.MVN | A.CMP | A.CMN | A.TST | A.TEQ -> 1
+    | A.ADD | A.SUB ->
+        (* three-address low-register ADD/SUB exists *)
+        if two_op || (low rd && low rn) then 1 else 2
+    | A.AND | A.EOR | A.ORR | A.BIC | A.ADC | A.SBC ->
+        if two_op then 1 else 2 (* MOV rd, rn; OP rd, rm *)
+    | A.RSB -> if two_op then 1 else 2 (* NEG-based *)
+    | A.RSC -> 3
+  in
+  let shuffle =
+    (if low rd || op = A.MOV || op = A.ADD || op = A.CMP then 0 else 1)
+    + if low rn || op = A.MOV then 0 else 1
+  in
+  base + operand_cost + shuffle
+
+let mem_cost ~(width : A.mem_width) ~(offset : A.mem_offset) ~rd ~rn
+    ~writeback =
+  let range_ok ofs =
+    match width with
+    | A.Word -> ofs >= 0 && ofs <= 124 && ofs land 3 = 0
+    | A.Half -> ofs >= 0 && ofs <= 62 && ofs land 1 = 0
+    | A.Byte -> ofs >= 0 && ofs <= 31
+  in
+  let addr_cost =
+    match offset with
+    | A.Ofs_imm ofs -> if range_ok ofs then 0 else 1
+    | A.Ofs_reg (rx, A.LSL, 0) -> if low rx then 0 else 1
+    | A.Ofs_reg (rx, _, _) -> 1 + if low rx then 0 else 1
+  in
+  let shuffle = (if low rd then 0 else 1) + if low rn || rn = 13 then 0 else 1 in
+  (* pre-indexed writeback needs a separate address update *)
+  1 + addr_cost + shuffle + if writeback then 1 else 0
+
+let cost_of (insn : A.t) =
+  let predication =
+    match A.cond_of insn with
+    | A.AL -> 0
+    | _ -> ( match insn with A.B _ -> 0 | _ -> 1 (* branch around *))
+  in
+  predication
+  +
+  match insn with
+  | A.Dp { op; rd; rn; op2; _ } ->
+      let two_op =
+        match op with
+        | A.MOV | A.MVN | A.TST | A.TEQ | A.CMP | A.CMN -> true
+        | _ -> rd = rn
+      in
+      dp_cost op ~rd ~rn ~op2 ~two_op
+  | A.Mul { rd; rm; rs; acc; _ } ->
+      (if rd = rm || rd = rs then 1 else 2)
+      + (match acc with Some _ -> 1 | None -> 0)
+      + high_reg_penalty [ rd; rm; rs ]
+  | A.Mem { width; offset; rd; rn; writeback; load = _; signed; _ } ->
+      mem_cost ~width ~offset ~rd ~rn ~writeback
+      + (if signed then 0 else 0)
+  | A.Push { regs; _ } | A.Pop { regs; _ } ->
+      (* the low list plus LR/PC encode directly; each high register needs
+         a MOV through a low one *)
+      1 + List.length (List.filter (fun r -> r >= 8 && r <= 12) regs)
+  | A.B { cond = A.AL; link = false; _ } -> 1
+  | A.B { cond = A.AL; link = true; _ } -> 2 (* BL halfword pair *)
+  | A.B _ -> 1
+  | A.Bx _ -> 1
+  | A.Swi _ -> 1
+
+let estimate (image : Pf_arm.Image.t) =
+  let halfwords = ref 0 in
+  let expanded = ref 0 in
+  let pool_bytes = ref 0 in
+  Array.iter
+    (fun insn ->
+      match insn with
+      | Some insn ->
+          let c = cost_of insn in
+          halfwords := !halfwords + c;
+          if c > 1 then incr expanded
+      | None -> pool_bytes := !pool_bytes + 4)
+    image.Pf_arm.Image.insns;
+  let arm_bytes = Pf_arm.Image.code_size_bytes image in
+  {
+    arm_bytes;
+    thumb_bytes = (2 * !halfwords) + !pool_bytes;
+    halfwords = !halfwords;
+    expanded = !expanded;
+  }
+
+let size_saving e =
+  Pf_util.Stats.saving
+    ~baseline:(float_of_int e.arm_bytes)
+    (float_of_int e.thumb_bytes)

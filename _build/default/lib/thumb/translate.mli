@@ -1,0 +1,28 @@
+(** Thumb-like 16-bit code-size model — the baseline FITS is compared
+    against in Figure 5.
+
+    Thumb is a fixed (non-synthesized) 16-bit encoding: two-operand only,
+    most operations restricted to the eight low registers, 8-bit
+    immediates, no predication, and BL split into a two-halfword pair.
+    This module estimates, instruction by instruction, how many Thumb
+    halfwords the program would need — the structural penalty a fixed
+    16-bit ISA pays that an application-tuned one does not (paper §6.2:
+    "THUMB is not able to utilize its instruction fields efficiently").
+
+    It is a cost model, not an executable translator: only Figure 5 (code
+    size) needs it. *)
+
+type estimate = {
+  arm_bytes : int;
+  thumb_bytes : int;         (** 2 x halfwords + retained literal pools *)
+  halfwords : int;
+  expanded : int;            (** ARM instructions needing >1 halfword *)
+}
+
+val estimate : Pf_arm.Image.t -> estimate
+
+val size_saving : estimate -> float
+(** Percentage reduction vs the ARM image. *)
+
+val cost_of : Pf_arm.Insn.t -> int
+(** Halfwords needed for one ARM instruction (exposed for tests). *)

@@ -1,0 +1,48 @@
+let mask w =
+  if w < 0 || w > 62 then invalid_arg "Bits.mask"
+  else (1 lsl w) - 1
+
+let extract x ~lo ~width = (x lsr lo) land mask width
+
+let insert x ~lo ~width v =
+  let m = mask width lsl lo in
+  (x land lnot m) lor ((v land mask width) lsl lo)
+
+let zero_extend ~width x = x land mask width
+
+let sign_extend ~width x =
+  let x = zero_extend ~width x in
+  if x land (1 lsl (width - 1)) <> 0 then x - (1 lsl width) else x
+
+let fits_unsigned ~width x = x >= 0 && x <= mask width
+
+let fits_signed ~width x =
+  let half = 1 lsl (width - 1) in
+  x >= -half && x < half
+
+let u32 x = x land 0xFFFF_FFFF
+
+let rotate_right32 x r =
+  let x = u32 x in
+  let r = r land 31 in
+  if r = 0 then x else u32 ((x lsr r) lor (x lsl (32 - r)))
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let hamming a b = popcount (a lxor b)
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_power_of_two n) then invalid_arg "Bits.log2_exact"
+  else
+    let rec go k n = if n = 1 then k else go (k + 1) (n lsr 1) in
+    go 0 n
+
+let align_down x a = x land lnot (a - 1)
+
+let to_signed32 x =
+  let x = u32 x in
+  if x land 0x8000_0000 <> 0 then x - (1 lsl 32) else x

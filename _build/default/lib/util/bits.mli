@@ -1,0 +1,54 @@
+(** Bit-level helpers shared by the ISA encoders, the cache activity model
+    and the power accounting.  All values are plain OCaml [int]s used as
+    unsigned bit vectors of at most 32 significant bits unless stated
+    otherwise. *)
+
+val mask : int -> int
+(** [mask w] is a value with the low [w] bits set. [w] must be in [0, 62]. *)
+
+val extract : int -> lo:int -> width:int -> int
+(** [extract x ~lo ~width] returns bits [lo .. lo+width-1] of [x],
+    right-aligned. *)
+
+val insert : int -> lo:int -> width:int -> int -> int
+(** [insert x ~lo ~width v] returns [x] with bits [lo .. lo+width-1]
+    replaced by the low [width] bits of [v]. *)
+
+val sign_extend : width:int -> int -> int
+(** [sign_extend ~width x] interprets the low [width] bits of [x] as a
+    two's-complement number and returns the (possibly negative) value. *)
+
+val zero_extend : width:int -> int -> int
+(** Keep only the low [width] bits. *)
+
+val fits_unsigned : width:int -> int -> bool
+(** Does [x >= 0] fit in [width] unsigned bits? *)
+
+val fits_signed : width:int -> int -> bool
+(** Does [x] fit in [width] two's-complement bits? *)
+
+val rotate_right32 : int -> int -> int
+(** [rotate_right32 x r] rotates the low 32 bits of [x] right by [r]
+    (r taken mod 32) and returns an unsigned 32-bit result. *)
+
+val popcount : int -> int
+(** Number of set bits. *)
+
+val hamming : int -> int -> int
+(** [hamming a b] is the number of differing bits — the toggle count when a
+    bus transitions from value [a] to value [b]. *)
+
+val is_power_of_two : int -> bool
+
+val log2_exact : int -> int
+(** [log2_exact n] for a positive power of two [n].
+    @raise Invalid_argument otherwise. *)
+
+val align_down : int -> int -> int
+(** [align_down x a] rounds [x] down to a multiple of the power of two [a]. *)
+
+val u32 : int -> int
+(** Truncate to unsigned 32 bits. *)
+
+val to_signed32 : int -> int
+(** Reinterpret an unsigned 32-bit value as a signed 32-bit integer. *)

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All workload input generation goes through this module so that every
+    experiment is reproducible bit-for-bit across runs and machines,
+    independently of the OCaml [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). [bound > 0]. *)
+
+val int32u : t -> int
+(** A uniform unsigned 32-bit value. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for per-benchmark streams). *)

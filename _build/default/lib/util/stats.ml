@@ -1,0 +1,56 @@
+type histogram = { tbl : (int, int ref) Hashtbl.t; mutable total : int }
+
+let histogram () = { tbl = Hashtbl.create 64; total = 0 }
+
+let add h ?(weight = 1) key =
+  (match Hashtbl.find_opt h.tbl key with
+  | Some r -> r := !r + weight
+  | None -> Hashtbl.add h.tbl key (ref weight));
+  h.total <- h.total + weight
+
+let count h key =
+  match Hashtbl.find_opt h.tbl key with Some r -> !r | None -> 0
+
+let total h = h.total
+let distinct h = Hashtbl.length h.tbl
+
+let sorted_desc h =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) h.tbl []
+  |> List.sort (fun (k1, w1) (k2, w2) ->
+         if w1 <> w2 then compare w2 w1 else compare k1 k2)
+
+let top h n =
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+  in
+  take n (sorted_desc h)
+
+let coverage h pred =
+  if h.total = 0 then 0.0
+  else
+    let covered =
+      Hashtbl.fold (fun k r acc -> if pred k then acc + !r else acc) h.tbl 0
+    in
+    float_of_int covered /. float_of_int h.total
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> 0.0
+  | l ->
+      let sum_logs =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0.0 then invalid_arg "Stats.geomean: nonpositive"
+            else acc +. log x)
+          0.0 l
+      in
+      exp (sum_logs /. float_of_int (List.length l))
+
+let percent part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+let saving ~baseline v =
+  if baseline = 0.0 then 0.0 else 100.0 *. (baseline -. v) /. baseline

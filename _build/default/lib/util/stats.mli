@@ -1,0 +1,34 @@
+(** Small statistics toolkit used by the profiler and the harness. *)
+
+type histogram
+(** Frequency counts over integer keys. *)
+
+val histogram : unit -> histogram
+val add : histogram -> ?weight:int -> int -> unit
+val count : histogram -> int -> int
+val total : histogram -> int
+(** Sum of all weights. *)
+
+val distinct : histogram -> int
+(** Number of distinct keys observed. *)
+
+val sorted_desc : histogram -> (int * int) list
+(** (key, weight) pairs, heaviest first; ties broken by smaller key. *)
+
+val top : histogram -> int -> (int * int) list
+(** The [n] heaviest entries. *)
+
+val coverage : histogram -> (int -> bool) -> float
+(** [coverage h pred] is the weight fraction of keys satisfying [pred];
+    0.0 when the histogram is empty. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+(** Geometric mean; entries must be positive. *)
+
+val percent : float -> float -> float
+(** [percent part whole] = 100 * part / whole (0 if whole = 0). *)
+
+val saving : baseline:float -> float -> float
+(** [saving ~baseline v] = percentage reduction of [v] relative to
+    [baseline]: 100 * (baseline - v) / baseline. *)

@@ -1,0 +1,66 @@
+type align = Left | Right
+
+let pad a width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match a with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some l when List.length l = ncols -> l
+    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let all = header :: rows in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then
+        invalid_arg "Table.render: row length mismatch")
+    rows;
+  let widths =
+    List.mapi
+      (fun i _ ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          0 all)
+      header
+  in
+  let line row =
+    List.map2 (fun (w, a) cell -> pad a w cell) (List.combine widths aligns) row
+    |> String.concat "  "
+  in
+  let sep =
+    List.map (fun w -> String.make w '-') widths |> String.concat "  "
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (line r);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let pct x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+
+let si x =
+  let ax = Float.abs x in
+  let scaled, suffix =
+    if ax = 0.0 then (x, "")
+    else if ax < 1e-6 then (x *. 1e9, "n")
+    else if ax < 1e-3 then (x *. 1e6, "u")
+    else if ax < 1.0 then (x *. 1e3, "m")
+    else if ax < 1e3 then (x, "")
+    else if ax < 1e6 then (x /. 1e3, "k")
+    else if ax < 1e9 then (x /. 1e6, "M")
+    else (x /. 1e9, "G")
+  in
+  Printf.sprintf "%.3g%s" scaled suffix

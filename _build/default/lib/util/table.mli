@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the figure/benchmark reports. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] formats a padded ASCII table.  [align] gives the
+    per-column alignment (default: first column left, rest right). *)
+
+val pct : float -> string
+(** Format a percentage with one decimal, e.g. ["49.4"]. *)
+
+val f2 : float -> string
+(** Two-decimal fixed-point formatting. *)
+
+val si : float -> string
+(** Engineering-style formatting with an SI suffix (n, u, m, "", k, M, G)
+    chosen from magnitude, three significant digits. *)

@@ -1,0 +1,1 @@
+test/test_armgen_units.ml: Alcotest Array List Pf_arm Pf_armgen Pf_kir Printf String

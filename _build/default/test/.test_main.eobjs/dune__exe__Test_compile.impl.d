@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Fun List Pf_armgen Pf_kir Printf

@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest List Pf_arm Printf QCheck QCheck_alcotest

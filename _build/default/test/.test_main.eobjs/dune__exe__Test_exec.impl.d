@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Char List Option Pf_arm Pf_util

@@ -1,0 +1,1 @@
+test/test_exprsweep.ml: Alcotest List Pf_armgen Pf_kir

@@ -1,0 +1,1 @@
+test/test_fits.ml: Alcotest Array Hashtbl Pf_armgen Pf_cpu Pf_fits Pf_kir Printf

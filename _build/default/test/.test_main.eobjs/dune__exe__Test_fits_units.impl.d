@@ -1,0 +1,1 @@
+test/test_fits_units.ml: Alcotest Array Hashtbl List Option Pf_arm Pf_armgen Pf_fits Pf_kir String

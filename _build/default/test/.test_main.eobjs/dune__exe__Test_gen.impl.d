@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Char Fun Hashtbl Option Pf_mibench Pf_util Printf

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Float Lazy List Pf_armgen Pf_fits Pf_harness Pf_mibench Pf_power Pf_util Printf String

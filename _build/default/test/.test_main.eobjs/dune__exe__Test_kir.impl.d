@@ -1,0 +1,1 @@
+test/test_kir.ml: Alcotest Ast Eval List Pf_kir Pf_mibench Printf String Transform Validate

@@ -1,0 +1,1 @@
+test/test_mibench.ml: Alcotest Array List Pf_armgen Pf_harness Pf_kir Pf_mibench Pf_util String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Pf_cache Pf_cpu Pf_power

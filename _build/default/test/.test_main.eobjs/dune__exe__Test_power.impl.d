@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest List Pf_cache Pf_power QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Array Hashtbl List Pf_armgen Pf_fits Pf_kir Printf QCheck QCheck_alcotest

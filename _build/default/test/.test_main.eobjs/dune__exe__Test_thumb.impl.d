@@ -1,0 +1,1 @@
+test/test_thumb.ml: Alcotest List Option Pf_arm Pf_armgen Pf_mibench Pf_thumb Printf

@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Array Hashtbl List Pf_arm Pf_armgen Pf_fits Pf_kir String

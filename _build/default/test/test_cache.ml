@@ -1,0 +1,160 @@
+(* Unit and property tests for the I-cache simulator. *)
+
+module C = Pf_cache.Icache
+
+let cfg ?(block = 32) ?(assoc = 2) size = C.config ~block_bytes:block ~assoc ~size_bytes:size ()
+
+let touch t addr = ignore (C.access t ~addr ~data:0)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_geometry () =
+  let c = C.config ~size_bytes:(16 * 1024) () in
+  check_int "sets (sa1100-like)" 16 (C.sets c);
+  check_int "tag bits" 23 (C.tag_bits c);
+  let dm = cfg ~assoc:1 1024 in
+  check_int "direct-mapped sets" 32 (C.sets dm)
+
+let test_cold_misses () =
+  let t = C.create (cfg 1024) in
+  touch t 0;
+  touch t 0;
+  touch t 4;
+  (* same block *)
+  check_int "one compulsory miss" 1 (C.stats_misses t);
+  check_int "three accesses" 3 (C.stats_accesses t);
+  touch t 32;
+  check_int "next block misses" 2 (C.stats_misses t)
+
+let test_lru_eviction () =
+  (* 2-way, block 32: set count = 1024/32/2 = 16; three blocks mapping to
+     set 0 are 0, 16*32=512, 1024 *)
+  let t = C.create (cfg 1024) in
+  touch t 0;
+  touch t 512;
+  touch t 0;
+  (* 0 is now MRU; inserting 1024 must evict 512, not 0 *)
+  touch t 1024;
+  let misses = C.stats_misses t in
+  touch t 0;
+  check_int "0 still resident" misses (C.stats_misses t);
+  touch t 512;
+  check_int "512 was evicted" (misses + 1) (C.stats_misses t)
+
+let test_direct_mapped_conflict () =
+  let t = C.create (cfg ~assoc:1 1024) in
+  (* two addresses 1024 apart share the single way of a set *)
+  touch t 0;
+  touch t 1024;
+  touch t 0;
+  touch t 1024;
+  check_int "ping-pong conflicts" 4 (C.stats_misses t)
+
+let test_classification () =
+  let t = C.create ~classify:true (cfg ~assoc:1 1024) in
+  touch t 0;
+  touch t 1024;
+  (* both compulsory *)
+  touch t 0;
+  (* 0 would HIT in a fully-associative cache of the same size: conflict *)
+  check_int "compulsory" 2 (C.stats_compulsory t);
+  check_int "conflict" 1 (C.stats_conflict t);
+  check_int "capacity" 0 (C.stats_capacity t);
+  (* stream more blocks than the cache holds: capacity misses appear *)
+  let t2 = C.create ~classify:true (cfg ~assoc:2 1024) in
+  for round = 1 to 2 do
+    ignore round;
+    for b = 0 to 63 do
+      touch t2 (b * 32)
+    done
+  done;
+  check_bool "capacity misses observed" true (C.stats_capacity t2 > 0)
+
+let test_activity_counters () =
+  let t = C.create (cfg 1024) in
+  ignore (C.access t ~addr:0 ~data:0xFF);
+  let r = C.access t ~addr:0 ~data:0x00 in
+  check_int "eight output toggles" 8 r.C.toggles;
+  check_int "accumulated over both accesses" 16 (C.output_toggles t);
+  check_int "refill words counted" (32 / 4) (C.refill_words t);
+  check_int "miss refilled words in result" 0 r.C.refilled_words
+
+let test_miss_rate_and_reset () =
+  let t = C.create (cfg 1024) in
+  touch t 0;
+  touch t 0;
+  Alcotest.(check (float 1.0)) "per million" 500000.0
+    (C.miss_rate_per_million t);
+  C.reset_stats t;
+  check_int "stats cleared" 0 (C.stats_accesses t);
+  touch t 0;
+  check_int "contents survive reset" 0 (C.stats_misses t)
+
+let test_invalid_configs () =
+  Alcotest.(check bool) "non-power-of-two rejected" true
+    (try
+       ignore (C.create (C.config ~size_bytes:3000 ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* properties *)
+
+let trace_gen = QCheck.Gen.(list_size (int_range 1 500) (int_bound 0xFFFF))
+
+let prop_misses_bounded =
+  QCheck.Test.make ~name:"misses never exceed accesses" ~count:100
+    (QCheck.make trace_gen)
+    (fun trace ->
+      let t = C.create (cfg 1024) in
+      List.iter (fun a -> touch t (a land lnot 3)) trace;
+      C.stats_misses t <= C.stats_accesses t
+      && C.stats_accesses t = List.length trace)
+
+let prop_bigger_cache_fewer_misses =
+  QCheck.Test.make
+    ~name:"doubling the size (same assoc scaling) never adds misses"
+    ~count:100 (QCheck.make trace_gen)
+    (fun trace ->
+      (* full-LRU inclusion: compare fully-associative caches *)
+      let small =
+        C.create (C.config ~block_bytes:32 ~assoc:32 ~size_bytes:1024 ())
+      in
+      let big =
+        C.create (C.config ~block_bytes:32 ~assoc:64 ~size_bytes:2048 ())
+      in
+      List.iter
+        (fun a ->
+          let a = a land lnot 3 in
+          touch small a;
+          touch big a)
+        trace;
+      C.stats_misses big <= C.stats_misses small)
+
+let prop_repeat_trace_all_hits =
+  QCheck.Test.make
+    ~name:"replaying a small working set hits after warmup" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 20) (int_bound 31)))
+    (fun blocks ->
+      let t = C.create (cfg ~assoc:32 1024) in
+      (* 32 blocks capacity, working set <= 20 distinct blocks *)
+      List.iter (fun b -> touch t (b * 32)) blocks;
+      let warm = C.stats_misses t in
+      List.iter (fun b -> touch t (b * 32)) blocks;
+      C.stats_misses t = warm)
+
+let tests =
+  [
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "cold misses" `Quick test_cold_misses;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
+    Alcotest.test_case "direct-mapped conflicts" `Quick
+      test_direct_mapped_conflict;
+    Alcotest.test_case "miss classification" `Quick test_classification;
+    Alcotest.test_case "toggle/refill counters" `Quick test_activity_counters;
+    Alcotest.test_case "miss rate and reset" `Quick test_miss_rate_and_reset;
+    Alcotest.test_case "invalid configs rejected" `Quick test_invalid_configs;
+    QCheck_alcotest.to_alcotest prop_misses_bounded;
+    QCheck_alcotest.to_alcotest prop_bigger_cache_fewer_misses;
+    QCheck_alcotest.to_alcotest prop_repeat_trace_all_hits;
+  ]

@@ -1,0 +1,216 @@
+(* Encode/decode round-trip tests for the ARM-like ISA, including a QCheck
+   generator of canonical instructions. *)
+
+module A = Pf_arm.Insn
+
+let roundtrip insn =
+  match Pf_arm.Decode.decode (Pf_arm.Encode.encode insn) with
+  | Some insn' -> insn' = insn
+  | None -> false
+
+let check_rt name insn =
+  Alcotest.(check bool) (name ^ ": " ^ A.to_string insn) true (roundtrip insn)
+
+let dp ?(cond = A.AL) ?(s = false) op rd rn op2 =
+  A.Dp { cond; op; s; rd; rn; op2 }
+
+let test_dp_roundtrip () =
+  check_rt "add reg" (dp A.ADD 1 2 (A.Reg 3));
+  check_rt "add imm" (dp A.ADD 1 2 (A.Imm { value = 0xFF; rot = 0 }));
+  check_rt "add rot imm" (dp A.ADD 1 2 (A.Imm { value = 0x3F; rot = 4 }));
+  check_rt "sub s" (dp ~s:true A.SUB 1 2 (A.Reg 3));
+  check_rt "mov shift" (dp A.MOV 1 0 (A.Reg_shift (3, A.LSL, 5)));
+  check_rt "mov lsr 31" (dp A.MOV 1 0 (A.Reg_shift (3, A.LSR, 31)));
+  check_rt "mov shift reg" (dp A.MOV 1 0 (A.Reg_shift_reg (3, A.ASR, 4)));
+  check_rt "cmp" (dp A.CMP 0 2 (A.Reg 3));
+  check_rt "cmp imm" (dp A.CMP 0 2 (A.Imm { value = 10; rot = 0 }));
+  check_rt "mvn" (dp A.MVN 7 0 (A.Reg 8));
+  check_rt "conditional" (dp ~cond:A.NE A.ADD 1 2 (A.Reg 3));
+  check_rt "bic" (dp A.BIC 12 11 (A.Reg_shift (10, A.ROR, 7)))
+
+let test_mul_roundtrip () =
+  check_rt "mul" (A.Mul { cond = A.AL; s = false; rd = 1; rm = 2; rs = 3;
+                          acc = None });
+  check_rt "mla"
+    (A.Mul { cond = A.AL; s = false; rd = 1; rm = 2; rs = 3; acc = Some 4 });
+  check_rt "muls"
+    (A.Mul { cond = A.EQ; s = true; rd = 1; rm = 2; rs = 3; acc = None })
+
+let mem ?(cond = A.AL) ?(signed = false) ?(writeback = false) ~load width rd
+    rn offset =
+  A.Mem { cond; load; width; signed; rd; rn; offset; writeback }
+
+let test_mem_roundtrip () =
+  check_rt "ldr imm" (mem ~load:true A.Word 1 2 (A.Ofs_imm 0x40));
+  check_rt "ldr neg imm" (mem ~load:true A.Word 1 2 (A.Ofs_imm (-16)));
+  check_rt "ldr max imm" (mem ~load:true A.Word 1 2 (A.Ofs_imm 4095));
+  check_rt "str imm" (mem ~load:false A.Word 1 2 (A.Ofs_imm 8));
+  check_rt "ldrb" (mem ~load:true A.Byte 1 2 (A.Ofs_imm 3));
+  check_rt "strb" (mem ~load:false A.Byte 1 2 (A.Ofs_imm 3));
+  check_rt "ldr reg" (mem ~load:true A.Word 1 2 (A.Ofs_reg (3, A.LSL, 0)));
+  check_rt "ldr reg shift"
+    (mem ~load:true A.Word 1 2 (A.Ofs_reg (3, A.LSL, 2)));
+  check_rt "ldrb reg shift"
+    (mem ~load:true A.Byte 1 2 (A.Ofs_reg (3, A.LSL, 1)));
+  check_rt "ldrh" (mem ~load:true A.Half 1 2 (A.Ofs_imm 6));
+  check_rt "ldrh neg" (mem ~load:true A.Half 1 2 (A.Ofs_imm (-6)));
+  check_rt "ldrsh" (mem ~load:true ~signed:true A.Half 1 2 (A.Ofs_imm 6));
+  check_rt "ldrsb" (mem ~load:true ~signed:true A.Byte 1 2 (A.Ofs_imm 1));
+  check_rt "strh" (mem ~load:false A.Half 1 2 (A.Ofs_imm 2));
+  check_rt "ldrh reg" (mem ~load:true A.Half 1 2 (A.Ofs_reg (3, A.LSL, 0)));
+  check_rt "writeback" (mem ~load:true ~writeback:true A.Word 1 2 (A.Ofs_imm 4))
+
+let test_block_branch_roundtrip () =
+  check_rt "push" (A.Push { cond = A.AL; regs = [ 4; 5; 6; A.lr ] });
+  check_rt "pop" (A.Pop { cond = A.AL; regs = [ 4; 5; 6; A.pc ] });
+  check_rt "b fwd" (A.B { cond = A.AL; link = false; offset = 4096 });
+  check_rt "b back" (A.B { cond = A.AL; link = false; offset = -4096 });
+  check_rt "bne" (A.B { cond = A.NE; link = false; offset = 8 });
+  check_rt "bl" (A.B { cond = A.AL; link = true; offset = 0 });
+  check_rt "bx" (A.Bx { cond = A.AL; rm = A.lr });
+  check_rt "swi" (A.Swi { cond = A.AL; number = 42 })
+
+let test_unencodable () =
+  let expect_fail name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Pf_arm.Encode.encode (f ()));
+         false
+       with Pf_arm.Encode.Unencodable _ -> true)
+  in
+  expect_fail "branch offset too far" (fun () ->
+      A.B { cond = A.AL; link = false; offset = 1 lsl 26 });
+  expect_fail "unaligned branch" (fun () ->
+      A.B { cond = A.AL; link = false; offset = 2 });
+  expect_fail "mem offset too big" (fun () ->
+      mem ~load:true A.Word 1 2 (A.Ofs_imm 5000));
+  expect_fail "half offset too big" (fun () ->
+      mem ~load:true A.Half 1 2 (A.Ofs_imm 300));
+  expect_fail "half shifted reg" (fun () ->
+      mem ~load:true A.Half 1 2 (A.Ofs_reg (3, A.LSL, 1)));
+  expect_fail "empty reglist" (fun () -> A.Push { cond = A.AL; regs = [] });
+  expect_fail "signed store" (fun () ->
+      mem ~load:false ~signed:true A.Half 1 2 (A.Ofs_imm 0))
+
+let test_imm_operand_search () =
+  let check_enc c =
+    match A.encode_imm_operand c with
+    | Some op2 ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "imm %x resolves" c)
+          (Some c) (A.operand2_value op2)
+    | None -> Alcotest.failf "0x%x should be encodable" c
+  in
+  List.iter check_enc [ 0; 1; 255; 0x100; 0xFF00; 0x3FC; 0xFF000000; 0xC0000034 ];
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "imm %x not encodable" c)
+        true
+        (A.encode_imm_operand c = None))
+    [ 0x101; 0x12345678; 0xFFFF ]
+
+(* ---- property: random canonical instructions round-trip ---- *)
+
+let reg_gen = QCheck.Gen.int_bound 15
+let cond_gen =
+  QCheck.Gen.oneofl
+    [ A.EQ; A.NE; A.CS; A.CC; A.MI; A.PL; A.VS; A.VC; A.HI; A.LS; A.GE;
+      A.LT; A.GT; A.LE; A.AL ]
+
+let shift_gen = QCheck.Gen.oneofl [ A.LSL; A.LSR; A.ASR; A.ROR ]
+
+let op2_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun r -> A.Reg r) reg_gen;
+      map2
+        (fun v rot -> A.Imm { value = v; rot })
+        (int_bound 255) (int_bound 15);
+      map3
+        (fun r k n ->
+          if k = A.LSL && n = 0 then A.Reg r else A.Reg_shift (r, k, n))
+        reg_gen shift_gen (int_range 0 31);
+      map3 (fun r k rs -> A.Reg_shift_reg (r, k, rs)) reg_gen shift_gen
+        reg_gen;
+    ]
+
+let insn_gen =
+  let open QCheck.Gen in
+  let dp_gen =
+    map3
+      (fun (op, s) (rd, rn) (op2, cond) ->
+        let s =
+          match op with A.TST | A.TEQ | A.CMP | A.CMN -> false | _ -> s
+        in
+        A.Dp { cond; op; s; rd; rn; op2 })
+      (pair
+         (oneofl
+            [ A.AND; A.EOR; A.SUB; A.RSB; A.ADD; A.ADC; A.SBC; A.RSC; A.TST;
+              A.TEQ; A.CMP; A.CMN; A.ORR; A.MOV; A.BIC; A.MVN ])
+         bool)
+      (pair reg_gen reg_gen)
+      (pair op2_gen cond_gen)
+  in
+  let mem_gen =
+    map3
+      (fun (load, width) (rd, rn) (ofs, cond) ->
+        let signed = false in
+        let offset =
+          match (width, ofs) with
+          | A.Half, `Imm n -> A.Ofs_imm (n mod 256)
+          | _, `Imm n -> A.Ofs_imm n
+          | A.Half, `Reg r -> A.Ofs_reg (r, A.LSL, 0)
+          | _, `Reg r -> A.Ofs_reg (r, A.LSL, 2)
+        in
+        A.Mem { cond; load; width; signed; rd; rn; offset; writeback = false })
+      (pair bool (oneofl [ A.Word; A.Byte; A.Half ]))
+      (pair reg_gen reg_gen)
+      (pair
+         (oneof
+            [ map (fun n -> `Imm n) (int_range (-4095) 4095);
+              map (fun r -> `Reg r) reg_gen ])
+         cond_gen)
+  in
+  let branch_gen =
+    map3
+      (fun link words cond -> A.B { cond; link; offset = words * 4 })
+      bool
+      (int_range (-100000) 100000)
+      cond_gen
+  in
+  oneof
+    [ dp_gen; mem_gen; branch_gen;
+      map (fun (rm, cond) -> A.Bx { cond; rm }) (pair reg_gen cond_gen);
+      map (fun (n, cond) -> A.Swi { cond; number = n })
+        (pair (int_bound 0xFFFF) cond_gen) ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"random canonical instruction round-trips"
+    ~count:2000
+    (QCheck.make ~print:(fun i -> A.to_string i) insn_gen)
+    (fun insn ->
+      match Pf_arm.Decode.decode (Pf_arm.Encode.encode insn) with
+      | Some insn' -> insn' = insn
+      | None -> false)
+
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode never raises on arbitrary words" ~count:2000
+    (QCheck.map (fun x -> x land 0xFFFFFFFF) QCheck.int)
+    (fun word ->
+      ignore (Pf_arm.Decode.decode word);
+      true)
+
+let tests =
+  [
+    Alcotest.test_case "dp round-trips" `Quick test_dp_roundtrip;
+    Alcotest.test_case "mul round-trips" `Quick test_mul_roundtrip;
+    Alcotest.test_case "mem round-trips" `Quick test_mem_roundtrip;
+    Alcotest.test_case "block/branch round-trips" `Quick
+      test_block_branch_roundtrip;
+    Alcotest.test_case "unencodable rejected" `Quick test_unencodable;
+    Alcotest.test_case "imm operand search" `Quick test_imm_operand_search;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decode_total;
+  ]

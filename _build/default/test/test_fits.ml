@@ -1,0 +1,154 @@
+(* End-to-end FITS checks: synthesize an ISA per program, translate, and
+   run the 16-bit binary — the printed output must match both the ARM
+   simulation and the KIR reference evaluator. *)
+
+open Pf_kir.Build
+
+let full_stack p =
+  let expected = (Pf_kir.Eval.run p).output in
+  let image = Pf_armgen.Compile.program p in
+  let dyn_counts, arm_out = Pf_fits.Synthesis.dyn_counts_of_run image in
+  Alcotest.(check string) "arm output" expected arm_out;
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  let res = Pf_fits.Run.run tr in
+  Alcotest.(check string) "fits output" expected res.Pf_fits.Run.output;
+  (image, syn, tr, res)
+
+let demo_program =
+  program
+    [ garray "tbl" W32 64; garray "bytes" W8 256 ]
+    [
+      func "mix" [ "x"; "y" ]
+        [
+          let_ "acc" (bxor (v "x") (shl (v "y") (i 3)));
+          set "acc" (v "acc" +% shr (v "x") (i 7));
+          ret (v "acc");
+        ];
+      func "main" []
+        [
+          for_ "k" (i 0) (i 64)
+            [ setidx32 "tbl" (v "k") (call "mix" [ v "k"; v "k" *% i 3 ]) ];
+          for_ "k" (i 0) (i 256)
+            [ setidx8 "bytes" (v "k") (band (v "k" *% i 7) (i 255)) ];
+          let_ "sum" (i 0);
+          for_ "k" (i 0) (i 64)
+            [
+              set "sum" (bxor (v "sum") (idx32 "tbl" (v "k")));
+              when_ (band (v "k") (i 3) =% i 0)
+                [ set "sum" (v "sum" +% idx8 "bytes" (v "k")) ];
+            ];
+          print_int (v "sum");
+          print_int (v "sum" /% i 17);
+          print_int (urem (v "sum") (i 23));
+        ];
+    ]
+
+let test_equivalence () = ignore (full_stack demo_program)
+
+let test_mapping_rates () =
+  let _, _, tr, res = full_stack demo_program in
+  let static = Pf_fits.Translate.static_mapping_rate tr in
+  Alcotest.(check bool)
+    (Printf.sprintf "static mapping high (got %.1f%%)" static)
+    true (static > 80.0);
+  let dyn = res.Pf_fits.Run.dyn_one_to_one_pct in
+  Alcotest.(check bool)
+    (Printf.sprintf "dynamic mapping high (got %.1f%%)" dyn)
+    true (dyn > 85.0)
+
+let test_code_size () =
+  let _, _, tr, _ = full_stack demo_program in
+  let saving = Pf_fits.Translate.code_size_saving tr in
+  Alcotest.(check bool)
+    (Printf.sprintf "code size saving near half (got %.1f%%)" saving)
+    true
+    (saving > 35.0 && saving <= 50.0)
+
+let test_fetch_traffic_halves () =
+  let image = Pf_armgen.Compile.program demo_program in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  let arm = Pf_cpu.Arm_run.run image in
+  let fits = Pf_fits.Run.run tr in
+  let ratio =
+    float_of_int fits.Pf_fits.Run.cache_accesses
+    /. float_of_int arm.Pf_cpu.Arm_run.cache_accesses
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fetch accesses roughly halve (ratio %.2f)" ratio)
+    true
+    (ratio > 0.4 && ratio < 0.75)
+
+let test_spec_wellformed () =
+  let image = Pf_armgen.Compile.program demo_program in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let spec = syn.Pf_fits.Synthesis.spec in
+  Alcotest.(check bool) "groups within budget" true
+    (spec.Pf_fits.Spec.groups_used <= Pf_fits.Spec.max_groups);
+  (* no two ops share an encoding slot *)
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun (od : Pf_fits.Spec.opdef) ->
+      let slot = (od.Pf_fits.Spec.group, od.Pf_fits.Spec.sub) in
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d.%d unique" (fst slot) (snd slot))
+        false (Hashtbl.mem seen slot);
+      Hashtbl.add seen slot ())
+    spec.Pf_fits.Spec.ops;
+  (* dictionary within capacity and duplicate-free *)
+  let d = spec.Pf_fits.Spec.dict in
+  Alcotest.(check bool) "dict within capacity" true
+    (Array.length d <= Pf_fits.Spec.dict_capacity);
+  let dseen = Hashtbl.create 64 in
+  Array.iter
+    (fun value ->
+      Alcotest.(check bool) "dict value unique" false (Hashtbl.mem dseen value);
+      Hashtbl.add dseen value ())
+    d
+
+let test_recursive_program () =
+  ignore
+    (full_stack
+       (program []
+          [
+            func "ack" [ "m"; "n" ]
+              [
+                when_ (v "m" =% i 0) [ ret (v "n" +% i 1) ];
+                when_ (v "n" =% i 0) [ ret (call "ack" [ v "m" -% i 1; i 1 ]) ];
+                ret
+                  (call "ack"
+                     [ v "m" -% i 1; call "ack" [ v "m"; v "n" -% i 1 ] ]);
+              ];
+            func "main" [] [ print_int (call "ack" [ i 2; i 3 ]) ];
+          ]))
+
+let test_memory_widths () =
+  ignore
+    (full_stack
+       (program
+          [ garray "h" W16 32 ]
+          [
+            func "main" []
+              [
+                for_ "k" (i 0) (i 32)
+                  [ setidx16 "h" (v "k") (v "k" *% i 1021) ];
+                let_ "s" (i 0);
+                for_ "k" (i 0) (i 32)
+                  [ set "s" (v "s" +% load16s (gaddr "h" +% shl (v "k") (i 1))) ];
+                print_int (v "s");
+              ];
+          ]))
+
+let tests =
+  [
+    Alcotest.test_case "arm/fits equivalence" `Quick test_equivalence;
+    Alcotest.test_case "mapping rates" `Quick test_mapping_rates;
+    Alcotest.test_case "code size halves" `Quick test_code_size;
+    Alcotest.test_case "fetch traffic halves" `Quick test_fetch_traffic_halves;
+    Alcotest.test_case "spec well-formed" `Quick test_spec_wellformed;
+    Alcotest.test_case "recursion (ackermann)" `Quick test_recursive_program;
+    Alcotest.test_case "halfword memory" `Quick test_memory_widths;
+  ]

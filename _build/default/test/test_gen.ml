@@ -1,0 +1,97 @@
+(* Input/table generator tests — including checking the computed AES S-box
+   against published values, which pins down the GF(2^8) arithmetic the
+   rijndael benchmark rests on. *)
+
+module G = Pf_mibench.Gen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_aes_sbox_known_values () =
+  (* FIPS-197 Figure 7 *)
+  check_int "S[00]" 0x63 G.aes_sbox.(0x00);
+  check_int "S[01]" 0x7C G.aes_sbox.(0x01);
+  check_int "S[10]" 0xCA G.aes_sbox.(0x10);
+  check_int "S[53]" 0xED G.aes_sbox.(0x53);
+  check_int "S[AA]" 0xAC G.aes_sbox.(0xAA);
+  check_int "S[FF]" 0x16 G.aes_sbox.(0xFF)
+
+let test_aes_inverse () =
+  for b = 0 to 255 do
+    check_int
+      (Printf.sprintf "inv(S[%02x])" b)
+      b
+      G.aes_inv_sbox.(G.aes_sbox.(b))
+  done
+
+let test_sbox_bijective () =
+  let seen = Array.make 256 false in
+  Array.iter (fun v -> seen.(v) <- true) G.aes_sbox;
+  check_bool "S-box is a permutation" true (Array.for_all Fun.id seen)
+
+let test_generators_deterministic () =
+  Alcotest.(check (array int)) "bytes repeatable"
+    (G.bytes ~seed:7 64) (G.bytes ~seed:7 64);
+  check_bool "different seeds differ" true
+    (G.bytes ~seed:7 64 <> G.bytes ~seed:8 64);
+  Alcotest.(check (array int)) "samples repeatable"
+    (G.samples16 ~seed:3 64) (G.samples16 ~seed:3 64)
+
+let test_ranges () =
+  Array.iter
+    (fun b -> check_bool "byte range" true (b >= 0 && b < 256))
+    (G.bytes ~seed:1 512);
+  Array.iter
+    (fun t ->
+      check_bool "text is lowercase or space" true
+        (t = Char.code ' ' || (t >= Char.code 'a' && t <= Char.code 'z')))
+    (G.text ~seed:1 512);
+  Array.iter
+    (fun p -> check_bool "pixel range" true (p >= 0 && p < 256))
+    (G.image8 ~seed:1 ~width:32 ~height:32)
+
+let test_samples_look_like_audio () =
+  (* signed 16-bit values stored as u16, with energy spread over time *)
+  let s = G.samples16 ~seed:9 2048 in
+  let signed v = if v >= 32768 then v - 65536 else v in
+  let nonzero = Array.fold_left (fun a v -> if signed v <> 0 then a + 1 else a) 0 s in
+  check_bool "mostly nonzero" true (nonzero > 1800);
+  let max_abs = Array.fold_left (fun a v -> max a (abs (signed v))) 0 s in
+  check_bool "bounded" true (max_abs < 32768);
+  check_bool "uses real amplitude" true (max_abs > 4000)
+
+let test_sine_table () =
+  let t = G.sine_q14 256 in
+  check_int "sin(0)" 0 t.(0);
+  check_int "sin(pi/2)" 16384 t.(64);
+  check_int "sin(pi)" 0 t.(128);
+  (* odd symmetry in u32 two's complement *)
+  check_int "sin(3pi/2)" (Pf_util.Bits.u32 (-16384)) t.(192)
+
+let test_text_has_repeats () =
+  (* string search needs recurring substrings, like natural language *)
+  let t = G.text ~seed:5 4096 in
+  let tbl = Hashtbl.create 512 in
+  for k = 0 to Array.length t - 4 do
+    let key = (t.(k), t.(k + 1), t.(k + 2), t.(k + 3)) in
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  done;
+  let max_rep = Hashtbl.fold (fun _ c m -> max c m) tbl 0 in
+  check_bool "some 4-gram repeats" true (max_rep >= 3);
+  check_bool "fewer distinct 4-grams than positions" true
+    (Hashtbl.length tbl < Array.length t - 4)
+
+let tests =
+  [
+    Alcotest.test_case "AES S-box (FIPS-197 values)" `Quick
+      test_aes_sbox_known_values;
+    Alcotest.test_case "AES inverse S-box" `Quick test_aes_inverse;
+    Alcotest.test_case "S-box bijective" `Quick test_sbox_bijective;
+    Alcotest.test_case "deterministic inputs" `Quick
+      test_generators_deterministic;
+    Alcotest.test_case "value ranges" `Quick test_ranges;
+    Alcotest.test_case "audio-like samples" `Quick
+      test_samples_look_like_audio;
+    Alcotest.test_case "sine table" `Quick test_sine_table;
+    Alcotest.test_case "text n-gram repeats" `Quick test_text_has_repeats;
+  ]

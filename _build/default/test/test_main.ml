@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "powerfits"
+    [
+      ("util", Test_util.tests);
+      ("encode", Test_encode.tests);
+      ("exec", Test_exec.tests);
+      ("kir", Test_kir.tests);
+      ("compile", Test_compile.tests);
+      ("random-programs", Test_random_programs.tests);
+      ("cache", Test_cache.tests);
+      ("power", Test_power.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("translate", Test_translate.tests);
+      ("thumb", Test_thumb.tests);
+      ("mibench", Test_mibench.tests);
+      ("armgen-units", Test_armgen_units.tests);
+      ("gen", Test_gen.tests);
+      ("expr-sweep", Test_exprsweep.tests);
+      ("fits-units", Test_fits_units.tests);
+      ("harness", Test_harness.tests);
+      ("fits", Test_fits.tests);
+    ]

@@ -1,0 +1,123 @@
+(* Benchmark-suite integrity: every program is checked compiled-vs-
+   reference at suite scale, and the full FITS stack on a cross-category
+   subset.  These are the "the workloads themselves are correct programs"
+   tests — e.g. blowfish/rijndael must survive their own decrypt(encrypt(x))
+   round trips, qsort must actually sort, adpcm must track the waveform. *)
+
+let registry = Pf_mibench.Registry.all
+
+let test_registry_shape () =
+  Alcotest.(check int) "21 benchmarks" 21 (List.length registry);
+  Alcotest.(check int) "19 in the power study" 19
+    (List.length Pf_mibench.Registry.power_suite);
+  let names = List.map (fun b -> b.Pf_mibench.Registry.name) registry in
+  Alcotest.(check int) "names unique" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* the paper's exclusions *)
+  Alcotest.(check bool) "basicmath excluded from power" true
+    (not
+       (List.exists
+          (fun b -> b.Pf_mibench.Registry.name = "basicmath")
+          Pf_mibench.Registry.power_suite));
+  Alcotest.(check bool) "gsm renamed" true
+    (List.exists
+       (fun b -> b.Pf_mibench.Registry.name = "gsm")
+       Pf_mibench.Registry.power_suite);
+  (* find resolves both spellings *)
+  Alcotest.(check string) "find gsm" "gsm.decode"
+    (Pf_mibench.Registry.find "gsm").Pf_mibench.Registry.name;
+  Alcotest.(check bool) "find unknown raises" true
+    (try
+       ignore (Pf_mibench.Registry.find "nonesuch");
+       false
+     with Not_found -> true)
+
+let test_categories () =
+  let count cat =
+    List.length
+      (List.filter (fun b -> b.Pf_mibench.Registry.category = cat) registry)
+  in
+  Alcotest.(check int) "automotive" 4 (count "automotive");
+  Alcotest.(check int) "consumer" 2 (count "consumer");
+  Alcotest.(check int) "network" 2 (count "network");
+  Alcotest.(check int) "office" 2 (count "office");
+  Alcotest.(check int) "security" 5 (count "security");
+  Alcotest.(check int) "telecomm" 6 (count "telecomm")
+
+(* compiled-vs-evaluator equivalence for every benchmark *)
+let equivalence_case (b : Pf_mibench.Registry.benchmark) =
+  Alcotest.test_case b.Pf_mibench.Registry.name `Slow (fun () ->
+      let p = b.Pf_mibench.Registry.program ~scale:1 in
+      let expected = (Pf_kir.Eval.run p).Pf_kir.Eval.output in
+      Alcotest.(check bool) "produces output" true
+        (String.length expected > 0);
+      let image =
+        Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
+      in
+      let actual = Pf_armgen.Compile.run image in
+      Alcotest.(check string) "compiled output" expected actual)
+
+(* full four-config consistency on one benchmark per category *)
+let full_stack_case name =
+  Alcotest.test_case ("4-config " ^ name) `Slow (fun () ->
+      let b = Pf_mibench.Registry.find name in
+      let r = Pf_harness.Experiment.run_benchmark b in
+      Alcotest.(check bool) "outputs consistent" true
+        r.Pf_harness.Experiment.outputs_consistent;
+      Alcotest.(check bool) "static mapping over 85%" true
+        (r.Pf_harness.Experiment.static_map_pct > 85.0);
+      Alcotest.(check bool) "FITS code smaller" true
+        (r.Pf_harness.Experiment.code_fits < r.Pf_harness.Experiment.code_arm))
+
+let test_outputs_scale_sensitive () =
+  (* scaling the input must change the work actually done *)
+  let b = Pf_mibench.Registry.find "crc32" in
+  let p1 = b.Pf_mibench.Registry.program ~scale:1 in
+  let p2 = b.Pf_mibench.Registry.program ~scale:2 in
+  let r1 = Pf_kir.Eval.run p1 and r2 = Pf_kir.Eval.run p2 in
+  Alcotest.(check bool) "steps grow with scale" true
+    (r2.Pf_kir.Eval.steps > r1.Pf_kir.Eval.steps)
+
+let test_blowfish_roundtrip_holds () =
+  (* the decode benchmark checksums the decrypted buffer; it must match a
+     fresh checksum of the same generated plaintext *)
+  let plain = Pf_mibench.Gen.words ~seed:0xB1D 512 in
+  let cks =
+    Array.fold_left
+      (fun acc w -> Pf_util.Bits.u32 (Pf_util.Bits.u32 (acc * 131) lxor w))
+      0 plain
+  in
+  let expected = Pf_util.Bits.to_signed32 cks in
+  let out =
+    (Pf_kir.Eval.run (Pf_mibench.Blowfish.program_decode ~scale:1)).Pf_kir.Eval
+      .output
+  in
+  (* last printed line is the buffer checksum after decrypt *)
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' out)
+  in
+  let last = List.nth lines (List.length lines - 1) in
+  Alcotest.(check string) "decrypt restored the plaintext"
+    (string_of_int expected) last
+
+let test_qsort_sorts () =
+  let out =
+    (Pf_kir.Eval.run (Pf_mibench.Qsort_bench.program ~scale:1)).Pf_kir.Eval
+      .output
+  in
+  match String.split_on_char '\n' out with
+  | sorted :: _ -> Alcotest.(check string) "sorted flag printed" "1" sorted
+  | [] -> Alcotest.fail "no output"
+
+let tests =
+  [
+    Alcotest.test_case "registry shape" `Quick test_registry_shape;
+    Alcotest.test_case "category census" `Quick test_categories;
+    Alcotest.test_case "scale sensitivity" `Quick test_outputs_scale_sensitive;
+    Alcotest.test_case "blowfish round trip" `Quick
+      test_blowfish_roundtrip_holds;
+    Alcotest.test_case "qsort sorts" `Quick test_qsort_sorts;
+  ]
+  @ List.map equivalence_case registry
+  @ List.map full_stack_case
+      [ "bitcount"; "jpeg"; "dijkstra"; "stringsearch"; "sha"; "gsm" ]

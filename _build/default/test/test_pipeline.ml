@@ -1,0 +1,164 @@
+(* Timing-model tests: dual-issue pairing rules, hazards, penalties, and
+   the 16-bit fetch-buffer behaviour the FITS results hinge on. *)
+
+module P = Pf_cpu.Pipeline
+
+let make_pipe ?config () =
+  let cache =
+    Pf_cache.Icache.create (Pf_cache.Icache.config ~size_bytes:16384 ())
+  in
+  let geometry =
+    Pf_power.Geometry.of_config (Pf_cache.Icache.config ~size_bytes:16384 ())
+  in
+  let account = Pf_power.Account.create geometry in
+  P.create ?config ~cache ~account ~fetch_data:(fun _ -> 0) ()
+
+let issue ?(cls = P.Alu) ?(reads = 0) ?(writes = 0) ?(taken = false)
+    ?(mem_words = 0) ?(size = 4) ?(backward = false) pipe addr =
+  P.issue pipe ~backward ~addr ~size ~cls ~reads ~writes ~taken ~mem_words ()
+
+let no_miss_cfg = { P.sa1100 with P.miss_penalty = 0 }
+
+let check_int = Alcotest.(check int)
+
+(* every first access misses the cold cache; zero the penalty so cycle
+   arithmetic below is about issue slots only *)
+
+let test_dual_issue_pairs () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  (* two independent ALU ops in consecutive words: 1 cycle *)
+  issue p 0x8000 ~writes:0b0010;
+  issue p 0x8004 ~reads:0b0100 ~writes:0b1000;
+  check_int "paired into one cycle" 1 (P.cycles p)
+
+let test_raw_blocks_pairing () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  issue p 0x8000 ~writes:0b0010;
+  issue p 0x8004 ~reads:0b0010;
+  (* reads what the first wrote *)
+  check_int "dependent pair takes two cycles" 2 (P.cycles p)
+
+let test_two_mem_ops_no_pair () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  issue p 0x8000 ~cls:P.Load ~writes:0b0010;
+  issue p 0x8004 ~cls:P.Store ~reads:0b1000;
+  check_int "single memory port" 2 (P.cycles p)
+
+let test_load_use_bubble () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  issue p 0x8000 ~cls:P.Load ~writes:0b0010;
+  issue p 0x8004 ~reads:0b0010;
+  (* 1 (load) + 1 (use) + 1 bubble *)
+  check_int "load-use costs a bubble" 3 (P.cycles p)
+
+let test_taken_branch_penalty () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  (* forward taken: mispredicted under BTFN *)
+  issue p 0x8000 ~cls:P.Branch ~taken:true;
+  check_int "redirect penalty" (1 + P.sa1100.P.branch_penalty) (P.cycles p);
+  (* the fetch buffer is flushed: next instruction re-accesses the cache *)
+  issue p 0x8000;
+  check_int "refetch after redirect" 2 (P.fetch_accesses p)
+
+let test_not_taken_branch_cheap () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  issue p 0x8000 ~cls:P.Branch ~taken:false;
+  check_int "fall-through branch is one cycle" 1 (P.cycles p)
+
+let test_btfn_prediction () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  (* backward taken: predicted, no penalty beyond its issue slot *)
+  issue p 0x8000 ~cls:P.Branch ~taken:true ~backward:true;
+  check_int "loop branch predicted" 1 (P.cycles p);
+  (* backward NOT taken: mispredicted *)
+  issue p 0x8004 ~cls:P.Branch ~taken:false ~backward:true;
+  check_int "loop exit mispredicted"
+    (2 + P.sa1100.P.branch_penalty)
+    (P.cycles p);
+  (* with prediction off, every taken branch pays *)
+  let p2 =
+    make_pipe ~config:{ no_miss_cfg with P.predictor = P.No_prediction } ()
+  in
+  issue p2 0x8000 ~cls:P.Branch ~taken:true ~backward:true;
+  check_int "no predictor: backward taken pays"
+    (1 + P.sa1100.P.branch_penalty)
+    (P.cycles p2)
+
+let test_mul_extra () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  issue p 0x8000 ~cls:P.Mul;
+  check_int "multiply latency" (1 + P.sa1100.P.mul_extra) (P.cycles p)
+
+let test_ldm_per_word () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  issue p 0x8000 ~cls:P.Store ~mem_words:4;
+  check_int "stm pays per extra word" 4 (P.cycles p)
+
+let test_miss_penalty () =
+  let p = make_pipe () in
+  issue p 0x8000;
+  (* cold miss *)
+  check_int "refill stall charged"
+    (1 + P.sa1100.P.miss_penalty)
+    (P.cycles p);
+  issue p 0x8020;
+  (* next block: another miss *)
+  check_int "second refill"
+    (2 + (2 * P.sa1100.P.miss_penalty))
+    (P.cycles p)
+
+let test_fetch_buffer_16bit () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  (* four 2-byte instructions spanning two 32-bit words: two accesses *)
+  issue p 0x8000 ~size:2;
+  issue p 0x8002 ~size:2;
+  issue p 0x8004 ~size:2;
+  issue p 0x8006 ~size:2;
+  check_int "two fetches for four halfwords" 2 (P.fetch_accesses p);
+  let p32 = make_pipe ~config:no_miss_cfg () in
+  issue p32 0x8000;
+  issue p32 0x8004;
+  issue p32 0x8008;
+  issue p32 0x800C;
+  check_int "four fetches for four words" 4 (P.fetch_accesses p32)
+
+let test_fetch_buffer_disabled () =
+  let p =
+    make_pipe ~config:{ no_miss_cfg with P.fetch_buffer = false } ()
+  in
+  issue p 0x8000 ~size:2;
+  issue p 0x8002 ~size:2;
+  check_int "ablation refetches every halfword" 2 (P.fetch_accesses p)
+
+let test_single_issue_config () =
+  let p = make_pipe ~config:{ no_miss_cfg with P.dual_issue = false } () in
+  issue p 0x8000;
+  issue p 0x8004;
+  check_int "no pairing when single-issue" 2 (P.cycles p)
+
+let test_ipc_accounting () =
+  let p = make_pipe ~config:no_miss_cfg () in
+  issue p 0x8000;
+  issue p 0x8004 ~reads:0;
+  Alcotest.(check int) "instructions" 2 (P.instructions p);
+  Alcotest.(check (float 0.01)) "ipc" 2.0 (P.ipc p)
+
+let tests =
+  [
+    Alcotest.test_case "dual issue pairs" `Quick test_dual_issue_pairs;
+    Alcotest.test_case "RAW blocks pairing" `Quick test_raw_blocks_pairing;
+    Alcotest.test_case "one memory port" `Quick test_two_mem_ops_no_pair;
+    Alcotest.test_case "load-use bubble" `Quick test_load_use_bubble;
+    Alcotest.test_case "taken-branch penalty" `Quick
+      test_taken_branch_penalty;
+    Alcotest.test_case "untaken branch" `Quick test_not_taken_branch_cheap;
+    Alcotest.test_case "BTFN prediction" `Quick test_btfn_prediction;
+    Alcotest.test_case "multiply latency" `Quick test_mul_extra;
+    Alcotest.test_case "ldm per-word cost" `Quick test_ldm_per_word;
+    Alcotest.test_case "miss penalty" `Quick test_miss_penalty;
+    Alcotest.test_case "16-bit fetch buffer" `Quick test_fetch_buffer_16bit;
+    Alcotest.test_case "fetch-buffer ablation" `Quick
+      test_fetch_buffer_disabled;
+    Alcotest.test_case "single-issue config" `Quick test_single_issue_config;
+    Alcotest.test_case "IPC accounting" `Quick test_ipc_accounting;
+  ]

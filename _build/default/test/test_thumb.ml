@@ -1,0 +1,65 @@
+(* Thumb code-size model tests. *)
+
+module A = Pf_arm.Insn
+module T = Pf_thumb.Translate
+
+let dp ?(cond = A.AL) ?(s = false) op rd rn op2 = A.Dp { cond; op; s; rd; rn; op2 }
+let imm v = Option.get (A.encode_imm_operand v)
+
+let check_cost name expected insn =
+  Alcotest.(check int) (name ^ ": " ^ A.to_string insn) expected (T.cost_of insn)
+
+let test_single_halfword_forms () =
+  check_cost "mov low reg" 1 (dp A.MOV 1 0 (A.Reg 2));
+  check_cost "mov imm8" 1 (dp A.MOV 1 0 (imm 200));
+  check_cost "cmp imm8" 1 (dp A.CMP 0 1 (imm 10));
+  check_cost "add destructive" 1 (dp A.ADD 1 1 (A.Reg 2));
+  check_cost "add 3-address low" 1 (dp A.ADD 1 2 (A.Reg 3));
+  check_cost "lsl imm" 1 (dp A.MOV 1 0 (A.Reg_shift (2, A.LSL, 4)));
+  check_cost "uncond branch" 1 (A.B { cond = A.AL; link = false; offset = 8 });
+  check_cost "cond branch" 1 (A.B { cond = A.NE; link = false; offset = 8 });
+  check_cost "ldr small ofs" 1
+    (A.Mem { cond = A.AL; load = true; width = A.Word; signed = false;
+             rd = 1; rn = 2; offset = A.Ofs_imm 16; writeback = false });
+  check_cost "push low" 1 (A.Push { cond = A.AL; regs = [ 4; 5; A.lr ] });
+  check_cost "swi" 1 (A.Swi { cond = A.AL; number = 1 })
+
+let test_expanded_forms () =
+  check_cost "bl is a pair" 2 (A.B { cond = A.AL; link = true; offset = 0 });
+  check_cost "eor 3-address" 2 (dp A.EOR 1 2 (A.Reg 3));
+  check_cost "big constant" 2 (dp A.MOV 1 0 (imm 0xFF00));
+  check_cost "and imm needs construction" 2 (dp A.AND 1 1 (imm 200));
+  check_cost "shifted operand" 2 (dp A.ADD 1 1 (A.Reg_shift (2, A.LSL, 3)));
+  check_cost "conditional non-branch" 2 (dp ~cond:A.EQ A.MOV 1 0 (imm 1));
+  check_cost "large mem offset" 2
+    (A.Mem { cond = A.AL; load = true; width = A.Word; signed = false;
+             rd = 1; rn = 2; offset = A.Ofs_imm 1024; writeback = false });
+  check_cost "push high reg" 2 (A.Push { cond = A.AL; regs = [ 4; 8; A.lr ] })
+
+let test_estimate_on_suite () =
+  (* on real compiled programs the Thumb model must land in the published
+     MiBench band: 25-40% smaller than ARM *)
+  List.iter
+    (fun name ->
+      let b = Pf_mibench.Registry.find name in
+      let image =
+        Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll
+          (b.Pf_mibench.Registry.program ~scale:1)
+      in
+      let e = T.estimate image in
+      let saving = T.size_saving e in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s saving %.1f%% within band" name saving)
+        true
+        (saving > 15.0 && saving < 45.0);
+      Alcotest.(check bool) "halfwords accounted" true
+        (2 * e.T.halfwords <= e.T.thumb_bytes))
+    [ "crc32"; "sha"; "dijkstra"; "adpcm.encode" ]
+
+let tests =
+  [
+    Alcotest.test_case "single-halfword forms" `Quick
+      test_single_halfword_forms;
+    Alcotest.test_case "expanded forms" `Quick test_expanded_forms;
+    Alcotest.test_case "suite savings in band" `Quick test_estimate_on_suite;
+  ]

@@ -1,0 +1,1 @@
+tools/check/check_suite.ml: List Pf_arm Pf_armgen Pf_kir Pf_mibench Printexc Printf String Unix

@@ -1,0 +1,1 @@
+tools/check/check_suite.mli:

@@ -1,0 +1,1 @@
+tools/check/diag2.ml: Array Pf_arm Pf_armgen Pf_fits Pf_mibench Printf Sys

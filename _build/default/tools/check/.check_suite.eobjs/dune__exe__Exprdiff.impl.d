@@ -1,0 +1,1 @@
+tools/check/exprdiff.ml: List Pf_arm Pf_armgen Pf_kir Printf String

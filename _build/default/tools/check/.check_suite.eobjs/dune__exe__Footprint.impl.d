@@ -1,0 +1,1 @@
+tools/check/footprint.ml: Array Hashtbl List Option Pf_arm Pf_armgen Pf_fits Pf_mibench Printf

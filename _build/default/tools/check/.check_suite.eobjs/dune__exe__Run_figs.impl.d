@@ -1,0 +1,1 @@
+tools/check/run_figs.ml: List Pf_harness Printf Unix

@@ -1,0 +1,1 @@
+tools/check/run_figs.mli:

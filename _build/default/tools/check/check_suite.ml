@@ -1,0 +1,27 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (b : Pf_mibench.Registry.benchmark) ->
+      let t1 = Unix.gettimeofday () in
+      let p = b.Pf_mibench.Registry.program ~scale:1 in
+      (try
+         let ev = Pf_kir.Eval.run p in
+         let image = Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p in
+         let st = Pf_arm.Exec.create image in
+         Pf_arm.Exec.run st ~on_step:(fun _ ~pc:_ _ _ -> ());
+         let out = Pf_arm.Exec.output st in
+         let ok = out = ev.Pf_kir.Eval.output in
+         Printf.printf "%-18s %s  eval_steps=%-9d arm_steps=%-9d code=%dB  %.2fs\n%!"
+           b.Pf_mibench.Registry.name
+           (if ok then "OK " else "MISMATCH")
+           ev.Pf_kir.Eval.steps st.Pf_arm.Exec.steps
+           (Pf_arm.Image.code_size_bytes image)
+           (Unix.gettimeofday () -. t1);
+         if not ok then begin
+           Printf.printf "  eval: %s\n  arm : %s\n"
+             (String.concat "\\n" (String.split_on_char '\n' ev.Pf_kir.Eval.output))
+             (String.concat "\\n" (String.split_on_char '\n' out))
+         end
+       with e -> Printf.printf "%-18s EXC %s\n%!" b.Pf_mibench.Registry.name (Printexc.to_string e)))
+    Pf_mibench.Registry.all;
+  Printf.printf "total %.2fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,34 @@
+(* Diagnose residual 1-to-n mappings for one benchmark. *)
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "sha" in
+  let b = Pf_mibench.Registry.find name in
+  let p = b.Pf_mibench.Registry.program ~scale:1 in
+  let image = Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let spec = syn.Pf_fits.Synthesis.spec in
+  Printf.printf "%s\n" (Pf_fits.Spec.describe spec);
+  (* aggregate residual expansions by opkey *)
+  let tbl = Hashtbl.create 64 in
+  let code_base = image.Pf_arm.Image.code_base in
+  Array.iteri
+    (fun idx insn ->
+      match insn with
+      | None -> ()
+      | Some insn ->
+          let pc = code_base + 4*idx in
+          let plan = Pf_fits.Mapping.plan_in_image spec image ~pc insn in
+          let len = Pf_fits.Mapping.plan_length plan in
+          if len > 1 then begin
+            let pk = Pf_fits.Opkey.of_insn insn in
+            let key = (Pf_fits.Opkey.to_string pk.Pf_fits.Opkey.key,
+                       Pf_arm.Insn.cond_suffix pk.Pf_fits.Opkey.cond, len) in
+            let (s, d) = Option.value ~default:(0,0) (Hashtbl.find_opt tbl key) in
+            Hashtbl.replace tbl key (s+1, d + dyn_counts.(idx))
+          end)
+    image.Pf_arm.Image.insns;
+  let l = Hashtbl.fold (fun k v acc -> (k,v)::acc) tbl [] in
+  let l = List.sort (fun (_,(_,d1)) (_,(_,d2)) -> compare d2 d1) l in
+  Printf.printf "residual expansions (key, cond, len): static dyn\n";
+  List.iteri (fun i ((k,c,len),(s,d)) ->
+      if i < 25 then Printf.printf "  %-22s %-3s n=%d  static=%-5d dyn=%d\n" k c len s d) l

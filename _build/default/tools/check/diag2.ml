@@ -1,0 +1,25 @@
+(* Show concrete unmapped instructions of a given mnemonic. *)
+let () =
+  let name = Sys.argv.(1) in
+  let b = Pf_mibench.Registry.find name in
+  let p = b.Pf_mibench.Registry.program ~scale:1 in
+  let image = Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let spec = syn.Pf_fits.Synthesis.spec in
+  let code_base = image.Pf_arm.Image.code_base in
+  let shown = ref 0 in
+  Array.iteri
+    (fun idx insn ->
+      match insn with
+      | None -> ()
+      | Some insn ->
+          let pc = code_base + 4*idx in
+          let plan = Pf_fits.Mapping.plan_in_image spec image ~pc insn in
+          let len = Pf_fits.Mapping.plan_length plan in
+          if len > 1 && !shown < 40 && Pf_arm.Insn.is_mem insn then begin
+            incr shown;
+            Printf.printf "  %06x n=%d dyn=%-7d %s\n" pc len dyn_counts.(idx)
+              (Pf_arm.Insn.to_string insn)
+          end)
+    image.Pf_arm.Image.insns

@@ -1,0 +1,41 @@
+(* Brute-force differential search over small expressions. *)
+open Pf_kir.Ast
+let consts = [0;1;2;15;31;32;33;255;256;4095;0x12345678;0x7FFFFFFF;0x80000000;0xFFFFFFFF;-1;-206;-256]
+let binops = [Add;Sub;Mul;Div;Rem;Udiv;Urem;And;Or;Xor;Shl;Shr;Sar]
+let cmps = [Eq;Ne;Lt;Le;Gt;Ge;Ult;Ule;Ugt;Uge]
+let check e =
+  let p = { globals = []; funcs = [ { name = "main"; params = []; body = [ Print_int e ] } ] } in
+  let ev = (Pf_kir.Eval.run p).Pf_kir.Eval.output in
+  let image = Pf_armgen.Compile.program p in
+  let st = Pf_arm.Exec.create image in
+  Pf_arm.Exec.run st ~on_step:(fun _ ~pc:_ _ _ -> ());
+  let out = Pf_arm.Exec.output st in
+  if ev <> out then
+    Printf.printf "MISMATCH eval=%s arm=%s\n%!" (String.trim ev) (String.trim out)
+let () =
+  List.iter (fun op ->
+    List.iter (fun a ->
+      List.iter (fun b ->
+        check (Binop (op, Int a, Int b));
+        (* also via variables so constant folding paths differ *)
+        let p = { globals = []; funcs = [ { name = "main"; params = [];
+          body = [ Let ("a", Int a); Let ("b", Int b);
+                   Print_int (Binop (op, Var "a", Var "b"));
+                   Print_int (Binop (op, Var "a", Int b));
+                   Print_int (Binop (op, Int a, Var "b")) ] } ] } in
+        let ev = (Pf_kir.Eval.run p).Pf_kir.Eval.output in
+        let image = Pf_armgen.Compile.program p in
+        let st = Pf_arm.Exec.create image in
+        Pf_arm.Exec.run st ~on_step:(fun _ ~pc:_ _ _ -> ());
+        let out = Pf_arm.Exec.output st in
+        if ev <> out then
+          Printf.printf "MISMATCH op a=%d b=%d\n eval=%s\n arm =%s\n%!" a b
+            (String.concat "," (String.split_on_char '\n' ev))
+            (String.concat "," (String.split_on_char '\n' out)))
+        consts) consts) binops;
+  List.iter (fun op ->
+    List.iter (fun a ->
+      List.iter (fun b ->
+        check (Cmp (op, Int a, Int b)))
+        consts) consts) cmps;
+  print_endline "expression sweep done"

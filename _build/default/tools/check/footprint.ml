@@ -1,0 +1,28 @@
+let () =
+  List.iter
+    (fun (b : Pf_mibench.Registry.benchmark) ->
+      let p = b.Pf_mibench.Registry.program ~scale:1 in
+      let image = Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p in
+      let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+      (* executed footprint: distinct 32-byte blocks with any execution,
+         and the "hot" footprint: blocks covering 99% of dynamic count *)
+      let blocks = Hashtbl.create 512 in
+      Array.iteri (fun idx c ->
+          if c > 0 then begin
+            let blk = idx / 8 in
+            let cur = Option.value ~default:0 (Hashtbl.find_opt blocks blk) in
+            Hashtbl.replace blocks blk (cur + c)
+          end) dyn_counts;
+      let counts = Hashtbl.fold (fun _ c acc -> c :: acc) blocks [] in
+      let sorted = List.sort (fun a b -> compare b a) counts in
+      let total = List.fold_left (+) 0 sorted in
+      let rec hot acc n = function
+        | [] -> n
+        | c :: tl -> if acc * 100 >= total * 95 then n else hot (acc+c) (n+1) tl
+      in
+      let hot_blocks = hot 0 0 sorted in
+      Printf.printf "%-18s code=%-6d exec_fp=%-6d hot95_fp=%-6d\n%!"
+        b.Pf_mibench.Registry.name
+        (Pf_arm.Image.code_size_bytes image)
+        (32 * Hashtbl.length blocks) (32 * hot_blocks))
+    Pf_mibench.Registry.all

@@ -1,0 +1,15 @@
+let () =
+  let t0 = Unix.gettimeofday () in
+  let all = Pf_harness.Experiment.run_all () in
+  Printf.printf "ran %d benchmarks in %.1fs\n%!" (List.length all)
+    (Unix.gettimeofday () -. t0);
+  List.iter
+    (fun (r : Pf_harness.Experiment.bench_result) ->
+      if not r.Pf_harness.Experiment.outputs_consistent then
+        Printf.printf "INCONSISTENT OUTPUT: %s\n" r.Pf_harness.Experiment.name)
+    all;
+  let power = Pf_harness.Experiment.power_rows all in
+  List.iter
+    (fun f -> print_endline (Pf_harness.Figures.render f))
+    (Pf_harness.Figures.mapping_figures all
+    @ Pf_harness.Figures.power_figures power)
