@@ -16,13 +16,16 @@ let heading title =
 let run_figures () =
   heading "PowerFITS evaluation figures (21-benchmark suite, scale 1)";
   let t0 = Unix.gettimeofday () in
-  let all = Pf_harness.Experiment.run_all () in
-  Printf.printf "(simulated 21 benchmarks x 4 configurations in %.1f s)\n\n"
+  let sweep = Pf_harness.Experiment.run_all () in
+  Printf.printf "(simulated %d/%d benchmarks x 4 configurations in %.1f s)\n"
+    sweep.Pf_harness.Experiment.completed sweep.Pf_harness.Experiment.total
     (Unix.gettimeofday () -. t0);
+  Printf.printf "%s\n\n" (Pf_harness.Experiment.banner sweep);
+  let all = Pf_harness.Experiment.completed_results sweep in
   List.iter
     (fun (r : Pf_harness.Experiment.bench_result) ->
       if not r.Pf_harness.Experiment.outputs_consistent then
-        failwith ("output mismatch on " ^ r.Pf_harness.Experiment.name))
+        Printf.printf "OUTPUT MISMATCH on %s\n" r.Pf_harness.Experiment.name)
     all;
   let power = Pf_harness.Experiment.power_rows all in
   List.iter

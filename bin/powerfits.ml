@@ -120,8 +120,14 @@ let config_arg =
        & info [ "config" ] ~docv:"CONFIG"
            ~doc:"Processor configuration: arm16, arm8, fits16 or fits8.")
 
+let max_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Step-budget watchdog; exceeding it fails with a structured \
+                 timeout (exit code 4).")
+
 let run_cmd =
-  let run name scale config =
+  let run name scale config max_steps =
     let image = build ~scale (find_bench name) in
     let cache_cfg =
       match config with
@@ -143,7 +149,7 @@ let run_cmd =
     in
     match config with
     | `Arm16 | `Arm8 ->
-        let r = Pf_cpu.Arm_run.run ~cache_cfg image in
+        let r = Pf_cpu.Arm_run.run ~cache_cfg ?max_steps image in
         print_common ~instrs:r.Pf_cpu.Arm_run.instructions
           ~cycles:r.Pf_cpu.Arm_run.cycles ~ipc:r.Pf_cpu.Arm_run.ipc
           ~accesses:r.Pf_cpu.Arm_run.cache_accesses
@@ -156,7 +162,7 @@ let run_cmd =
         let tr =
           Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image
         in
-        let r = Pf_fits.Run.run ~cache_cfg tr in
+        let r = Pf_fits.Run.run ~cache_cfg ?max_steps tr in
         Printf.printf "dynamic 1-to-1 mapping: %.1f%%\n"
           r.Pf_fits.Run.dyn_one_to_one_pct;
         print_common ~instrs:r.Pf_fits.Run.arm_instructions
@@ -169,7 +175,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Simulate one benchmark on one of the four configurations.")
-    Term.(const run $ bench_arg $ scale_arg $ config_arg)
+    Term.(const run $ bench_arg $ scale_arg $ config_arg $ max_steps_arg)
 
 (* ---- figures ---- *)
 
@@ -180,14 +186,27 @@ let figures_cmd =
              ~doc:"Print a single figure (fig3..fig14).")
   in
   let run scale only =
-    let all = Pf_harness.Experiment.run_all ~scale () in
+    let sweep = Pf_harness.Experiment.run_all ~scale () in
+    Printf.eprintf "%s\n%!" (Pf_harness.Experiment.banner sweep);
+    let all = Pf_harness.Experiment.completed_results sweep in
+    let divergent =
+      List.exists
+        (fun (r : Pf_harness.Experiment.bench_result) ->
+          not r.Pf_harness.Experiment.outputs_consistent)
+        all
+      || List.exists
+           (fun (row : Pf_harness.Experiment.sweep_row) ->
+             match row.Pf_harness.Experiment.outcome with
+             | Error e ->
+                 e.Pf_util.Sim_error.kind = Pf_util.Sim_error.Divergence
+             | Ok _ -> false)
+           sweep.Pf_harness.Experiment.rows
+    in
     List.iter
       (fun (r : Pf_harness.Experiment.bench_result) ->
-        if not r.Pf_harness.Experiment.outputs_consistent then begin
-          Printf.eprintf "FATAL: inconsistent outputs on %s\n"
-            r.Pf_harness.Experiment.name;
-          exit 1
-        end)
+        if not r.Pf_harness.Experiment.outputs_consistent then
+          Printf.eprintf "DIVERGENT: inconsistent outputs on %s\n"
+            r.Pf_harness.Experiment.name)
       all;
     let power = Pf_harness.Experiment.power_rows all in
     let figs =
@@ -204,12 +223,86 @@ let figures_cmd =
               && String.sub f.Pf_harness.Figures.id 0 (String.length id) = id)
             figs
     in
-    List.iter (fun f -> print_endline (Pf_harness.Figures.render f)) figs
+    List.iter (fun f -> print_endline (Pf_harness.Figures.render f)) figs;
+    (* partial figures still print above; the exit code says what broke:
+       3 = a divergence, 4 = some other benchmark failure *)
+    if divergent then exit 3
+    else if sweep.Pf_harness.Experiment.completed
+            < sweep.Pf_harness.Experiment.total
+    then exit 4
   in
   Cmd.v
     (Cmd.info "figures"
        ~doc:"Run the full experiment and print every evaluation figure.")
     Term.(const run $ scale_arg $ only)
+
+(* ---- inject ---- *)
+
+let inject_cmd =
+  let target_arg =
+    let tconv =
+      Arg.enum
+        [ ("decoder", Pf_fault.Injector.Decoder);
+          ("dict", Pf_fault.Injector.Dict);
+          ("icache", Pf_fault.Injector.Icache);
+          ("regs", Pf_fault.Injector.Regs) ]
+    in
+    Arg.(value & opt tconv Pf_fault.Injector.Decoder
+         & info [ "target" ] ~docv:"TARGET"
+             ~doc:"Structure to corrupt: decoder, dict, icache or regs.")
+  in
+  let rate_arg =
+    Arg.(value & opt float 1e-4
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Per-bit flip probability (0 disables injection).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Campaign RNG seed; same seed replays the same flips.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 20
+         & info [ "trials" ] ~docv:"N" ~doc:"Injection runs (default 20).")
+  in
+  let parity_arg =
+    Arg.(value & flag
+         & info [ "parity" ]
+             ~doc:"Model parity-protected arrays and report coverage.")
+  in
+  let cfg_arg =
+    let cconv = Arg.enum [ ("fits16", `Fits16); ("fits8", `Fits8) ] in
+    Arg.(value & opt cconv `Fits16
+         & info [ "config" ] ~docv:"CONFIG"
+             ~doc:"FITS configuration under injection: fits16 or fits8.")
+  in
+  let run name scale target rate seed trials parity config =
+    if rate < 0. || rate > 1. then begin
+      Printf.eprintf "inject: --rate must be in [0,1]\n";
+      exit 2
+    end;
+    let image = build ~scale (find_bench name) in
+    let dyn_counts, reference = Pf_fits.Synthesis.dyn_counts_of_run image in
+    let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+    let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+    let cache_cfg =
+      match config with
+      | `Fits16 -> Pf_harness.Experiment.cache_16k
+      | `Fits8 -> Pf_harness.Experiment.cache_8k
+    in
+    let report =
+      Pf_fault.Campaign.run ~trials ~parity ~cache_cfg ~target ~rate ~seed
+        ~reference tr
+    in
+    print_string (Pf_fault.Campaign.to_string report)
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Run a seeded fault-injection campaign against a benchmark's FITS \
+          machine and classify the outcomes.")
+    Term.(const run $ bench_arg $ scale_arg $ target_arg $ rate_arg
+          $ seed_arg $ trials_arg $ parity_arg $ cfg_arg)
 
 (* ---- report ---- *)
 
@@ -286,6 +379,12 @@ let main =
          "Reproduction of PowerFITS (ISPASS 2005): application-specific \
           instruction-set synthesis for I-cache power.")
     [ list_cmd; profile_cmd; synth_cmd; disasm_cmd; run_cmd; report_cmd;
-      figures_cmd ]
+      figures_cmd; inject_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Structured simulation faults carry their own exit code: 3 for a
+     divergence, 4 for any other failure (decode/memory fault, watchdog). *)
+  try exit (Cmd.eval ~catch:false main)
+  with Pf_util.Sim_error.Error e ->
+    Printf.eprintf "powerfits: %s\n" (Pf_util.Sim_error.to_string e);
+    exit (Pf_util.Sim_error.exit_code e)

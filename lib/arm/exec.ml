@@ -1,9 +1,10 @@
 open Insn
 open Pf_util
 
-exception Fault of string
+let where = "arm.exec"
 
-let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+let memory_fault fmt = Sim_error.raisef Sim_error.Memory_fault ~where fmt
+let decode_fault fmt = Sim_error.raisef Sim_error.Decode_fault ~where fmt
 
 type t = {
   regs : int array;
@@ -57,15 +58,15 @@ let create (image : Image.t) =
 
 let check_range t addr len =
   if addr < 0 || addr + len > Bytes.length t.mem then
-    fault "memory access out of range: 0x%x" addr
+    memory_fault "memory access out of range: 0x%x" addr
 
 let load_word t addr =
-  if addr land 3 <> 0 then fault "unaligned word load: 0x%x" addr;
+  if addr land 3 <> 0 then memory_fault "unaligned word load: 0x%x" addr;
   check_range t addr 4;
   Int32.to_int (Bytes.get_int32_le t.mem addr) land 0xFFFF_FFFF
 
 let store_word t addr v =
-  if addr land 3 <> 0 then fault "unaligned word store: 0x%x" addr;
+  if addr land 3 <> 0 then memory_fault "unaligned word store: 0x%x" addr;
   check_range t addr 4;
   Bytes.set_int32_le t.mem addr (Int32.of_int (Bits.u32 v))
 
@@ -78,12 +79,12 @@ let store_byte t addr v =
   Bytes.set t.mem addr (Char.chr (v land 0xFF))
 
 let load_half t addr =
-  if addr land 1 <> 0 then fault "unaligned half load: 0x%x" addr;
+  if addr land 1 <> 0 then memory_fault "unaligned half load: 0x%x" addr;
   check_range t addr 2;
   Bytes.get_uint16_le t.mem addr
 
 let store_half t addr v =
-  if addr land 1 <> 0 then fault "unaligned half store: 0x%x" addr;
+  if addr land 1 <> 0 then memory_fault "unaligned half store: 0x%x" addr;
   check_range t addr 2;
   Bytes.set_uint16_le t.mem addr (v land 0xFFFF)
 
@@ -303,7 +304,7 @@ let execute ?(isize = 4) t ~pc insn (o : outcome) =
         | 3 ->
             Buffer.add_string t.out (Printf.sprintf "%08x" t.regs.(0));
             Buffer.add_char t.out '\n'
-        | n -> fault "unknown swi #%d" n)
+        | n -> decode_fault "unknown swi #%d" n)
   end
 
 let execute_dp_value ?(isize = 4) t ~pc ~cond ~op ~s ~rd ~rn ~value
@@ -334,9 +335,11 @@ let run ?(max_steps = 500_000_000) t ~on_step =
     let pc = t.regs.(Insn.pc) in
     if pc = halt_sentinel then t.halted <- true
     else begin
-      if t.steps >= max_steps then fault "step budget exhausted (%d)" max_steps;
+      if t.steps >= max_steps then
+        Sim_error.raisef Sim_error.Watchdog_timeout ~where
+          "step budget exhausted (%d)" max_steps;
       match Image.insn_at t.image pc with
-      | None -> fault "undecodable instruction fetch at 0x%x" pc
+      | None -> decode_fault "undecodable instruction fetch at 0x%x" pc
       | Some insn ->
           execute t ~pc insn o;
           t.regs.(Insn.pc) <- o.next_pc;

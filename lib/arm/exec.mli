@@ -8,9 +8,10 @@
     decoder — both share these semantics, mirroring how a FITS core keeps
     the host datapath (paper §3.1). *)
 
-exception Fault of string
-(** Raised on unaligned word access, out-of-range memory access, or an
-    attempt to execute an undecodable word. *)
+(** All failures raise {!Pf_util.Sim_error.Error}: [Memory_fault] for
+    unaligned or out-of-range accesses, [Decode_fault] for undecodable
+    words and unknown SWIs, [Watchdog_timeout] for step-budget
+    exhaustion. *)
 
 type t = {
   regs : int array;
@@ -86,8 +87,9 @@ val run :
   on_step:(t -> pc:int -> Insn.t -> outcome -> unit) ->
   unit
 (** Fetch-execute loop from the current [pc] until halt (SWI #0 or return
-    to the sentinel).  @raise Fault on [max_steps] exhaustion (default
-    500 million) — runaway programs are a bug, not a result. *)
+    to the sentinel).  Raises [Sim_error.Error] with [Watchdog_timeout] on
+    [max_steps] exhaustion (default 500 million) — runaway programs are a
+    bug, not a result. *)
 
 val output : t -> string
 (** Everything printed through SWI so far. *)

@@ -225,7 +225,9 @@ and eval_binop st op a b =
                 (A.BIC, Int (Pf_util.Bits.u32 (lnot c)))
             | And, _ -> (A.AND, b)
             | (Mul | Div | Rem | Udiv | Urem | Shl | Shr | Sar), _ ->
-                assert false
+                Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal
+                  ~where:"armgen.codegen"
+                  "non-dp operator reached dp lowering"
           in
           let va = eval st a in
           let op2, frees = op2_of st b in

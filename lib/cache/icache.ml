@@ -37,6 +37,10 @@ type t = {
   shadow : (int, int) Hashtbl.t option;    (* block -> last-use time *)
   shadow_capacity : int;
   mutable time : int;
+  (* fault injection: (at_access, slot, bit) tag flips applied the first
+     time the access counter reaches at_access *)
+  mutable pending_flips : (int * int * int) list;
+  mutable flips_applied : int;
 }
 
 let create ?(classify = false) cfg =
@@ -66,6 +70,8 @@ let create ?(classify = false) cfg =
     shadow = (if classify then Some (Hashtbl.create 1024) else None);
     shadow_capacity = cfg.size_bytes / cfg.block_bytes;
     time = 0;
+    pending_flips = [];
+    flips_applied = 0;
   }
 
 type result = {
@@ -108,8 +114,36 @@ let shadow_touch t block =
       end;
       Hashtbl.replace shadow block t.time
 
+let slots t = t.nsets * t.cfg.assoc
+
+let schedule_tag_flip t ~at_access ~slot ~bit =
+  if slot < 0 || slot >= slots t then
+    invalid_arg "Icache.schedule_tag_flip: slot out of range";
+  t.pending_flips <- (at_access, slot, bit) :: t.pending_flips
+
+let flips_applied t = t.flips_applied
+
+let apply_due_flips t =
+  match t.pending_flips with
+  | [] -> ()
+  | _ ->
+      let due, rest =
+        List.partition (fun (at, _, _) -> at <= t.accesses) t.pending_flips
+      in
+      t.pending_flips <- rest;
+      List.iter
+        (fun (_, slot, bit) ->
+          (* a flip only matters on a valid line: an invalid way has no
+             stored tag to corrupt *)
+          if t.tags.(slot) >= 0 then begin
+            t.tags.(slot) <- t.tags.(slot) lxor (1 lsl bit);
+            t.flips_applied <- t.flips_applied + 1
+          end)
+        due
+
 let access t ~addr ~data =
   t.accesses <- t.accesses + 1;
+  apply_due_flips t;
   t.time <- t.time + 1;
   let block = addr lsr t.block_shift in
   let set = block land (t.nsets - 1) in

@@ -62,3 +62,22 @@ val miss_rate_per_million : t -> float
 
 val reset_stats : t -> unit
 (** Clear counters but keep cache contents (for warmup discard). *)
+
+(** {2 Fault injection}
+
+    Soft errors in the tag array.  A flipped tag turns future probes of
+    that line into spurious misses (or, rarely, false hits against a
+    neighbouring address); the simulator models the timing and power
+    consequences — instruction {e data} corruption is modeled at the
+    decoder level, not here. *)
+
+val slots : t -> int
+(** Total tag slots ([sets * assoc]); the injector's address space. *)
+
+val schedule_tag_flip : t -> at_access:int -> slot:int -> bit:int -> unit
+(** Flip [bit] of the tag stored in [slot] once the access counter
+    reaches [at_access].  Flips aimed at invalid (empty) lines are
+    dropped — there is no stored tag to corrupt. *)
+
+val flips_applied : t -> int
+(** How many scheduled flips actually landed on a valid line. *)

@@ -73,7 +73,9 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
       let m =
         match metas.((pc - code_base) lsr 2) with
         | Some m -> m
-        | None -> assert false
+        | None ->
+            Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal
+              ~where:"cpu.arm_run" "no metadata for pc 0x%x" pc
       in
       ignore insn;
       Pipeline.issue pipe ~backward:m.backward

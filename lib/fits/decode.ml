@@ -1,0 +1,292 @@
+module A = Pf_arm.Insn
+open Pf_util
+
+type fields = {
+  opid : int;
+  rc : int;
+  ra : int;
+  operand : int;
+}
+
+let opid_bits = 8
+let reg_bits = 5
+let operand_bits = 12
+let word_bits = opid_bits + (2 * reg_bits) + operand_bits
+
+let fields_of (fi : Translate.finsn) =
+  { opid = fi.Translate.opid; rc = fi.Translate.rc; ra = fi.Translate.ra;
+    operand = fi.Translate.operand land ((1 lsl operand_bits) - 1) }
+
+let pack f =
+  f.opid
+  lor (f.rc lsl opid_bits)
+  lor (f.ra lsl (opid_bits + reg_bits))
+  lor (f.operand lsl (opid_bits + (2 * reg_bits)))
+
+let unpack w =
+  {
+    opid = w land ((1 lsl opid_bits) - 1);
+    rc = (w lsr opid_bits) land ((1 lsl reg_bits) - 1);
+    ra = (w lsr (opid_bits + reg_bits)) land ((1 lsl reg_bits) - 1);
+    operand =
+      (w lsr (opid_bits + (2 * reg_bits))) land ((1 lsl operand_bits) - 1);
+  }
+
+type result =
+  | Micro of Mapping.micro
+  | Undefined of string
+
+let undef fmt = Format.kasprintf (fun s -> Undefined s) fmt
+
+(* A register field is valid up to the over-provisioned scratch register. *)
+let reg_ok r = r >= 0 && r <= Spec.temp_reg
+
+let check_reg r k = if reg_ok r then k r else undef "register field %d" r
+
+let dict_value spec i k =
+  if i >= 0 && i < Array.length spec.Spec.dict then k spec.Spec.dict.(i)
+  else undef "dictionary index %d out of range" i
+
+(* An immediate data-processing operand carrying [v]: prefer the rotated
+   8-bit form (exactly what the source instruction carried), fall back to
+   the full-width dictionary path. *)
+let dp_imm ~cond ~op ~s ~rd ~rn v =
+  match A.encode_imm_operand (Bits.u32 v) with
+  | Some op2 -> Micro (Mapping.M_exec (A.Dp { cond; op; s; rd; rn; op2 }))
+  | None ->
+      Micro
+        (Mapping.M_dp32 { op; s; rd; rn; value = Bits.u32 v; cond })
+
+let decode_sys spec (f : fields) (sys : Spec.system_op) =
+  match sys with
+  | Spec.Sys_swi ->
+      Micro (Mapping.M_exec (A.Swi { cond = A.AL; number = f.operand land 0xFF }))
+  | Spec.Sys_bx ->
+      check_reg f.operand (fun rm ->
+          Micro (Mapping.M_exec (A.Bx { cond = A.AL; rm })))
+  | Spec.Sys_jalr -> check_reg f.operand (fun rm -> Micro (Mapping.M_jalr rm))
+  | Spec.Sys_push _ ->
+      if f.operand < Array.length spec.Spec.reglists then
+        Micro
+          (Mapping.M_exec
+             (A.Push { cond = A.AL; regs = spec.Spec.reglists.(f.operand) }))
+      else undef "register-list index %d out of range" f.operand
+  | Spec.Sys_pop _ ->
+      if f.operand < Array.length spec.Spec.reglists then
+        Micro
+          (Mapping.M_exec
+             (A.Pop { cond = A.AL; regs = spec.Spec.reglists.(f.operand) }))
+      else undef "register-list index %d out of range" f.operand
+  | Spec.Sys_skip _ -> (
+      let code = (f.operand lsr 4) land 0xF in
+      let count = f.operand land 0xF in
+      match Pf_arm.Encode.cond_of_code code with
+      | Some cond ->
+          Micro
+            (Mapping.M_exec
+               (A.B { cond; link = false; offset = (2 * count) - 2 }))
+      | None -> undef "bad skip condition code %d" code)
+
+let decode_dp spec (od : Spec.opdef) (f : fields) ~op
+    ~(shape : Opkey.shape) ~s ~two_op =
+  let cond = od.Spec.cond in
+  if not (reg_ok f.rc) then undef "register field %d" f.rc
+  else
+    let rd, rn =
+      match op with
+      | A.TST | A.TEQ | A.CMP | A.CMN -> (0, f.rc)
+      | A.MOV | A.MVN -> (f.rc, 0)
+      | _ -> if two_op then (f.rc, f.rc) else (f.rc, f.ra)
+    in
+    if (not two_op) && not (reg_ok f.ra) then undef "register field %d" f.ra
+    else
+      let exec op2 =
+        Micro (Mapping.M_exec (A.Dp { cond; op; s; rd; rn; op2 }))
+      in
+      match shape with
+      | Opkey.Sh_reg -> check_reg f.operand (fun rm -> exec (A.Reg rm))
+      | Opkey.Sh_imm -> (
+          match od.Spec.imm with
+          | Spec.Imm_lit { scale } ->
+              dp_imm ~cond ~op ~s ~rd ~rn (f.operand lsl scale)
+          | Spec.Imm_dict ->
+              dict_value spec f.operand (dp_imm ~cond ~op ~s ~rd ~rn)
+          | Spec.Imm_none -> undef "immediate shape on an Imm_none opcode")
+      | Opkey.Sh_shift_imm (kind, amt) ->
+          if two_op then
+            match od.Spec.imm with
+            | Spec.Imm_lit _ ->
+                (* amount in the field; destructive source (rm = rc).  For
+                   non-move operations the shifted register is not encoded
+                   and rc is the decoder's only candidate — translation
+                   marks such entries unfaithful via {!faithful}. *)
+                let n =
+                  if amt = Spec.shift_amount_wildcard then f.operand land 0xF
+                  else amt
+                in
+                exec (A.Reg_shift (f.rc, kind, n))
+            | Spec.Imm_none | Spec.Imm_dict ->
+                let n = if amt = Spec.shift_amount_wildcard then 0 else amt in
+                check_reg f.operand (fun rm ->
+                    exec (A.Reg_shift (rm, kind, n)))
+          else if od.Spec.imm <> Spec.Imm_none then
+            (* rm in ra, amount in the field; rn is not encoded *)
+            let n =
+              if amt = Spec.shift_amount_wildcard then f.operand land 0xF
+              else amt
+            in
+            exec (A.Reg_shift (f.ra, kind, n))
+          else
+            let n = if amt = Spec.shift_amount_wildcard then 0 else amt in
+            check_reg f.operand (fun rm -> exec (A.Reg_shift (rm, kind, n)))
+      | Opkey.Sh_shift_reg kind ->
+          (* the shifted register is destructive (rd = rm) in the two-op
+             form and unencoded in the three-op form; rc is the decoder's
+             reconstruction either way *)
+          check_reg f.operand (fun rs ->
+              exec (A.Reg_shift_reg (f.rc, kind, rs)))
+
+let decode_key spec (od : Spec.opdef) (f : fields) (key : Opkey.t) =
+  match key with
+  | Opkey.K_dp { op; shape; s; two_op } ->
+      decode_dp spec od f ~op ~shape ~s ~two_op
+  | Opkey.K_mul { acc } ->
+      if not (reg_ok f.rc && reg_ok f.operand) then
+        undef "register field out of range in multiply"
+      else if od.Spec.fmt = Spec.Fmt_operate2 then
+        Micro
+          (Mapping.M_exec
+             (A.Mul { cond = od.Spec.cond; s = false; rd = f.rc; rm = f.rc;
+                      rs = f.operand; acc = None }))
+      else if not (reg_ok f.ra) then undef "register field %d" f.ra
+      else
+        Micro
+          (Mapping.M_exec
+             (A.Mul { cond = od.Spec.cond; s = false; rd = f.rc; rm = f.ra;
+                      rs = f.operand;
+                      acc = (if acc then Some f.rc else None) }))
+  | Opkey.K_mem { load; width; signed; mode; writeback } ->
+      if not (reg_ok f.rc && reg_ok f.ra) then
+        undef "register field out of range in memory access"
+      else
+        let mem offset =
+          Micro
+            (Mapping.M_exec
+               (A.Mem { cond = od.Spec.cond; load; width; signed; rd = f.rc;
+                        rn = f.ra; offset; writeback }))
+        in
+        (match mode with
+        | Opkey.M_imm -> (
+            match od.Spec.imm with
+            | Spec.Imm_lit { scale } -> mem (A.Ofs_imm (f.operand lsl scale))
+            | Spec.Imm_dict ->
+                dict_value spec f.operand (fun v -> mem (A.Ofs_imm v))
+            | Spec.Imm_none -> undef "displacement on an Imm_none opcode")
+        | Opkey.M_reg ->
+            check_reg f.operand (fun rx -> mem (A.Ofs_reg (rx, A.LSL, 0)))
+        | Opkey.M_reg_shift k ->
+            check_reg f.operand (fun rx -> mem (A.Ofs_reg (rx, A.LSL, k))))
+  | Opkey.K_branch { cond = _; link } ->
+      let off = Bits.sign_extend ~width:12 (f.operand land 0xFFF) * 2 in
+      Micro (Mapping.M_exec (A.B { cond = A.AL; link; offset = off }))
+  | Opkey.K_bx | Opkey.K_swi | Opkey.K_push | Opkey.K_pop ->
+      undef "system operation without a system descriptor"
+
+let decode spec (f : fields) =
+  if f.opid < 0 || f.opid >= Array.length spec.Spec.ops then
+    undef "opcode id %d out of range" f.opid
+  else
+    let od = spec.Spec.ops.(f.opid) in
+    match od.Spec.sys with
+    | Some sys -> decode_sys spec f sys
+    | None -> (
+        match od.Spec.fmt with
+        | Spec.Fmt_bcc -> (
+            match Pf_arm.Encode.cond_of_code f.rc with
+            | Some cond ->
+                let off =
+                  Bits.sign_extend ~width:8 (f.operand land 0xFF) * 2
+                in
+                Micro
+                  (Mapping.M_exec (A.B { cond; link = false; offset = off }))
+            | None -> undef "bad branch condition code %d" f.rc)
+        | Spec.Fmt_movd ->
+            if not (reg_ok f.rc) then undef "register field %d" f.rc
+            else
+              dict_value spec f.operand (fun v ->
+                  Micro
+                    (Mapping.M_dp32
+                       { op = A.MOV; s = false; rd = f.rc; rn = 0; value = v;
+                         cond = A.AL }))
+        | Spec.Fmt_operate2 | Spec.Fmt_operate3 | Spec.Fmt_memory
+        | Spec.Fmt_branch12 | Spec.Fmt_system -> (
+            match od.Spec.key with
+            | Some key -> decode_key spec od f key
+            | None -> undef "opcode %s has no operation key" od.Spec.name))
+
+(* ---- equivalence ------------------------------------------------------- *)
+
+let commutative = function
+  | A.ADD | A.ADC | A.AND | A.ORR | A.EOR | A.TST | A.CMN -> true
+  | _ -> false
+
+let ignores_rd = function
+  | A.TST | A.TEQ | A.CMP | A.CMN -> true
+  | _ -> false
+
+let ignores_rn = function A.MOV | A.MVN -> true | _ -> false
+
+let op2_equiv a b =
+  a = b
+  ||
+  match (a, b) with
+  | A.Imm _, A.Imm _ -> A.operand2_value a = A.operand2_value b
+  | _ -> false
+
+let dp_equiv ~cond ~op ~s ~rd ~rn ~op2 ~cond' ~op' ~s' ~rd' ~rn' ~op2' =
+  cond = cond' && op = op' && s = s'
+  && (ignores_rd op || rd = rd')
+  &&
+  if ignores_rn op then op2_equiv op2 op2'
+  else
+    (rn = rn' && op2_equiv op2 op2')
+    || commutative op
+       &&
+       match (op2, op2') with
+       | A.Reg a, A.Reg b -> rn = b && a = rn'
+       | _ -> false
+
+let micro_equiv (m1 : Mapping.micro) (m2 : Mapping.micro) =
+  match (m1, m2) with
+  | Mapping.M_exec (A.Dp { cond; op; s; rd; rn; op2 }),
+    Mapping.M_exec (A.Dp { cond = cond'; op = op'; s = s'; rd = rd';
+                           rn = rn'; op2 = op2' }) ->
+      dp_equiv ~cond ~op ~s ~rd ~rn ~op2 ~cond' ~op' ~s' ~rd' ~rn' ~op2'
+  | Mapping.M_exec (A.Mul { cond; s; rd; rm; rs; acc }),
+    Mapping.M_exec (A.Mul { cond = cond'; s = s'; rd = rd'; rm = rm';
+                            rs = rs'; acc = acc' }) ->
+      cond = cond' && s = s' && rd = rd' && acc = acc'
+      && ((rm = rm' && rs = rs') || (rm = rs' && rs = rm'))
+  | Mapping.M_exec a, Mapping.M_exec b -> a = b
+  | Mapping.M_dp32 { op; s; rd; rn; value; cond },
+    Mapping.M_dp32 { op = op'; s = s'; rd = rd'; rn = rn'; value = value';
+                     cond = cond' } ->
+      op = op' && s = s' && rd = rd' && rn = rn' && value = value'
+      && cond = cond'
+  | ( Mapping.M_exec (A.Dp { cond; op; s; rd; rn; op2 }),
+      Mapping.M_dp32 { op = op'; s = s'; rd = rd'; rn = rn'; value;
+                       cond = cond' } )
+  | ( Mapping.M_dp32 { op = op'; s = s'; rd = rd'; rn = rn'; value;
+                       cond = cond' },
+      Mapping.M_exec (A.Dp { cond; op; s; rd; rn; op2 }) ) ->
+      dp_equiv ~cond ~op ~s ~rd ~rn ~op2 ~cond' ~op' ~s' ~rd' ~rn'
+        ~op2':(A.Imm { value; rot = 0 })
+      && A.operand2_value op2 = Some value
+  | Mapping.M_jalr a, Mapping.M_jalr b -> a = b
+  | Mapping.M_undef _, Mapping.M_undef _ -> true
+  | _ -> false
+
+let faithful spec (fi : Translate.finsn) =
+  match decode spec (fields_of fi) with
+  | Micro m -> micro_equiv m fi.Translate.micro
+  | Undefined _ -> false

@@ -1,0 +1,64 @@
+(** Field-level model of the programmable decoder.
+
+    Translation stores, for every 16-bit instruction, the raw control
+    fields a real FITS decoder SRAM row would hold — opcode id,
+    destination register, second register, operand ({!Translate.finsn}).
+    This module turns those fields {e back} into a micro-operation, which
+    is what makes fault injection meaningful: flipping a bit in a control
+    field and re-decoding yields exactly the corrupted behaviour a soft
+    error in the decoder array would produce.
+
+    Decoding is best-effort: a handful of expansion forms are {e lossy}
+    (the fields do not determine the micro-operation — e.g. a three-operand
+    shift-by-register drops one source register, and expansion
+    representatives like TEQ-via-TST reuse another opcode's entry).
+    {!faithful} identifies them; the injector poisons such entries to
+    {!Mapping.M_undef} instead of guessing. *)
+
+type fields = {
+  opid : int;     (** index into [Spec.ops], 8 bits *)
+  rc : int;       (** destination / compare register, 5 bits *)
+  ra : int;       (** second register field, 5 bits *)
+  operand : int;  (** register / literal / dictionary index / argument,
+                      up to 12 bits *)
+}
+
+val opid_bits : int
+val reg_bits : int
+val operand_bits : int
+
+val word_bits : int
+(** Total control-word width ([opid_bits + 2*reg_bits + operand_bits]);
+    the bit universe the injector draws from. *)
+
+val fields_of : Translate.finsn -> fields
+
+val pack : fields -> int
+(** Pack into a [word_bits]-wide integer (opid in the low bits). *)
+
+val unpack : int -> fields
+
+type result =
+  | Micro of Mapping.micro
+  | Undefined of string
+      (** the fields do not name a valid operation — out-of-range opcode,
+          register number above the scratch register, dictionary index
+          past the table, or an unencodable condition *)
+
+val decode : Spec.t -> fields -> result
+(** Reconstruct the micro-operation the programmable decoder emits for
+    these control fields.  Uses [spec] for the opcode table, immediate
+    dictionary and register-list table, so it must be the {e final} spec
+    carried by the translation ([t.spec]). *)
+
+val micro_equiv : Mapping.micro -> Mapping.micro -> bool
+(** Architectural equivalence, tolerating representation differences a
+    re-decode legitimately introduces: commutative operand swaps,
+    immediate re-encodings with the same value, ignored fields (rd of a
+    compare, rn of a move). *)
+
+val faithful : Spec.t -> Translate.finsn -> bool
+(** Does re-decoding this instruction's stored fields reproduce its
+    stored micro-operation?  True for all direct (one-to-one) mappings
+    and almost all expansion steps; false only for the lossy forms listed
+    above. *)

@@ -13,6 +13,7 @@ type micro =
   | M_dp32 of { op : A.dp_op; s : bool; rd : int; rn : int; value : int;
                 cond : A.cond }
   | M_jalr of int
+  | M_undef of string
 
 type fdesc = {
   op : Spec.opdef;
@@ -29,6 +30,8 @@ type plan =
 exception Unmappable of string
 
 let unmappable fmt = Format.kasprintf (fun s -> raise (Unmappable s)) fmt
+
+let internal fmt = Sim_error.raisef Sim_error.Internal ~where:"fits.mapping" fmt
 
 let tr = Spec.temp_reg
 
@@ -88,7 +91,7 @@ let op_covers spec (od : Spec.opdef) (insn : A.t) =
                     let v =
                       match A.operand2_value op2 with
                       | Some v -> v
-                      | None -> assert false
+                      | None -> internal "Sh_imm key over non-immediate op2"
                     in
                     match od.Spec.imm with
                     | Spec.Imm_lit { scale } -> lit_fits ~scale v
@@ -175,7 +178,7 @@ let direct spec (od : Spec.opdef) (insn : A.t) =
             match od.Spec.imm with
             | Spec.Imm_lit { scale } -> O_lit (v lsr scale)
             | Spec.Imm_dict -> O_dictval v
-            | Spec.Imm_none -> assert false)
+            | Spec.Imm_none -> internal "immediate operand on Imm_none opdef")
         | A.Reg_shift (rm, _, n) -> (
             match od.Spec.imm with
             | Spec.Imm_lit _ -> O_lit n (* amount in the field *)
@@ -192,29 +195,29 @@ let direct spec (od : Spec.opdef) (insn : A.t) =
           | _ -> fd dest rn oprd)
       | Spec.Fmt_memory | Spec.Fmt_branch12 | Spec.Fmt_bcc | Spec.Fmt_movd
       | Spec.Fmt_system ->
-          assert false)
+          internal "data-processing mapped to a non-operate format")
   | A.Mul { rd; rm; rs; acc; _ } -> (
       match od.Spec.fmt with
       | Spec.Fmt_operate2 -> fd rd 0 (O_reg (if rd = rm then rs else rm))
       | Spec.Fmt_operate3 ->
           ignore acc;
           fd rd rm (O_reg rs)
-      | _ -> assert false)
+      | _ -> internal "multiply mapped to a non-operate format")
   | A.Mem { rd; rn; offset; _ } -> (
       match offset with
       | A.Ofs_imm ofs -> (
           match od.Spec.imm with
           | Spec.Imm_lit { scale } -> fd rd rn (O_lit (ofs lsr scale))
           | Spec.Imm_dict -> fd rd rn (O_dictval ofs)
-          | Spec.Imm_none -> assert false)
+          | Spec.Imm_none -> internal "memory displacement on Imm_none opdef")
       | A.Ofs_reg (rx, _, _) -> fd rd rn (O_reg rx))
   | A.Push { regs; _ } | A.Pop { regs; _ } -> (
       match Spec.reglist_index spec regs with
       | Some idx -> fd 0 0 (O_arg idx)
-      | None -> assert false)
+      | None -> internal "register list vanished from the table")
   | A.Bx { rm; _ } -> fd 0 0 (O_arg rm)
   | A.Swi { number; _ } -> fd 0 0 (O_arg number)
-  | A.B _ -> assert false
+  | A.B _ -> internal "direct mapping requested for a branch"
 
 (* ---- expansion building blocks ---------------------------------------- *)
 
@@ -297,7 +300,7 @@ let seq_skip spec ~cond ~count =
         | A.EQ -> A.NE | A.NE -> A.EQ | A.CS -> A.CC | A.CC -> A.CS
         | A.MI -> A.PL | A.PL -> A.MI | A.VS -> A.VC | A.VC -> A.VS
         | A.HI -> A.LS | A.LS -> A.HI | A.GE -> A.LT | A.LT -> A.GE
-        | A.GT -> A.LE | A.LE -> A.GT | A.AL -> assert false)
+        | A.GT -> A.LE | A.LE -> A.GT | A.AL -> internal "cannot invert AL")
   in
   step (sis spec).Spec.skip ~rc:0
     ~oprd:(O_arg ((cond_code inv lsl 4) lor count))

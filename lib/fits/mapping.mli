@@ -27,6 +27,9 @@ type micro =
                 cond : A.cond }
       (** data-processing with a full 32-bit dictionary operand *)
   | M_jalr of int       (** call through register: lr := pc+2; pc := reg *)
+  | M_undef of string
+      (** poisoned decoder entry (fault injection): executing it raises a
+          [Decode_fault]; the payload describes the corruption *)
 
 type fdesc = {
   op : Spec.opdef;

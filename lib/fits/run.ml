@@ -44,12 +44,20 @@ let meta_of_micro (m : Mapping.micro) =
   | Mapping.M_jalr rm ->
       { cls = P.Branch; reads = mask_of [ rm ]; writes = mask_of [ A.lr ];
         backward = false }
+  | Mapping.M_undef _ ->
+      (* never issued: dispatch raises before reaching the pipeline *)
+      { cls = P.Alu; reads = 0; writes = 0; backward = false }
 
 let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
 
-let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
-    ?(classify = false) ?(max_steps = 500_000_000) (tr : Translate.t) =
-  let cache = Pf_cache.Icache.create ~classify cache_cfg in
+let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
+    ?(classify = false) ?(max_steps = 500_000_000) ?on_step
+    (tr : Translate.t) =
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Pf_cache.Icache.create ~classify cache_cfg
+  in
   let dcache = Pf_cache.Icache.create Pf_cpu.Arm_run.dcache_cfg in
   let geometry = Pf_power.Geometry.of_config cache_cfg in
   let account = Pf_power.Account.create ?params:power_params geometry in
@@ -71,12 +79,12 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
     if !pc = Pf_arm.Exec.halt_sentinel then st.Pf_arm.Exec.halted <- true
     else begin
       if !steps >= max_steps then
-        raise (Pf_arm.Exec.Fault "FITS step budget exhausted");
+        Pf_util.Sim_error.raisef Pf_util.Sim_error.Watchdog_timeout
+          ~where:"fits.run" "FITS step budget exhausted (%d)" max_steps;
       let idx = (!pc - code_base) asr 1 in
       if idx < 0 || idx >= ninsns then
-        raise
-          (Pf_arm.Exec.Fault
-             (Printf.sprintf "FITS fetch outside code at 0x%x" !pc));
+        Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
+          ~where:"fits.run" "FITS fetch outside code at 0x%x" !pc;
       let fi = tr.Translate.insns.(idx) in
       (match fi.Translate.micro with
       | Mapping.M_exec insn -> Pf_arm.Exec.execute ~isize:2 st ~pc:!pc insn o
@@ -90,7 +98,10 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
           o.Pf_arm.Exec.branch_taken <- true;
           o.Pf_arm.Exec.next_pc <- st.Pf_arm.Exec.regs.(rm) land lnot 1;
           o.Pf_arm.Exec.mem_addr <- -1;
-          o.Pf_arm.Exec.mem_words <- 0);
+          o.Pf_arm.Exec.mem_words <- 0
+      | Mapping.M_undef why ->
+          Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
+            ~where:"fits.run" "corrupted decoder entry at 0x%x: %s" !pc why);
       let m = metas.(idx) in
       P.issue pipe ~backward:m.backward ~mem_addr:o.Pf_arm.Exec.mem_addr
         ~addr:!pc ~size:2 ~cls:m.cls ~reads:m.reads ~writes:m.writes
@@ -101,6 +112,7 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
         if fi.Translate.group_len = 1 then incr src_one
       end;
       incr steps;
+      (match on_step with None -> () | Some f -> f st ~steps:!steps);
       pc := o.Pf_arm.Exec.next_pc
     end
   done;

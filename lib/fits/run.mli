@@ -27,10 +27,17 @@ type result = {
 }
 
 val run :
+  ?cache:Pf_cache.Icache.t ->
   ?cache_cfg:Pf_cache.Icache.config ->
   ?pipeline_cfg:Pf_cpu.Pipeline.config ->
   ?power_params:Pf_power.Account.Params.t ->
   ?classify:bool ->
   ?max_steps:int ->
+  ?on_step:(Pf_arm.Exec.t -> steps:int -> unit) ->
   Translate.t ->
   result
+(** [cache] supplies a pre-built I-cache instance (the fault injector uses
+    this to schedule tag flips); its geometry must match [cache_cfg], which
+    still drives the power model.  [on_step] is called after every retired
+    16-bit instruction with the architectural state — the register-file
+    injection hook.  Both default to off and cost nothing when unused. *)

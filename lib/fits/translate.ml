@@ -5,6 +5,9 @@ type finsn = {
   word : int;
   micro : Mapping.micro;
   opid : int;
+  rc : int;
+  ra : int;
+  operand : int;
   first : bool;
   group_len : int;
   src_pc : int;
@@ -43,6 +46,10 @@ type site = {
 }
 
 let tr = Spec.temp_reg
+
+let internal fmt =
+  Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal ~where:"fits.translate"
+    fmt
 
 let branch_len (cond : A.cond) level ~link =
   ignore link;
@@ -143,7 +150,7 @@ let branch_fdescs spec ~site_addr ~target ~cond ~link level :
           (Mapping.O_lit ((offset asr 1) land 0xFFF), 0)
       | Spec.Fmt_bcc ->
           (Mapping.O_lit ((offset asr 1) land 0xFF), Pf_arm.Encode.cond_code c)
-      | _ -> assert false
+      | _ -> internal "near branch over a non-branch format"
     in
     { Mapping.op = od; rc; ra = 0; oprd;
       micro = Mapping.M_exec (A.B { cond = c; link; offset }) }
@@ -211,6 +218,20 @@ let encode_fdesc spec dict_idx (fd : Mapping.fdesc) =
   Spec.encode spec fd.Mapping.op ~rc:(field_of_reg fd.Mapping.rc)
     ~ra:(field_of_reg fd.Mapping.ra) ~oprd
 
+(* The untruncated control fields that a real programmable decoder's SRAM
+   row would hold for this instruction: unlike the packed 16-bit word,
+   register fields keep 5 bits (the over-provisioned scratch register is
+   representable) and the operand keeps its pre-masking value.  Fault
+   injection flips bits here; {!Decode} turns the fields back into a
+   micro-operation. *)
+let raw_operand dict_idx (fd : Mapping.fdesc) =
+  match fd.Mapping.oprd with
+  | Mapping.O_none -> 0
+  | Mapping.O_reg r -> r
+  | Mapping.O_lit v -> v
+  | Mapping.O_dictval v -> dict_idx v
+  | Mapping.O_arg a -> a
+
 let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
   let sites, addr_of_arm, code_bytes_fits = layout spec image in
   (* produce the final fdesc lists *)
@@ -234,7 +255,7 @@ let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
   let dict_idx v =
     match Spec.dict_index spec v with
     | Some i -> i
-    | None -> assert false
+    | None -> internal "value 0x%x missing from the built dictionary" v
   in
   let insns =
     Array.to_list per_site
@@ -246,6 +267,9 @@ let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
                  word = encode_fdesc spec dict_idx fd;
                  micro = fd.Mapping.micro;
                  opid = fd.Mapping.op.Spec.id;
+                 rc = fd.Mapping.rc;
+                 ra = fd.Mapping.ra;
+                 operand = raw_operand dict_idx fd;
                  first = i = 0;
                  group_len = n;
                  src_pc = s.pc;
@@ -296,7 +320,9 @@ let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
   let entry =
     match Hashtbl.find_opt addr_of_arm image.Pf_arm.Image.entry with
     | Some a -> a
-    | None -> assert false
+    | None ->
+        internal "entry point 0x%x was not translated"
+          image.Pf_arm.Image.entry
   in
   {
     spec;
@@ -331,6 +357,7 @@ let disassemble t =
         | Mapping.M_dp32 { op; rd; value; _ } ->
             Printf.sprintf "%s r%d, =%d" (A.dp_name op) rd value
         | Mapping.M_jalr r -> Printf.sprintf "jalr r%d" r
+        | Mapping.M_undef why -> Printf.sprintf "<undef: %s>" why
       in
       Buffer.add_string buf
         (Printf.sprintf "  %06x:  %04x  %-12s ; %s%s\n" addr fi.word

@@ -17,6 +17,9 @@ type finsn = {
   word : int;                (** 16-bit encoding *)
   micro : Mapping.micro;     (** decoder output, branch offsets in FITS space *)
   opid : int;                (** Spec op id *)
+  rc : int;                  (** destination/compare field, 5 bits raw *)
+  ra : int;                  (** second register field, 5 bits raw *)
+  operand : int;             (** operand field before format masking *)
   first : bool;              (** first FITS instruction of its ARM source *)
   group_len : int;           (** how many FITS instructions the source took *)
   src_pc : int;              (** ARM address of the source instruction *)

@@ -55,7 +55,7 @@ let of_fits (r : Pf_fits.Run.result) =
     power = r.Pf_fits.Run.power;
   }
 
-let run_benchmark ?(scale = 1) ?(classify = false)
+let run_benchmark ?(scale = 1) ?(classify = false) ?max_steps
     (b : Pf_mibench.Registry.benchmark) =
   let p = b.Pf_mibench.Registry.program ~scale in
   let image =
@@ -67,10 +67,16 @@ let run_benchmark ?(scale = 1) ?(classify = false)
   let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
   let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
   let thumb = Pf_thumb.Translate.estimate image in
-  let arm16_r = Pf_cpu.Arm_run.run ~cache_cfg:cache_16k ~classify image in
-  let arm8_r = Pf_cpu.Arm_run.run ~cache_cfg:cache_8k ~classify image in
-  let fits16_r = Pf_fits.Run.run ~cache_cfg:cache_16k ~classify tr in
-  let fits8_r = Pf_fits.Run.run ~cache_cfg:cache_8k ~classify tr in
+  let arm16_r =
+    Pf_cpu.Arm_run.run ~cache_cfg:cache_16k ~classify ?max_steps image
+  in
+  let arm8_r =
+    Pf_cpu.Arm_run.run ~cache_cfg:cache_8k ~classify ?max_steps image
+  in
+  let fits16_r =
+    Pf_fits.Run.run ~cache_cfg:cache_16k ~classify ?max_steps tr
+  in
+  let fits8_r = Pf_fits.Run.run ~cache_cfg:cache_8k ~classify ?max_steps tr in
   let outputs_consistent =
     arm16_r.Pf_cpu.Arm_run.output = reference_output
     && arm8_r.Pf_cpu.Arm_run.output = reference_output
@@ -96,8 +102,115 @@ let run_benchmark ?(scale = 1) ?(classify = false)
     outputs_consistent;
   }
 
-let run_all ?scale () =
-  List.map (fun b -> run_benchmark ?scale b) Pf_mibench.Registry.all
+(* ---- crash-proof sweep ------------------------------------------------- *)
+
+type sweep_row = {
+  bench : string;
+  outcome : (bench_result, Pf_util.Sim_error.t) result;
+  retried : bool;
+}
+
+type sweep = {
+  rows : sweep_row list;
+  completed : int;
+  total : int;
+}
+
+let default_wall_clock_s = 600.
+
+(* Wall-clock watchdog: SIGALRM raises a structured Watchdog_timeout from
+   whatever the simulation is doing, so even a loop the step budget misses
+   (e.g. quadratic translation blowup) cannot wedge the sweep. *)
+let with_watchdog ~seconds f =
+  if seconds <= 0. then f ()
+  else begin
+    let old =
+      Sys.signal Sys.sigalrm
+        (Sys.Signal_handle
+           (fun _ ->
+             raise
+               (Pf_util.Sim_error.Error
+                  {
+                    Pf_util.Sim_error.kind = Pf_util.Sim_error.Watchdog_timeout;
+                    where = "harness.watchdog";
+                    detail =
+                      Printf.sprintf "wall-clock budget (%.0fs) exhausted"
+                        seconds;
+                  })))
+    in
+    let arm v =
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.; Unix.it_value = v })
+    in
+    let finally () =
+      arm 0.;
+      Sys.set_signal Sys.sigalrm old
+    in
+    arm seconds;
+    Fun.protect ~finally f
+  end
+
+let run_isolated ?(scale = 1) ?max_steps
+    ?(wall_clock_s = default_wall_clock_s) ?classify
+    (b : Pf_mibench.Registry.benchmark) =
+  let attempt scale =
+    Pf_util.Sim_error.protect
+      ~where:("harness." ^ b.Pf_mibench.Registry.name)
+      (fun () ->
+        with_watchdog ~seconds:wall_clock_s (fun () ->
+            run_benchmark ~scale ?max_steps ?classify b))
+  in
+  match attempt scale with
+  | Ok r ->
+      { bench = b.Pf_mibench.Registry.name; outcome = Ok r; retried = false }
+  | Error { Pf_util.Sim_error.kind = Pf_util.Sim_error.Watchdog_timeout; _ }
+    when scale > 1 ->
+      (* transient trip: retry once at reduced scale *)
+      {
+        bench = b.Pf_mibench.Registry.name;
+        outcome = attempt (max 1 (scale / 2));
+        retried = true;
+      }
+  | Error e ->
+      {
+        bench = b.Pf_mibench.Registry.name;
+        outcome = Error e;
+        retried = false;
+      }
+
+let run_all ?scale ?max_steps ?wall_clock_s ?classify
+    ?(benchmarks = Pf_mibench.Registry.all) () =
+  let rows =
+    List.map
+      (fun b -> run_isolated ?scale ?max_steps ?wall_clock_s ?classify b)
+      benchmarks
+  in
+  let completed =
+    List.length (List.filter (fun r -> Result.is_ok r.outcome) rows)
+  in
+  { rows; completed; total = List.length rows }
+
+let completed_results sweep =
+  List.filter_map
+    (fun r -> match r.outcome with Ok b -> Some b | Error _ -> None)
+    sweep.rows
+
+let banner sweep =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "%d of %d benchmarks completed" sweep.completed sweep.total;
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Ok _ -> if r.retried then Printf.bprintf b "
+  %s: completed after watchdog retry at reduced scale" r.bench
+      | Error e ->
+          Printf.bprintf b "
+  %s: FAILED %s%s" r.bench
+            (Pf_util.Sim_error.to_string e)
+            (if r.retried then " (after retry)" else ""))
+    sweep.rows;
+  Buffer.contents b
 
 let power_rows results =
   List.filter_map

@@ -45,12 +45,65 @@ val cache_8k : Pf_cache.Icache.config
 val run_benchmark :
   ?scale:int ->
   ?classify:bool ->
+  ?max_steps:int ->
   Pf_mibench.Registry.benchmark ->
   bench_result
-(** Full pipeline for one benchmark (default scale 1). *)
+(** Full pipeline for one benchmark (default scale 1).  [max_steps] is a
+    per-run step watchdog; exhaustion raises a [Watchdog_timeout]
+    {!Pf_util.Sim_error.Error}. *)
 
-val run_all : ?scale:int -> unit -> bench_result list
-(** All 21 benchmarks (Figures 3-5 use these). *)
+(** {2 Crash-proof sweep}
+
+    One corrupted or runaway benchmark must not take down the other 20:
+    {!run_all} isolates every benchmark behind {!Pf_util.Sim_error.protect}
+    and a wall-clock/step watchdog, records per-benchmark outcomes, and
+    retries a watchdog trip once at reduced scale before giving up on that
+    row.  Figures are then drawn from whatever survived. *)
+
+type sweep_row = {
+  bench : string;
+  outcome : (bench_result, Pf_util.Sim_error.t) result;
+  retried : bool;   (** a watchdog trip triggered the reduced-scale retry *)
+}
+
+type sweep = {
+  rows : sweep_row list;
+  completed : int;
+  total : int;
+}
+
+val default_wall_clock_s : float
+(** Per-benchmark wall-clock budget of {!run_all} (600 s). *)
+
+val run_isolated :
+  ?scale:int ->
+  ?max_steps:int ->
+  ?wall_clock_s:float ->
+  ?classify:bool ->
+  Pf_mibench.Registry.benchmark ->
+  sweep_row
+(** One benchmark under full isolation: any simulation failure — including
+    stack overflow, out-of-memory and the watchdogs — comes back as
+    [Error], never as an exception. *)
+
+val run_all :
+  ?scale:int ->
+  ?max_steps:int ->
+  ?wall_clock_s:float ->
+  ?classify:bool ->
+  ?benchmarks:Pf_mibench.Registry.benchmark list ->
+  unit ->
+  sweep
+(** All 21 benchmarks (Figures 3-5 use these), each isolated.
+    [benchmarks] narrows the sweep (tests use this to force failures
+    without paying for the full suite). *)
+
+val completed_results : sweep -> bench_result list
+(** The surviving rows, in sweep order. *)
+
+val banner : sweep -> string
+(** ["N of M benchmarks completed"], plus one line per failed or retried
+    row. *)
 
 val power_rows : bench_result list -> bench_result list
 (** Restrict to the 19-benchmark power suite with the [gsm] rename. *)

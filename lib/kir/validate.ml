@@ -97,4 +97,6 @@ let check_exn p =
   | Ok () -> ()
   | Error ({ where; what } :: _) ->
       invalid_arg (Printf.sprintf "KIR validation: %s: %s" where what)
-  | Error [] -> assert false
+  | Error [] ->
+      Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal
+        ~where:"kir.validate" "check returned Error []"

@@ -1,0 +1,44 @@
+type kind =
+  | Decode_fault
+  | Memory_fault
+  | Watchdog_timeout
+  | Divergence
+  | Translate_gap
+  | Invalid_config
+  | Internal
+
+type t = {
+  kind : kind;
+  where : string;
+  detail : string;
+}
+
+exception Error of t
+
+let kind_name = function
+  | Decode_fault -> "decode-fault"
+  | Memory_fault -> "memory-fault"
+  | Watchdog_timeout -> "watchdog-timeout"
+  | Divergence -> "divergence"
+  | Translate_gap -> "translate-gap"
+  | Invalid_config -> "invalid-config"
+  | Internal -> "internal"
+
+let to_string e =
+  Printf.sprintf "%s [%s]: %s" (kind_name e.kind) e.where e.detail
+
+let raisef kind ~where fmt =
+  Format.kasprintf (fun detail -> raise (Error { kind; where; detail })) fmt
+
+let exit_code e = match e.kind with Divergence -> 3 | _ -> 4
+
+let protect ~where f =
+  try Ok (f ()) with
+  | Error e -> Result.Error e
+  | Stack_overflow ->
+      Result.Error { kind = Internal; where; detail = "stack overflow" }
+  | Out_of_memory ->
+      Result.Error { kind = Internal; where; detail = "out of memory" }
+  | exn ->
+      Result.Error
+        { kind = Internal; where; detail = Printexc.to_string exn }

@@ -1,0 +1,42 @@
+(** Structured simulation errors.
+
+    Every failure the simulation stack can produce is classified into one
+    of a small set of kinds, carrying the subsystem that raised it and a
+    human-readable detail string.  The experiment harness catches these to
+    isolate per-benchmark failures (one bad run must not abort a sweep),
+    and the CLI maps them to distinct exit codes. *)
+
+type kind =
+  | Decode_fault      (** undecodable word / corrupted decoder entry / bad SWI *)
+  | Memory_fault      (** unaligned or out-of-range simulated memory access *)
+  | Watchdog_timeout  (** step budget or wall-clock budget exhausted *)
+  | Divergence        (** ARM and FITS executions printed different output *)
+  | Translate_gap     (** no finite FITS expansion exists (synthesis capacity) *)
+  | Invalid_config    (** ill-formed simulator configuration *)
+  | Internal          (** invariant violation inside the simulator itself *)
+
+type t = {
+  kind : kind;
+  where : string;  (** originating subsystem, e.g. ["arm.exec"] *)
+  detail : string;
+}
+
+exception Error of t
+
+val kind_name : kind -> string
+
+val to_string : t -> string
+
+val raisef :
+  kind -> where:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [raisef kind ~where fmt ...] raises {!Error} with a formatted detail. *)
+
+val exit_code : t -> int
+(** CLI exit code for this error: 3 for {!Divergence}, 4 for everything
+    else (0..2 are reserved for success / fatal / usage errors). *)
+
+val protect : where:string -> (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting any exception into a classified error:
+    {!Error} passes through; other exceptions (including [Failure],
+    [Invalid_argument], [Stack_overflow], [Out_of_memory]) become
+    {!Internal}.  Never lets an exception escape. *)

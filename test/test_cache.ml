@@ -51,6 +51,39 @@ let test_direct_mapped_conflict () =
   touch t 1024;
   check_int "ping-pong conflicts" 4 (C.stats_misses t)
 
+let test_single_set () =
+  (* 1024 B / 32 B blocks / 32-way: exactly one set, fully associative *)
+  let c = cfg ~assoc:32 1024 in
+  check_int "single set" 1 (C.sets c);
+  let t = C.create c in
+  for i = 0 to 31 do
+    touch t (i * 32)
+  done;
+  check_int "fills every way" 32 (C.stats_misses t);
+  touch t 0;
+  check_int "whole working set resident" 32 (C.stats_misses t)
+
+let test_tag_flips () =
+  let t = C.create (cfg 1024) in
+  touch t 0;
+  (* addr 0 sits at set 0, MRU way 0 = slot 0 *)
+  C.schedule_tag_flip t ~at_access:2 ~slot:0 ~bit:0;
+  touch t 0;
+  check_int "flip applied on schedule" 1 (C.flips_applied t);
+  check_int "corrupted tag turns a hit into a miss" 2 (C.stats_misses t);
+  touch t 0;
+  check_int "refetch restores the line" 2 (C.stats_misses t);
+  (* an invalid way has no stored tag to corrupt *)
+  let t2 = C.create (cfg 1024) in
+  C.schedule_tag_flip t2 ~at_access:1 ~slot:1 ~bit:3;
+  touch t2 0;
+  check_int "flip on invalid line is a no-op" 0 (C.flips_applied t2);
+  check_bool "out-of-range slot rejected" true
+    (try
+       C.schedule_tag_flip t ~at_access:1 ~slot:(C.slots t) ~bit:0;
+       false
+     with Invalid_argument _ -> true)
+
 let test_classification () =
   let t = C.create ~classify:true (cfg ~assoc:1 1024) in
   touch t 0;
@@ -150,6 +183,8 @@ let tests =
     Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction;
     Alcotest.test_case "direct-mapped conflicts" `Quick
       test_direct_mapped_conflict;
+    Alcotest.test_case "single-set edge config" `Quick test_single_set;
+    Alcotest.test_case "scheduled tag flips" `Quick test_tag_flips;
     Alcotest.test_case "miss classification" `Quick test_classification;
     Alcotest.test_case "toggle/refill counters" `Quick test_activity_counters;
     Alcotest.test_case "miss rate and reset" `Quick test_miss_rate_and_reset;

@@ -138,7 +138,9 @@ let test_unaligned_faults () =
             (A.Mem { cond = A.AL; load = true; width = A.Word; signed = false;
                      rd = 0; rn = 1; offset = A.Ofs_imm 0; writeback = false }));
        false
-     with E.Fault _ -> true)
+     with
+       Pf_util.Sim_error.Error { kind = Pf_util.Sim_error.Memory_fault; _ } ->
+         true)
 
 let test_push_pop () =
   let st = fresh () in
@@ -234,7 +236,10 @@ let test_step_budget () =
     (try
        E.run ~max_steps:1000 st ~on_step:(fun _ ~pc:_ _ _ -> ());
        false
-     with E.Fault _ -> true)
+     with
+       Pf_util.Sim_error.Error
+         { kind = Pf_util.Sim_error.Watchdog_timeout; _ } ->
+         true)
 
 let tests =
   [

@@ -1,0 +1,216 @@
+(* Fault-injection subsystem tests: seeded determinism, parity coverage,
+   rate-0 transparency of the injector, campaign classification, and the
+   crash-proof harness isolation. *)
+
+module I = Pf_fault.Injector
+module Camp = Pf_fault.Campaign
+module T = Pf_fits.Translate
+module M = Pf_fits.Mapping
+module Rng = Pf_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* crc32 is the acceptance benchmark: small, fast, exercises dictionary
+   immediates and loops.  Built once for the whole suite. *)
+let setup =
+  lazy
+    (let b = Pf_mibench.Registry.find "crc32" in
+     let p = b.Pf_mibench.Registry.program ~scale:1 in
+     let image =
+       Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
+     in
+     let dyn_counts, reference = Pf_fits.Synthesis.dyn_counts_of_run image in
+     let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+     let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+     (image, tr, reference))
+
+(* ---- injector ---- *)
+
+let test_injector_determinism () =
+  let _, tr, _ = Lazy.force setup in
+  let corrupt seed =
+    I.corrupt_decoder (Rng.create seed) ~rate:0.01 ~parity:false tr
+  in
+  let tr1, t1 = corrupt 42 in
+  let tr2, t2 = corrupt 42 in
+  check_bool "flips planted" true (t1.I.flips > 0);
+  check_bool "same seed, same trial stats" true (t1 = t2);
+  check_bool "same seed, same corrupted program" true
+    (tr1.T.insns = tr2.T.insns);
+  let tr3, t3 = corrupt 43 in
+  check_bool "different seed, different corruption" true
+    (t1 <> t3 || tr1.T.insns <> tr3.T.insns)
+
+let test_injector_rate_zero () =
+  let _, tr, _ = Lazy.force setup in
+  let tr0, t0 = I.corrupt_decoder (Rng.create 7) ~rate:0.0 ~parity:false tr in
+  check_bool "no flips at rate 0" true (t0 = I.no_trial);
+  check_bool "program untouched" true (tr0.T.insns = tr.T.insns);
+  let r = Pf_fits.Run.run tr in
+  let r0 = Pf_fits.Run.run tr0 in
+  check_bool "bit-identical output" true
+    (r.Pf_fits.Run.output = r0.Pf_fits.Run.output);
+  check_int "bit-identical cycles" r.Pf_fits.Run.cycles r0.Pf_fits.Run.cycles
+
+let test_parity_coverage () =
+  let _, tr, _ = Lazy.force setup in
+  let tr', t = I.corrupt_decoder (Rng.create 3) ~rate:0.05 ~parity:true tr in
+  check_bool "some entries corrupted" true (t.I.entries_corrupted > 0);
+  check_bool "parity flags a subset" true
+    (t.I.parity_detectable > 0
+    && t.I.parity_detectable <= t.I.entries_corrupted);
+  (* parity poisons exactly the odd-flip entries to a trapping M_undef *)
+  let poisoned =
+    Array.fold_left
+      (fun n (fi : T.finsn) ->
+        match fi.T.micro with
+        | M.M_undef why when contains ~sub:"parity" why -> n + 1
+        | _ -> n)
+      0 tr'.T.insns
+  in
+  check_int "poisoned entries = parity-detectable" t.I.parity_detectable
+    poisoned
+
+let test_decoder_roundtrip () =
+  (* every entry the translator emits must either decode back to an
+     equivalent micro-op from its stored control word, or be flagged
+     lossy — and for crc32 the faithful fraction should dominate *)
+  let _, tr, _ = Lazy.force setup in
+  let spec = tr.T.spec in
+  let total = Array.length tr.T.insns in
+  let faithful =
+    Array.fold_left
+      (fun n fi -> if Pf_fits.Decode.faithful spec fi then n + 1 else n)
+      0 tr.T.insns
+  in
+  check_bool "control words mostly faithful" true (2 * faithful > total)
+
+let test_regs_hook () =
+  let image, _, _ = Lazy.force setup in
+  let hook, summary = I.regs_hook (Rng.create 11) ~rate:1.0 in
+  let st = Pf_arm.Exec.create image in
+  let before = Array.copy st.Pf_arm.Exec.regs in
+  for s = 1 to 8 do
+    hook st ~steps:s
+  done;
+  check_int "rate 1 flips every step" 8 (summary ()).I.flips;
+  check_bool "register state perturbed" true (st.Pf_arm.Exec.regs <> before)
+
+(* ---- campaign ---- *)
+
+let test_campaign_rate_zero () =
+  let _, tr, reference = Lazy.force setup in
+  let r =
+    Camp.run ~trials:3 ~target:I.Decoder ~rate:0.0 ~seed:42 ~reference tr
+  in
+  check_int "all trials clean" 3 r.Camp.clean;
+  check_int "no flips" 0 r.Camp.flips;
+  check_int "nothing crashed" 0 r.Camp.crashed;
+  check_int "nothing diverged" 0 r.Camp.divergent;
+  check_bool "baseline matches golden output" true
+    (r.Camp.baseline.Pf_fits.Run.output = reference)
+
+let test_campaign_determinism () =
+  let _, tr, reference = Lazy.force setup in
+  let go () =
+    Camp.run ~trials:5 ~target:I.Decoder ~rate:2e-3 ~seed:9 ~reference tr
+  in
+  let a = go () in
+  let b = go () in
+  check_int "same flips" a.Camp.flips b.Camp.flips;
+  check_bool "same outcome breakdown" true
+    ((a.Camp.clean, a.Camp.detected, a.Camp.silent, a.Camp.divergent,
+      a.Camp.crashed)
+    = (b.Camp.clean, b.Camp.detected, b.Camp.silent, b.Camp.divergent,
+       b.Camp.crashed))
+
+let test_campaign_accounts_all_trials () =
+  let _, tr, reference = Lazy.force setup in
+  List.iter
+    (fun target ->
+      let r =
+        Camp.run ~trials:4 ~parity:true ~target ~rate:1e-3 ~seed:5 ~reference
+          tr
+      in
+      check_int
+        ("every trial classified (" ^ I.target_name target ^ ")")
+        4
+        (r.Camp.clean + r.Camp.detected + r.Camp.silent + r.Camp.divergent
+       + r.Camp.crashed))
+    [ I.Decoder; I.Dict; I.Icache; I.Regs ]
+
+(* ---- structured watchdog ---- *)
+
+let test_step_watchdog () =
+  let _, tr, _ = Lazy.force setup in
+  check_bool "step budget raises structured timeout" true
+    (try
+       ignore (Pf_fits.Run.run ~max_steps:10 tr);
+       false
+     with
+    | Pf_util.Sim_error.Error
+        { Pf_util.Sim_error.kind = Pf_util.Sim_error.Watchdog_timeout; _ } ->
+        true)
+
+(* ---- harness isolation ---- *)
+
+let test_harness_isolation () =
+  let crc = Pf_mibench.Registry.find "crc32" in
+  let boom =
+    {
+      Pf_mibench.Registry.name = "boom";
+      category = "test";
+      program = (fun ~scale:_ -> failwith "synthetic benchmark failure");
+      power_study = false;
+      unroll = 1;
+    }
+  in
+  let sweep = Pf_harness.Experiment.run_all ~benchmarks:[ crc; boom ] () in
+  check_int "one of two completed" 1 sweep.Pf_harness.Experiment.completed;
+  check_int "both accounted for" 2 sweep.Pf_harness.Experiment.total;
+  check_int "survivors still produce results" 1
+    (List.length (Pf_harness.Experiment.completed_results sweep));
+  let banner = Pf_harness.Experiment.banner sweep in
+  check_bool "banner reports completion count" true
+    (contains ~sub:"1 of 2" banner);
+  check_bool "banner names the failure" true (contains ~sub:"boom" banner);
+  List.iter
+    (fun (row : Pf_harness.Experiment.sweep_row) ->
+      match (row.Pf_harness.Experiment.bench, row.Pf_harness.Experiment.outcome) with
+      | "crc32", Ok _ -> ()
+      | "crc32", Error e ->
+          Alcotest.failf "crc32 should survive: %s"
+            (Pf_util.Sim_error.to_string e)
+      | "boom", Error _ -> ()
+      | "boom", Ok _ -> Alcotest.fail "boom must be isolated as an error"
+      | name, _ -> Alcotest.failf "unexpected row %s" name)
+    sweep.Pf_harness.Experiment.rows
+
+let tests =
+  [
+    Alcotest.test_case "injector: seeded determinism" `Quick
+      test_injector_determinism;
+    Alcotest.test_case "injector: rate 0 is transparent" `Quick
+      test_injector_rate_zero;
+    Alcotest.test_case "injector: parity coverage" `Quick
+      test_parity_coverage;
+    Alcotest.test_case "decoder: control words faithful" `Quick
+      test_decoder_roundtrip;
+    Alcotest.test_case "injector: register hook" `Quick test_regs_hook;
+    Alcotest.test_case "campaign: rate 0 all clean" `Quick
+      test_campaign_rate_zero;
+    Alcotest.test_case "campaign: replayable from seed" `Quick
+      test_campaign_determinism;
+    Alcotest.test_case "campaign: all targets classify" `Quick
+      test_campaign_accounts_all_trials;
+    Alcotest.test_case "watchdog: structured step budget" `Quick
+      test_step_watchdog;
+    Alcotest.test_case "harness: failures isolated" `Quick
+      test_harness_isolation;
+  ]

@@ -49,6 +49,26 @@ let test_validator_catches () =
          { g with Ast.length = 2 } ]
        [ func "main" [] [ ret0 ] ])
 
+let test_validator_accumulates () =
+  (* one pass reports every problem, not just the first: a duplicate
+     global, a missing main, and a stray break all surface together *)
+  let p =
+    program
+      [ garray "g" W32 1; garray "g" W8 1 ]
+      [ func "f" [] [ break_ ] ]
+  in
+  match Validate.check p with
+  | Ok () -> Alcotest.fail "expected validation errors"
+  | Error errs ->
+      Alcotest.(check bool) "accumulates multiple errors" true
+        (List.length errs >= 2);
+      List.iter
+        (fun (e : Validate.error) ->
+          Alcotest.(check bool) "each error is located" true
+            (String.length e.Validate.where > 0
+            && String.length e.Validate.what > 0))
+        errs
+
 let test_validator_accepts () =
   Alcotest.(check bool) "suite benchmarks validate" true
     (List.for_all
@@ -225,6 +245,8 @@ let tests =
     Alcotest.test_case "validator catches errors" `Quick test_validator_catches;
     Alcotest.test_case "validator accepts the suite" `Quick
       test_validator_accepts;
+    Alcotest.test_case "validator accumulates errors" `Quick
+      test_validator_accumulates;
     Alcotest.test_case "eval: wraparound" `Quick test_eval_wraparound;
     Alcotest.test_case "eval: division by zero" `Quick
       test_eval_division_by_zero;

@@ -18,5 +18,6 @@ let () =
       ("expr-sweep", Test_exprsweep.tests);
       ("fits-units", Test_fits_units.tests);
       ("harness", Test_harness.tests);
+      ("fault", Test_fault.tests);
       ("fits", Test_fits.tests);
     ]

@@ -1,0 +1,81 @@
+(* Source lint for the library tree.
+
+   Every failure path in lib/ must go through Pf_util.Sim_error so callers
+   (the experiment harness, the fault campaigns, the CLI) can classify and
+   isolate it.  A bare [failwith] or [assert false] bypasses that contract:
+   it surfaces as an anonymous Failure/Assert_failure with no kind, no
+   location tag, and no exit-code mapping.  This lint fails the build when
+   one sneaks back in.
+
+   Deliberate exceptions go in [allowlist] as (path-suffix, line-substring)
+   pairs with a justification comment. *)
+
+let allowlist : (string * string) list =
+  [ (* currently empty: lib/ is fully converted to Sim_error *) ]
+
+let forbidden = [ "failwith"; "assert false" ]
+
+let allowed file line =
+  List.exists
+    (fun (suffix, sub) ->
+      Filename.check_suffix file suffix
+      && String.length sub <= String.length line
+      &&
+      let n = String.length sub and m = String.length line in
+      let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+      go 0)
+    allowlist
+
+let has_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let rec source_files dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then source_files path
+         else if
+           Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+         then [ path ]
+         else [])
+
+let () =
+  let root =
+    (* run from the repo root or from anywhere inside _build *)
+    if Sys.file_exists "lib" then "."
+    else if Sys.file_exists "../../lib" then "../.."
+    else (
+      prerr_endline "lint: cannot locate the lib/ tree";
+      exit 2)
+  in
+  let violations = ref 0 in
+  List.iter
+    (fun file ->
+      let ic = open_in (Filename.concat root file) in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           List.iter
+             (fun pat ->
+               if has_sub ~sub:pat line && not (allowed file line) then begin
+                 Printf.eprintf
+                   "%s:%d: bare `%s' in lib/ — raise a structured \
+                    Pf_util.Sim_error instead (or extend the lint allowlist \
+                    with a justification)\n"
+                   file !lineno pat;
+                 incr violations
+               end)
+             forbidden
+         done
+       with End_of_file -> ());
+      close_in ic)
+    (source_files (Filename.concat root "lib"));
+  if !violations > 0 then begin
+    Printf.eprintf "lint: %d violation(s)\n" !violations;
+    exit 1
+  end
+  else print_endline "lint: lib/ error-handling discipline OK"

@@ -1,8 +1,11 @@
 let () =
   let t0 = Unix.gettimeofday () in
-  let all = Pf_harness.Experiment.run_all () in
-  Printf.printf "ran %d benchmarks in %.1fs\n%!" (List.length all)
+  let sweep = Pf_harness.Experiment.run_all () in
+  Printf.printf "ran %d of %d benchmarks in %.1fs\n%!"
+    sweep.Pf_harness.Experiment.completed sweep.Pf_harness.Experiment.total
     (Unix.gettimeofday () -. t0);
+  print_endline (Pf_harness.Experiment.banner sweep);
+  let all = Pf_harness.Experiment.completed_results sweep in
   List.iter
     (fun (r : Pf_harness.Experiment.bench_result) ->
       if not r.Pf_harness.Experiment.outputs_consistent then
