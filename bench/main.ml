@@ -10,16 +10,121 @@ let heading title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_sweep.json                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable timing record for the sweep (schema documented in
+   EXPERIMENTS.md).  Hand-rolled JSON: the image deliberately carries no
+   JSON library. *)
+
+let jobs =
+  let rec scan i =
+    if i >= Array.length Sys.argv then None
+    else
+      match Sys.argv.(i) with
+      | "--jobs" | "-j" when i + 1 < Array.length Sys.argv ->
+          int_of_string_opt Sys.argv.(i + 1)
+      | s when String.length s > 7 && String.sub s 0 7 = "--jobs=" ->
+          int_of_string_opt (String.sub s 7 (String.length s - 7))
+      | _ -> scan (i + 1)
+  in
+  match scan 1 with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> Pf_harness.Pool.default_jobs ()
+
+let phase_times : (string * float) list ref = ref []
+
+let timed_phase name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  phase_times := (name, Unix.gettimeofday () -. t0) :: !phase_times;
+  r
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    (match Unix.close_process_in ic with
+    | Unix.WEXITED 0 -> line
+    | _ -> "unknown")
+  with _ -> "unknown"
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_sweep_json (sweep : Pf_harness.Experiment.sweep) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+  Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
+  Printf.bprintf b "  \"completed\": %d,\n"
+    sweep.Pf_harness.Experiment.completed;
+  Printf.bprintf b "  \"total\": %d,\n" sweep.Pf_harness.Experiment.total;
+  Buffer.add_string b "  \"phases\": {\n";
+  let phases = List.rev !phase_times in
+  List.iteri
+    (fun i (name, s) ->
+      Printf.bprintf b "    \"%s\": %.3f%s\n" (json_escape name) s
+        (if i = List.length phases - 1 then "" else ","))
+    phases;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"benchmarks\": [\n";
+  let rows = sweep.Pf_harness.Experiment.rows in
+  List.iteri
+    (fun i (row : Pf_harness.Experiment.sweep_row) ->
+      let insns =
+        match row.Pf_harness.Experiment.outcome with
+        | Ok r ->
+            (* source instructions retired across the two recorded
+               executions plus the two replays *)
+            r.Pf_harness.Experiment.arm16.Pf_harness.Experiment.instructions
+            + r.Pf_harness.Experiment.arm8.Pf_harness.Experiment.instructions
+            + r.Pf_harness.Experiment.fits16.Pf_harness.Experiment
+                .instructions
+            + r.Pf_harness.Experiment.fits8.Pf_harness.Experiment.instructions
+        | Error _ -> 0
+      in
+      let el = row.Pf_harness.Experiment.elapsed_s in
+      Printf.bprintf b
+        "    { \"name\": \"%s\", \"ok\": %b, \"sim_s\": %.3f, \
+         \"instructions\": %d, \"steps_per_sec\": %.0f }%s\n"
+        (json_escape row.Pf_harness.Experiment.bench)
+        (Result.is_ok row.Pf_harness.Experiment.outcome)
+        el insns
+        (if el > 0. then float_of_int insns /. el else 0.)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\n(wrote BENCH_sweep.json: jobs=%d, %d phases timed)\n"
+    sweep.Pf_harness.Experiment.jobs (List.length phases)
+
+(* ------------------------------------------------------------------ *)
 (* Figures 3-14                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let run_figures () =
   heading "PowerFITS evaluation figures (21-benchmark suite, scale 1)";
   let t0 = Unix.gettimeofday () in
-  let sweep = Pf_harness.Experiment.run_all () in
-  Printf.printf "(simulated %d/%d benchmarks x 4 configurations in %.1f s)\n"
+  let sweep = Pf_harness.Experiment.run_all ~jobs () in
+  Printf.printf
+    "(simulated %d/%d benchmarks x 4 configurations in %.1f s, jobs=%d)\n"
     sweep.Pf_harness.Experiment.completed sweep.Pf_harness.Experiment.total
-    (Unix.gettimeofday () -. t0);
+    (Unix.gettimeofday () -. t0)
+    sweep.Pf_harness.Experiment.jobs;
   Printf.printf "%s\n\n" (Pf_harness.Experiment.banner sweep);
   let all = Pf_harness.Experiment.completed_results sweep in
   List.iter
@@ -70,7 +175,8 @@ let run_figures () =
   in
   Printf.printf
     "peak power saving, best benchmark: %.1f%% (paper: up to 60.3%%)\n"
-    peak_max
+    peak_max;
+  sweep
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (DESIGN.md §5)                                            *)
@@ -324,14 +430,17 @@ let microbenchmarks () =
          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
 
 let () =
-  run_figures ();
-  ablation_ais ();
-  ablation_dict ();
-  ablation_two_op ();
-  ablation_fetch_buffer ();
-  scale_robustness ();
-  cross_application ();
-  (try microbenchmarks ()
-   with e ->
-     Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
+  let sweep = timed_phase "figures_sweep" run_figures in
+  timed_phase "ablations" (fun () ->
+      ablation_ais ();
+      ablation_dict ();
+      ablation_two_op ();
+      ablation_fetch_buffer ());
+  timed_phase "scale_robustness" scale_robustness;
+  timed_phase "cross_application" cross_application;
+  timed_phase "microbenchmarks" (fun () ->
+      try microbenchmarks ()
+      with e ->
+        Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
+  write_sweep_json sweep;
   print_newline ()

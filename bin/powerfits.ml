@@ -32,6 +32,20 @@ let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
          ~doc:"Input-size multiplier (default 1).")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for sweeps and campaigns (default: the \
+                 host's recommended domain count).  $(b,--jobs 1) runs \
+                 sequentially; results are identical for every value.")
+
+let resolve_jobs = function
+  | Some j when j >= 1 -> j
+  | Some _ ->
+      Printf.eprintf "powerfits: --jobs must be >= 1\n";
+      exit 2
+  | None -> Pf_harness.Pool.default_jobs ()
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -127,7 +141,10 @@ let max_steps_arg =
                  timeout (exit code 4).")
 
 let run_cmd =
-  let run name scale config max_steps =
+  let run name scale config max_steps jobs =
+    (* a single-configuration simulation has no sweep to spread across
+       domains; --jobs is accepted for symmetry with figures/inject *)
+    ignore (resolve_jobs jobs);
     let image = build ~scale (find_bench name) in
     let cache_cfg =
       match config with
@@ -175,7 +192,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Simulate one benchmark on one of the four configurations.")
-    Term.(const run $ bench_arg $ scale_arg $ config_arg $ max_steps_arg)
+    Term.(const run $ bench_arg $ scale_arg $ config_arg $ max_steps_arg
+          $ jobs_arg)
 
 (* ---- figures ---- *)
 
@@ -185,8 +203,9 @@ let figures_cmd =
          & info [ "only" ] ~docv:"FIG"
              ~doc:"Print a single figure (fig3..fig14).")
   in
-  let run scale only =
-    let sweep = Pf_harness.Experiment.run_all ~scale () in
+  let run scale only jobs =
+    let jobs = resolve_jobs jobs in
+    let sweep = Pf_harness.Experiment.run_all ~scale ~jobs () in
     Printf.eprintf "%s\n%!" (Pf_harness.Experiment.banner sweep);
     let all = Pf_harness.Experiment.completed_results sweep in
     let divergent =
@@ -234,7 +253,7 @@ let figures_cmd =
   Cmd.v
     (Cmd.info "figures"
        ~doc:"Run the full experiment and print every evaluation figure.")
-    Term.(const run $ scale_arg $ only)
+    Term.(const run $ scale_arg $ only $ jobs_arg)
 
 (* ---- inject ---- *)
 
@@ -276,7 +295,8 @@ let inject_cmd =
          & info [ "config" ] ~docv:"CONFIG"
              ~doc:"FITS configuration under injection: fits16 or fits8.")
   in
-  let run name scale target rate seed trials parity config =
+  let run name scale target rate seed trials parity config jobs =
+    let jobs = resolve_jobs jobs in
     if rate < 0. || rate > 1. then begin
       Printf.eprintf "inject: --rate must be in [0,1]\n";
       exit 2
@@ -291,8 +311,8 @@ let inject_cmd =
       | `Fits8 -> Pf_harness.Experiment.cache_8k
     in
     let report =
-      Pf_fault.Campaign.run ~trials ~parity ~cache_cfg ~target ~rate ~seed
-        ~reference tr
+      Pf_fault.Campaign.run ~trials ~parity ~cache_cfg ~jobs ~target ~rate
+        ~seed ~reference tr
     in
     print_string (Pf_fault.Campaign.to_string report)
   in
@@ -302,7 +322,7 @@ let inject_cmd =
          "Run a seeded fault-injection campaign against a benchmark's FITS \
           machine and classify the outcomes.")
     Term.(const run $ bench_arg $ scale_arg $ target_arg $ rate_arg
-          $ seed_arg $ trials_arg $ parity_arg $ cfg_arg)
+          $ seed_arg $ trials_arg $ parity_arg $ cfg_arg $ jobs_arg)
 
 (* ---- report ---- *)
 

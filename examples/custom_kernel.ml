@@ -48,6 +48,7 @@ let () =
   let bench =
     {
       Pf_mibench.Registry.name = "lfsr";
+      result_name = "lfsr";
       category = "custom";
       program = (fun ~scale:_ -> lfsr_kernel);
       power_study = true;

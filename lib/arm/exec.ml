@@ -329,7 +329,12 @@ let execute_dp_value ?(isize = 4) t ~pc ~cond ~op ~s ~rd ~rn ~value
     dp_apply t ~op ~s ~rd ~write_rd a (Bits.u32 value) t.cf
   end
 
-let run ?(max_steps = 500_000_000) t ~on_step =
+(* Poll the wall-clock deadline once every 64k instructions: frequent
+   enough to cut off a runaway loop within milliseconds, rare enough that
+   the clock read never shows up in a profile. *)
+let deadline_mask = 0xFFFF
+
+let run ?(max_steps = 500_000_000) ?deadline t ~on_step =
   let o = outcome () in
   while not t.halted do
     let pc = t.regs.(Insn.pc) in
@@ -338,6 +343,7 @@ let run ?(max_steps = 500_000_000) t ~on_step =
       if t.steps >= max_steps then
         Sim_error.raisef Sim_error.Watchdog_timeout ~where
           "step budget exhausted (%d)" max_steps;
+      if t.steps land deadline_mask = 0 then Deadline.check ~where deadline;
       match Image.insn_at t.image pc with
       | None -> decode_fault "undecodable instruction fetch at 0x%x" pc
       | Some insn ->

@@ -81,15 +81,21 @@ val store_word : t -> int -> int -> unit
 
 val load_byte : t -> int -> int
 
+val deadline_mask : int
+(** The execute loops poll their wall-clock deadline whenever
+    [steps land deadline_mask = 0] — every 65536 instructions. *)
+
 val run :
   ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
   t ->
   on_step:(t -> pc:int -> Insn.t -> outcome -> unit) ->
   unit
 (** Fetch-execute loop from the current [pc] until halt (SWI #0 or return
     to the sentinel).  Raises [Sim_error.Error] with [Watchdog_timeout] on
     [max_steps] exhaustion (default 500 million) — runaway programs are a
-    bug, not a result. *)
+    bug, not a result — or when the monotonic-clock [deadline] (polled
+    every [deadline_mask + 1] steps) expires. *)
 
 val output : t -> string
 (** Everything printed through SWI so far. *)

@@ -52,11 +52,11 @@ type result = {
 
 let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
 
-(* the SA-1100's 8 KB data cache, identical in all four configurations *)
-let dcache_cfg = Pf_cache.Icache.config ~size_bytes:(8 * 1024) ()
+let dcache_cfg = Trace.dcache_cfg
 
 let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
-    ?(classify = false) ?max_steps (image : Pf_arm.Image.t) =
+    ?(classify = false) ?max_steps ?deadline ?trace
+    (image : Pf_arm.Image.t) =
   let cache = Pf_cache.Icache.create ~classify cache_cfg in
   let dcache = Pf_cache.Icache.create dcache_cfg in
   let geometry = Pf_power.Geometry.of_config cache_cfg in
@@ -69,7 +69,7 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
   let metas = build_meta image in
   let st = Pf_arm.Exec.create image in
   let code_base = image.Pf_arm.Image.code_base in
-  Pf_arm.Exec.run ?max_steps st ~on_step:(fun _ ~pc insn o ->
+  Pf_arm.Exec.run ?max_steps ?deadline st ~on_step:(fun _ ~pc insn o ->
       let m =
         match metas.((pc - code_base) lsr 2) with
         | Some m -> m
@@ -78,11 +78,22 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
               ~where:"cpu.arm_run" "no metadata for pc 0x%x" pc
       in
       ignore insn;
-      Pipeline.issue pipe ~backward:m.backward
-        ~mem_addr:o.Pf_arm.Exec.mem_addr ~addr:pc ~size:4 ~cls:m.cls
-        ~reads:m.reads ~writes:m.writes
-        ~taken:o.Pf_arm.Exec.branch_taken
-        ~mem_words:o.Pf_arm.Exec.mem_words ());
+      let taken = o.Pf_arm.Exec.branch_taken in
+      let mem_addr = o.Pf_arm.Exec.mem_addr in
+      let mem_words = o.Pf_arm.Exec.mem_words in
+      Pipeline.issue pipe ~backward:m.backward ~mem_addr ~addr:pc ~size:4
+        ~cls:m.cls ~reads:m.reads ~writes:m.writes ~taken ~mem_words ();
+      match trace with
+      | Some t ->
+          Trace.record t ~addr:pc ~cls:m.cls ~reads:m.reads ~writes:m.writes
+            ~taken ~backward:m.backward
+            ~dmisses:(Pipeline.last_dcache_misses pipe)
+            ~mem_words
+      | None -> ());
+  (match trace with
+  | Some t ->
+      Trace.set_dcache_rate t (Pf_cache.Icache.miss_rate_per_million dcache)
+  | None -> ());
   {
     instructions = Pipeline.instructions pipe;
     cycles = Pipeline.cycles pipe;
@@ -94,4 +105,26 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
     miss_rate_per_million = Pf_cache.Icache.miss_rate_per_million cache;
     dcache_miss_rate_pm = Pf_cache.Icache.miss_rate_per_million dcache;
     power = Pf_power.Account.report account;
+  }
+
+let replay ?pipeline_cfg ?power_params ?classify ~cache_cfg ~output
+    (image : Pf_arm.Image.t) trace =
+  let s =
+    Trace.replay ?pipeline_cfg ?power_params ?classify ~cache_cfg
+      ~fetch_data:(fun addr -> Pf_arm.Image.word_at image addr)
+      trace
+  in
+  {
+    instructions = s.Trace.instructions;
+    cycles = s.Trace.cycles;
+    ipc =
+      (if s.Trace.cycles = 0 then 0.0
+       else float_of_int s.Trace.instructions /. float_of_int s.Trace.cycles);
+    fetch_accesses = s.Trace.fetch_accesses;
+    output;
+    cache_accesses = s.Trace.cache_accesses;
+    cache_misses = s.Trace.cache_misses;
+    miss_rate_per_million = s.Trace.miss_rate_per_million;
+    dcache_miss_rate_pm = s.Trace.dcache_miss_rate_pm;
+    power = s.Trace.power;
   }

@@ -25,9 +25,30 @@ val run :
   ?power_params:Pf_power.Account.Params.t ->
   ?classify:bool ->
   ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
+  ?trace:Trace.t ->
   Pf_arm.Image.t ->
   result
-(** Default cache: 16 KB, 32-byte blocks, 32-way (the SA-1100 I-cache). *)
+(** Default cache: 16 KB, 32-byte blocks, 32-way (the SA-1100 I-cache).
+    [deadline] is the wall-clock watchdog, polled inside the execute loop.
+    [trace] (created with [isize:4]) additionally records every retired
+    instruction so other cache geometries can be {!replay}ed without
+    re-executing. *)
+
+val replay :
+  ?pipeline_cfg:Pipeline.config ->
+  ?power_params:Pf_power.Account.Params.t ->
+  ?classify:bool ->
+  cache_cfg:Pf_cache.Icache.config ->
+  output:string ->
+  Pf_arm.Image.t ->
+  Trace.t ->
+  result
+(** Re-run a recorded trace through a fresh cache/pipeline/power stack of
+    a (typically different) geometry.  Produces bit-identical statistics
+    to a direct {!run} of the same image with [cache_cfg]: the pipeline
+    sees the same [issue] sequence either way.  [output] is the program
+    output captured by the recording run (replay does not execute). *)
 
 (** Per-instruction metadata used by the timing model; exposed for the FITS
     runner which shares the pipeline. *)

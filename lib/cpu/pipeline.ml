@@ -39,6 +39,7 @@ type t = {
   mutable slot_writes : int;           (* writes of the 1st insn this cycle *)
   mutable slot_mem : bool;
   mutable prev_load_writes : int;      (* writes of the last load *)
+  mutable last_dmisses : int;          (* D-cache misses of the last issue *)
 }
 
 let create ?(config = sa1100) ?dcache ~cache ~account ~fetch_data () =
@@ -56,6 +57,7 @@ let create ?(config = sa1100) ?dcache ~cache ~account ~fetch_data () =
     slot_writes = 0;
     slot_mem = false;
     prev_load_writes = 0;
+    last_dmisses = 0;
   }
 
 let spend t n =
@@ -64,8 +66,8 @@ let spend t n =
     Pf_power.Account.on_cycles t.account n
   end
 
-let issue t ?(backward = false) ?(mem_addr = -1) ~addr ~size ~cls ~reads
-    ~writes ~taken ~mem_words () =
+let issue t ?(backward = false) ?(mem_addr = -1) ?(dmisses = -1) ~addr ~size
+    ~cls ~reads ~writes ~taken ~mem_words () =
   t.instrs <- t.instrs + 1;
   (* fetch: one I-cache access per new 32-bit word *)
   let word_addr = addr land lnot 3 in
@@ -82,18 +84,28 @@ let issue t ?(backward = false) ?(mem_addr = -1) ~addr ~size ~cls ~reads
   ignore size;
   let is_mem = cls = Load || cls = Store in
   (* data side: the D-cache is identical in every configuration (S5: only
-     the I-cache varies); misses stall like instruction refills *)
-  (match t.dcache with
-  | Some d when is_mem && mem_addr >= 0 ->
-      for w = 0 to mem_words - 1 do
-        let r =
-          Pf_cache.Icache.access d ~addr:((mem_addr + (4 * w)) land lnot 3)
-            ~data:0
-        in
-        if not r.Pf_cache.Icache.hit then
-          stall := !stall + t.cfg.miss_penalty
-      done
-  | Some _ | None -> ());
+     the I-cache varies); misses stall like instruction refills.  A replay
+     passes the recorded miss count via [dmisses] instead of re-simulating
+     the D-cache — same stream, same misses, by construction. *)
+  let dm =
+    if dmisses >= 0 then dmisses
+    else
+      match t.dcache with
+      | Some d when is_mem && mem_addr >= 0 ->
+          let m = ref 0 in
+          for w = 0 to mem_words - 1 do
+            let r =
+              Pf_cache.Icache.access d
+                ~addr:((mem_addr + (4 * w)) land lnot 3)
+                ~data:0
+            in
+            if not r.Pf_cache.Icache.hit then incr m
+          done;
+          !m
+      | Some _ | None -> 0
+  in
+  t.last_dmisses <- dm;
+  if dm > 0 then stall := !stall + (dm * t.cfg.miss_penalty);
   (* load-use bubble against the previous instruction *)
   let bubble =
     if t.prev_load_writes land reads <> 0 then t.cfg.load_use_bubble else 0
@@ -141,5 +153,6 @@ let issue t ?(backward = false) ?(mem_addr = -1) ~addr ~size ~cls ~reads
 
 let cycles t = t.cycles
 let instructions t = t.instrs
+let last_dcache_misses t = t.last_dmisses
 let ipc t = if t.cycles = 0 then 0.0 else float_of_int t.instrs /. float_of_int t.cycles
 let fetch_accesses t = t.fetches

@@ -66,6 +66,7 @@ val issue :
   t ->
   ?backward:bool ->
   ?mem_addr:int ->
+  ?dmisses:int ->
   addr:int ->
   size:int ->
   cls:insn_class ->
@@ -78,9 +79,16 @@ val issue :
 (** Account one retired instruction.  [size] is 4 (ARM) or 2 (FITS);
     [reads]/[writes] are register bitmasks; [taken] marks a taken branch;
     [mem_words] the words a memory instruction transfers; [backward]
-    (direct branches only) feeds the static predictor. *)
+    (direct branches only) feeds the static predictor.  [dmisses >= 0]
+    bypasses the D-cache model and charges that many recorded miss
+    stalls instead — the trace-replay path, where the D-cache outcome is
+    already known to be identical. *)
 
 val cycles : t -> int
 val instructions : t -> int
 val ipc : t -> float
 val fetch_accesses : t -> int
+
+val last_dcache_misses : t -> int
+(** D-cache misses charged by the most recent {!issue} (what a recording
+    run stores in the trace). *)

@@ -1,0 +1,152 @@
+(* Two ints per event, stored in fixed-size chunks so recording never
+   copies what is already written (a doubling flat array would).
+
+     slot 0: fetch pc
+     slot 1: packed meta — cls(3) | taken(1) | backward(1) | mem_words(6)
+             | reads(17) | writes(17) | dmisses(6)
+
+   Register masks are 17 bits wide: r0-r14 plus the over-provisioned FITS
+   scratch register (index 16).  [dmisses] is the D-cache miss count the
+   recording run observed for this event: the 8 KB D-cache is identical
+   in every configuration, so a replay charges the recorded stalls
+   instead of re-simulating the data side (and the trace needs no memory
+   addresses at all). *)
+
+let ints_per_event = 2
+
+type t = {
+  isize : int;
+  chunk_events : int;
+  mutable chunks : int array array;
+  mutable nchunks : int;      (* chunks in use *)
+  mutable cur : int array;    (* == chunks.(nchunks - 1) *)
+  mutable cur_used : int;     (* ints used in [cur] *)
+  mutable len : int;          (* total events *)
+  mutable dcache_rate_pm : float;
+      (* the recording run's D-cache miss rate, carried to replays *)
+}
+
+let create ?(chunk_events = 65536) ~isize () =
+  if chunk_events <= 0 then
+    Pf_util.Sim_error.raisef Pf_util.Sim_error.Invalid_config
+      ~where:"cpu.trace" "chunk_events must be positive (got %d)" chunk_events;
+  let first = Array.make (chunk_events * ints_per_event) 0 in
+  {
+    isize;
+    chunk_events;
+    chunks = [| first |];
+    nchunks = 1;
+    cur = first;
+    cur_used = 0;
+    len = 0;
+    dcache_rate_pm = 0.0;
+  }
+
+let isize t = t.isize
+let length t = t.len
+let set_dcache_rate t pm = t.dcache_rate_pm <- pm
+
+let cls_code : Pipeline.insn_class -> int = function
+  | Pipeline.Alu -> 0
+  | Pipeline.Mul -> 1
+  | Pipeline.Load -> 2
+  | Pipeline.Store -> 3
+  | Pipeline.Branch -> 4
+  | Pipeline.System -> 5
+
+let cls_of_code = function
+  | 0 -> Pipeline.Alu
+  | 1 -> Pipeline.Mul
+  | 2 -> Pipeline.Load
+  | 3 -> Pipeline.Store
+  | 4 -> Pipeline.Branch
+  | _ -> Pipeline.System
+
+let grow t =
+  if t.nchunks = Array.length t.chunks then begin
+    let spine = Array.make (2 * t.nchunks) [||] in
+    Array.blit t.chunks 0 spine 0 t.nchunks;
+    t.chunks <- spine
+  end;
+  let c = Array.make (t.chunk_events * ints_per_event) 0 in
+  t.chunks.(t.nchunks) <- c;
+  t.nchunks <- t.nchunks + 1;
+  t.cur <- c;
+  t.cur_used <- 0
+
+let record t ~addr ~cls ~reads ~writes ~taken ~backward ~dmisses ~mem_words =
+  if t.cur_used = t.chunk_events * ints_per_event then grow t;
+  let meta =
+    cls_code cls
+    lor (Bool.to_int taken lsl 3)
+    lor (Bool.to_int backward lsl 4)
+    lor (mem_words lsl 5)
+    lor (reads lsl 11)
+    lor (writes lsl 28)
+    lor (dmisses lsl 45)
+  in
+  let i = t.cur_used in
+  t.cur.(i) <- addr;
+  t.cur.(i + 1) <- meta;
+  t.cur_used <- i + 2;
+  t.len <- t.len + 1
+
+type stats = {
+  instructions : int;
+  cycles : int;
+  fetch_accesses : int;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_per_million : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+}
+
+(* the SA-1100's 8 KB data cache, identical in all four configurations *)
+let dcache_cfg = Pf_cache.Icache.config ~size_bytes:(8 * 1024) ()
+
+let replay ?pipeline_cfg ?power_params ?(classify = false) ?cache ~cache_cfg
+    ~fetch_data t =
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Pf_cache.Icache.create ~classify cache_cfg
+  in
+  let geometry = Pf_power.Geometry.of_config cache_cfg in
+  let account = Pf_power.Account.create ?params:power_params geometry in
+  (* no [dcache]: the data side is driven from the recorded miss counts *)
+  let pipe =
+    Pipeline.create ?config:pipeline_cfg ~cache ~account ~fetch_data ()
+  in
+  let size = t.isize in
+  let full = t.chunk_events * ints_per_event in
+  for ci = 0 to t.nchunks - 1 do
+    let chunk = t.chunks.(ci) in
+    let used = if ci = t.nchunks - 1 then t.cur_used else full in
+    let i = ref 0 in
+    while !i < used do
+      let addr = chunk.(!i) in
+      let meta = chunk.(!i + 1) in
+      Pipeline.issue pipe
+        ~backward:(meta land 0x10 <> 0)
+        ~dmisses:((meta lsr 45) land 0x3F)
+        ~addr ~size
+        ~cls:(cls_of_code (meta land 0x7))
+        ~reads:((meta lsr 11) land 0x1FFFF)
+        ~writes:((meta lsr 28) land 0x1FFFF)
+        ~taken:(meta land 0x8 <> 0)
+        ~mem_words:((meta lsr 5) land 0x3F)
+        ();
+      i := !i + 2
+    done
+  done;
+  {
+    instructions = Pipeline.instructions pipe;
+    cycles = Pipeline.cycles pipe;
+    fetch_accesses = Pipeline.fetch_accesses pipe;
+    cache_accesses = Pf_cache.Icache.stats_accesses cache;
+    cache_misses = Pf_cache.Icache.stats_misses cache;
+    miss_rate_per_million = Pf_cache.Icache.miss_rate_per_million cache;
+    dcache_miss_rate_pm = t.dcache_rate_pm;
+    power = Pf_power.Account.report account;
+  }

@@ -1,0 +1,88 @@
+(** Compact instruction-stream traces: execute once, replay through many
+    cache geometries.
+
+    The paper's four configurations pair two instruction streams (ARM,
+    FITS) with two I-cache sizes (16 KB, 8 KB).  The stream a program
+    executes is a function of the ISA alone — cache geometry changes
+    timing and power, never architectural behaviour — so the harness
+    executes each ISA once, recording everything the timing/power stack
+    consumes, and replays the recording through the other geometry.
+    "Application Specific Cache Simulation Analysis for ASIP" (PAPERS.md)
+    applies the same trace-once/replay-many structure to its cache design
+    space sweep.
+
+    A trace stores exactly the arguments of each {!Pipeline.issue} call:
+    fetch address, instruction class, read/write register masks,
+    taken/backward branch bits, memory word count — plus the observed
+    D-cache miss count, so a replay charges the recorded data-side stalls
+    instead of re-simulating the (configuration-invariant) D-cache.
+    Storage is a chunked flat [int array] — two ints per retired
+    instruction, no per-event allocation — so recording costs a few stores
+    per instruction and a 10M-instruction trace takes ~160 MB at worst
+    and typically far less. *)
+
+type t
+
+val create : ?chunk_events:int -> isize:int -> unit -> t
+(** Fresh empty trace for instructions of [isize] bytes (4 = ARM,
+    2 = FITS).  [chunk_events] (default 65536) sizes the growth unit. *)
+
+val isize : t -> int
+
+val length : t -> int
+(** Retired instructions recorded so far. *)
+
+val record :
+  t ->
+  addr:int ->
+  cls:Pipeline.insn_class ->
+  reads:int ->
+  writes:int ->
+  taken:bool ->
+  backward:bool ->
+  dmisses:int ->
+  mem_words:int ->
+  unit
+(** Append one event.  Arguments mirror {!Pipeline.issue}; [dmisses] is
+    the D-cache miss count the recording pipeline observed for this event
+    ({!Pipeline.last_dcache_misses}, recorded {e after} issuing). *)
+
+val set_dcache_rate : t -> float -> unit
+(** Store the recording run's final D-cache miss rate (per million);
+    replays report it verbatim — the data-side stream is identical in
+    every configuration, so re-measuring it would only cost time. *)
+
+(** What a replay measures — the cache/timing/power half of a runner's
+    result record.  Identical to what the same instruction stream produces
+    when simulated directly: replay drives the same [Pipeline.issue]
+    sequence with the same arguments. *)
+type stats = {
+  instructions : int;
+  cycles : int;
+  fetch_accesses : int;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_per_million : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+}
+
+val dcache_cfg : Pf_cache.Icache.config
+(** The fixed SA-1100-like 8 KB data cache shared by every configuration
+    (simulated by recording runs only; replays use the recorded misses). *)
+
+val replay :
+  ?pipeline_cfg:Pipeline.config ->
+  ?power_params:Pf_power.Account.Params.t ->
+  ?classify:bool ->
+  ?cache:Pf_cache.Icache.t ->
+  cache_cfg:Pf_cache.Icache.config ->
+  fetch_data:(int -> int) ->
+  t ->
+  stats
+(** Drive a fresh I-cache ([cache_cfg]), pipeline and power account with
+    the recorded stream; data-side stalls come from the recorded miss
+    counts.  [fetch_data] must be the same word-at-address function the
+    execute phase used (the image is immutable, so the words driven onto
+    the fetch bus are reproduced exactly).  [cache] substitutes a
+    pre-built I-cache instance, as in the direct runners. *)

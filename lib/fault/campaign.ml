@@ -28,7 +28,7 @@ let has_substring ~sub s =
 let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
 
 let run ?(trials = 20) ?(parity = false) ?max_steps
-    ?(cache_cfg = default_cache_cfg) ~target ~rate ~seed ~reference
+    ?(cache_cfg = default_cache_cfg) ?jobs ~target ~rate ~seed ~reference
     (tr : Pf_fits.Translate.t) =
   let baseline = Pf_fits.Run.run ~cache_cfg tr in
   let budget =
@@ -40,12 +40,15 @@ let run ?(trials = 20) ?(parity = false) ?max_steps
         max 10_000_000 (4 * baseline.Pf_fits.Run.fits_instructions)
   in
   let rng = Rng.create seed in
-  let flips = ref 0 and corrupted = ref 0 and detectable = ref 0 in
-  let clean = ref 0 and detected = ref 0 and silent = ref 0 in
-  let divergent = ref 0 and crashed = ref 0 in
-  let crash_kinds = Hashtbl.create 4 in
-  for _ = 1 to trials do
-    let trng = Rng.split rng in
+  (* Split every trial's generator from the parent stream up front, in
+     trial order, so the per-trial streams — and therefore the whole
+     campaign — are identical whether trials then run sequentially or
+     across a pool of domains. *)
+  let trngs = Array.make (max trials 0) rng in
+  for i = 0 to trials - 1 do
+    trngs.(i) <- Rng.split rng
+  done;
+  let one_trial trng =
     let run_trial, trial_stats, icache_detected =
       match (target : Injector.target) with
       | Injector.Decoder ->
@@ -74,25 +77,34 @@ let run ?(trials = 20) ?(parity = false) ?max_steps
             summary, false )
     in
     let result = Sim_error.protect ~where:"fault.campaign" run_trial in
-    let t = trial_stats () in
-    flips := !flips + t.Injector.flips;
-    corrupted := !corrupted + t.Injector.entries_corrupted;
-    detectable := !detectable + t.Injector.parity_detectable;
-    (match result with
-    | Ok r ->
-        if t.Injector.flips = 0 then incr clean
-        else if r.Pf_fits.Run.output <> reference then incr divergent
-        else if icache_detected then incr detected
-        else incr silent
-    | Error e ->
-        if has_substring ~sub:"parity" e.Sim_error.detail then incr detected
-        else begin
-          incr crashed;
-          let k = Sim_error.kind_name e.Sim_error.kind in
-          Hashtbl.replace crash_kinds k
-            (1 + Option.value ~default:0 (Hashtbl.find_opt crash_kinds k))
-        end)
-  done;
+    (result, trial_stats (), icache_detected)
+  in
+  let outcomes = Pf_harness.Pool.map ?jobs one_trial (Array.to_list trngs) in
+  let flips = ref 0 and corrupted = ref 0 and detectable = ref 0 in
+  let clean = ref 0 and detected = ref 0 and silent = ref 0 in
+  let divergent = ref 0 and crashed = ref 0 in
+  let crash_kinds = Hashtbl.create 4 in
+  List.iter
+    (fun (result, t, icache_detected) ->
+      flips := !flips + t.Injector.flips;
+      corrupted := !corrupted + t.Injector.entries_corrupted;
+      detectable := !detectable + t.Injector.parity_detectable;
+      match result with
+      | Ok r ->
+          if t.Injector.flips = 0 then incr clean
+          else if r.Pf_fits.Run.output <> reference then incr divergent
+          else if icache_detected then incr detected
+          else incr silent
+      | Error e ->
+          if has_substring ~sub:"parity" e.Sim_error.detail then
+            incr detected
+          else begin
+            incr crashed;
+            let k = Sim_error.kind_name e.Sim_error.kind in
+            Hashtbl.replace crash_kinds k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt crash_kinds k))
+          end)
+    outcomes;
   let crash_kinds =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) crash_kinds []
     |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -41,6 +41,7 @@ val run :
   ?parity:bool ->
   ?max_steps:int ->
   ?cache_cfg:Pf_cache.Icache.config ->
+  ?jobs:int ->
   target:Injector.target ->
   rate:float ->
   seed:int ->
@@ -50,7 +51,10 @@ val run :
 (** [run ~target ~rate ~seed ~reference tr] executes the baseline once,
     then [trials] (default 20) independently-seeded injection runs.  Each
     trial draws its generator with {!Pf_util.Rng.split} from a parent
-    seeded with [seed], so the whole campaign replays exactly.  Runaway
+    seeded with [seed], so the whole campaign replays exactly; the splits
+    happen up front in trial order, which keeps the report independent of
+    [jobs] (default {!Pf_harness.Pool.default_jobs}) when trials run on a
+    pool of worker domains.  Runaway
     corrupted programs are cut off by a step budget derived from the
     baseline (override with [max_steps]) and surface as [Crashed] with a
     watchdog kind.  [reference] is the golden program output. *)

@@ -51,7 +51,7 @@ let meta_of_micro (m : Mapping.micro) =
 let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
 
 let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
-    ?(classify = false) ?(max_steps = 500_000_000) ?on_step
+    ?(classify = false) ?(max_steps = 500_000_000) ?deadline ?on_step ?trace
     (tr : Translate.t) =
   let cache =
     match cache with
@@ -81,6 +81,8 @@ let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
       if !steps >= max_steps then
         Pf_util.Sim_error.raisef Pf_util.Sim_error.Watchdog_timeout
           ~where:"fits.run" "FITS step budget exhausted (%d)" max_steps;
+      if !steps land Pf_arm.Exec.deadline_mask = 0 then
+        Pf_util.Deadline.check ~where:"fits.run" deadline;
       let idx = (!pc - code_base) asr 1 in
       if idx < 0 || idx >= ninsns then
         Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
@@ -103,10 +105,17 @@ let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
           Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
             ~where:"fits.run" "corrupted decoder entry at 0x%x: %s" !pc why);
       let m = metas.(idx) in
-      P.issue pipe ~backward:m.backward ~mem_addr:o.Pf_arm.Exec.mem_addr
-        ~addr:!pc ~size:2 ~cls:m.cls ~reads:m.reads ~writes:m.writes
-        ~taken:o.Pf_arm.Exec.branch_taken
-        ~mem_words:o.Pf_arm.Exec.mem_words ();
+      let taken = o.Pf_arm.Exec.branch_taken in
+      let mem_addr = o.Pf_arm.Exec.mem_addr in
+      let mem_words = o.Pf_arm.Exec.mem_words in
+      P.issue pipe ~backward:m.backward ~mem_addr ~addr:!pc ~size:2
+        ~cls:m.cls ~reads:m.reads ~writes:m.writes ~taken ~mem_words ();
+      (match trace with
+      | Some t ->
+          Pf_cpu.Trace.record t ~addr:!pc ~cls:m.cls ~reads:m.reads
+            ~writes:m.writes ~taken ~backward:m.backward
+            ~dmisses:(P.last_dcache_misses pipe) ~mem_words
+      | None -> ());
       if fi.Translate.first then begin
         incr src_retired;
         if fi.Translate.group_len = 1 then incr src_one
@@ -116,6 +125,11 @@ let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
       pc := o.Pf_arm.Exec.next_pc
     end
   done;
+  (match trace with
+  | Some t ->
+      Pf_cpu.Trace.set_dcache_rate t
+        (Pf_cache.Icache.miss_rate_per_million dcache)
+  | None -> ());
   let cycles = P.cycles pipe in
   {
     fits_instructions = !steps;
@@ -134,4 +148,32 @@ let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
     miss_rate_per_million = Pf_cache.Icache.miss_rate_per_million cache;
     dcache_miss_rate_pm = Pf_cache.Icache.miss_rate_per_million dcache;
     power = Pf_power.Account.report account;
+  }
+
+let replay ?pipeline_cfg ?power_params ?classify ~cache_cfg ~like
+    (tr : Translate.t) trace =
+  let code_base = tr.Translate.code_base in
+  let words = tr.Translate.words in
+  let s =
+    Pf_cpu.Trace.replay ?pipeline_cfg ?power_params ?classify ~cache_cfg
+      ~fetch_data:(fun addr -> words.((addr - code_base) lsr 2))
+      trace
+  in
+  {
+    fits_instructions = like.fits_instructions;
+    arm_instructions = like.arm_instructions;
+    dyn_one_to_one_pct = like.dyn_one_to_one_pct;
+    cycles = s.Pf_cpu.Trace.cycles;
+    ipc =
+      (if s.Pf_cpu.Trace.cycles = 0 then 0.0
+       else
+         float_of_int like.arm_instructions
+         /. float_of_int s.Pf_cpu.Trace.cycles);
+    fetch_accesses = s.Pf_cpu.Trace.fetch_accesses;
+    output = like.output;
+    cache_accesses = s.Pf_cpu.Trace.cache_accesses;
+    cache_misses = s.Pf_cpu.Trace.cache_misses;
+    miss_rate_per_million = s.Pf_cpu.Trace.miss_rate_per_million;
+    dcache_miss_rate_pm = s.Pf_cpu.Trace.dcache_miss_rate_pm;
+    power = s.Pf_cpu.Trace.power;
   }

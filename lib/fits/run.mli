@@ -33,11 +33,31 @@ val run :
   ?power_params:Pf_power.Account.Params.t ->
   ?classify:bool ->
   ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
   ?on_step:(Pf_arm.Exec.t -> steps:int -> unit) ->
+  ?trace:Pf_cpu.Trace.t ->
   Translate.t ->
   result
 (** [cache] supplies a pre-built I-cache instance (the fault injector uses
     this to schedule tag flips); its geometry must match [cache_cfg], which
     still drives the power model.  [on_step] is called after every retired
     16-bit instruction with the architectural state — the register-file
-    injection hook.  Both default to off and cost nothing when unused. *)
+    injection hook.  Both default to off and cost nothing when unused.
+    [deadline] is the wall-clock watchdog, polled in the execute loop
+    every [Pf_arm.Exec.deadline_mask + 1] steps.  [trace] (created with
+    [isize:2]) records the retired stream for {!replay}. *)
+
+val replay :
+  ?pipeline_cfg:Pf_cpu.Pipeline.config ->
+  ?power_params:Pf_power.Account.Params.t ->
+  ?classify:bool ->
+  cache_cfg:Pf_cache.Icache.config ->
+  like:result ->
+  Translate.t ->
+  Pf_cpu.Trace.t ->
+  result
+(** Replay a recorded FITS stream through a fresh cache/pipeline/power
+    stack of another geometry; bit-identical to a direct {!run} with the
+    same [cache_cfg].  Execution-derived fields (instruction counts,
+    mapping rate, program output) are carried over from [like], the
+    result of the recording run. *)

@@ -54,6 +54,7 @@ val data_plane :
     {!Spec.with_data_plane} to study cross-application ISA reuse. *)
 
 val dyn_counts_of_run :
-  ?max_steps:int -> Pf_arm.Image.t -> int array * string
+  ?max_steps:int -> ?deadline:Pf_util.Deadline.t -> Pf_arm.Image.t ->
+  int array * string
 (** Execute once, returning per-word execution counts and the program
     output. *)

@@ -55,28 +55,47 @@ let of_fits (r : Pf_fits.Run.result) =
     power = r.Pf_fits.Run.power;
   }
 
-let run_benchmark ?(scale = 1) ?(classify = false) ?max_steps
+(* Each ISA executes exactly once: the 16 KB run records the instruction
+   stream, and the 8 KB data point replays it through the smaller cache.
+   Cache geometry cannot change architectural behaviour, so the replayed
+   statistics are bit-identical to a direct simulation (asserted by the
+   replay-equivalence tests) at roughly half the cost — 2 executions plus
+   2 cheap replays instead of 4 executions. *)
+let run_benchmark ?(scale = 1) ?(classify = false) ?max_steps ?deadline
     (b : Pf_mibench.Registry.benchmark) =
+  let check () = Pf_util.Deadline.check ~where:"harness.experiment" deadline in
   let p = b.Pf_mibench.Registry.program ~scale in
   let image =
     Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
   in
+  check ();
   let dyn_counts, reference_output =
-    Pf_fits.Synthesis.dyn_counts_of_run image
+    Pf_fits.Synthesis.dyn_counts_of_run ?deadline image
   in
+  check ();
   let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
   let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  check ();
   let thumb = Pf_thumb.Translate.estimate image in
+  let arm_trace = Pf_cpu.Trace.create ~isize:4 () in
   let arm16_r =
-    Pf_cpu.Arm_run.run ~cache_cfg:cache_16k ~classify ?max_steps image
+    Pf_cpu.Arm_run.run ~cache_cfg:cache_16k ~classify ?max_steps ?deadline
+      ~trace:arm_trace image
   in
   let arm8_r =
-    Pf_cpu.Arm_run.run ~cache_cfg:cache_8k ~classify ?max_steps image
+    Pf_cpu.Arm_run.replay ~cache_cfg:cache_8k ~classify
+      ~output:arm16_r.Pf_cpu.Arm_run.output image arm_trace
   in
+  check ();
+  let fits_trace = Pf_cpu.Trace.create ~isize:2 () in
   let fits16_r =
-    Pf_fits.Run.run ~cache_cfg:cache_16k ~classify ?max_steps tr
+    Pf_fits.Run.run ~cache_cfg:cache_16k ~classify ?max_steps ?deadline
+      ~trace:fits_trace tr
   in
-  let fits8_r = Pf_fits.Run.run ~cache_cfg:cache_8k ~classify ?max_steps tr in
+  let fits8_r =
+    Pf_fits.Run.replay ~cache_cfg:cache_8k ~classify ~like:fits16_r tr
+      fits_trace
+  in
   let outputs_consistent =
     arm16_r.Pf_cpu.Arm_run.output = reference_output
     && arm8_r.Pf_cpu.Arm_run.output = reference_output
@@ -108,88 +127,66 @@ type sweep_row = {
   bench : string;
   outcome : (bench_result, Pf_util.Sim_error.t) result;
   retried : bool;
+  elapsed_s : float;
 }
 
 type sweep = {
   rows : sweep_row list;
   completed : int;
   total : int;
+  jobs : int;
 }
 
 let default_wall_clock_s = 600.
 
-(* Wall-clock watchdog: SIGALRM raises a structured Watchdog_timeout from
-   whatever the simulation is doing, so even a loop the step budget misses
-   (e.g. quadratic translation blowup) cannot wedge the sweep. *)
-let with_watchdog ~seconds f =
-  if seconds <= 0. then f ()
-  else begin
-    let old =
-      Sys.signal Sys.sigalrm
-        (Sys.Signal_handle
-           (fun _ ->
-             raise
-               (Pf_util.Sim_error.Error
-                  {
-                    Pf_util.Sim_error.kind = Pf_util.Sim_error.Watchdog_timeout;
-                    where = "harness.watchdog";
-                    detail =
-                      Printf.sprintf "wall-clock budget (%.0fs) exhausted"
-                        seconds;
-                  })))
-    in
-    let arm v =
-      ignore
-        (Unix.setitimer Unix.ITIMER_REAL
-           { Unix.it_interval = 0.; Unix.it_value = v })
-    in
-    let finally () =
-      arm 0.;
-      Sys.set_signal Sys.sigalrm old
-    in
-    arm seconds;
-    Fun.protect ~finally f
-  end
-
+(* The wall-clock watchdog is a monotonic deadline polled by the execute
+   loops (and at every phase boundary of [run_benchmark]).  The PR-1
+   SIGALRM interval-timer watchdog could not survive parallelism: POSIX
+   delivers signals to the main domain only, so a wedged benchmark inside
+   a worker domain would have hung the whole sweep. *)
 let run_isolated ?(scale = 1) ?max_steps
     ?(wall_clock_s = default_wall_clock_s) ?classify
     (b : Pf_mibench.Registry.benchmark) =
+  let t0 = Unix.gettimeofday () in
   let attempt scale =
+    let deadline = Pf_util.Deadline.after ~seconds:wall_clock_s in
     Pf_util.Sim_error.protect
       ~where:("harness." ^ b.Pf_mibench.Registry.name)
-      (fun () ->
-        with_watchdog ~seconds:wall_clock_s (fun () ->
-            run_benchmark ~scale ?max_steps ?classify b))
+      (fun () -> run_benchmark ~scale ?max_steps ?classify ~deadline b)
+  in
+  let finish outcome retried =
+    {
+      bench = b.Pf_mibench.Registry.name;
+      outcome;
+      retried;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
   in
   match attempt scale with
-  | Ok r ->
-      { bench = b.Pf_mibench.Registry.name; outcome = Ok r; retried = false }
+  | Ok r -> finish (Ok r) false
   | Error { Pf_util.Sim_error.kind = Pf_util.Sim_error.Watchdog_timeout; _ }
     when scale > 1 ->
       (* transient trip: retry once at reduced scale *)
-      {
-        bench = b.Pf_mibench.Registry.name;
-        outcome = attempt (max 1 (scale / 2));
-        retried = true;
-      }
-  | Error e ->
-      {
-        bench = b.Pf_mibench.Registry.name;
-        outcome = Error e;
-        retried = false;
-      }
+      finish (attempt (max 1 (scale / 2))) true
+  | Error e -> finish (Error e) false
 
 let run_all ?scale ?max_steps ?wall_clock_s ?classify
-    ?(benchmarks = Pf_mibench.Registry.all) () =
+    ?(benchmarks = Pf_mibench.Registry.all) ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
   let rows =
-    List.map
+    Pool.map ~jobs
       (fun b -> run_isolated ?scale ?max_steps ?wall_clock_s ?classify b)
       benchmarks
   in
-  let completed =
-    List.length (List.filter (fun r -> Result.is_ok r.outcome) rows)
+  let completed, total =
+    List.fold_left
+      (fun (c, t) r ->
+        ((if Result.is_ok r.outcome then c + 1 else c), t + 1))
+      (0, 0) rows
   in
-  { rows; completed; total = List.length rows }
+  { rows; completed; total; jobs }
 
 let completed_results sweep =
   List.filter_map
@@ -198,7 +195,8 @@ let completed_results sweep =
 
 let banner sweep =
   let b = Buffer.create 256 in
-  Printf.bprintf b "%d of %d benchmarks completed" sweep.completed sweep.total;
+  Printf.bprintf b "%d of %d benchmarks completed (jobs=%d)" sweep.completed
+    sweep.total sweep.jobs;
   List.iter
     (fun r ->
       match r.outcome with
@@ -215,14 +213,13 @@ let banner sweep =
 let power_rows results =
   List.filter_map
     (fun (b : Pf_mibench.Registry.benchmark) ->
-      match
-        List.find_opt
-          (fun r ->
-            r.name
-            = (if b.Pf_mibench.Registry.name = "gsm" then "gsm.decode"
-               else b.Pf_mibench.Registry.name))
-          results
-      with
-      | Some r -> Some { r with name = b.Pf_mibench.Registry.name }
-      | None -> None)
-    Pf_mibench.Registry.power_suite
+      if not b.Pf_mibench.Registry.power_study then None
+      else
+        match
+          List.find_opt
+            (fun r -> r.name = b.Pf_mibench.Registry.name)
+            results
+        with
+        | Some r -> Some { r with name = b.Pf_mibench.Registry.result_name }
+        | None -> None)
+    Pf_mibench.Registry.all

@@ -46,30 +46,43 @@ val run_benchmark :
   ?scale:int ->
   ?classify:bool ->
   ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
   Pf_mibench.Registry.benchmark ->
   bench_result
-(** Full pipeline for one benchmark (default scale 1).  [max_steps] is a
-    per-run step watchdog; exhaustion raises a [Watchdog_timeout]
+(** Full pipeline for one benchmark (default scale 1): compile, profile,
+    synthesize, translate, then simulate the four configurations as two
+    recorded executions (ARM16, FITS16) plus two trace replays (ARM8,
+    FITS8) — cache geometry cannot change architectural behaviour, so the
+    replayed statistics are bit-identical to direct simulation.
+    [max_steps] is a per-run step watchdog and [deadline] a wall-clock
+    one, polled inside the execute loops and at phase boundaries;
+    exhaustion of either raises a [Watchdog_timeout]
     {!Pf_util.Sim_error.Error}. *)
 
-(** {2 Crash-proof sweep}
+(** {2 Crash-proof parallel sweep}
 
     One corrupted or runaway benchmark must not take down the other 20:
     {!run_all} isolates every benchmark behind {!Pf_util.Sim_error.protect}
     and a wall-clock/step watchdog, records per-benchmark outcomes, and
     retries a watchdog trip once at reduced scale before giving up on that
-    row.  Figures are then drawn from whatever survived. *)
+    row.  Rows run on a {!Pool} of worker domains (the watchdog is a
+    monotonic deadline precisely so it works off the main domain); row
+    order, and everything else a sweep reports, is independent of [jobs].
+    Figures are then drawn from whatever survived. *)
 
 type sweep_row = {
   bench : string;
   outcome : (bench_result, Pf_util.Sim_error.t) result;
   retried : bool;   (** a watchdog trip triggered the reduced-scale retry *)
+  elapsed_s : float;
+      (** wall-clock spent on this row, retry included (bench trajectory) *)
 }
 
 type sweep = {
   rows : sweep_row list;
   completed : int;
   total : int;
+  jobs : int;       (** worker domains the sweep actually used *)
 }
 
 val default_wall_clock_s : float
@@ -92,18 +105,22 @@ val run_all :
   ?wall_clock_s:float ->
   ?classify:bool ->
   ?benchmarks:Pf_mibench.Registry.benchmark list ->
+  ?jobs:int ->
   unit ->
   sweep
 (** All 21 benchmarks (Figures 3-5 use these), each isolated.
     [benchmarks] narrows the sweep (tests use this to force failures
-    without paying for the full suite). *)
+    without paying for the full suite).  [jobs] (default
+    {!Pool.default_jobs}) sets the worker-domain count; [jobs:1] is the
+    sequential sweep, and results are identical for every value. *)
 
 val completed_results : sweep -> bench_result list
 (** The surviving rows, in sweep order. *)
 
 val banner : sweep -> string
-(** ["N of M benchmarks completed"], plus one line per failed or retried
-    row. *)
+(** ["N of M benchmarks completed (jobs=K)"], plus one line per failed or
+    retried row. *)
 
 val power_rows : bench_result list -> bench_result list
-(** Restrict to the 19-benchmark power suite with the [gsm] rename. *)
+(** Restrict to the 19-benchmark power suite, reporting each row under
+    its {!Pf_mibench.Registry.benchmark.result_name}. *)

@@ -1,13 +1,22 @@
 type benchmark = {
   name : string;
+  result_name : string;
   category : string;
   program : scale:int -> Pf_kir.Ast.program;
   power_study : bool;
   unroll : int;
 }
 
-let bench ?(power_study = true) ?(unroll = 1) name category program =
-  { name; category; program; power_study; unroll }
+let bench ?result_name ?(power_study = true) ?(unroll = 1) name category
+    program =
+  {
+    name;
+    result_name = Option.value result_name ~default:name;
+    category;
+    program;
+    power_study;
+    unroll;
+  }
 
 let all =
   [
@@ -47,18 +56,16 @@ let all =
     bench ~unroll:4 Fft.name "telecomm" (fun ~scale -> Fft.program ~scale);
     bench ~power_study:false ~unroll:12 Gsm.name_encode "telecomm" (fun ~scale ->
         Gsm.program_encode ~scale);
-    bench ~unroll:12 Gsm.name_decode "telecomm" (fun ~scale ->
-        Gsm.program_decode ~scale);
+    (* the paper's power figures report gsm.decode as plain "gsm" *)
+    bench ~result_name:"gsm" ~unroll:12 Gsm.name_decode "telecomm"
+      (fun ~scale -> Gsm.program_decode ~scale);
   ]
 
 let power_suite =
   List.filter_map
     (fun b ->
-      if not b.power_study then None
-      else if b.name = Gsm.name_decode then Some { b with name = "gsm" }
-      else Some b)
+      if b.power_study then Some { b with name = b.result_name } else None)
     all
 
 let find name =
-  let name = if name = "gsm" then Gsm.name_decode else name in
-  List.find (fun b -> b.name = name) all
+  List.find (fun b -> b.name = name || b.result_name = name) all

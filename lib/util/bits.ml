@@ -27,9 +27,18 @@ let rotate_right32 x r =
   let r = r land 31 in
   if r = 0 then x else u32 ((x lsr r) lor (x lsl (32 - r)))
 
+(* branch-free SWAR popcount: the cache models call this twice per
+   access (address and data-bus toggles), so it must be constant-time
+   rather than a bit-at-a-time loop.  Summed over 32-bit halves to stay
+   inside OCaml's 63-bit int literals. *)
 let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
-  go 0 x
+  let count32 x =
+    let x = x - ((x lsr 1) land 0x5555_5555) in
+    let x = (x land 0x3333_3333) + ((x lsr 2) land 0x3333_3333) in
+    let x = (x + (x lsr 4)) land 0x0F0F_0F0F in
+    ((x * 0x0101_0101) lsr 24) land 0xFF
+  in
+  count32 (x land 0xFFFF_FFFF) + count32 (x lsr 32)
 
 let hamming a b = popcount (a lxor b)
 

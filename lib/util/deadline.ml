@@ -1,0 +1,33 @@
+(* Bechamel's monotonic clock stub reads CLOCK_MONOTONIC in nanoseconds;
+   it is the only monotonic time source in the tree (Unix.gettimeofday is
+   wall-clock and jumps with NTP). *)
+
+type t = {
+  expires_ns : int64;   (* Int64.max_int = never *)
+  budget_s : float;
+}
+
+let now_ns () = Monotonic_clock.now ()
+
+let after ~seconds =
+  if seconds <= 0. then { expires_ns = Int64.max_int; budget_s = seconds }
+  else
+    {
+      expires_ns =
+        Int64.add (now_ns ()) (Int64.of_float (seconds *. 1e9));
+      budget_s = seconds;
+    }
+
+let expired t =
+  t.expires_ns <> Int64.max_int && Int64.compare (now_ns ()) t.expires_ns > 0
+
+let remaining_s t =
+  if t.expires_ns = Int64.max_int then infinity
+  else Int64.to_float (Int64.sub t.expires_ns (now_ns ())) /. 1e9
+
+let check ?(where = "util.deadline") = function
+  | None -> ()
+  | Some t ->
+      if expired t then
+        Sim_error.raisef Sim_error.Watchdog_timeout ~where
+          "wall-clock budget (%.0fs) exhausted" t.budget_s

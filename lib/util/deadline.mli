@@ -1,0 +1,32 @@
+(** Monotonic-clock wall-clock budgets for the execute loops.
+
+    The PR-1 watchdog armed a [SIGALRM] interval timer; signals are
+    delivered to the main domain only, so a runaway simulation inside a
+    {!Domain.spawn}ed worker could never be interrupted.  A deadline is
+    instead a target instant on the monotonic clock that the hot loops
+    poll every ~64k steps — domain-safe, immune to wall-clock jumps, and
+    cheap enough (one clock read per 65536 instructions) to be
+    unmeasurable.
+
+    Expiry raises a structured {!Pf_util.Sim_error.Error} with kind
+    [Watchdog_timeout], exactly like the step-budget watchdog, so the
+    experiment harness classifies and isolates it the same way. *)
+
+type t
+(** An absolute expiry instant on the monotonic clock. *)
+
+val after : seconds:float -> t
+(** [after ~seconds] is the instant [seconds] from now.  [seconds <= 0.]
+    yields a deadline that never expires (the disabled watchdog). *)
+
+val expired : t -> bool
+
+val check : ?where:string -> t option -> unit
+(** Poll an optional deadline: [None] and unexpired deadlines are free;
+    an expired one raises [Sim_error.Error] with [Watchdog_timeout] and
+    the configured budget in the detail.  [where] defaults to
+    ["util.deadline"]. *)
+
+val remaining_s : t -> float
+(** Seconds until expiry (negative once expired); [infinity] for the
+    never-expiring deadline. *)

@@ -165,6 +165,7 @@ let test_harness_isolation () =
   let boom =
     {
       Pf_mibench.Registry.name = "boom";
+      result_name = "boom";
       category = "test";
       program = (fun ~scale:_ -> failwith "synthetic benchmark failure");
       power_study = false;

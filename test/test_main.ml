@@ -18,6 +18,7 @@ let () =
       ("expr-sweep", Test_exprsweep.tests);
       ("fits-units", Test_fits_units.tests);
       ("harness", Test_harness.tests);
+      ("parallel", Test_parallel.tests);
       ("fault", Test_fault.tests);
       ("fits", Test_fits.tests);
     ]

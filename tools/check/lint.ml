@@ -7,13 +7,35 @@
    location tag, and no exit-code mapping.  This lint fails the build when
    one sneaks back in.
 
+   Signal-based watchdogs ([Sys.signal], [Unix.setitimer]/ITIMER) are
+   forbidden in lib/ for a different reason: POSIX delivers signals to the
+   main domain only, so they silently stop working inside Pool worker
+   domains.  Wall-clock budgets must use the monotonic Pf_util.Deadline,
+   which any domain can poll.
+
    Deliberate exceptions go in [allowlist] as (path-suffix, line-substring)
    pairs with a justification comment. *)
 
 let allowlist : (string * string) list =
   [ (* currently empty: lib/ is fully converted to Sim_error *) ]
 
-let forbidden = [ "failwith"; "assert false" ]
+let sim_error_reason =
+  "raise a structured Pf_util.Sim_error instead (or extend the lint \
+   allowlist with a justification)"
+
+let domain_safe_reason =
+  "signals only reach the main domain; use the monotonic Pf_util.Deadline \
+   watchdog, which works inside Pool worker domains"
+
+let forbidden =
+  [
+    ("failwith", sim_error_reason);
+    ("assert false", sim_error_reason);
+    ("Sys.signal", domain_safe_reason);
+    ("Sys.set_signal", domain_safe_reason);
+    ("setitimer", domain_safe_reason);
+    ("ITIMER", domain_safe_reason);
+  ]
 
 let allowed file line =
   List.exists
@@ -60,13 +82,10 @@ let () =
            let line = input_line ic in
            incr lineno;
            List.iter
-             (fun pat ->
+             (fun (pat, reason) ->
                if has_sub ~sub:pat line && not (allowed file line) then begin
-                 Printf.eprintf
-                   "%s:%d: bare `%s' in lib/ — raise a structured \
-                    Pf_util.Sim_error instead (or extend the lint allowlist \
-                    with a justification)\n"
-                   file !lineno pat;
+                 Printf.eprintf "%s:%d: `%s' in lib/ — %s\n" file !lineno pat
+                   reason;
                  incr violations
                end)
              forbidden
