@@ -32,6 +32,21 @@ let jobs =
   | Some j when j >= 1 -> j
   | Some _ | None -> Pf_harness.Pool.default_jobs ()
 
+(* `--check BASELINE.json` runs only the sequential sweep and compares its
+   aggregate steps/sec against the committed baseline, exiting 2 on a
+   >15% regression — the CI guard for simulator throughput. *)
+let check_baseline =
+  let rec scan i =
+    if i >= Array.length Sys.argv then None
+    else
+      match Sys.argv.(i) with
+      | "--check" when i + 1 < Array.length Sys.argv -> Some Sys.argv.(i + 1)
+      | s when String.length s > 8 && String.sub s 0 8 = "--check=" ->
+          Some (String.sub s 8 (String.length s - 8))
+      | _ -> scan (i + 1)
+  in
+  scan 1
+
 let phase_times : (string * float) list ref = ref []
 
 let timed_phase name f =
@@ -63,14 +78,116 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Aggregate simulation rate of a sweep: total source instructions retired
+   over total per-row wall-clock, counting only rows that finished.  Under
+   `--jobs 1` the row times sum to the sweep's wall-clock, so this is the
+   sequential steps/sec figure the baseline records. *)
+let row_insns (row : Pf_harness.Experiment.sweep_row) =
+  match row.Pf_harness.Experiment.outcome with
+  | Ok r ->
+      (* source instructions retired across the two recorded executions
+         plus the two replays *)
+      r.Pf_harness.Experiment.arm16.Pf_harness.Experiment.instructions
+      + r.Pf_harness.Experiment.arm8.Pf_harness.Experiment.instructions
+      + r.Pf_harness.Experiment.fits16.Pf_harness.Experiment.instructions
+      + r.Pf_harness.Experiment.fits8.Pf_harness.Experiment.instructions
+  | Error _ -> 0
+
+let aggregate_steps_per_sec (sweep : Pf_harness.Experiment.sweep) =
+  let insns, sim_s =
+    List.fold_left
+      (fun (i, s) (row : Pf_harness.Experiment.sweep_row) ->
+        if Result.is_ok row.Pf_harness.Experiment.outcome then
+          (i + row_insns row, s +. row.Pf_harness.Experiment.elapsed_s)
+        else (i, s))
+      (0, 0.) sweep.Pf_harness.Experiment.rows
+  in
+  if sim_s > 0. then float_of_int insns /. sim_s else 0.
+
+(* Baseline parser for `--check`.  Hand-rolled like the writer (no JSON
+   library in the image): pull the `"instructions": N` / `"sim_s": X`
+   pairs out of `"ok": true` benchmark rows — works on both schema 1 and
+   schema 2 files, since the row shape never changed. *)
+let baseline_aggregate file =
+  let ic = open_in file in
+  let insns = ref 0 and sim_s = ref 0. in
+  let field line key =
+    (* value substring following `"key": `, up to `,`/`}`/end *)
+    let pat = Printf.sprintf "\"%s\": " key in
+    let n = String.length pat and m = String.length line in
+    let rec find i =
+      if i + n > m then None
+      else if String.sub line i n = pat then Some (i + n)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        while
+          !stop < m
+          && (match line.[!stop] with ',' | '}' | ' ' -> false | _ -> true)
+        do
+          incr stop
+        done;
+        Some (String.sub line start (!stop - start))
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       match (field line "ok", field line "instructions", field line "sim_s")
+       with
+       | Some "true", Some i, Some s ->
+           insns := !insns + int_of_string i;
+           sim_s := !sim_s +. float_of_string s
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !sim_s > 0. then float_of_int !insns /. !sim_s
+  else (
+    Printf.eprintf "--check: no usable benchmark rows in %s\n" file;
+    exit 2)
+
+let run_check file =
+  let baseline = baseline_aggregate file in
+  heading
+    (Printf.sprintf "throughput regression check vs %s (sequential sweep)"
+       file);
+  let sweep = timed_phase "check_sweep" (fun () ->
+      Pf_harness.Experiment.run_all ~jobs:1 ())
+  in
+  let current = aggregate_steps_per_sec sweep in
+  let ratio = if baseline > 0. then current /. baseline else infinity in
+  Printf.printf "baseline aggregate: %.0f steps/sec\n" baseline;
+  Printf.printf "current aggregate:  %.0f steps/sec (%.2fx)\n" current ratio;
+  if sweep.Pf_harness.Experiment.completed
+     < sweep.Pf_harness.Experiment.total
+  then begin
+    Printf.printf "CHECK FAILED: %d/%d benchmarks completed\n"
+      sweep.Pf_harness.Experiment.completed sweep.Pf_harness.Experiment.total;
+    exit 2
+  end;
+  if ratio < 0.85 then begin
+    Printf.printf
+      "CHECK FAILED: aggregate steps/sec dropped %.1f%% (>15%% budget)\n"
+      ((1. -. ratio) *. 100.);
+    exit 2
+  end;
+  Printf.printf "check OK: within the 15%% regression budget\n"
+
 let write_sweep_json (sweep : Pf_harness.Experiment.sweep) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": 2,\n";
+  Buffer.add_string b "  \"engine\": \"predecoded\",\n";
   Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
   Printf.bprintf b "  \"completed\": %d,\n"
     sweep.Pf_harness.Experiment.completed;
   Printf.bprintf b "  \"total\": %d,\n" sweep.Pf_harness.Experiment.total;
+  Printf.bprintf b "  \"aggregate_steps_per_sec\": %.0f,\n"
+    (aggregate_steps_per_sec sweep);
   Buffer.add_string b "  \"phases\": {\n";
   let phases = List.rev !phase_times in
   List.iteri
@@ -83,18 +200,7 @@ let write_sweep_json (sweep : Pf_harness.Experiment.sweep) =
   let rows = sweep.Pf_harness.Experiment.rows in
   List.iteri
     (fun i (row : Pf_harness.Experiment.sweep_row) ->
-      let insns =
-        match row.Pf_harness.Experiment.outcome with
-        | Ok r ->
-            (* source instructions retired across the two recorded
-               executions plus the two replays *)
-            r.Pf_harness.Experiment.arm16.Pf_harness.Experiment.instructions
-            + r.Pf_harness.Experiment.arm8.Pf_harness.Experiment.instructions
-            + r.Pf_harness.Experiment.fits16.Pf_harness.Experiment
-                .instructions
-            + r.Pf_harness.Experiment.fits8.Pf_harness.Experiment.instructions
-        | Error _ -> 0
-      in
+      let insns = row_insns row in
       let el = row.Pf_harness.Experiment.elapsed_s in
       Printf.bprintf b
         "    { \"name\": \"%s\", \"ok\": %b, \"sim_s\": %.3f, \
@@ -405,6 +511,12 @@ let microbenchmarks () =
                      incr n;
                      if !n >= 1000 then raise Exit)
                with Exit -> ()));
+        (let prog = Pf_arm.Pexec.compile crc_image in
+         Test.make ~name:"pexec-1k-insns"
+           (Staged.stage (fun () ->
+                let st = Pf_arm.Exec.create crc_image in
+                try Pf_arm.Pexec.run ~max_steps:1000 prog st
+                with Pf_util.Sim_error.Error _ -> ())));
         Test.make ~name:"synthesize-crc32"
           (Staged.stage (fun () ->
                Pf_fits.Synthesis.synthesize crc_image ~dyn_counts:crc_dyn));
@@ -430,6 +542,9 @@ let microbenchmarks () =
          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" name)
 
 let () =
+  match check_baseline with
+  | Some file -> run_check file
+  | None ->
   let sweep = timed_phase "figures_sweep" run_figures in
   timed_phase "ablations" (fun () ->
       ablation_ais ();

@@ -1,0 +1,89 @@
+(* bench/probe.exe — layer-by-layer steps/sec profiler.
+
+   Times each layer of the simulation stack on a real benchmark
+   (basicmath) plus tight microbenchmark loops over the per-step
+   primitives, so a throughput regression can be attributed to a layer
+   in seconds instead of re-running the full sweep.  No JSON, no
+   baselines: this is the tool you run while optimizing; the CI guard is
+   `main.exe --check BENCH_sweep.json`. *)
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let steps = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-28s %10.3f s  %12.0f steps/sec\n" name dt
+    (float_of_int steps /. dt)
+
+let () =
+  let b = Pf_mibench.Registry.find "basicmath" in
+  let p = b.Pf_mibench.Registry.program ~scale:1 in
+  let image =
+    Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
+  in
+  let prog = Pf_arm.Pexec.compile image in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  (* warmup *)
+  let st = Pf_arm.Exec.create image in
+  Pf_arm.Pexec.run prog st;
+  time "pexec bare" (fun () ->
+      let st = Pf_arm.Exec.create image in
+      Pf_arm.Pexec.run prog st;
+      st.Pf_arm.Exec.steps);
+  time "arm_run full" (fun () ->
+      let r = Pf_cpu.Arm_run.run image in
+      r.Pf_cpu.Arm_run.instructions);
+  time "arm_run + trace" (fun () ->
+      let t = Pf_cpu.Trace.create ~isize:4 () in
+      let r = Pf_cpu.Arm_run.run ~trace:t image in
+      r.Pf_cpu.Arm_run.instructions);
+  (let t = Pf_cpu.Trace.create ~isize:4 () in
+   let r = Pf_cpu.Arm_run.run ~trace:t image in
+   time "arm replay" (fun () ->
+       let r2 =
+         Pf_cpu.Arm_run.replay
+           ~cache_cfg:(Pf_cache.Icache.config ~size_bytes:8192 ())
+           ~output:r.Pf_cpu.Arm_run.output image t
+       in
+       r2.Pf_cpu.Arm_run.instructions));
+  time "fits_run full" (fun () ->
+      let r = Pf_fits.Run.run tr in
+      r.Pf_fits.Run.fits_instructions);
+  let n = 5_000_000 in
+  let cfg16 = Pf_cache.Icache.config ~size_bytes:16384 () in
+  (let c = Pf_cache.Icache.create cfg16 in
+   time "icache access_fast x5M" (fun () ->
+       let acc = ref 0 in
+       for i = 0 to n - 1 do
+         acc :=
+           !acc
+           + Pf_cache.Icache.access_fast c ~addr:(i * 4 land 0x7FF)
+               ~data:(i * 1664525)
+       done;
+       ignore !acc;
+       n));
+  (let geometry = Pf_power.Geometry.of_config cfg16 in
+   let a = Pf_power.Account.create geometry in
+   time "account on_access+cycles x5M" (fun () ->
+       for _ = 0 to n - 1 do
+         Pf_power.Account.on_access a ~toggles:12 ~refilled_words:0;
+         Pf_power.Account.on_cycles a 1
+       done;
+       n));
+  (let cache = Pf_cache.Icache.create cfg16 in
+   let account = Pf_power.Account.create (Pf_power.Geometry.of_config cfg16) in
+   let pipe =
+     Pf_cpu.Pipeline.create ~cache ~account
+       ~fetch_data:(fun a -> a * 1664525)
+       ()
+   in
+   time "pipeline issue x5M" (fun () ->
+       for i = 0 to n - 1 do
+         Pf_cpu.Pipeline.issue pipe ~backward:false ~mem_addr:(-1)
+           ~dmisses:(-1)
+           ~addr:(i * 4 land 0x7FF)
+           ~size:4 ~cls:Pf_cpu.Pipeline.Alu ~reads:3 ~writes:4 ~taken:false
+           ~mem_words:0
+       done;
+       n))

@@ -81,6 +81,28 @@ val store_word : t -> int -> int -> unit
 
 val load_byte : t -> int -> int
 
+(** {2 Engine internals}
+
+    Shared with {!Pexec}, the predecoded engine, so both interpreters
+    use the very same flag and memory semantics (the differential tests
+    assert the results are bit-identical). *)
+
+val store_byte : t -> int -> int -> unit
+val load_half : t -> int -> int
+val store_half : t -> int -> int -> unit
+
+val cond_passed : t -> Insn.cond -> bool
+
+val set_nz : t -> int -> unit
+(** Set N/Z from a u32 result. *)
+
+val add_with_flags : t -> set_flags:bool -> int -> int -> int -> int
+(** [add_with_flags t ~set_flags a b cin] is the u32 of [a + b + cin],
+    updating NZCV when [set_flags]. *)
+
+val sub_with_flags : t -> set_flags:bool -> int -> int -> int -> int
+(** [a - b - (1 - cin)], expressed as [a + lnot b + cin]. *)
+
 val deadline_mask : int
 (** The execute loops poll their wall-clock deadline whenever
     [steps land deadline_mask = 0] — every 65536 instructions. *)

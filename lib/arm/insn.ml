@@ -123,6 +123,50 @@ let regs_written = function
   | Bx _ -> []
   | Swi _ -> [ 0 ]
 
+(* Register bitmasks, computed without intermediate lists: the per-step
+   loops consume these (17 bits: r0-r14 + the FITS scratch r16; pc is
+   never tracked as a data dependency, matching the list-based
+   [regs_read]/[regs_written] with their r15 filter). *)
+let reg_bit r = if r = pc then 0 else 1 lsl r
+
+let list_mask base regs = List.fold_left (fun m r -> m lor reg_bit r) base regs
+
+let op2_read_mask = function
+  | Imm _ -> 0
+  | Reg r | Reg_shift (r, _, _) -> reg_bit r
+  | Reg_shift_reg (r, _, rs) -> reg_bit r lor reg_bit rs
+
+let read_mask = function
+  | Dp { op; rn; op2; _ } ->
+      (match op with MOV | MVN -> 0 | _ -> reg_bit rn) lor op2_read_mask op2
+  | Mul { rm; rs; acc; _ } ->
+      reg_bit rm lor reg_bit rs
+      lor (match acc with Some rn -> reg_bit rn | None -> 0)
+  | Mem { load; rd; rn; offset; _ } ->
+      reg_bit rn
+      lor (match offset with Ofs_imm _ -> 0 | Ofs_reg (r, _, _) -> reg_bit r)
+      lor (if load then 0 else reg_bit rd)
+  | Push { regs; _ } -> list_mask (reg_bit sp) regs
+  | Pop _ -> reg_bit sp
+  | B _ -> 0
+  | Bx { rm; _ } -> reg_bit rm
+  | Swi _ -> 0b111
+
+let write_mask = function
+  | Dp { op; rd; _ } ->
+      (match op with
+      | TST | TEQ | CMP | CMN -> 0
+      | AND | EOR | SUB | RSB | ADD | ADC | SBC | RSC | ORR | MOV | BIC | MVN
+        -> reg_bit rd)
+  | Mul { rd; _ } -> reg_bit rd
+  | Mem { load; rd; rn; writeback; _ } ->
+      (if load then reg_bit rd else 0) lor (if writeback then reg_bit rn else 0)
+  | Push _ -> reg_bit sp
+  | Pop { regs; _ } -> list_mask (reg_bit sp) regs
+  | B { link; _ } -> if link then reg_bit lr else 0
+  | Bx _ -> 0
+  | Swi _ -> 1
+
 let cond_suffix = function
   | EQ -> "eq" | NE -> "ne" | CS -> "cs" | CC -> "cc"
   | MI -> "mi" | PL -> "pl" | VS -> "vs" | VC -> "vc"

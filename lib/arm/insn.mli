@@ -74,6 +74,18 @@ val regs_read : t -> reg list
 
 val regs_written : t -> reg list
 
+val reg_bit : reg -> int
+(** [1 lsl r], except 0 for pc — the pc is sequenced by the loop itself,
+    never tracked as a register dependency. *)
+
+val read_mask : t -> int
+(** Source registers as a 17-bit mask (r0-r14 plus the FITS scratch r16),
+    equal to folding {!reg_bit} over {!regs_read} but with no intermediate
+    list — the predecoder calls this once per static instruction. *)
+
+val write_mask : t -> int
+(** Destination registers as a 17-bit mask; see {!read_mask}. *)
+
 val mnemonic : t -> string
 (** Short opcode mnemonic, e.g. ["add"], ["ldrb"], ["bl"]. *)
 

@@ -9,5 +9,5 @@ let program ?code_base ?data_base ?mem_size ?(unroll = 1)
 
 let run ?max_steps image =
   let st = Pf_arm.Exec.create image in
-  Pf_arm.Exec.run ?max_steps st ~on_step:(fun _ ~pc:_ _ _ -> ());
+  Pf_arm.Pexec.run ?max_steps (Pf_arm.Pexec.compile image) st;
   Pf_arm.Exec.output st

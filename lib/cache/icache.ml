@@ -16,10 +16,61 @@ let sets c =
 
 let tag_bits c = 32 - Bits.log2_exact (sets c) - Bits.log2_exact c.block_bytes
 
+(* Fully-associative shadow cache for miss classification, kept as an
+   intrusive doubly-linked recency list (sentinel-based) plus a block ->
+   node table.  Touch and evict are O(1); the previous implementation
+   stored last-use times and scanned the whole table for the minimum on
+   every eviction, which made --classify sweeps quadratic-ish in shadow
+   capacity.  Since use times were unique and strictly increasing, evicting
+   the list tail removes exactly the block the time scan would have. *)
+type lru_node = {
+  blk : int;
+  mutable prev : lru_node;
+  mutable next : lru_node;
+}
+
+type lru = {
+  head : lru_node;  (* sentinel: [head.next] = MRU, [head.prev] = LRU *)
+  nodes : (int, lru_node) Hashtbl.t;
+  capacity : int;
+}
+
+let lru_create capacity =
+  let rec s = { blk = min_int; prev = s; next = s } in
+  { head = s; nodes = Hashtbl.create 1024; capacity }
+
+let lru_unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let lru_push_front l n =
+  n.next <- l.head.next;
+  n.prev <- l.head;
+  l.head.next.prev <- n;
+  l.head.next <- n
+
+let lru_touch l b =
+  match Hashtbl.find_opt l.nodes b with
+  | Some n ->
+      lru_unlink n;
+      lru_push_front l n
+  | None ->
+      if Hashtbl.length l.nodes >= l.capacity then begin
+        let tail = l.head.prev in
+        lru_unlink tail;
+        Hashtbl.remove l.nodes tail.blk
+      end;
+      let n = { blk = b; prev = l.head; next = l.head } in
+      Hashtbl.replace l.nodes b n;
+      lru_push_front l n
+
 type t = {
   cfg : config;
   nsets : int;
   block_shift : int;
+  set_shift : int;          (* log2 nsets: tag = block lsr set_shift *)
+  assoc : int;
+  refill_block_words : int; (* block_bytes / 4 *)
   (* tags.(set * assoc + way); -1 = invalid.  Ways kept in MRU-first order
      so the common hit is found on the first probe. *)
   tags : int array;
@@ -34,9 +85,7 @@ type t = {
   mutable last_out : int;
   mutable last_idx : int;
   seen : (int, unit) Hashtbl.t option;     (* blocks ever touched *)
-  shadow : (int, int) Hashtbl.t option;    (* block -> last-use time *)
-  shadow_capacity : int;
-  mutable time : int;
+  shadow : lru option;
   (* fault injection: (at_access, slot, bit) tag flips applied the first
      time the access counter reaches at_access *)
   mutable pending_flips : (int * int * int) list;
@@ -55,6 +104,9 @@ let create ?(classify = false) cfg =
     cfg;
     nsets;
     block_shift = Bits.log2_exact cfg.block_bytes;
+    set_shift = Bits.log2_exact nsets;
+    assoc = cfg.assoc;
+    refill_block_words = cfg.block_bytes / 4;
     tags = Array.make (nsets * cfg.assoc) (-1);
     accesses = 0;
     misses = 0;
@@ -67,9 +119,9 @@ let create ?(classify = false) cfg =
     last_out = 0;
     last_idx = 0;
     seen = (if classify then Some (Hashtbl.create 1024) else None);
-    shadow = (if classify then Some (Hashtbl.create 1024) else None);
-    shadow_capacity = cfg.size_bytes / cfg.block_bytes;
-    time = 0;
+    shadow =
+      (if classify then Some (lru_create (cfg.size_bytes / cfg.block_bytes))
+       else None);
     pending_flips = [];
     flips_applied = 0;
   }
@@ -82,37 +134,16 @@ type result = {
 
 let classify_miss t block =
   match (t.seen, t.shadow) with
-  | Some seen, Some shadow ->
+  | Some seen, Some l ->
       if not (Hashtbl.mem seen block) then begin
         Hashtbl.replace seen block ();
         t.compulsory <- t.compulsory + 1
       end
-      else if Hashtbl.mem shadow block then
+      else if Hashtbl.mem l.nodes block then
         (* present in the fully-associative shadow: a conflict miss *)
         t.conflict <- t.conflict + 1
       else t.capacity <- t.capacity + 1
   | _ -> ()
-
-let shadow_touch t block =
-  match t.shadow with
-  | None -> ()
-  | Some shadow ->
-      if
-        (not (Hashtbl.mem shadow block))
-        && Hashtbl.length shadow >= t.shadow_capacity
-      then begin
-        (* evict the least recently used shadow entry *)
-        let lru_block = ref (-1) and lru_time = ref max_int in
-        Hashtbl.iter
-          (fun b tm ->
-            if tm < !lru_time then begin
-              lru_time := tm;
-              lru_block := b
-            end)
-          shadow;
-        Hashtbl.remove shadow !lru_block
-      end;
-      Hashtbl.replace shadow block t.time
 
 let slots t = t.nsets * t.cfg.assoc
 
@@ -141,46 +172,61 @@ let apply_due_flips t =
           end)
         due
 
-let access t ~addr ~data =
+let access_fast t ~addr ~data =
   t.accesses <- t.accesses + 1;
-  apply_due_flips t;
-  t.time <- t.time + 1;
+  (match t.pending_flips with [] -> () | _ -> apply_due_flips t);
   let block = addr lsr t.block_shift in
   let set = block land (t.nsets - 1) in
-  let tag = block lsr Bits.log2_exact t.nsets in
+  let tag = block lsr t.set_shift in
   let idx_t = Bits.hamming set t.last_idx in
   let out_t = Bits.hamming data t.last_out in
   t.idx_toggles <- t.idx_toggles + idx_t;
   t.last_idx <- set;
   t.out_toggles <- t.out_toggles + out_t;
   t.last_out <- data;
-  let base = set * t.cfg.assoc in
-  let rec find way = if way >= t.cfg.assoc then -1
-    else if t.tags.(base + way) = tag then way
-    else find (way + 1)
-  in
-  let way = find 0 in
-  let hit = way >= 0 in
-  let refilled_words = ref 0 in
-  if hit then begin
-    (* move to front (MRU) *)
-    if way > 0 then begin
-      let v = t.tags.(base + way) in
-      Array.blit t.tags base t.tags (base + 1) way;
-      t.tags.(base) <- v
-    end
+  let assoc = t.assoc in
+  let base = set * assoc in
+  let tags = t.tags in
+  (* way search + MRU rotate run once per fetched word; indices are within
+     [base, base+assoc) ⊂ [0, nsets*assoc) = length tags by construction,
+     so unsafe accesses (and a hand rotate instead of the Array.blit C
+     call) are sound *)
+  let way = ref 0 in
+  while !way < assoc && Array.unsafe_get tags (base + !way) <> tag do
+    incr way
+  done;
+  if !way < assoc then begin
+    (* hit: move to front (MRU) *)
+    let w = !way in
+    if w > 0 then begin
+      for j = w downto 1 do
+        Array.unsafe_set tags (base + j)
+          (Array.unsafe_get tags (base + j - 1))
+      done;
+      Array.unsafe_set tags base tag
+    end;
+    (match t.shadow with None -> () | Some l -> lru_touch l block);
+    ((idx_t + out_t) lsl 16) lor 1
   end
   else begin
     t.misses <- t.misses + 1;
-    refilled_words := t.cfg.block_bytes / 4;
-    t.refills <- t.refills + !refilled_words;
-    classify_miss t block;
+    let rw = t.refill_block_words in
+    t.refills <- t.refills + rw;
+    (match t.seen with None -> () | Some _ -> classify_miss t block);
     (* insert at MRU, evict LRU (last way) *)
-    Array.blit t.tags base t.tags (base + 1) (t.cfg.assoc - 1);
-    t.tags.(base) <- tag
-  end;
-  shadow_touch t block;
-  { hit; toggles = idx_t + out_t; refilled_words = !refilled_words }
+    Array.blit tags base tags (base + 1) (assoc - 1);
+    tags.(base) <- tag;
+    (match t.shadow with None -> () | Some l -> lru_touch l block);
+    ((idx_t + out_t) lsl 16) lor (rw lsl 1)
+  end
+
+let access t ~addr ~data =
+  let r = access_fast t ~addr ~data in
+  {
+    hit = r land 1 = 1;
+    toggles = r lsr 16;
+    refilled_words = (r lsr 1) land 0x7FFF;
+  }
 
 let stats_accesses t = t.accesses
 let stats_misses t = t.misses
@@ -203,4 +249,9 @@ let reset_stats t =
   t.conflict <- 0;
   t.out_toggles <- 0;
   t.idx_toggles <- 0;
-  t.refills <- 0
+  t.refills <- 0;
+  (* toggle baselines are part of the stats stream: left stale, the first
+     access after a reset would charge Hamming distance against the
+     previous stream's last word/index *)
+  t.last_out <- 0;
+  t.last_idx <- 0

@@ -43,6 +43,12 @@ val access : t -> addr:int -> data:int -> result
     bus (the simulator knows it from the image; a real cache would read it
     from the array). *)
 
+val access_fast : t -> addr:int -> data:int -> int
+(** Exactly {!access}, but the result is packed into one immediate int so
+    the per-fetch hot path allocates nothing: bit 0 = hit, bits 1-15 =
+    refilled words, bits 16 and up = toggles.  {!access} is a wrapper
+    around this. *)
+
 val stats_accesses : t -> int
 val stats_misses : t -> int
 val stats_compulsory : t -> int
@@ -61,7 +67,9 @@ val refill_words : t -> int
 val miss_rate_per_million : t -> float
 
 val reset_stats : t -> unit
-(** Clear counters but keep cache contents (for warmup discard). *)
+(** Clear counters — including the toggle baselines, so the next access
+    starts a fresh Hamming stream — but keep cache contents (for warmup
+    discard). *)
 
 (** {2 Fault injection}
 

@@ -1,4 +1,5 @@
 module A = Pf_arm.Insn
+module Px = Pf_arm.Pexec
 
 module Meta = struct
   let classify (i : A.t) =
@@ -10,11 +11,8 @@ module Meta = struct
     | A.Swi _ -> Pipeline.System
     | A.Dp _ -> if A.writes_pc i then Pipeline.Branch else Pipeline.Alu
 
-  let mask_of regs =
-    List.fold_left (fun m r -> if r < 15 then m lor (1 lsl r) else m) 0 regs
-
-  let read_mask i = mask_of (A.regs_read i)
-  let write_mask i = mask_of (A.regs_written i)
+  let read_mask = A.read_mask
+  let write_mask = A.write_mask
 end
 
 type meta = {
@@ -37,6 +35,8 @@ let build_meta (image : Pf_arm.Image.t) =
       | None -> None)
     image.Pf_arm.Image.insns
 
+type engine = Reference | Predecoded
+
 type result = {
   instructions : int;
   cycles : int;
@@ -54,10 +54,86 @@ let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
 
 let dcache_cfg = Trace.dcache_cfg
 
-let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
-    ?(classify = false) ?max_steps ?deadline ?trace
-    (image : Pf_arm.Image.t) =
-  let cache = Pf_cache.Icache.create ~classify cache_cfg in
+let where = "arm.exec"
+
+let fetch_fault pc =
+  Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault ~where
+    "undecodable instruction fetch at 0x%x" pc
+
+(* Specialized fetch-execute-issue loops over a predecoded program: the
+   shell of [Exec.run] (same watchdog, deadline polling, fault conditions)
+   with the pipeline call inlined and the [trace] option dispatch hoisted
+   out of the loop.  Nothing in the body allocates. *)
+let run_predecoded ~max_steps ~deadline ~trace (p : Px.program)
+    (st : Pf_arm.Exec.t) pipe =
+  let o = Pf_arm.Exec.outcome () in
+  let uops = p.Px.uops in
+  let n = Array.length uops in
+  let cb = p.Px.code_base in
+  let regs = st.Pf_arm.Exec.regs in
+  match trace with
+  | None ->
+      while not st.Pf_arm.Exec.halted do
+        let pc = regs.(15) in
+        if pc = Pf_arm.Exec.halt_sentinel then st.Pf_arm.Exec.halted <- true
+        else begin
+          if st.Pf_arm.Exec.steps >= max_steps then
+            Pf_util.Sim_error.raisef Pf_util.Sim_error.Watchdog_timeout ~where
+              "step budget exhausted (%d)" max_steps;
+          if st.Pf_arm.Exec.steps land Pf_arm.Exec.deadline_mask = 0 then
+            Pf_util.Deadline.check ~where deadline;
+          let off = pc - cb in
+          let idx = off lsr 2 in
+          if off < 0 || off land 3 <> 0 || idx >= n then fetch_fault pc;
+          let u = uops.(idx) in
+          if u.Px.code = Px.code_undef then fetch_fault pc;
+          Px.exec st o u;
+          regs.(15) <- o.Pf_arm.Exec.next_pc;
+          Pipeline.issue pipe ~backward:u.Px.backward
+            ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:pc ~size:4
+            ~cls:(Trace.cls_of_code u.Px.cls) ~reads:u.Px.reads
+            ~writes:u.Px.writes ~taken:o.Pf_arm.Exec.branch_taken
+            ~mem_words:o.Pf_arm.Exec.mem_words
+        end
+      done
+  | Some t ->
+      while not st.Pf_arm.Exec.halted do
+        let pc = regs.(15) in
+        if pc = Pf_arm.Exec.halt_sentinel then st.Pf_arm.Exec.halted <- true
+        else begin
+          if st.Pf_arm.Exec.steps >= max_steps then
+            Pf_util.Sim_error.raisef Pf_util.Sim_error.Watchdog_timeout ~where
+              "step budget exhausted (%d)" max_steps;
+          if st.Pf_arm.Exec.steps land Pf_arm.Exec.deadline_mask = 0 then
+            Pf_util.Deadline.check ~where deadline;
+          let off = pc - cb in
+          let idx = off lsr 2 in
+          if off < 0 || off land 3 <> 0 || idx >= n then fetch_fault pc;
+          let u = uops.(idx) in
+          if u.Px.code = Px.code_undef then fetch_fault pc;
+          Px.exec st o u;
+          regs.(15) <- o.Pf_arm.Exec.next_pc;
+          let cls = Trace.cls_of_code u.Px.cls in
+          let taken = o.Pf_arm.Exec.branch_taken in
+          let mem_words = o.Pf_arm.Exec.mem_words in
+          Pipeline.issue pipe ~backward:u.Px.backward
+            ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:pc ~size:4
+            ~cls ~reads:u.Px.reads ~writes:u.Px.writes ~taken ~mem_words;
+          Trace.record t ~addr:pc ~cls ~reads:u.Px.reads ~writes:u.Px.writes
+            ~taken ~backward:u.Px.backward
+            ~dmisses:(Pipeline.last_dcache_misses pipe)
+            ~mem_words
+        end
+      done
+
+let run ?(engine = Predecoded) ?cache ?(cache_cfg = default_cache_cfg)
+    ?pipeline_cfg ?power_params ?(classify = false) ?max_steps ?deadline
+    ?trace (image : Pf_arm.Image.t) =
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Pf_cache.Icache.create ~classify cache_cfg
+  in
   let dcache = Pf_cache.Icache.create dcache_cfg in
   let geometry = Pf_power.Geometry.of_config cache_cfg in
   let account = Pf_power.Account.create ?params:power_params geometry in
@@ -66,30 +142,39 @@ let run ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
     Pipeline.create ?config:pipeline_cfg ~dcache ~cache ~account ~fetch_data
       ()
   in
-  let metas = build_meta image in
   let st = Pf_arm.Exec.create image in
-  let code_base = image.Pf_arm.Image.code_base in
-  Pf_arm.Exec.run ?max_steps ?deadline st ~on_step:(fun _ ~pc insn o ->
-      let m =
-        match metas.((pc - code_base) lsr 2) with
-        | Some m -> m
-        | None ->
-            Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal
-              ~where:"cpu.arm_run" "no metadata for pc 0x%x" pc
+  (match engine with
+  | Predecoded ->
+      let p = Px.compile image in
+      let max_steps =
+        match max_steps with Some n -> n | None -> 500_000_000
       in
-      ignore insn;
-      let taken = o.Pf_arm.Exec.branch_taken in
-      let mem_addr = o.Pf_arm.Exec.mem_addr in
-      let mem_words = o.Pf_arm.Exec.mem_words in
-      Pipeline.issue pipe ~backward:m.backward ~mem_addr ~addr:pc ~size:4
-        ~cls:m.cls ~reads:m.reads ~writes:m.writes ~taken ~mem_words ();
-      match trace with
-      | Some t ->
-          Trace.record t ~addr:pc ~cls:m.cls ~reads:m.reads ~writes:m.writes
-            ~taken ~backward:m.backward
-            ~dmisses:(Pipeline.last_dcache_misses pipe)
-            ~mem_words
-      | None -> ());
+      run_predecoded ~max_steps ~deadline ~trace p st pipe
+  | Reference ->
+      let metas = build_meta image in
+      let code_base = image.Pf_arm.Image.code_base in
+      Pf_arm.Exec.run ?max_steps ?deadline st ~on_step:(fun _ ~pc insn o ->
+          let m =
+            match metas.((pc - code_base) lsr 2) with
+            | Some m -> m
+            | None ->
+                Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal
+                  ~where:"cpu.arm_run" "no metadata for pc 0x%x" pc
+          in
+          ignore insn;
+          let taken = o.Pf_arm.Exec.branch_taken in
+          let mem_addr = o.Pf_arm.Exec.mem_addr in
+          let mem_words = o.Pf_arm.Exec.mem_words in
+          Pipeline.issue pipe ~backward:m.backward ~mem_addr ~dmisses:(-1)
+            ~addr:pc ~size:4 ~cls:m.cls ~reads:m.reads ~writes:m.writes
+            ~taken ~mem_words;
+          match trace with
+          | Some t ->
+              Trace.record t ~addr:pc ~cls:m.cls ~reads:m.reads
+                ~writes:m.writes ~taken ~backward:m.backward
+                ~dmisses:(Pipeline.last_dcache_misses pipe)
+                ~mem_words
+          | None -> ()));
   (match trace with
   | Some t ->
       Trace.set_dcache_rate t (Pf_cache.Icache.miss_rate_per_million dcache)

@@ -19,7 +19,16 @@ type result = {
 val dcache_cfg : Pf_cache.Icache.config
 (** The fixed SA-1100-like 8 KB data cache used by both runners. *)
 
+(** Which interpreter drives the run.  [Predecoded] (the default) executes
+    {!Pf_arm.Pexec} micro-ops — statically decoded once, allocation-free
+    per step; [Reference] walks {!Pf_arm.Exec.run} re-deriving everything
+    per dynamic step.  Results are bit-identical; the reference engine is
+    kept as the differential-testing oracle. *)
+type engine = Reference | Predecoded
+
 val run :
+  ?engine:engine ->
+  ?cache:Pf_cache.Icache.t ->
   ?cache_cfg:Pf_cache.Icache.config ->
   ?pipeline_cfg:Pipeline.config ->
   ?power_params:Pf_power.Account.Params.t ->
@@ -30,6 +39,9 @@ val run :
   Pf_arm.Image.t ->
   result
 (** Default cache: 16 KB, 32-byte blocks, 32-way (the SA-1100 I-cache).
+    [cache] substitutes a pre-built I-cache instance (e.g. one created
+    with [~classify:true] for miss-class inspection); otherwise a fresh
+    one is built from [cache_cfg].
     [deadline] is the wall-clock watchdog, polled inside the execute loop.
     [trace] (created with [isize:4]) additionally records every retired
     instruction so other cache geometries can be {!replay}ed without

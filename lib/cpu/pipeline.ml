@@ -66,23 +66,29 @@ let spend t n =
     Pf_power.Account.on_cycles t.account n
   end
 
-let issue t ?(backward = false) ?(mem_addr = -1) ?(dmisses = -1) ~addr ~size
-    ~cls ~reads ~writes ~taken ~mem_words () =
+let issue t ~backward ~mem_addr ~dmisses ~addr ~size ~cls ~reads ~writes
+    ~taken ~mem_words =
   t.instrs <- t.instrs + 1;
   (* fetch: one I-cache access per new 32-bit word *)
   let word_addr = addr land lnot 3 in
   let stall = ref 0 in
   if word_addr <> t.last_fetch_addr || not t.cfg.fetch_buffer then begin
     let data = t.fetch_data word_addr in
-    let r = Pf_cache.Icache.access t.cache ~addr:word_addr ~data in
-    Pf_power.Account.on_access t.account ~toggles:r.Pf_cache.Icache.toggles
-      ~refilled_words:r.Pf_cache.Icache.refilled_words;
+    let r = Pf_cache.Icache.access_fast t.cache ~addr:word_addr ~data in
+    Pf_power.Account.on_access t.account ~toggles:(r lsr 16)
+      ~refilled_words:((r lsr 1) land 0x7FFF);
     t.fetches <- t.fetches + 1;
     t.last_fetch_addr <- word_addr;
-    if not r.Pf_cache.Icache.hit then stall := !stall + t.cfg.miss_penalty
+    if r land 1 = 0 then stall := !stall + t.cfg.miss_penalty
   end;
   ignore size;
-  let is_mem = cls = Load || cls = Store in
+  (* NB: class tests are pattern matches, not [=] — polymorphic equality
+     on a variant is an out-of-line [caml_equal] call, and issue runs once
+     per dynamic instruction *)
+  let is_mem = match cls with Load | Store -> true | _ -> false in
+  let is_branch = match cls with Branch -> true | _ -> false in
+  let is_mul = match cls with Mul -> true | _ -> false in
+  let is_load = match cls with Load -> true | _ -> false in
   (* data side: the D-cache is identical in every configuration (S5: only
      the I-cache varies); misses stall like instruction refills.  A replay
      passes the recorded miss count via [dmisses] instead of re-simulating
@@ -95,11 +101,11 @@ let issue t ?(backward = false) ?(mem_addr = -1) ?(dmisses = -1) ~addr ~size
           let m = ref 0 in
           for w = 0 to mem_words - 1 do
             let r =
-              Pf_cache.Icache.access d
+              Pf_cache.Icache.access_fast d
                 ~addr:((mem_addr + (4 * w)) land lnot 3)
                 ~data:0
             in
-            if not r.Pf_cache.Icache.hit then incr m
+            if r land 1 = 0 then incr m
           done;
           !m
       | Some _ | None -> 0
@@ -114,7 +120,7 @@ let issue t ?(backward = false) ?(mem_addr = -1) ?(dmisses = -1) ~addr ~size
     t.cfg.dual_issue && t.pair_slot_free && !stall = 0 && bubble = 0
     && reads land t.slot_writes = 0
     && (not (is_mem && t.slot_mem))
-    && cls <> Branch
+    && not is_branch
   in
   if can_pair then begin
     (* issues in the already-open cycle *)
@@ -123,7 +129,7 @@ let issue t ?(backward = false) ?(mem_addr = -1) ?(dmisses = -1) ~addr ~size
   end
   else begin
     spend t (1 + !stall + bubble);
-    t.pair_slot_free <- t.cfg.dual_issue && cls <> Branch && cls <> Mul;
+    t.pair_slot_free <- t.cfg.dual_issue && (not is_branch) && not is_mul;
     t.slot_writes <- writes;
     t.slot_mem <- is_mem
   end;
@@ -135,10 +141,10 @@ let issue t ?(backward = false) ?(mem_addr = -1) ?(dmisses = -1) ~addr ~size
   let mispredicted =
     match t.cfg.predictor with
     | No_prediction -> taken
-    | Btfn -> if cls = Branch then taken <> backward else taken
+    | Btfn -> if is_branch then taken <> backward else taken
   in
   let extra =
-    (if cls = Mul then t.cfg.mul_extra else 0)
+    (if is_mul then t.cfg.mul_extra else 0)
     + (if mem_words > 1 then (mem_words - 1) * t.cfg.ldm_word_extra else 0)
     + if mispredicted then t.cfg.branch_penalty else 0
   in
@@ -149,7 +155,7 @@ let issue t ?(backward = false) ?(mem_addr = -1) ?(dmisses = -1) ~addr ~size
   if taken then
     (* redirect: the fetch buffer does not survive a taken branch *)
     t.last_fetch_addr <- -1;
-  t.prev_load_writes <- (if cls = Load then writes else 0)
+  t.prev_load_writes <- (if is_load then writes else 0)
 
 let cycles t = t.cycles
 let instructions t = t.instrs

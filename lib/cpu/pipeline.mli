@@ -64,9 +64,9 @@ val create :
 
 val issue :
   t ->
-  ?backward:bool ->
-  ?mem_addr:int ->
-  ?dmisses:int ->
+  backward:bool ->
+  mem_addr:int ->
+  dmisses:int ->
   addr:int ->
   size:int ->
   cls:insn_class ->
@@ -74,15 +74,17 @@ val issue :
   writes:int ->
   taken:bool ->
   mem_words:int ->
-  unit ->
   unit
 (** Account one retired instruction.  [size] is 4 (ARM) or 2 (FITS);
     [reads]/[writes] are register bitmasks; [taken] marks a taken branch;
     [mem_words] the words a memory instruction transfers; [backward]
-    (direct branches only) feeds the static predictor.  [dmisses >= 0]
+    (direct branches only, false otherwise) feeds the static predictor.
+    [mem_addr] is the effective address, [-1] if none.  [dmisses >= 0]
     bypasses the D-cache model and charges that many recorded miss
     stalls instead — the trace-replay path, where the D-cache outcome is
-    already known to be identical. *)
+    already known to be identical; pass [-1] to simulate the D-cache.
+    All arguments are required: a [Some]-boxed optional would allocate on
+    every dynamic instruction. *)
 
 val cycles : t -> int
 val instructions : t -> int

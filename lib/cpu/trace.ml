@@ -129,14 +129,14 @@ let replay ?pipeline_cfg ?power_params ?(classify = false) ?cache ~cache_cfg
       let meta = chunk.(!i + 1) in
       Pipeline.issue pipe
         ~backward:(meta land 0x10 <> 0)
+        ~mem_addr:(-1)
         ~dmisses:((meta lsr 45) land 0x3F)
         ~addr ~size
         ~cls:(cls_of_code (meta land 0x7))
         ~reads:((meta lsr 11) land 0x1FFFF)
         ~writes:((meta lsr 28) land 0x1FFFF)
         ~taken:(meta land 0x8 <> 0)
-        ~mem_words:((meta lsr 5) land 0x3F)
-        ();
+        ~mem_words:((meta lsr 5) land 0x3F);
       i := !i + 2
     done
   done;

@@ -32,6 +32,13 @@ val isize : t -> int
 val length : t -> int
 (** Retired instructions recorded so far. *)
 
+val cls_code : Pipeline.insn_class -> int
+(** Stable numbering of instruction classes (Alu = 0 ... System = 5) used
+    in packed trace events and by {!Pf_arm.Pexec} metadata. *)
+
+val cls_of_code : int -> Pipeline.insn_class
+(** Inverse of {!cls_code}; out-of-range codes map to [System]. *)
+
 val record :
   t ->
   addr:int ->

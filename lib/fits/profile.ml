@@ -73,10 +73,8 @@ let profile_run ?max_steps (image : Pf_arm.Image.t) =
   let nwords = Array.length image.Pf_arm.Image.words in
   let counts = Array.make nwords 0 in
   let st = Pf_arm.Exec.create image in
-  let code_base = image.Pf_arm.Image.code_base in
-  Pf_arm.Exec.run ?max_steps st ~on_step:(fun _ ~pc _ _ ->
-      let idx = (pc - code_base) lsr 2 in
-      counts.(idx) <- counts.(idx) + 1);
+  Pf_arm.Pexec.run_counting ?max_steps (Pf_arm.Pexec.compile image) st
+    ~counts;
   let t = create () in
   Array.iteri
     (fun idx insn ->

@@ -1,4 +1,5 @@
 module A = Pf_arm.Insn
+module Px = Pf_arm.Pexec
 module P = Pf_cpu.Pipeline
 
 type result = {
@@ -23,36 +24,58 @@ type meta = {
   backward : bool;
 }
 
-let mask_of regs =
-  List.fold_left (fun m r -> if r <> 15 then m lor (1 lsl r) else m) 0 regs
-
 let meta_of_micro (m : Mapping.micro) =
   match m with
   | Mapping.M_exec insn ->
       {
         cls = Pf_cpu.Arm_run.Meta.classify insn;
-        reads = mask_of (A.regs_read insn);
-        writes = mask_of (A.regs_written insn);
+        reads = A.read_mask insn;
+        writes = A.write_mask insn;
         backward =
           (match insn with A.B { offset; _ } -> offset < 0 | _ -> false);
       }
   | Mapping.M_dp32 { rd; rn; op; _ } ->
-      let reads =
-        match op with A.MOV | A.MVN -> 0 | _ -> mask_of [ rn ]
-      in
-      { cls = P.Alu; reads; writes = mask_of [ rd ]; backward = false }
+      let reads = match op with A.MOV | A.MVN -> 0 | _ -> A.reg_bit rn in
+      { cls = P.Alu; reads; writes = A.reg_bit rd; backward = false }
   | Mapping.M_jalr rm ->
-      { cls = P.Branch; reads = mask_of [ rm ]; writes = mask_of [ A.lr ];
+      { cls = P.Branch; reads = A.reg_bit rm; writes = A.reg_bit A.lr;
         backward = false }
   | Mapping.M_undef _ ->
       (* never issued: dispatch raises before reaching the pipeline *)
       { cls = P.Alu; reads = 0; writes = 0; backward = false }
 
+(* Predecode the translated stream: one micro-op per 16-bit slot, pipeline
+   metadata attached (same classes and masks as [meta_of_micro]). *)
+let predecode (tr : Translate.t) =
+  let code_base = tr.Translate.code_base in
+  Array.mapi
+    (fun idx fi ->
+      let pc = code_base + (2 * idx) in
+      match fi.Translate.micro with
+      | Mapping.M_exec insn -> Px.of_insn ~isize:2 ~pc insn
+      | Mapping.M_dp32 { op; s; rd; rn; value; cond } ->
+          Px.dp_value ~isize:2 ~pc ~cond ~op ~s ~rd ~rn ~value
+      | Mapping.M_jalr rm -> Px.jalr ~pc ~rm
+      | Mapping.M_undef why -> Px.undef ~isize:2 ~pc ~why)
+    tr.Translate.insns
+
+type engine = Pf_cpu.Arm_run.engine = Reference | Predecoded
+
 let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
 
-let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
-    ?(classify = false) ?(max_steps = 500_000_000) ?deadline ?on_step ?trace
-    (tr : Translate.t) =
+let where = "fits.run"
+
+let outside_fault pc =
+  Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault ~where
+    "FITS fetch outside code at 0x%x" pc
+
+let budget_fault max_steps =
+  Pf_util.Sim_error.raisef Pf_util.Sim_error.Watchdog_timeout ~where
+    "FITS step budget exhausted (%d)" max_steps
+
+let run ?(engine = Predecoded) ?cache ?(cache_cfg = default_cache_cfg)
+    ?pipeline_cfg ?power_params ?(classify = false)
+    ?(max_steps = 500_000_000) ?deadline ?on_step ?trace (tr : Translate.t) =
   let cache =
     match cache with
     | Some c -> c
@@ -67,64 +90,176 @@ let run ?cache ?(cache_cfg = default_cache_cfg) ?pipeline_cfg ?power_params
   let pipe =
     P.create ?config:pipeline_cfg ~dcache ~cache ~account ~fetch_data ()
   in
-  let metas = Array.map (fun fi -> meta_of_micro fi.Translate.micro) tr.Translate.insns in
+  let insns = tr.Translate.insns in
+  let ninsns = Array.length insns in
   let st = Pf_arm.Exec.create tr.Translate.image in
   let o = Pf_arm.Exec.outcome () in
   let pc = ref tr.Translate.entry in
   let steps = ref 0 in
   let src_retired = ref 0 in
   let src_one = ref 0 in
-  let ninsns = Array.length tr.Translate.insns in
-  while not st.Pf_arm.Exec.halted do
-    if !pc = Pf_arm.Exec.halt_sentinel then st.Pf_arm.Exec.halted <- true
-    else begin
-      if !steps >= max_steps then
-        Pf_util.Sim_error.raisef Pf_util.Sim_error.Watchdog_timeout
-          ~where:"fits.run" "FITS step budget exhausted (%d)" max_steps;
-      if !steps land Pf_arm.Exec.deadline_mask = 0 then
-        Pf_util.Deadline.check ~where:"fits.run" deadline;
-      let idx = (!pc - code_base) asr 1 in
-      if idx < 0 || idx >= ninsns then
-        Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
-          ~where:"fits.run" "FITS fetch outside code at 0x%x" !pc;
-      let fi = tr.Translate.insns.(idx) in
-      (match fi.Translate.micro with
-      | Mapping.M_exec insn -> Pf_arm.Exec.execute ~isize:2 st ~pc:!pc insn o
-      | Mapping.M_dp32 { op; s; rd; rn; value; cond } ->
-          Pf_arm.Exec.execute_dp_value ~isize:2 st ~pc:!pc ~cond ~op ~s ~rd
-            ~rn ~value o
-      | Mapping.M_jalr rm ->
-          st.Pf_arm.Exec.steps <- st.Pf_arm.Exec.steps + 1;
-          st.Pf_arm.Exec.regs.(A.lr) <- !pc + 2;
-          o.Pf_arm.Exec.executed <- true;
-          o.Pf_arm.Exec.branch_taken <- true;
-          o.Pf_arm.Exec.next_pc <- st.Pf_arm.Exec.regs.(rm) land lnot 1;
-          o.Pf_arm.Exec.mem_addr <- -1;
-          o.Pf_arm.Exec.mem_words <- 0
-      | Mapping.M_undef why ->
-          Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
-            ~where:"fits.run" "corrupted decoder entry at 0x%x: %s" !pc why);
-      let m = metas.(idx) in
-      let taken = o.Pf_arm.Exec.branch_taken in
-      let mem_addr = o.Pf_arm.Exec.mem_addr in
-      let mem_words = o.Pf_arm.Exec.mem_words in
-      P.issue pipe ~backward:m.backward ~mem_addr ~addr:!pc ~size:2
-        ~cls:m.cls ~reads:m.reads ~writes:m.writes ~taken ~mem_words ();
-      (match trace with
-      | Some t ->
-          Pf_cpu.Trace.record t ~addr:!pc ~cls:m.cls ~reads:m.reads
-            ~writes:m.writes ~taken ~backward:m.backward
-            ~dmisses:(P.last_dcache_misses pipe) ~mem_words
-      | None -> ());
-      if fi.Translate.first then begin
-        incr src_retired;
-        if fi.Translate.group_len = 1 then incr src_one
-      end;
-      incr steps;
-      (match on_step with None -> () | Some f -> f st ~steps:!steps);
-      pc := o.Pf_arm.Exec.next_pc
+  (match engine with
+  | Predecoded -> begin
+      let uops = predecode tr in
+      (* the [trace] / [on_step] option dispatch is hoisted out of the
+         loop: the common paths (plain run, recording run) execute
+         specialized bodies with no per-step option matching *)
+      match (trace, on_step) with
+      | None, None ->
+          while not st.Pf_arm.Exec.halted do
+            if !pc = Pf_arm.Exec.halt_sentinel then
+              st.Pf_arm.Exec.halted <- true
+            else begin
+              if !steps >= max_steps then budget_fault max_steps;
+              if !steps land Pf_arm.Exec.deadline_mask = 0 then
+                Pf_util.Deadline.check ~where deadline;
+              let idx = (!pc - code_base) asr 1 in
+              if idx < 0 || idx >= ninsns then outside_fault !pc;
+              let u = uops.(idx) in
+              if u.Px.code = Px.code_undef then
+                Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
+                  ~where "corrupted decoder entry at 0x%x: %s" !pc u.Px.why;
+              Px.exec st o u;
+              P.issue pipe ~backward:u.Px.backward
+                ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:!pc
+                ~size:2
+                ~cls:(Pf_cpu.Trace.cls_of_code u.Px.cls)
+                ~reads:u.Px.reads ~writes:u.Px.writes
+                ~taken:o.Pf_arm.Exec.branch_taken
+                ~mem_words:o.Pf_arm.Exec.mem_words;
+              let fi = insns.(idx) in
+              if fi.Translate.first then begin
+                incr src_retired;
+                if fi.Translate.group_len = 1 then incr src_one
+              end;
+              incr steps;
+              pc := o.Pf_arm.Exec.next_pc
+            end
+          done
+      | Some t, None ->
+          while not st.Pf_arm.Exec.halted do
+            if !pc = Pf_arm.Exec.halt_sentinel then
+              st.Pf_arm.Exec.halted <- true
+            else begin
+              if !steps >= max_steps then budget_fault max_steps;
+              if !steps land Pf_arm.Exec.deadline_mask = 0 then
+                Pf_util.Deadline.check ~where deadline;
+              let idx = (!pc - code_base) asr 1 in
+              if idx < 0 || idx >= ninsns then outside_fault !pc;
+              let u = uops.(idx) in
+              if u.Px.code = Px.code_undef then
+                Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
+                  ~where "corrupted decoder entry at 0x%x: %s" !pc u.Px.why;
+              Px.exec st o u;
+              let cls = Pf_cpu.Trace.cls_of_code u.Px.cls in
+              let taken = o.Pf_arm.Exec.branch_taken in
+              let mem_words = o.Pf_arm.Exec.mem_words in
+              P.issue pipe ~backward:u.Px.backward
+                ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:!pc
+                ~size:2 ~cls ~reads:u.Px.reads ~writes:u.Px.writes ~taken
+                ~mem_words;
+              Pf_cpu.Trace.record t ~addr:!pc ~cls ~reads:u.Px.reads
+                ~writes:u.Px.writes ~taken ~backward:u.Px.backward
+                ~dmisses:(P.last_dcache_misses pipe) ~mem_words;
+              let fi = insns.(idx) in
+              if fi.Translate.first then begin
+                incr src_retired;
+                if fi.Translate.group_len = 1 then incr src_one
+              end;
+              incr steps;
+              pc := o.Pf_arm.Exec.next_pc
+            end
+          done
+      | _ ->
+          (* rare paths (fault-injection [on_step] hook): per-step option
+             matching is fine here *)
+          while not st.Pf_arm.Exec.halted do
+            if !pc = Pf_arm.Exec.halt_sentinel then
+              st.Pf_arm.Exec.halted <- true
+            else begin
+              if !steps >= max_steps then budget_fault max_steps;
+              if !steps land Pf_arm.Exec.deadline_mask = 0 then
+                Pf_util.Deadline.check ~where deadline;
+              let idx = (!pc - code_base) asr 1 in
+              if idx < 0 || idx >= ninsns then outside_fault !pc;
+              let u = uops.(idx) in
+              if u.Px.code = Px.code_undef then
+                Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault
+                  ~where "corrupted decoder entry at 0x%x: %s" !pc u.Px.why;
+              Px.exec st o u;
+              let cls = Pf_cpu.Trace.cls_of_code u.Px.cls in
+              let taken = o.Pf_arm.Exec.branch_taken in
+              let mem_words = o.Pf_arm.Exec.mem_words in
+              P.issue pipe ~backward:u.Px.backward
+                ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:!pc
+                ~size:2 ~cls ~reads:u.Px.reads ~writes:u.Px.writes ~taken
+                ~mem_words;
+              (match trace with
+              | Some t ->
+                  Pf_cpu.Trace.record t ~addr:!pc ~cls ~reads:u.Px.reads
+                    ~writes:u.Px.writes ~taken ~backward:u.Px.backward
+                    ~dmisses:(P.last_dcache_misses pipe) ~mem_words
+              | None -> ());
+              let fi = insns.(idx) in
+              if fi.Translate.first then begin
+                incr src_retired;
+                if fi.Translate.group_len = 1 then incr src_one
+              end;
+              incr steps;
+              (match on_step with None -> () | Some f -> f st ~steps:!steps);
+              pc := o.Pf_arm.Exec.next_pc
+            end
+          done
     end
-  done;
+  | Reference ->
+      let metas = Array.map (fun fi -> meta_of_micro fi.Translate.micro) insns in
+      while not st.Pf_arm.Exec.halted do
+        if !pc = Pf_arm.Exec.halt_sentinel then st.Pf_arm.Exec.halted <- true
+        else begin
+          if !steps >= max_steps then budget_fault max_steps;
+          if !steps land Pf_arm.Exec.deadline_mask = 0 then
+            Pf_util.Deadline.check ~where deadline;
+          let idx = (!pc - code_base) asr 1 in
+          if idx < 0 || idx >= ninsns then outside_fault !pc;
+          let fi = insns.(idx) in
+          (match fi.Translate.micro with
+          | Mapping.M_exec insn -> Pf_arm.Exec.execute ~isize:2 st ~pc:!pc insn o
+          | Mapping.M_dp32 { op; s; rd; rn; value; cond } ->
+              Pf_arm.Exec.execute_dp_value ~isize:2 st ~pc:!pc ~cond ~op ~s
+                ~rd ~rn ~value o
+          | Mapping.M_jalr rm ->
+              st.Pf_arm.Exec.steps <- st.Pf_arm.Exec.steps + 1;
+              st.Pf_arm.Exec.regs.(A.lr) <- !pc + 2;
+              o.Pf_arm.Exec.executed <- true;
+              o.Pf_arm.Exec.branch_taken <- true;
+              o.Pf_arm.Exec.next_pc <- st.Pf_arm.Exec.regs.(rm) land lnot 1;
+              o.Pf_arm.Exec.mem_addr <- -1;
+              o.Pf_arm.Exec.mem_words <- 0
+          | Mapping.M_undef why ->
+              Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault ~where
+                "corrupted decoder entry at 0x%x: %s" !pc why);
+          let m = metas.(idx) in
+          let taken = o.Pf_arm.Exec.branch_taken in
+          let mem_addr = o.Pf_arm.Exec.mem_addr in
+          let mem_words = o.Pf_arm.Exec.mem_words in
+          P.issue pipe ~backward:m.backward ~mem_addr ~dmisses:(-1) ~addr:!pc
+            ~size:2 ~cls:m.cls ~reads:m.reads ~writes:m.writes ~taken
+            ~mem_words;
+          (match trace with
+          | Some t ->
+              Pf_cpu.Trace.record t ~addr:!pc ~cls:m.cls ~reads:m.reads
+                ~writes:m.writes ~taken ~backward:m.backward
+                ~dmisses:(P.last_dcache_misses pipe) ~mem_words
+          | None -> ());
+          if fi.Translate.first then begin
+            incr src_retired;
+            if fi.Translate.group_len = 1 then incr src_one
+          end;
+          incr steps;
+          (match on_step with None -> () | Some f -> f st ~steps:!steps);
+          pc := o.Pf_arm.Exec.next_pc
+        end
+      done);
   (match trace with
   | Some t ->
       Pf_cpu.Trace.set_dcache_rate t

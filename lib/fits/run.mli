@@ -26,7 +26,14 @@ type result = {
   power : Pf_power.Account.report;
 }
 
+type engine = Pf_cpu.Arm_run.engine = Reference | Predecoded
+(** Interpreter choice, shared with the ARM runner: [Predecoded] (default)
+    executes the stream via {!Pf_arm.Pexec} micro-ops with no per-step
+    allocation; [Reference] dispatches {!Mapping.micro} through
+    {!Pf_arm.Exec.execute} each step.  Bit-identical results. *)
+
 val run :
+  ?engine:engine ->
   ?cache:Pf_cache.Icache.t ->
   ?cache_cfg:Pf_cache.Icache.config ->
   ?pipeline_cfg:Pf_cpu.Pipeline.config ->

@@ -15,10 +15,8 @@ type result = {
 let dyn_counts_of_run ?max_steps ?deadline (image : Pf_arm.Image.t) =
   let counts = Array.make (Array.length image.Pf_arm.Image.words) 0 in
   let st = Pf_arm.Exec.create image in
-  let code_base = image.Pf_arm.Image.code_base in
-  Pf_arm.Exec.run ?max_steps ?deadline st ~on_step:(fun _ ~pc _ _ ->
-      let idx = (pc - code_base) lsr 2 in
-      counts.(idx) <- counts.(idx) + 1);
+  Pf_arm.Pexec.run_counting ?max_steps ?deadline
+    (Pf_arm.Pexec.compile image) st ~counts;
   (counts, Pf_arm.Exec.output st)
 
 let mem_scale_of (w : A.mem_width) =

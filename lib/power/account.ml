@@ -26,65 +26,82 @@ module Params = struct
     }
 end
 
-type t = {
-  params : Params.t;
-  geometry : Geometry.t;
+(* The energy accumulators live in their own all-float record: OCaml gives
+   such records flat unboxed storage, so the per-step [on_access]/[on_cycles]
+   stores don't box a float each (a mutable float field in a mixed record
+   does).  The per-cycle static terms are constants of the configuration,
+   computed once at [create] — same products, so reports are bit-identical
+   to recomputing them per call. *)
+type acc = {
   mutable e_switch : float;
   mutable e_internal : float;
   mutable e_leak : float;
+  mutable window_switch : float;
+  mutable peak : float;
+  int_per_cycle : float;
+  leak_per_cycle : float;
+}
+
+type t = {
+  params : Params.t;
+  geometry : Geometry.t;
+  acc : acc;
   mutable cycles : int;
   (* peak tracking *)
-  mutable window_switch : float;
   mutable window_cycles : int;
-  mutable peak : float;
 }
 
 let create ?(params = Params.default) geometry =
+  let g = float_of_int geometry.Geometry.gate_count in
   {
     params;
     geometry;
-    e_switch = 0.0;
-    e_internal = 0.0;
-    e_leak = 0.0;
+    acc =
+      {
+        e_switch = 0.0;
+        e_internal = 0.0;
+        e_leak = 0.0;
+        window_switch = 0.0;
+        peak = 0.0;
+        int_per_cycle = params.Params.k_internal_per_gate *. g;
+        leak_per_cycle = params.Params.k_leakage_per_gate *. g;
+      };
     cycles = 0;
-    window_switch = 0.0;
     window_cycles = 0;
-    peak = 0.0;
   }
 
-let per_cycle_static t =
-  let g = float_of_int t.geometry.Geometry.gate_count in
-  (t.params.k_internal_per_gate *. g, t.params.k_leakage_per_gate *. g)
-
 let on_access t ~toggles ~refilled_words =
+  let a = t.acc in
   let e =
-    t.params.k_access
-    +. (t.params.k_output *. float_of_int toggles)
-    +. (t.params.k_refill_per_bit *. float_of_int (refilled_words * 32))
+    t.params.Params.k_access
+    +. (t.params.Params.k_output *. float_of_int toggles)
+    +. (t.params.Params.k_refill_per_bit *. float_of_int (refilled_words * 32))
   in
-  t.e_switch <- t.e_switch +. e;
-  t.window_switch <- t.window_switch +. e
+  a.e_switch <- a.e_switch +. e;
+  a.window_switch <- a.window_switch +. e
 
 let close_window t n =
   (* n cycles of this window: static power is constant per cycle, so the
      window power is switching/window + static. *)
+  let a = t.acc in
   if n > 0 then begin
-    let int_c, leak_c = per_cycle_static t in
-    let power = (t.window_switch /. float_of_int n) +. int_c +. leak_c in
-    if power > t.peak then t.peak <- power
+    let power =
+      (a.window_switch /. float_of_int n) +. a.int_per_cycle +. a.leak_per_cycle
+    in
+    if power > a.peak then a.peak <- power
   end;
-  t.window_switch <- 0.0;
+  a.window_switch <- 0.0;
   t.window_cycles <- 0
 
 let on_cycles t n =
   if n > 0 then begin
-    let int_c, leak_c = per_cycle_static t in
+    let a = t.acc in
     let fn = float_of_int n in
-    t.e_internal <- t.e_internal +. (int_c *. fn);
-    t.e_leak <- t.e_leak +. (leak_c *. fn);
+    a.e_internal <- a.e_internal +. (a.int_per_cycle *. fn);
+    a.e_leak <- a.e_leak +. (a.leak_per_cycle *. fn);
     t.cycles <- t.cycles + n;
     t.window_cycles <- t.window_cycles + n;
-    if t.window_cycles >= t.params.peak_window_cycles then
+    if t.window_cycles >= t.params.Params.peak_window_cycles then
       close_window t t.window_cycles
   end
 
@@ -100,12 +117,13 @@ type report = {
 let report t =
   (* fold any open window into the peak before reporting *)
   if t.window_cycles > 0 then close_window t t.window_cycles;
+  let a = t.acc in
   {
-    switching = t.e_switch;
-    internal = t.e_internal;
-    leakage = t.e_leak;
-    total = t.e_switch +. t.e_internal +. t.e_leak;
-    peak_power = t.peak;
+    switching = a.e_switch;
+    internal = a.e_internal;
+    leakage = a.e_leak;
+    total = a.e_switch +. a.e_internal +. a.e_leak;
+    peak_power = a.peak;
     cycles = t.cycles;
   }
 

@@ -31,8 +31,8 @@ let rotate_right32 x r =
    access (address and data-bus toggles), so it must be constant-time
    rather than a bit-at-a-time loop.  Summed over 32-bit halves to stay
    inside OCaml's 63-bit int literals. *)
-let popcount x =
-  let count32 x =
+let[@inline always] popcount x =
+  let[@inline always] count32 x =
     let x = x - ((x lsr 1) land 0x5555_5555) in
     let x = (x land 0x3333_3333) + ((x lsr 2) land 0x3333_3333) in
     let x = (x + (x lsr 4)) land 0x0F0F_0F0F in
@@ -40,7 +40,7 @@ let popcount x =
   in
   count32 (x land 0xFFFF_FFFF) + count32 (x lsr 32)
 
-let hamming a b = popcount (a lxor b)
+let[@inline always] hamming a b = popcount (a lxor b)
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 

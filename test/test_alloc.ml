@@ -1,0 +1,76 @@
+(* Allocation-freedom guards: the step loops must not allocate per dynamic
+   instruction.  A 100k-step run is measured with [Gc.minor_words] deltas;
+   setup (image copy, cache arrays, predecode) allocates O(static) words
+   and big arrays go straight to the major heap, so a generous fixed bound
+   separates "constant" from "per-step" cleanly — even a single boxed
+   float or tuple per step would cost >200k words.  If one of these tests
+   starts failing, some hot-path edit reintroduced per-step boxing
+   (tuples, closures, [Some]-boxed optional arguments, or stores to
+   mutable float fields of mixed records). *)
+
+module A = Pf_arm.Insn
+
+let budget = 50_000
+
+(* mov r0, #51200; loop: subs r0, r0, #1; bne loop; swi #0
+   — 102,402 dynamic instructions, no prints. *)
+let loop_image () =
+  let imm v = Option.get (A.encode_imm_operand v) in
+  let insns =
+    [
+      A.Dp { cond = A.AL; op = A.MOV; s = false; rd = 0; rn = 0;
+             op2 = imm 51200 };
+      A.Dp { cond = A.AL; op = A.SUB; s = true; rd = 0; rn = 0;
+             op2 = imm 1 };
+      (* branch at 0x8008 targeting 0x8004: offset relative to pc+8 *)
+      A.B { cond = A.NE; link = false; offset = -12 };
+      A.Swi { cond = A.AL; number = 0 };
+    ]
+  in
+  let words = Array.of_list (List.map Pf_arm.Encode.encode insns) in
+  Pf_arm.Image.make ~entry:0x8000 words
+
+let minor_delta f =
+  let before = Gc.minor_words () in
+  f ();
+  int_of_float (Gc.minor_words () -. before)
+
+let check_budget what delta =
+  if delta >= budget then
+    Alcotest.failf "%s allocated %d minor words over a ~100k-step run \
+                    (budget %d): a per-step allocation crept back in"
+      what delta budget
+
+let test_arm_run_alloc () =
+  let image = loop_image () in
+  (* warm up: one full run outside the measurement *)
+  ignore (Pf_cpu.Arm_run.run image);
+  let delta = minor_delta (fun () -> ignore (Pf_cpu.Arm_run.run image)) in
+  check_budget "Arm_run.run (predecoded, full stack)" delta
+
+let test_pexec_run_alloc () =
+  let image = loop_image () in
+  let p = Pf_arm.Pexec.compile image in
+  ignore (Pf_arm.Exec.create image);
+  let st = Pf_arm.Exec.create image in
+  let delta = minor_delta (fun () -> Pf_arm.Pexec.run p st) in
+  check_budget "Pexec.run (bare interpreter)" delta
+
+let test_fits_run_alloc () =
+  let image = loop_image () in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  ignore (Pf_fits.Run.run tr);
+  let delta = minor_delta (fun () -> ignore (Pf_fits.Run.run tr)) in
+  check_budget "Fits.Run.run (predecoded, full stack)" delta
+
+let tests =
+  [
+    Alcotest.test_case "ARM step loop is allocation-free" `Quick
+      test_arm_run_alloc;
+    Alcotest.test_case "bare Pexec loop is allocation-free" `Quick
+      test_pexec_run_alloc;
+    Alcotest.test_case "FITS step loop is allocation-free" `Quick
+      test_fits_run_alloc;
+  ]

@@ -21,4 +21,6 @@ let () =
       ("parallel", Test_parallel.tests);
       ("fault", Test_fault.tests);
       ("fits", Test_fits.tests);
+      ("alloc", Test_alloc.tests);
+      ("differential", Test_differential.tests);
     ]

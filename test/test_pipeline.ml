@@ -15,7 +15,8 @@ let make_pipe ?config () =
 
 let issue ?(cls = P.Alu) ?(reads = 0) ?(writes = 0) ?(taken = false)
     ?(mem_words = 0) ?(size = 4) ?(backward = false) pipe addr =
-  P.issue pipe ~backward ~addr ~size ~cls ~reads ~writes ~taken ~mem_words ()
+  P.issue pipe ~backward ~mem_addr:(-1) ~dmisses:(-1) ~addr ~size ~cls ~reads
+    ~writes ~taken ~mem_words
 
 let no_miss_cfg = { P.sa1100 with P.miss_penalty = 0 }
 
