@@ -16,9 +16,9 @@ let verbose_arg =
        & info [ "v"; "verbose" ] ~doc:"Print synthesis debug logging.")
 
 let find_bench name =
-  try Pf_mibench.Registry.find name
-  with Not_found ->
-    Printf.eprintf "unknown benchmark %S; try `powerfits list'\n" name;
+  try Pf_mibench.Registry.find_exn name
+  with Pf_util.Sim_error.Error e ->
+    Printf.eprintf "powerfits: %s\n" (Pf_util.Sim_error.to_string e);
     exit 2
 
 let build ?(scale = 1) (b : Pf_mibench.Registry.benchmark) =
@@ -27,6 +27,49 @@ let build ?(scale = 1) (b : Pf_mibench.Registry.benchmark) =
 
 let bench_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let benchmarks_arg =
+  Arg.(value & opt (some string) None
+       & info [ "benchmarks" ] ~docv:"A,B,C"
+           ~doc:"Comma-separated benchmark subset (default: the whole \
+                 suite).  Unknown names are rejected with the list of \
+                 valid names.")
+
+let parse_bench_list s =
+  let names =
+    List.filter (fun n -> n <> "") (String.split_on_char ',' s)
+  in
+  if names = [] then begin
+    Printf.eprintf "powerfits: --benchmarks needs at least one name\n";
+    exit 2
+  end;
+  List.map find_bench names
+
+let resolve_benchmarks = function
+  | None -> Pf_mibench.Registry.all
+  | Some s -> parse_bench_list s
+
+(* run/inject historically take one positional BENCHMARK; --benchmarks
+   iterates the same command over a subset instead. *)
+let bench_opt_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK")
+
+let resolve_bench_selection ~cmd positional benchmarks =
+  match (positional, benchmarks) with
+  | Some _, Some _ ->
+      Printf.eprintf
+        "powerfits %s: give either a positional BENCHMARK or --benchmarks, \
+         not both\n"
+        cmd;
+      exit 2
+  | Some name, None -> [ find_bench name ]
+  | None, Some s -> parse_bench_list s
+  | None, None ->
+      Printf.eprintf
+        "powerfits %s: name a BENCHMARK (or use --benchmarks A,B,C); try \
+         `powerfits list'\n"
+        cmd;
+      exit 2
 
 let scale_arg =
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N"
@@ -141,11 +184,8 @@ let max_steps_arg =
                  timeout (exit code 4).")
 
 let run_cmd =
-  let run name scale config max_steps jobs =
-    (* a single-configuration simulation has no sweep to spread across
-       domains; --jobs is accepted for symmetry with figures/inject *)
-    ignore (resolve_jobs jobs);
-    let image = build ~scale (find_bench name) in
+  let run_one ~scale ~config ~max_steps b =
+    let image = build ~scale b in
     let cache_cfg =
       match config with
       | `Arm16 | `Fits16 -> Pf_harness.Experiment.cache_16k
@@ -189,11 +229,26 @@ let run_cmd =
           ~mr:r.Pf_fits.Run.miss_rate_per_million r.Pf_fits.Run.power
           r.Pf_fits.Run.output
   in
+  let run name benchmarks scale config max_steps jobs =
+    (* a single-configuration simulation has no sweep to spread across
+       domains; --jobs is accepted for symmetry with figures/inject *)
+    ignore (resolve_jobs jobs);
+    let benches = resolve_bench_selection ~cmd:"run" name benchmarks in
+    let many = List.length benches > 1 in
+    List.iter
+      (fun (b : Pf_mibench.Registry.benchmark) ->
+        if many then
+          Printf.printf "=== %s ===\n" b.Pf_mibench.Registry.name;
+        run_one ~scale ~config ~max_steps b)
+      benches
+  in
   Cmd.v
     (Cmd.info "run"
-       ~doc:"Simulate one benchmark on one of the four configurations.")
-    Term.(const run $ bench_arg $ scale_arg $ config_arg $ max_steps_arg
-          $ jobs_arg)
+       ~doc:
+         "Simulate one benchmark (or a --benchmarks subset) on one of the \
+          four configurations.")
+    Term.(const run $ bench_opt_arg $ benchmarks_arg $ scale_arg
+          $ config_arg $ max_steps_arg $ jobs_arg)
 
 (* ---- figures ---- *)
 
@@ -203,9 +258,10 @@ let figures_cmd =
          & info [ "only" ] ~docv:"FIG"
              ~doc:"Print a single figure (fig3..fig14).")
   in
-  let run scale only jobs =
+  let run scale only benchmarks jobs =
     let jobs = resolve_jobs jobs in
-    let sweep = Pf_harness.Experiment.run_all ~scale ~jobs () in
+    let benchmarks = resolve_benchmarks benchmarks in
+    let sweep = Pf_harness.Experiment.run_all ~scale ~benchmarks ~jobs () in
     Printf.eprintf "%s\n%!" (Pf_harness.Experiment.banner sweep);
     let all = Pf_harness.Experiment.completed_results sweep in
     let divergent =
@@ -252,8 +308,10 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures"
-       ~doc:"Run the full experiment and print every evaluation figure.")
-    Term.(const run $ scale_arg $ only $ jobs_arg)
+       ~doc:
+         "Run the experiment (optionally on a --benchmarks subset) and \
+          print every evaluation figure.")
+    Term.(const run $ scale_arg $ only $ benchmarks_arg $ jobs_arg)
 
 (* ---- inject ---- *)
 
@@ -295,34 +353,114 @@ let inject_cmd =
          & info [ "config" ] ~docv:"CONFIG"
              ~doc:"FITS configuration under injection: fits16 or fits8.")
   in
-  let run name scale target rate seed trials parity config jobs =
+  let run name benchmarks scale target rate seed trials parity config jobs =
     let jobs = resolve_jobs jobs in
     if rate < 0. || rate > 1. then begin
       Printf.eprintf "inject: --rate must be in [0,1]\n";
       exit 2
     end;
-    let image = build ~scale (find_bench name) in
-    let dyn_counts, reference = Pf_fits.Synthesis.dyn_counts_of_run image in
-    let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
-    let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
-    let cache_cfg =
-      match config with
-      | `Fits16 -> Pf_harness.Experiment.cache_16k
-      | `Fits8 -> Pf_harness.Experiment.cache_8k
-    in
-    let report =
-      Pf_fault.Campaign.run ~trials ~parity ~cache_cfg ~jobs ~target ~rate
-        ~seed ~reference tr
-    in
-    print_string (Pf_fault.Campaign.to_string report)
+    let benches = resolve_bench_selection ~cmd:"inject" name benchmarks in
+    let many = List.length benches > 1 in
+    List.iter
+      (fun (b : Pf_mibench.Registry.benchmark) ->
+        if many then
+          Printf.printf "=== %s ===\n" b.Pf_mibench.Registry.name;
+        let image = build ~scale b in
+        let dyn_counts, reference =
+          Pf_fits.Synthesis.dyn_counts_of_run image
+        in
+        let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+        let tr =
+          Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image
+        in
+        let cache_cfg =
+          match config with
+          | `Fits16 -> Pf_harness.Experiment.cache_16k
+          | `Fits8 -> Pf_harness.Experiment.cache_8k
+        in
+        let report =
+          Pf_fault.Campaign.run ~trials ~parity ~cache_cfg ~jobs ~target
+            ~rate ~seed ~reference tr
+        in
+        print_string (Pf_fault.Campaign.to_string report))
+      benches
   in
   Cmd.v
     (Cmd.info "inject"
        ~doc:
-         "Run a seeded fault-injection campaign against a benchmark's FITS \
-          machine and classify the outcomes.")
-    Term.(const run $ bench_arg $ scale_arg $ target_arg $ rate_arg
-          $ seed_arg $ trials_arg $ parity_arg $ cfg_arg $ jobs_arg)
+         "Run a seeded fault-injection campaign against a benchmark's (or \
+          a --benchmarks subset's) FITS machine and classify the outcomes.")
+    Term.(const run $ bench_opt_arg $ benchmarks_arg $ scale_arg
+          $ target_arg $ rate_arg $ seed_arg $ trials_arg $ parity_arg
+          $ cfg_arg $ jobs_arg)
+
+(* ---- multi ---- *)
+
+let multi_cmd =
+  let programs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "programs" ] ~docv:"A,B,C"
+             ~doc:"Programs forming the suite (default: all 21).  The \
+                   shared ISA is synthesized from exactly these.")
+  in
+  let weighting_arg =
+    Arg.(value & opt string "dynamic"
+         & info [ "weighting" ] ~docv:"SCHEME"
+             ~doc:"Per-program weighting for the merged profile: \
+                   $(b,dynamic) (raw dynamic-instruction counts), \
+                   $(b,uniform) (every program normalized to a common \
+                   budget), or $(b,name=W,name=W,...) custom integer \
+                   weights.")
+  in
+  let loo_arg =
+    Arg.(value & flag
+         & info [ "loo" ]
+             ~doc:"Also run the leave-one-out campaign: each program is \
+                   evaluated under the ISA synthesized from every other \
+                   program.")
+  in
+  let dict_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "dict-budget" ] ~docv:"N"
+             ~doc:"Shared-dictionary entry budget (default: capacity \
+                   minus a 64-entry reloadable per-program tail).")
+  in
+  let run programs weighting loo dict_budget scale jobs =
+    let jobs = resolve_jobs jobs in
+    let weighting =
+      match Pf_multi.Weighting.of_string weighting with
+      | Ok w -> w
+      | Error msg ->
+          Printf.eprintf "powerfits multi: %s\n" msg;
+          exit 2
+    in
+    let benches = resolve_benchmarks programs in
+    let campaign =
+      Pf_multi.Eval.run ~weighting ?dict_budget ~loo ~scale ~jobs benches
+    in
+    Printf.eprintf "%s\n%!" (Pf_multi.Eval.banner campaign);
+    print_string
+      (Pf_multi.Suite.coverage_table campaign.Pf_multi.Eval.c_shared);
+    print_newline ();
+    print_string (Pf_multi.Eval.table campaign);
+    print_newline ();
+    List.iter
+      (fun f -> print_endline (Pf_harness.Figures.render f))
+      (Pf_multi.Eval.figures campaign);
+    print_endline (Pf_multi.Eval.summary campaign);
+    if Pf_multi.Eval.divergent campaign <> [] then exit 3
+    else if campaign.Pf_multi.Eval.c_completed < campaign.Pf_multi.Eval.c_total
+    then exit 4
+  in
+  Cmd.v
+    (Cmd.info "multi"
+       ~doc:
+         "Multi-program ISA synthesis: build one shared FITS ISA for a \
+          program suite and measure how every program fares under its \
+          per-app, the shared, and (with $(b,--loo)) its leave-one-out \
+          ISA.")
+    Term.(const run $ programs_arg $ weighting_arg $ loo_arg
+          $ dict_budget_arg $ scale_arg $ jobs_arg)
 
 (* ---- report ---- *)
 
@@ -399,7 +537,7 @@ let main =
          "Reproduction of PowerFITS (ISPASS 2005): application-specific \
           instruction-set synthesis for I-cache power.")
     [ list_cmd; profile_cmd; synth_cmd; disasm_cmd; run_cmd; report_cmd;
-      figures_cmd; inject_cmd ]
+      figures_cmd; inject_cmd; multi_cmd ]
 
 let () =
   (* Structured simulation faults carry their own exit code: 3 for a

@@ -69,12 +69,7 @@ let of_image (image : Pf_arm.Image.t) =
     image.Pf_arm.Image.insns;
   t
 
-let profile_run ?max_steps (image : Pf_arm.Image.t) =
-  let nwords = Array.length image.Pf_arm.Image.words in
-  let counts = Array.make nwords 0 in
-  let st = Pf_arm.Exec.create image in
-  Pf_arm.Pexec.run_counting ?max_steps (Pf_arm.Pexec.compile image) st
-    ~counts;
+let of_image_counts (image : Pf_arm.Image.t) ~counts =
   let t = create () in
   Array.iteri
     (fun idx insn ->
@@ -82,7 +77,101 @@ let profile_run ?max_steps (image : Pf_arm.Image.t) =
       | Some i -> add t ~dyn_weight:counts.(idx) i
       | None -> ())
     image.Pf_arm.Image.insns;
-  (t, Pf_arm.Exec.output st)
+  t
+
+let profile_run ?max_steps (image : Pf_arm.Image.t) =
+  let nwords = Array.length image.Pf_arm.Image.words in
+  let counts = Array.make nwords 0 in
+  let st = Pf_arm.Exec.create image in
+  Pf_arm.Pexec.run_counting ?max_steps (Pf_arm.Pexec.compile image) st
+    ~counts;
+  (of_image_counts image ~counts, Pf_arm.Exec.output st)
+
+(* ---- the profile algebra ------------------------------------------------ *)
+
+(* Merging is plain integer addition on every component, so it is
+   commutative and associative up to the semantic equality below, and
+   [create ()] is its unit — the laws the multi-program synthesis relies
+   on (and test/test_multi.ml checks with QCheck). *)
+
+let hist_merge_into dst src =
+  List.iter (fun (k, w) -> Stats.add dst ~weight:w k) (Stats.sorted_desc src)
+
+let tbl_merge_into dst src = Hashtbl.iter (fun k n -> bump dst k n) src
+
+let merge a b =
+  let t = create () in
+  tbl_merge_into t.static_keys a.static_keys;
+  tbl_merge_into t.static_keys b.static_keys;
+  tbl_merge_into t.dyn_keys a.dyn_keys;
+  tbl_merge_into t.dyn_keys b.dyn_keys;
+  hist_merge_into t.imm_op_static a.imm_op_static;
+  hist_merge_into t.imm_op_static b.imm_op_static;
+  hist_merge_into t.imm_op_dyn a.imm_op_dyn;
+  hist_merge_into t.imm_op_dyn b.imm_op_dyn;
+  hist_merge_into t.mem_ofs_static a.mem_ofs_static;
+  hist_merge_into t.mem_ofs_static b.mem_ofs_static;
+  hist_merge_into t.mem_ofs_dyn a.mem_ofs_dyn;
+  hist_merge_into t.mem_ofs_dyn b.mem_ofs_dyn;
+  hist_merge_into t.branch_disp_static a.branch_disp_static;
+  hist_merge_into t.branch_disp_static b.branch_disp_static;
+  hist_merge_into t.reg_static a.reg_static;
+  hist_merge_into t.reg_static b.reg_static;
+  hist_merge_into t.reg_dyn a.reg_dyn;
+  hist_merge_into t.reg_dyn b.reg_dyn;
+  t.static_insns <- a.static_insns + b.static_insns;
+  t.dyn_insns <- a.dyn_insns + b.dyn_insns;
+  t
+
+let merge_all ps = List.fold_left merge (create ()) ps
+
+let scale t k =
+  if k < 0 then
+    Sim_error.raisef Sim_error.Invalid_config ~where:"fits.profile"
+      "Profile.scale: negative factor %d" k;
+  let r = create () in
+  tbl_merge_into r.static_keys t.static_keys;
+  Hashtbl.iter (fun key n -> bump r.dyn_keys key (n * k)) t.dyn_keys;
+  hist_merge_into r.imm_op_static t.imm_op_static;
+  hist_merge_into r.mem_ofs_static t.mem_ofs_static;
+  hist_merge_into r.branch_disp_static t.branch_disp_static;
+  hist_merge_into r.reg_static t.reg_static;
+  List.iter
+    (fun (key, w) -> Stats.add r.imm_op_dyn ~weight:(w * k) key)
+    (Stats.sorted_desc t.imm_op_dyn);
+  List.iter
+    (fun (key, w) -> Stats.add r.mem_ofs_dyn ~weight:(w * k) key)
+    (Stats.sorted_desc t.mem_ofs_dyn);
+  List.iter
+    (fun (key, w) -> Stats.add r.reg_dyn ~weight:(w * k) key)
+    (Stats.sorted_desc t.reg_dyn);
+  r.static_insns <- t.static_insns;
+  r.dyn_insns <- t.dyn_insns * k;
+  r
+
+(* Semantic equality: hashtable/histogram internals (insertion order,
+   zero-weight residue) must not distinguish profiles, so everything is
+   compared through a canonical sorted view that drops zero entries. *)
+let equal a b =
+  let canon_tbl tbl =
+    Hashtbl.fold (fun k n acc -> if n = 0 then acc else (k, n) :: acc) tbl []
+    |> List.sort compare
+  in
+  let canon_hist h =
+    List.filter (fun (_, w) -> w <> 0) (Stats.sorted_desc h)
+    |> List.sort compare
+  in
+  a.static_insns = b.static_insns
+  && a.dyn_insns = b.dyn_insns
+  && canon_tbl a.static_keys = canon_tbl b.static_keys
+  && canon_tbl a.dyn_keys = canon_tbl b.dyn_keys
+  && canon_hist a.imm_op_static = canon_hist b.imm_op_static
+  && canon_hist a.imm_op_dyn = canon_hist b.imm_op_dyn
+  && canon_hist a.mem_ofs_static = canon_hist b.mem_ofs_static
+  && canon_hist a.mem_ofs_dyn = canon_hist b.mem_ofs_dyn
+  && canon_hist a.branch_disp_static = canon_hist b.branch_disp_static
+  && canon_hist a.reg_static = canon_hist b.reg_static
+  && canon_hist a.reg_dyn = canon_hist b.reg_dyn
 
 let dyn_key_count t pk =
   match Hashtbl.find_opt t.dyn_keys pk with Some c -> c | None -> 0

@@ -33,10 +33,39 @@ val add : t -> ?dyn_weight:int -> Pf_arm.Insn.t -> unit
 val of_image : Pf_arm.Image.t -> t
 (** Static-only profile of an image. *)
 
+val of_image_counts : Pf_arm.Image.t -> counts:int array -> t
+(** Full static+dynamic profile from per-word execution counts already
+    measured (e.g. {!Synthesis.dyn_counts_of_run}) — no execution. *)
+
 val profile_run :
   ?max_steps:int -> Pf_arm.Image.t -> t * string
 (** Execute the image once and return the full static+dynamic profile and
     the program output (so callers can validate the run). *)
+
+(** {2 Profile algebra}
+
+    Profiles of different programs combine by component-wise integer
+    addition, giving the suite profile the multi-program synthesis of
+    {!Pf_multi} feeds through the BIS/SIS/AIS machinery.  [merge] is
+    commutative and associative modulo {!equal}, with [create ()] as its
+    unit (property-tested in test/test_multi.ml). *)
+
+val merge : t -> t -> t
+(** Component-wise sum of two profiles; inputs are not mutated. *)
+
+val merge_all : t list -> t
+(** Fold of {!merge} over the list; [merge_all [] = create ()] and
+    [equal (merge_all [p]) p]. *)
+
+val scale : t -> int -> t
+(** [scale t k] multiplies every {e dynamic} count by [k] (static counts
+    describe the code image and are left untouched) — the per-program
+    weighting hook of {!Pf_multi.Weighting}.
+    @raise Pf_util.Sim_error.Error on a negative factor. *)
+
+val equal : t -> t -> bool
+(** Semantic equality: canonical (sorted, zero-entry-free) comparison of
+    every component, independent of hashtable internals. *)
 
 val dyn_key_count : t -> Opkey.predicated -> int
 val static_key_count : t -> Opkey.predicated -> int

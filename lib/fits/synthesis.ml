@@ -10,6 +10,13 @@ type result = {
   ais : Spec.opdef list;
   candidates_considered : int;
   datapath_off : float;
+  dict_spilled : int;
+}
+
+type program = {
+  p_image : Pf_arm.Image.t;
+  p_dyn_counts : int array;
+  p_mult : int;
 }
 
 let dyn_counts_of_run ?max_steps ?deadline (image : Pf_arm.Image.t) =
@@ -22,20 +29,33 @@ let dyn_counts_of_run ?max_steps ?deadline (image : Pf_arm.Image.t) =
 let mem_scale_of (w : A.mem_width) =
   match w with A.Word -> 2 | A.Half -> 1 | A.Byte -> 0
 
-(* One static instruction with its address and dynamic weight. *)
-type site = { pc : int; insn : A.t; dyn : int }
+(* One static instruction with its address, dynamic weight, and owning
+   image (multi-program synthesis mixes sites from several images; every
+   mapping query must resolve literal pools against the right one). *)
+type site = { img : Pf_arm.Image.t; pc : int; insn : A.t; dyn : int }
 
-let sites_of (image : Pf_arm.Image.t) ~dyn_counts =
+let sites_of_program { p_image = image; p_dyn_counts; p_mult } =
+  if p_mult < 1 then
+    Sim_error.raisef Sim_error.Invalid_config ~where:"fits.synthesis"
+      "program weight multiplier must be >= 1 (got %d)" p_mult;
   let out = ref [] in
   Array.iteri
     (fun idx insn ->
       match insn with
       | Some insn ->
           let pc = image.Pf_arm.Image.code_base + (idx * 4) in
-          out := { pc; insn; dyn = dyn_counts.(idx) } :: !out
+          out :=
+            { img = image; pc; insn; dyn = p_mult * p_dyn_counts.(idx) }
+            :: !out
       | None -> ())
     image.Pf_arm.Image.insns;
   Array.of_list (List.rev !out)
+
+let sites_of_suite programs =
+  Array.concat (List.map sites_of_program programs)
+
+let sites_of image ~dyn_counts =
+  sites_of_program { p_image = image; p_dyn_counts = dyn_counts; p_mult = 1 }
 
 (* ---- dictionary head and register lists -------------------------------- *)
 
@@ -277,9 +297,10 @@ let data_plane (image : Pf_arm.Image.t) ~dyn_counts =
   let sites = sites_of image ~dyn_counts in
   (dict_head_of sites, reglists_of sites)
 
-let synthesize ?(static_weight = 1.0) ?(ais_groups = 5) ?(dict_head = 16)
-    ?(allow_two_op_ais = true) (image : Pf_arm.Image.t) ~dyn_counts =
-  let sites = sites_of image ~dyn_counts in
+let synthesize_suite ?(static_weight = 1.0) ?(ais_groups = 5)
+    ?(dict_head = 16) ?(allow_two_op_ais = true) ?dict_budget
+    (programs : program list) =
+  let sites = sites_of_suite programs in
   let total_dyn = Array.fold_left (fun a s -> a + s.dyn) 0 sites in
   let avg_dyn =
     if Array.length sites = 0 then 1.0
@@ -299,7 +320,7 @@ let synthesize ?(static_weight = 1.0) ?(ais_groups = 5) ?(dict_head = 16)
       (fun i s ->
         len.(i) <-
           Mapping.plan_length
-            (Mapping.plan_in_image spec image ~pc:s.pc s.insn))
+            (Mapping.plan_in_image spec s.img ~pc:s.pc s.insn))
       sites
   in
   compute_lens base;
@@ -395,7 +416,7 @@ let synthesize ?(static_weight = 1.0) ?(ais_groups = 5) ?(dict_head = 16)
   let needed = Stats.histogram () in
   Array.iter
     (fun s ->
-      match Mapping.plan_in_image spec image ~pc:s.pc s.insn with
+      match Mapping.plan_in_image spec s.img ~pc:s.pc s.insn with
       | Mapping.P_seq fds ->
           List.iter
             (fun (fd : Mapping.fdesc) ->
@@ -411,12 +432,29 @@ let synthesize ?(static_weight = 1.0) ?(ais_groups = 5) ?(dict_head = 16)
     |> List.map fst
     |> List.filter (fun v -> not (List.mem v head))
   in
-  let dict = head @ extra in
-  if List.length dict > Spec.dict_capacity then
-    raise
-      (Mapping.Unmappable
-         (Printf.sprintf "dictionary overflow: %d values"
-            (List.length dict)));
+  let total = List.length head + List.length extra in
+  (* Without a [dict_budget] the union of required values must fit outright
+     (per-application synthesis: overflow is a capacity bug).  With one, a
+     suite whose union exceeds the budget keeps the hottest values and
+     spills the rest — a spilled value simply stays per-program: translate
+     appends it to the reloadable dictionary tail of any program that
+     needs it (the §3.1 data-plane upgrade path). *)
+  let dict, dict_spilled =
+    match dict_budget with
+    | None ->
+        if total > Spec.dict_capacity then
+          raise
+            (Mapping.Unmappable
+               (Printf.sprintf "dictionary overflow: %d values" total));
+        (head @ extra, 0)
+    | Some b ->
+        let budget = min b Spec.dict_capacity in
+        if total <= budget then (head @ extra, 0)
+        else
+          let keep = max 0 (budget - List.length head) in
+          ( head @ List.filteri (fun i _ -> i < keep) extra,
+            List.length extra - keep )
+  in
   let spec = { spec with Spec.dict = Array.of_list dict } in
   (* datapath deactivation: units never named by the synthesized ISA can be
      powered off.  Units = the 16 dp ops + multiplier + each memory width
@@ -452,4 +490,10 @@ let synthesize ?(static_weight = 1.0) ?(ais_groups = 5) ?(dict_head = 16)
     ais = List.rev !ais;
     candidates_considered;
     datapath_off;
+    dict_spilled;
   }
+
+let synthesize ?static_weight ?ais_groups ?dict_head ?allow_two_op_ais
+    (image : Pf_arm.Image.t) ~dyn_counts =
+  synthesize_suite ?static_weight ?ais_groups ?dict_head ?allow_two_op_ais
+    [ { p_image = image; p_dyn_counts = dyn_counts; p_mult = 1 } ]

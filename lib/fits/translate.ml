@@ -232,7 +232,43 @@ let raw_operand dict_idx (fd : Mapping.fdesc) =
   | Mapping.O_dictval v -> dict_idx v
   | Mapping.O_arg a -> a
 
+(* The register-list table is, like the dictionary, per-program decoder
+   *data* (§3.1): translating a program under a foreign spec reloads the
+   table with the lists that program pushes and pops.  Append every list
+   the image uses that the spec does not already carry; the 8-bit operand
+   field bounds the table at 256 entries.  A spec synthesized for this
+   program already carries all its lists, so this is the identity on the
+   per-application flow. *)
+let reglist_capacity = 256
+
+let extend_reglists (spec : Spec.t) (image : Pf_arm.Image.t) =
+  let extra = ref [] in
+  let known regs =
+    Spec.reglist_index spec regs <> None || List.mem regs !extra
+  in
+  Array.iter
+    (fun insn ->
+      match insn with
+      | Some (A.Push { regs; _ } | A.Pop { regs; _ }) ->
+          if not (known regs) then extra := regs :: !extra
+      | Some _ | None -> ())
+    image.Pf_arm.Image.insns;
+  if !extra = [] then spec
+  else begin
+    let reglists =
+      Array.append spec.Spec.reglists (Array.of_list (List.rev !extra))
+    in
+    if Array.length reglists > reglist_capacity then
+      raise
+        (Mapping.Unmappable
+           (Printf.sprintf
+              "register-list table overflow after reload: %d lists"
+              (Array.length reglists)));
+    { spec with Spec.reglists }
+  end
+
 let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
+  let spec = extend_reglists spec image in
   let sites, addr_of_arm, code_bytes_fits = layout spec image in
   (* produce the final fdesc lists *)
   let per_site =

@@ -42,6 +42,11 @@ type bench_result = {
 val cache_16k : Pf_cache.Icache.config
 val cache_8k : Pf_cache.Icache.config
 
+val of_arm : Pf_cpu.Arm_run.result -> per_config
+val of_fits : Pf_fits.Run.result -> per_config
+(** Project a runner result onto the shared per-configuration record
+    (used by the multi-program harness, which assembles its own rows). *)
+
 val run_benchmark :
   ?scale:int ->
   ?classify:bool ->

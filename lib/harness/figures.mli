@@ -15,6 +15,12 @@ type figure = {
   average : float list;
 }
 
+val make :
+  id:string -> title:string -> unit_:string -> series:string list ->
+  (string * float list) list -> figure
+(** Assemble a figure from labeled rows, computing the across-suite
+    average per series (every row must carry one value per series). *)
+
 val render : figure -> string
 
 val fig3 : Experiment.bench_result list -> figure

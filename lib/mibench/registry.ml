@@ -61,11 +61,47 @@ let all =
       (fun ~scale -> Gsm.program_decode ~scale);
   ]
 
+(* The registry is a namespace: benchmark names and result-name aliases
+   must resolve unambiguously, or sweeps and the CLI would silently pick
+   whichever entry happened to be listed first.  Checked once at module
+   init so a bad edit to [all] fails every entry point immediately. *)
+let () =
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let claim kind n =
+    (match Hashtbl.find_opt seen n with
+    | Some prior ->
+        Pf_util.Sim_error.raisef Pf_util.Sim_error.Invalid_config
+          ~where:"mibench.registry"
+          "duplicate benchmark name %S (registered as %s, again as %s)" n
+          prior kind
+    | None -> ());
+    Hashtbl.add seen n kind
+  in
+  List.iter
+    (fun b ->
+      claim "a benchmark name" b.name;
+      if b.result_name <> b.name then
+        claim "a result-name alias" b.result_name)
+    all
+
 let power_suite =
   List.filter_map
     (fun b ->
       if b.power_study then Some { b with name = b.result_name } else None)
     all
 
+let names = List.map (fun b -> b.name) all
+
+let find_opt name =
+  List.find_opt (fun b -> b.name = name || b.result_name = name) all
+
+let find_exn name =
+  match find_opt name with
+  | Some b -> b
+  | None ->
+      Pf_util.Sim_error.raisef Pf_util.Sim_error.Invalid_config
+        ~where:"mibench.registry" "unknown benchmark %S; valid names: %s"
+        name (String.concat ", " names)
+
 let find name =
-  List.find (fun b -> b.name = name || b.result_name = name) all
+  match find_opt name with Some b -> b | None -> raise Not_found

@@ -21,13 +21,26 @@ type benchmark = {
 }
 
 val all : benchmark list
-(** The full 21-benchmark suite, grouped by category. *)
+(** The full 21-benchmark suite, grouped by category.  Benchmark names and
+    result-name aliases are asserted unique at module init (a duplicate
+    raises an [Invalid_config] {!Pf_util.Sim_error.Error}). *)
 
 val power_suite : benchmark list
 (** The 19 benchmarks of the power figures; [gsm.decode] appears under the
     name ["gsm"]. *)
 
-val find : string -> benchmark
-(** Look up by [name] or [result_name].
-    @raise Not_found for unknown names ([find "gsm"] resolves via the
+val names : string list
+(** Every benchmark [name], in suite order. *)
+
+val find_opt : string -> benchmark option
+(** Look up by [name] or [result_name] ([find_opt "gsm"] resolves via the
     alias). *)
+
+val find_exn : string -> benchmark
+(** Like {!find_opt} but raises a structured [Invalid_config]
+    {!Pf_util.Sim_error.Error} for unknown names, whose detail lists every
+    valid name — the lookup the CLI and the multi-program harness use. *)
+
+val find : string -> benchmark
+(** @raise Not_found for unknown names (legacy interface; prefer
+    {!find_exn}). *)

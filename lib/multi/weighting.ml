@@ -1,0 +1,92 @@
+open Pf_util
+
+type t =
+  | Uniform
+  | Dyn_count
+  | Custom of (string * int) list
+
+let where = "multi.weighting"
+
+(* Uniform weighting equalizes the programs' total dynamic weight by
+   scaling each with an integer multiplier ~ budget / dyn_insns.  The
+   budget is large enough that the relative quantization error is at most
+   one part in (budget / dyn_insns) >= ~100 for any benchmark the suite
+   can simulate, while scaled counts stay far below the 63-bit range. *)
+let uniform_budget = 1_000_000_000
+
+let multiplier t ~name ~dyn_insns =
+  match t with
+  | Dyn_count -> 1
+  | Uniform -> max 1 (uniform_budget / max 1 dyn_insns)
+  | Custom ws -> (
+      match List.assoc_opt name ws with
+      | Some w when w >= 1 -> w
+      | Some w ->
+          Sim_error.raisef Sim_error.Invalid_config ~where
+            "weight for program %S must be >= 1 (got %d)" name w
+      | None ->
+          Sim_error.raisef Sim_error.Invalid_config ~where
+            "no weight supplied for program %S" name)
+
+let validate t ~names =
+  match t with
+  | Uniform | Dyn_count -> ()
+  | Custom ws ->
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (n, w) ->
+          if Hashtbl.mem seen n then
+            Sim_error.raisef Sim_error.Invalid_config ~where
+              "duplicate weight for program %S" n;
+          Hashtbl.add seen n ();
+          if w < 1 then
+            Sim_error.raisef Sim_error.Invalid_config ~where
+              "weight for program %S must be >= 1 (got %d)" n w;
+          if not (List.mem n names) then
+            Sim_error.raisef Sim_error.Invalid_config ~where
+              "weight names unknown program %S (suite: %s)" n
+              (String.concat ", " names))
+        ws;
+      List.iter
+        (fun n ->
+          if not (List.mem_assoc n ws) then
+            Sim_error.raisef Sim_error.Invalid_config ~where
+              "no weight supplied for program %S" n)
+        names
+
+let to_string = function
+  | Uniform -> "uniform"
+  | Dyn_count -> "dynamic"
+  | Custom ws ->
+      String.concat ","
+        (List.map (fun (n, w) -> Printf.sprintf "%s=%d" n w) ws)
+
+let of_string s =
+  match s with
+  | "uniform" -> Ok Uniform
+  | "dynamic" | "dyn" -> Ok Dyn_count
+  | s -> (
+      let parts = String.split_on_char ',' s in
+      let parse_one part =
+        match String.index_opt part '=' with
+        | Some i when i > 0 && i < String.length part - 1 -> (
+            let name = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            match int_of_string_opt v with
+            | Some w -> Ok (name, w)
+            | None -> Error (Printf.sprintf "bad weight %S in %S" v part))
+        | Some _ | None ->
+            Error
+              (Printf.sprintf
+                 "bad weight entry %S (expected name=INT, or one of \
+                  uniform/dynamic)"
+                 part)
+      in
+      let rec go acc = function
+        | [] -> Ok (Custom (List.rev acc))
+        | p :: tl -> (
+            match parse_one p with
+            | Ok kv -> go (kv :: acc) tl
+            | Error e -> Error e)
+      in
+      go [] parts)

@@ -1,0 +1,37 @@
+(** Per-program weighting schemes for multi-program ISA synthesis.
+
+    A deployed programmable-decoder core ships one ISA for a whole
+    workload suite; how much each program's dynamic behaviour should
+    steer the shared synthesis is a policy choice.  Every scheme reduces
+    to an {e integer multiplier} applied to a program's dynamic counts
+    before profiles/sites are merged — integer scaling keeps the merge
+    exact, so suite synthesis stays bit-deterministic. *)
+
+type t =
+  | Uniform
+      (** every program counts equally: multipliers normalize each
+          program's total dynamic weight to a common budget, so a long
+          benchmark cannot drown out a short one *)
+  | Dyn_count
+      (** raw dynamic-instruction counts (multiplier 1): programs weigh
+          in proportion to how many instructions they execute *)
+  | Custom of (string * int) list
+      (** user-supplied positive integer weight per program name *)
+
+val multiplier : t -> name:string -> dyn_insns:int -> int
+(** The integer dynamic-count multiplier for one program.  [dyn_insns] is
+    the program's total dynamic instruction count (used by [Uniform]).
+    @raise Pf_util.Sim_error.Error for a [Custom] scheme missing the name
+    or carrying a weight < 1. *)
+
+val validate : t -> names:string list -> unit
+(** Check a scheme against the suite's program names: [Custom] must name
+    every program exactly once with a positive weight and must not name
+    programs outside the suite.
+    @raise Pf_util.Sim_error.Error ([Invalid_config]) otherwise. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse a CLI spelling: ["uniform"], ["dynamic"] (or ["dyn"]), or a
+    custom list ["name=W,name=W,..."]. *)

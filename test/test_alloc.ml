@@ -65,6 +65,37 @@ let test_fits_run_alloc () =
   let delta = minor_delta (fun () -> ignore (Pf_fits.Run.run tr)) in
   check_budget "Fits.Run.run (predecoded, full stack)" delta
 
+(* The trace-replay paths the generality harness leans on (one recorded
+   execution, N cheap replays) must not allocate per trace event either —
+   a boxed record per event would make a 21-benchmark LOO campaign pay
+   GC costs proportional to total dynamic instructions. *)
+let cache_8k = Pf_cache.Icache.config ~size_bytes:(8 * 1024) ()
+
+let test_arm_replay_alloc () =
+  let image = loop_image () in
+  let trace = Pf_cpu.Trace.create ~isize:4 () in
+  let r = Pf_cpu.Arm_run.run ~trace image in
+  let replay () =
+    ignore
+      (Pf_cpu.Arm_run.replay ~cache_cfg:cache_8k
+         ~output:r.Pf_cpu.Arm_run.output image trace)
+  in
+  replay ();
+  check_budget "Arm_run.replay (trace replay)" (minor_delta replay)
+
+let test_fits_replay_alloc () =
+  let image = loop_image () in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  let trace = Pf_cpu.Trace.create ~isize:2 () in
+  let r = Pf_fits.Run.run ~trace tr in
+  let replay () =
+    ignore (Pf_fits.Run.replay ~cache_cfg:cache_8k ~like:r tr trace)
+  in
+  replay ();
+  check_budget "Fits.Run.replay (trace replay)" (minor_delta replay)
+
 let tests =
   [
     Alcotest.test_case "ARM step loop is allocation-free" `Quick
@@ -73,4 +104,8 @@ let tests =
       test_pexec_run_alloc;
     Alcotest.test_case "FITS step loop is allocation-free" `Quick
       test_fits_run_alloc;
+    Alcotest.test_case "ARM trace replay is allocation-free" `Quick
+      test_arm_replay_alloc;
+    Alcotest.test_case "FITS trace replay is allocation-free" `Quick
+      test_fits_replay_alloc;
   ]

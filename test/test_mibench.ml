@@ -30,7 +30,23 @@ let test_registry_shape () =
     (try
        ignore (Pf_mibench.Registry.find "nonesuch");
        false
-     with Not_found -> true)
+     with Not_found -> true);
+  (* find_exn: same lookup, but a structured error naming the valid set *)
+  Alcotest.(check string) "find_exn gsm" "gsm.decode"
+    (Pf_mibench.Registry.find_exn "gsm").Pf_mibench.Registry.name;
+  Alcotest.(check bool) "find_exn unknown raises Sim_error listing names"
+    true
+    (try
+       ignore (Pf_mibench.Registry.find_exn "nonesuch");
+       false
+     with Pf_util.Sim_error.Error e ->
+       let s = Pf_util.Sim_error.to_string e in
+       let contains sub =
+         let n = String.length sub and m = String.length s in
+         let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+         go 0
+       in
+       contains "nonesuch" && contains "crc32")
 
 let test_categories () =
   let count cat =

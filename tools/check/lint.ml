@@ -72,6 +72,24 @@ let rec source_files dir =
          then [ path ]
          else [])
 
+(* Every module under lib/ must publish an interface: a missing .mli
+   exposes every helper and invites callers to depend on internals the
+   module never promised (it also silences the unused-value warnings an
+   interface would raise).  The multi-program subsystem was added under
+   this rule; keep it that way. *)
+let check_interfaces root files violations =
+  List.iter
+    (fun file ->
+      if
+        Filename.check_suffix file ".ml"
+        && not (Sys.file_exists (Filename.concat root (file ^ "i")))
+      then begin
+        Printf.eprintf
+          "%s: no interface — every module under lib/ needs a .mli\n" file;
+        incr violations
+      end)
+    files
+
 let () =
   let root =
     (* run from the repo root or from anywhere inside _build *)
@@ -82,6 +100,7 @@ let () =
       exit 2)
   in
   let violations = ref 0 in
+  check_interfaces root (source_files (Filename.concat root "lib")) violations;
   List.iter
     (fun file ->
       let ic = open_in (Filename.concat root file) in
@@ -106,4 +125,4 @@ let () =
     Printf.eprintf "lint: %d violation(s)\n" !violations;
     exit 1
   end
-  else print_endline "lint: lib/ error-handling discipline OK"
+  else print_endline "lint: lib/ error-handling and interface discipline OK"

@@ -1,0 +1,27 @@
+#!/bin/sh
+# One-command CI gate: lint, build, full test suite, and the throughput
+# regression check against the committed sweep baseline.
+#
+#   ./tools/ci.sh
+#
+# Exits non-zero on the first failing stage.  The bench check compares a
+# fresh sequential sweep against BENCH_sweep.json and fails on a >15%
+# throughput regression; it needs a quiet machine to be meaningful, so it
+# runs last — everything correctness-related has already passed by then.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== lint =="
+dune build tools/check/lint.exe
+./_build/default/tools/check/lint.exe
+
+echo "== build =="
+dune build
+
+echo "== test =="
+dune runtest
+
+echo "== bench regression check =="
+dune exec bench/main.exe -- --check BENCH_sweep.json
+
+echo "ci: all gates passed"
