@@ -104,6 +104,42 @@ let aggregate_steps_per_sec (sweep : Pf_harness.Experiment.sweep) =
   in
   if sim_s > 0. then float_of_int insns /. sim_s else 0.
 
+(* ------------------------------------------------------------------ *)
+(* Explore (DSE) throughput                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay throughput of the design-space engine: a smoke-grid explore over
+   a 3-benchmark subset, sequential, measured in trace events replayed per
+   second of per-row wall clock.  This is the figure the full-grid sweep's
+   runtime scales with, so it gets its own baseline in BENCH_sweep.json. *)
+let explore_subset = [ "crc32"; "sha"; "fft" ]
+
+let explore_events_per_sec () =
+  let benchmarks = List.map Pf_mibench.Registry.find_exn explore_subset in
+  let t = Pf_dse.Explore.run ~jobs:1 ~benchmarks Pf_dse.Space.smoke in
+  let events = Pf_dse.Explore.replayed_events t in
+  let sim_s =
+    List.fold_left
+      (fun s (r : Pf_dse.Explore.row) -> s +. r.Pf_dse.Explore.elapsed_s)
+      0. t.Pf_dse.Explore.rows
+  in
+  if t.Pf_dse.Explore.completed < t.Pf_dse.Explore.total then begin
+    Printf.printf "explore smoke: only %d/%d benchmarks completed\n"
+      t.Pf_dse.Explore.completed t.Pf_dse.Explore.total;
+    0.
+  end
+  else if sim_s > 0. then float_of_int events /. sim_s
+  else 0.
+
+let run_explore_throughput () =
+  heading
+    (Printf.sprintf "explore throughput (smoke grid, %s, sequential)"
+       (String.concat "/" explore_subset));
+  let rate = explore_events_per_sec () in
+  Printf.printf "replayed %s events/sec across the geometry grid\n"
+    (Printf.sprintf "%.0f" rate);
+  rate
+
 (* Baseline parser for `--check`.  Hand-rolled like the writer (no JSON
    library in the image): pull the `"instructions": N` / `"sim_s": X`
    pairs out of `"ok": true` benchmark rows — works on both schema 1 and
@@ -149,6 +185,39 @@ let baseline_aggregate file =
     Printf.eprintf "--check: no usable benchmark rows in %s\n" file;
     exit 2)
 
+(* Top-level scalar of the baseline file, e.g. `"explore_events_per_sec":
+   12345` — [None] when the key is absent (pre-schema-3 baselines). *)
+let baseline_scalar file key =
+  let ic = open_in file in
+  let pat = Printf.sprintf "\"%s\": " key in
+  let n = String.length pat in
+  let value = ref None in
+  (try
+     while !value = None do
+       let line = input_line ic in
+       let m = String.length line in
+       let rec find i =
+         if i + n > m then ()
+         else if String.sub line i n = pat then begin
+           let stop = ref (i + n) in
+           while
+             !stop < m
+             && (match line.[!stop] with
+                | ',' | '}' | ' ' -> false
+                | _ -> true)
+           do
+             incr stop
+           done;
+           value := float_of_string_opt (String.sub line (i + n) (!stop - i - n))
+         end
+         else find (i + 1)
+       in
+       find 0
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !value
+
 let run_check file =
   let baseline = baseline_aggregate file in
   heading
@@ -174,12 +243,33 @@ let run_check file =
       ((1. -. ratio) *. 100.);
     exit 2
   end;
+  (match baseline_scalar file "explore_events_per_sec" with
+  | None ->
+      Printf.printf
+        "(baseline predates explore throughput; skipping that gate)\n"
+  | Some explore_base when explore_base > 0. ->
+      let explore_now =
+        timed_phase "check_explore" explore_events_per_sec
+      in
+      let er = explore_now /. explore_base in
+      Printf.printf "baseline explore: %.0f events/sec\n" explore_base;
+      Printf.printf "current explore:  %.0f events/sec (%.2fx)\n" explore_now
+        er;
+      if er < 0.85 then begin
+        Printf.printf
+          "CHECK FAILED: explore events/sec dropped %.1f%% (>15%% budget)\n"
+          ((1. -. er) *. 100.);
+        exit 2
+      end
+  | Some _ ->
+      Printf.printf "--check: unusable explore_events_per_sec baseline\n";
+      exit 2);
   Printf.printf "check OK: within the 15%% regression budget\n"
 
-let write_sweep_json (sweep : Pf_harness.Experiment.sweep) =
+let write_sweep_json ~explore_rate (sweep : Pf_harness.Experiment.sweep) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 2,\n";
+  Buffer.add_string b "  \"schema\": 3,\n";
   Buffer.add_string b "  \"engine\": \"predecoded\",\n";
   Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
@@ -188,6 +278,7 @@ let write_sweep_json (sweep : Pf_harness.Experiment.sweep) =
   Printf.bprintf b "  \"total\": %d,\n" sweep.Pf_harness.Experiment.total;
   Printf.bprintf b "  \"aggregate_steps_per_sec\": %.0f,\n"
     (aggregate_steps_per_sec sweep);
+  Printf.bprintf b "  \"explore_events_per_sec\": %.0f,\n" explore_rate;
   Buffer.add_string b "  \"phases\": {\n";
   let phases = List.rev !phase_times in
   List.iteri
@@ -553,9 +644,10 @@ let () =
       ablation_fetch_buffer ());
   timed_phase "scale_robustness" scale_robustness;
   timed_phase "cross_application" cross_application;
+  let explore_rate = timed_phase "explore_smoke" run_explore_throughput in
   timed_phase "microbenchmarks" (fun () ->
       try microbenchmarks ()
       with e ->
         Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
-  write_sweep_json sweep;
+  write_sweep_json ~explore_rate sweep;
   print_newline ()

@@ -188,8 +188,8 @@ let run_cmd =
     let image = build ~scale b in
     let cache_cfg =
       match config with
-      | `Arm16 | `Fits16 -> Pf_harness.Experiment.cache_16k
-      | `Arm8 | `Fits8 -> Pf_harness.Experiment.cache_8k
+      | `Arm16 | `Fits16 -> Pf_dse.Space.cache_16k
+      | `Arm8 | `Fits8 -> Pf_dse.Space.cache_8k
     in
     let print_common ~instrs ~cycles ~ipc ~accesses ~misses ~mr
         (p : Pf_power.Account.report) output =
@@ -375,8 +375,8 @@ let inject_cmd =
         in
         let cache_cfg =
           match config with
-          | `Fits16 -> Pf_harness.Experiment.cache_16k
-          | `Fits8 -> Pf_harness.Experiment.cache_8k
+          | `Fits16 -> Pf_dse.Space.cache_16k
+          | `Fits8 -> Pf_dse.Space.cache_8k
         in
         let report =
           Pf_fault.Campaign.run ~trials ~parity ~cache_cfg ~jobs ~target
@@ -462,6 +462,158 @@ let multi_cmd =
     Term.(const run $ programs_arg $ weighting_arg $ loo_arg
           $ dict_budget_arg $ scale_arg $ jobs_arg)
 
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let module D = Pf_dse in
+  let grid_arg =
+    Arg.(value & opt string "full"
+         & info [ "grid" ] ~docv:"GRID"
+             ~doc:"Design-space grid: $(b,smoke) (6 geometries), $(b,full) \
+                   (36 geometries), or a spec like \
+                   $(b,sizes=1k,4k,16k;blocks=16,32;assocs=2,32;dicts=none,96) \
+                   (sizes/blocks take a k suffix; dicts caps the FITS \
+                   dictionary, $(b,none) = the uncapped per-app flow).")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE"
+             ~doc:"Write every evaluated point as CSV to FILE ($(b,-) for \
+                   stdout).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the full result as JSON to FILE ($(b,-) for \
+                   stdout).")
+  in
+  let paper_tag (p : D.Explore.point) =
+    match p.D.Explore.variant with
+    | D.Explore.Arm -> D.Space.paper_point ~arm:true p.D.Explore.geometry
+    | D.Explore.Fits None -> D.Space.paper_point ~arm:false p.D.Explore.geometry
+    | D.Explore.Fits (Some _) -> None
+  in
+  let point_row front (p : D.Explore.point) =
+    let m = p.D.Explore.metrics in
+    let pw = m.D.Explore.power in
+    [
+      D.Space.label p.D.Explore.geometry;
+      D.Explore.variant_label p.D.Explore.variant;
+      Pf_util.Table.si pw.Pf_power.Account.total;
+      Pf_util.Table.si (Pf_power.Account.avg_power pw);
+      Printf.sprintf "%.2f" m.D.Explore.ipc;
+      Printf.sprintf "%.1f" m.D.Explore.miss_rate_pm;
+      Pf_util.Table.si (float_of_int m.D.Explore.gate_count);
+      (if List.exists (fun (q, _) -> q == p) front.D.Pareto.frontier then "*"
+       else "");
+      (match paper_tag p with Some tag -> "= " ^ tag | None -> "");
+    ]
+  in
+  let header =
+    [ "geometry"; "isa"; "E_total"; "avg power"; "IPC"; "miss/M"; "gates";
+      "pareto"; "paper" ]
+  in
+  let run grid benchmarks scale max_steps jobs csv json =
+    let jobs = resolve_jobs jobs in
+    let space =
+      match D.Space.of_string grid with
+      | Ok s -> s
+      | Error msg ->
+          Printf.eprintf "powerfits explore: %s\n" msg;
+          exit 2
+    in
+    let benches = resolve_benchmarks benchmarks in
+    Printf.eprintf "explore: %s\n%!"
+      (D.Space.describe ~benchmarks:(List.length benches) space);
+    let t = D.Explore.run ~scale ?max_steps ~jobs ~benchmarks:benches space in
+    Printf.eprintf "%s\n%!" (D.Explore.banner t);
+    let emit what path content =
+      match path with
+      | "-" -> print_string content
+      | path ->
+          let oc = open_out path in
+          output_string oc content;
+          close_out oc;
+          Printf.eprintf "explore: wrote %s to %s\n%!" what path
+    in
+    Option.iter (fun p -> emit "CSV" p (D.Explore.to_csv t)) csv;
+    Option.iter (fun p -> emit "JSON" p (D.Explore.to_json t)) json;
+    (match D.Explore.aggregate t with
+    | [] -> ()
+    | agg ->
+        let front = D.Explore.frontier_of agg in
+        Printf.printf
+          "== suite aggregate: Pareto frontier over (E_total v, IPC ^, \
+           miss/M v, gates v) ==\n";
+        let frontier_points = List.map fst front.D.Pareto.frontier in
+        print_string
+          (Pf_util.Table.render ~header
+             (List.map (point_row front) frontier_points));
+        Printf.printf "%d of %d points on the frontier, %d dominated\n\n"
+          (List.length frontier_points)
+          front.D.Pareto.total front.D.Pareto.dominated;
+        (* where do the paper's four configurations sit? *)
+        let paper_pts =
+          List.filter (fun p -> paper_tag p <> None) agg
+        in
+        let off_frontier =
+          List.filter
+            (fun p ->
+              not
+                (List.exists (fun (q, _) -> q == p) front.D.Pareto.frontier))
+            paper_pts
+        in
+        if off_frontier <> [] then begin
+          Printf.printf "== paper points dominated by the explored space ==\n";
+          print_string
+            (Pf_util.Table.render ~header
+               (List.map (point_row front) off_frontier));
+          print_newline ()
+        end);
+    (match D.Explore.completed_runs t with
+    | [] -> ()
+    | runs ->
+        Printf.printf "== per-benchmark frontiers ==\n";
+        let rows =
+          List.map
+            (fun (br : D.Explore.bench_run) ->
+              let front = D.Explore.frontier_of br.D.Explore.points in
+              let paper_on_front =
+                List.filter_map
+                  (fun (p, _) -> paper_tag p)
+                  front.D.Pareto.frontier
+              in
+              [
+                br.D.Explore.name;
+                string_of_int front.D.Pareto.total;
+                string_of_int (List.length front.D.Pareto.frontier);
+                string_of_int front.D.Pareto.dominated;
+                (if paper_on_front = [] then "-"
+                 else String.concat "," paper_on_front);
+              ])
+            runs
+        in
+        print_string
+          (Pf_util.Table.render
+             ~header:
+               [ "benchmark"; "points"; "frontier"; "dominated";
+                 "paper on frontier" ]
+             rows));
+    (* exit codes as in run/figures: 3 = divergence, 4 = incomplete sweep *)
+    if D.Explore.diverged t then exit 3
+    else if t.D.Explore.completed < t.D.Explore.total then exit 4
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Design-space exploration: sweep cache geometries (and FITS \
+          dictionary budgets) over the suite via trace replay — one \
+          execution per ISA per benchmark, one cheap replay per geometry \
+          — and report deterministic Pareto frontiers with the paper's \
+          four configurations annotated.")
+    Term.(const run $ grid_arg $ benchmarks_arg $ scale_arg $ max_steps_arg
+          $ jobs_arg $ csv_arg $ json_arg)
+
 (* ---- report ---- *)
 
 let report_cmd =
@@ -537,7 +689,7 @@ let main =
          "Reproduction of PowerFITS (ISPASS 2005): application-specific \
           instruction-set synthesis for I-cache power.")
     [ list_cmd; profile_cmd; synth_cmd; disasm_cmd; run_cmd; report_cmd;
-      figures_cmd; inject_cmd; multi_cmd ]
+      figures_cmd; inject_cmd; multi_cmd; explore_cmd ]
 
 let () =
   (* Structured simulation faults carry their own exit code: 3 for a

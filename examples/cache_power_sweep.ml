@@ -1,56 +1,53 @@
-(* Cache design-space sweep: run one benchmark across I-cache sizes
+(* Cache design-space sweep: explore one benchmark across I-cache sizes
    (4/8/16/32 KB) in both ISAs and tabulate miss rate, per-component cache
    power, and run time — the §6.3 trade-off ("simply reducing the size of
    the ARM cache is not going to help us much") made explorable.
 
+   Built on the Pf_dse subsystem: each ISA executes once, every geometry
+   is a cheap trace replay, and the Pareto module marks the non-dominated
+   points over (energy, IPC, miss rate, area).
+
      dune exec examples/cache_power_sweep.exe [benchmark]   (default jpeg) *)
 
-let sizes_kb = [ 4; 8; 16; 32 ]
+module Dse = Pf_dse
+
+let space =
+  Dse.Space.make ~sizes:[ 4 * 1024; 8 * 1024; 16 * 1024; 32 * 1024 ] ()
 
 let () =
   let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "jpeg" in
-  let bench = Pf_mibench.Registry.find name in
-  let program = bench.Pf_mibench.Registry.program ~scale:1 in
-  let image =
-    Pf_armgen.Compile.program ~unroll:bench.Pf_mibench.Registry.unroll program
-  in
-  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
-  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
-  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
-  Printf.printf "benchmark: %s (ARM code %d B, FITS code %d B)\n\n" name
-    (Pf_arm.Image.code_size_bytes image)
-    tr.Pf_fits.Translate.stats.Pf_fits.Translate.code_bytes_fits;
-  let rows = ref [] in
-  List.iter
-    (fun kb ->
-      let cache_cfg =
-        Pf_cache.Icache.config ~size_bytes:(kb * 1024) ()
-      in
-      let arm = Pf_cpu.Arm_run.run ~cache_cfg image in
-      let fits = Pf_fits.Run.run ~cache_cfg tr in
-      let row isa miss_rate cycles (p : Pf_power.Account.report) =
+  let bench = Pf_mibench.Registry.find_exn name in
+  let t = Dse.Explore.run ~jobs:1 ~benchmarks:[ bench ] space in
+  print_endline (Dse.Explore.banner t);
+  match Dse.Explore.completed_runs t with
+  | [] -> exit 4
+  | br :: _ ->
+      Printf.printf "benchmark: %s (%d trace events replayed)\n\n" br.name
+        br.Dse.Explore.replayed_events;
+      let front = Dse.Explore.frontier_of br.Dse.Explore.points in
+      let row (p : Dse.Explore.point) =
+        let m = p.Dse.Explore.metrics in
+        let pw = m.Dse.Explore.power in
         [
-          Printf.sprintf "%dK" kb;
-          isa;
-          Printf.sprintf "%.1f" miss_rate;
-          string_of_int cycles;
-          Pf_util.Table.si p.Pf_power.Account.switching;
-          Pf_util.Table.si p.Pf_power.Account.internal;
-          Pf_util.Table.si p.Pf_power.Account.leakage;
-          Pf_util.Table.si
-            (p.Pf_power.Account.total /. float_of_int p.Pf_power.Account.cycles);
+          Dse.Space.label p.Dse.Explore.geometry;
+          Dse.Explore.variant_label p.Dse.Explore.variant;
+          Printf.sprintf "%.1f" m.Dse.Explore.miss_rate_pm;
+          string_of_int m.Dse.Explore.cycles;
+          Pf_util.Table.si pw.Pf_power.Account.switching;
+          Pf_util.Table.si pw.Pf_power.Account.internal;
+          Pf_util.Table.si pw.Pf_power.Account.leakage;
+          Pf_util.Table.si (Pf_power.Account.avg_power pw);
+          (if List.exists (fun (q, _) -> q == p) front.Dse.Pareto.frontier
+           then "*"
+           else "");
         ]
       in
-      rows :=
-        row "FITS" fits.Pf_fits.Run.miss_rate_per_million
-          fits.Pf_fits.Run.cycles fits.Pf_fits.Run.power
-        :: row "ARM" arm.Pf_cpu.Arm_run.miss_rate_per_million
-             arm.Pf_cpu.Arm_run.cycles arm.Pf_cpu.Arm_run.power
-        :: !rows)
-    sizes_kb;
-  print_string
-    (Pf_util.Table.render
-       ~header:
-         [ "size"; "isa"; "miss/M"; "cycles"; "E_switch"; "E_int"; "E_leak";
-           "avg power" ]
-       (List.rev !rows))
+      print_string
+        (Pf_util.Table.render
+           ~header:
+             [ "geometry"; "isa"; "miss/M"; "cycles"; "E_switch"; "E_int";
+               "E_leak"; "avg power"; "pareto" ]
+           (List.map row br.Dse.Explore.points));
+      Printf.printf "\n%d of %d points on the Pareto frontier (%d dominated)\n"
+        (List.length front.Dse.Pareto.frontier)
+        front.Dse.Pareto.total front.Dse.Pareto.dominated

@@ -6,13 +6,47 @@ type config = {
   assoc : int;
 }
 
-let config ?(block_bytes = 32) ?(assoc = 32) ~size_bytes () =
-  { size_bytes; block_bytes; assoc }
+(* Geometry validation.  DSE grids cross-product their axes, so degenerate
+   corners (a 1 KB cache asked for 32 ways of 64 B blocks has fewer lines
+   than ways) are routine inputs here, not programming errors: report every
+   offending field at once through a structured Sim_error the explorer and
+   the CLI can classify. *)
+let validate c =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if c.size_bytes <= 0 || not (Bits.is_power_of_two c.size_bytes) then
+    add "size_bytes=%d is not a positive power of two" c.size_bytes;
+  if c.block_bytes < 4 || not (Bits.is_power_of_two c.block_bytes) then
+    add "block_bytes=%d is not a power of two >= 4 (one fetch word)"
+      c.block_bytes;
+  if c.assoc < 1 || not (Bits.is_power_of_two c.assoc) then
+    add "assoc=%d is not a positive power of two" c.assoc;
+  (* line/set arithmetic is only meaningful once the fields above are sane *)
+  if !problems = [] then begin
+    if c.size_bytes < c.block_bytes then
+      add "size_bytes=%d is smaller than one block (block_bytes=%d): zero lines"
+        c.size_bytes c.block_bytes
+    else begin
+      let lines = c.size_bytes / c.block_bytes in
+      if c.assoc > lines then
+        add
+          "assoc=%d exceeds the %d lines of a %d B cache with %d B blocks: \
+           zero sets"
+          c.assoc lines c.size_bytes c.block_bytes
+    end
+  end;
+  match List.rev !problems with
+  | [] -> ()
+  | ps ->
+      Sim_error.raisef Sim_error.Invalid_config ~where:"cache.icache"
+        "degenerate cache geometry: %s" (String.concat "; " ps)
 
-let sets c =
-  let blocks = c.size_bytes / c.block_bytes in
-  let s = blocks / c.assoc in
-  if s = 0 then 1 else s
+let config ?(block_bytes = 32) ?(assoc = 32) ~size_bytes () =
+  let c = { size_bytes; block_bytes; assoc } in
+  validate c;
+  c
+
+let sets c = c.size_bytes / c.block_bytes / c.assoc
 
 let tag_bits c = 32 - Bits.log2_exact (sets c) - Bits.log2_exact c.block_bytes
 
@@ -93,13 +127,9 @@ type t = {
 }
 
 let create ?(classify = false) cfg =
-  if not (Bits.is_power_of_two cfg.size_bytes) then
-    invalid_arg "Icache.create: size not a power of two";
-  if not (Bits.is_power_of_two cfg.block_bytes) then
-    invalid_arg "Icache.create: block not a power of two";
+  (* [config] already validated, but a record literal can bypass it *)
+  validate cfg;
   let nsets = sets cfg in
-  if nsets * cfg.assoc * cfg.block_bytes <> cfg.size_bytes then
-    invalid_arg "Icache.create: size / block / assoc inconsistent";
   {
     cfg;
     nsets;

@@ -20,7 +20,17 @@ type config = {
 }
 
 val config : ?block_bytes:int -> ?assoc:int -> size_bytes:int -> unit -> config
-(** Defaults match the StrongARM-class I-cache: 32-byte blocks, 32-way. *)
+(** Defaults match the StrongARM-class I-cache: 32-byte blocks, 32-way.
+    Validates the geometry (see {!validate}) before returning it. *)
+
+val validate : config -> unit
+(** Raises a [Pf_util.Sim_error] of kind [Invalid_config] listing {e every}
+    offending field when the geometry is degenerate: non-power-of-two
+    [size_bytes], [block_bytes] (or block smaller than one 4-byte fetch
+    word) or [assoc], a cache smaller than one block, or an associativity
+    exceeding the line count (zero sets).  Design-space grids hit these
+    corners routinely; the structured error lets callers classify and
+    skip them instead of crashing mid-sweep. *)
 
 val sets : config -> int
 val tag_bits : config -> int

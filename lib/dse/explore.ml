@@ -1,0 +1,495 @@
+open Pf_util
+
+type variant = Arm | Fits of int option
+
+let variant_label = function
+  | Arm -> "arm"
+  | Fits None -> "fits"
+  | Fits (Some b) -> Printf.sprintf "fits@%d" b
+
+let variant_is_arm = function Arm -> true | Fits _ -> false
+
+type metrics = {
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  fetch_accesses : int;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_pm : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+  gate_count : int;
+}
+
+type point = {
+  variant : variant;
+  geometry : Pf_cache.Icache.config;
+  metrics : metrics;
+}
+
+type bench_run = {
+  name : string;
+  category : string;
+  points : point list;
+  replayed_events : int;
+  outputs_consistent : bool;
+}
+
+type row = {
+  bench : string;
+  outcome : (bench_run, Sim_error.t) result;
+  elapsed_s : float;
+}
+
+type t = {
+  space : Space.t;
+  geometries : Pf_cache.Icache.config list;
+  variants : variant list;
+  rows : row list;
+  completed : int;
+  total : int;
+  jobs : int;
+}
+
+(* Per-point power: the coefficients scale analytically with the read
+   width (Account.Params.for_geometry) and the gate count enters through
+   the geometry itself.  At both paper points the scaled params equal the
+   defaults exactly, so those grid entries coincide bit-for-bit with the
+   harness numbers. *)
+let params_for cfg =
+  Pf_power.Account.Params.for_geometry (Pf_power.Geometry.of_config cfg)
+
+let gates_for cfg = (Pf_power.Geometry.of_config cfg).Pf_power.Geometry.gate_count
+
+let metrics_of_arm cfg (r : Pf_cpu.Arm_run.result) =
+  {
+    instructions = r.Pf_cpu.Arm_run.instructions;
+    cycles = r.Pf_cpu.Arm_run.cycles;
+    ipc = r.Pf_cpu.Arm_run.ipc;
+    fetch_accesses = r.Pf_cpu.Arm_run.fetch_accesses;
+    cache_accesses = r.Pf_cpu.Arm_run.cache_accesses;
+    cache_misses = r.Pf_cpu.Arm_run.cache_misses;
+    miss_rate_pm = r.Pf_cpu.Arm_run.miss_rate_per_million;
+    dcache_miss_rate_pm = r.Pf_cpu.Arm_run.dcache_miss_rate_pm;
+    power = r.Pf_cpu.Arm_run.power;
+    gate_count = gates_for cfg;
+  }
+
+let metrics_of_fits cfg (r : Pf_fits.Run.result) =
+  {
+    (* source (ARM) instructions, as everywhere in the reporting stack:
+       IPC and per-instruction ratios compare like with like *)
+    instructions = r.Pf_fits.Run.arm_instructions;
+    cycles = r.Pf_fits.Run.cycles;
+    ipc = r.Pf_fits.Run.ipc;
+    fetch_accesses = r.Pf_fits.Run.fetch_accesses;
+    cache_accesses = r.Pf_fits.Run.cache_accesses;
+    cache_misses = r.Pf_fits.Run.cache_misses;
+    miss_rate_pm = r.Pf_fits.Run.miss_rate_per_million;
+    dcache_miss_rate_pm = r.Pf_fits.Run.dcache_miss_rate_pm;
+    power = r.Pf_fits.Run.power;
+    gate_count = gates_for cfg;
+  }
+
+let arm_sweep ~image ~output ~geometries trace =
+  List.map
+    (fun g ->
+      let r =
+        Pf_cpu.Arm_run.replay ~power_params:(params_for g) ~cache_cfg:g
+          ~output image trace
+      in
+      { variant = Arm; geometry = g; metrics = metrics_of_arm g r })
+    geometries
+
+let fits_sweep ~dict_budget ~like ~geometries tr trace =
+  List.map
+    (fun g ->
+      let r =
+        Pf_fits.Run.replay ~power_params:(params_for g) ~cache_cfg:g ~like tr
+          trace
+      in
+      { variant = Fits dict_budget; geometry = g; metrics = metrics_of_fits g r })
+    geometries
+
+(* One benchmark: 1 + |dict_budgets| recording executions, each replayed
+   through every geometry.  The replays are the cheap part — no
+   architectural simulation, no D-cache, just cache/pipeline/power driven
+   by the recorded stream. *)
+let run_benchmark ?(scale = 1) ?max_steps ?deadline ~geometries ~dict_budgets
+    (b : Pf_mibench.Registry.benchmark) =
+  let check () = Deadline.check ~where:"dse.explore" deadline in
+  let n_geoms = List.length geometries in
+  let p = b.Pf_mibench.Registry.program ~scale in
+  let image =
+    Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
+  in
+  check ();
+  let dyn_counts, reference_output =
+    Pf_fits.Synthesis.dyn_counts_of_run ?max_steps ?deadline image
+  in
+  check ();
+  let arm_trace = Pf_cpu.Trace.create ~isize:4 () in
+  let arm_r =
+    Pf_cpu.Arm_run.run ~cache_cfg:Space.recording_point ?max_steps ?deadline
+      ~trace:arm_trace image
+  in
+  check ();
+  let arm_points =
+    arm_sweep ~image ~output:arm_r.Pf_cpu.Arm_run.output ~geometries arm_trace
+  in
+  let consistent = ref (arm_r.Pf_cpu.Arm_run.output = reference_output) in
+  let replayed = ref (n_geoms * Pf_cpu.Trace.length arm_trace) in
+  let fits_points =
+    List.concat_map
+      (fun budget ->
+        let syn =
+          match budget with
+          | None -> Pf_fits.Synthesis.synthesize image ~dyn_counts
+          | Some dict_budget ->
+              Pf_fits.Synthesis.synthesize_suite ~dict_budget
+                [
+                  {
+                    Pf_fits.Synthesis.p_image = image;
+                    p_dyn_counts = dyn_counts;
+                    p_mult = 1;
+                  };
+                ]
+        in
+        let tr =
+          Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image
+        in
+        check ();
+        let ftrace = Pf_cpu.Trace.create ~isize:2 () in
+        let f_r =
+          Pf_fits.Run.run ~cache_cfg:Space.recording_point ?max_steps
+            ?deadline ~trace:ftrace tr
+        in
+        check ();
+        if f_r.Pf_fits.Run.output <> reference_output then consistent := false;
+        replayed := !replayed + (n_geoms * Pf_cpu.Trace.length ftrace);
+        fits_sweep ~dict_budget:budget ~like:f_r ~geometries tr ftrace)
+      dict_budgets
+  in
+  {
+    name = b.Pf_mibench.Registry.name;
+    category = b.Pf_mibench.Registry.category;
+    points = arm_points @ fits_points;
+    replayed_events = !replayed;
+    outputs_consistent = !consistent;
+  }
+
+let default_wall_clock_s = 600.
+
+let run ?(scale = 1) ?max_steps ?(wall_clock_s = default_wall_clock_s) ?jobs
+    ?(benchmarks = Pf_mibench.Registry.all) space =
+  Space.validate space;
+  let geometries = Space.geometries space in
+  let dict_budgets = space.Space.dict_budgets in
+  let variants = Arm :: List.map (fun b -> Fits b) dict_budgets in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
+  let rows =
+    Pool.map ~jobs
+      (fun (b : Pf_mibench.Registry.benchmark) ->
+        let t0 = Unix.gettimeofday () in
+        let deadline = Deadline.after ~seconds:wall_clock_s in
+        let outcome =
+          Sim_error.protect ~where:("dse." ^ b.Pf_mibench.Registry.name)
+            (fun () ->
+              run_benchmark ~scale ?max_steps ~deadline ~geometries
+                ~dict_budgets b)
+        in
+        {
+          bench = b.Pf_mibench.Registry.name;
+          outcome;
+          elapsed_s = Unix.gettimeofday () -. t0;
+        })
+      benchmarks
+  in
+  let completed =
+    List.fold_left
+      (fun c r -> if Result.is_ok r.outcome then c + 1 else c)
+      0 rows
+  in
+  {
+    space;
+    geometries;
+    variants;
+    rows;
+    completed;
+    total = List.length rows;
+    jobs;
+  }
+
+let completed_runs t =
+  List.filter_map
+    (fun r -> match r.outcome with Ok b -> Some b | Error _ -> None)
+    t.rows
+
+let replayed_events t =
+  List.fold_left
+    (fun acc b -> acc + b.replayed_events)
+    0 (completed_runs t)
+
+let diverged t =
+  List.exists (fun b -> not b.outputs_consistent) (completed_runs t)
+
+let banner t =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "%d of %d benchmarks completed (jobs=%d)" t.completed
+    t.total t.jobs;
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Ok br ->
+          if not br.outputs_consistent then
+            Printf.bprintf b "\n  %s: DIVERGED (outputs differ from reference)"
+              r.bench
+      | Error e ->
+          Printf.bprintf b "\n  %s: FAILED %s" r.bench (Sim_error.to_string e))
+    t.rows;
+  Buffer.contents b
+
+(* ---- aggregation and frontiers ----------------------------------------- *)
+
+let add_report (a : Pf_power.Account.report) (b : Pf_power.Account.report) =
+  {
+    Pf_power.Account.switching = a.Pf_power.Account.switching +. b.Pf_power.Account.switching;
+    internal = a.Pf_power.Account.internal +. b.Pf_power.Account.internal;
+    leakage = a.Pf_power.Account.leakage +. b.Pf_power.Account.leakage;
+    total = a.Pf_power.Account.total +. b.Pf_power.Account.total;
+    peak_power = Float.max a.Pf_power.Account.peak_power b.Pf_power.Account.peak_power;
+    cycles = a.Pf_power.Account.cycles + b.Pf_power.Account.cycles;
+  }
+
+(* Suite aggregate per (variant, geometry): counts and energies sum;
+   rates are recomputed from the summed counts (never averaged); the
+   D-cache rate — constant per benchmark across geometries — is an
+   instruction-weighted mean, and the weighted sum is finalized below.
+   Rows are folded in suite order, so the float sums are performed in a
+   fixed order regardless of --jobs. *)
+let aggregate t =
+  match completed_runs t with
+  | [] -> []
+  | first :: rest ->
+      let acc =
+        Array.of_list
+          (List.map
+             (fun p ->
+               ( p.variant,
+                 p.geometry,
+                 {
+                   p.metrics with
+                   dcache_miss_rate_pm =
+                     p.metrics.dcache_miss_rate_pm
+                     *. float_of_int p.metrics.instructions;
+                 } ))
+             first.points)
+      in
+      List.iter
+        (fun br ->
+          List.iteri
+            (fun i p ->
+              let v, g, m = acc.(i) in
+              (* completed rows all share the variant × geometry shape;
+                 a mismatch means the explorer itself is broken *)
+              if v <> p.variant || g <> p.geometry then
+                Sim_error.raisef Sim_error.Internal ~where:"dse.explore"
+                  "aggregate: point shape mismatch at index %d" i;
+              acc.(i) <-
+                ( v,
+                  g,
+                  {
+                    instructions = m.instructions + p.metrics.instructions;
+                    cycles = m.cycles + p.metrics.cycles;
+                    ipc = 0.0;
+                    fetch_accesses =
+                      m.fetch_accesses + p.metrics.fetch_accesses;
+                    cache_accesses =
+                      m.cache_accesses + p.metrics.cache_accesses;
+                    cache_misses = m.cache_misses + p.metrics.cache_misses;
+                    miss_rate_pm = 0.0;
+                    dcache_miss_rate_pm =
+                      m.dcache_miss_rate_pm
+                      +. p.metrics.dcache_miss_rate_pm
+                         *. float_of_int p.metrics.instructions;
+                    power = add_report m.power p.metrics.power;
+                    gate_count = m.gate_count;
+                  } ))
+            br.points)
+        rest;
+      Array.to_list acc
+      |> List.map (fun (variant, geometry, m) ->
+             let fdiv a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+             {
+               variant;
+               geometry;
+               metrics =
+                 {
+                   m with
+                   ipc = fdiv m.instructions m.cycles;
+                   miss_rate_pm =
+                     1_000_000.0 *. fdiv m.cache_misses m.cache_accesses;
+                   dcache_miss_rate_pm =
+                     (if m.instructions = 0 then 0.0
+                      else
+                        m.dcache_miss_rate_pm /. float_of_int m.instructions);
+                 };
+             })
+
+let objectives p =
+  {
+    Pareto.energy = p.metrics.power.Pf_power.Account.total;
+    ipc = p.metrics.ipc;
+    miss_rate_pm = p.metrics.miss_rate_pm;
+    area = float_of_int p.metrics.gate_count;
+  }
+
+let frontier_of points =
+  Pareto.frontier (List.map (fun p -> (p, objectives p)) points)
+
+(* ---- emitters ---------------------------------------------------------- *)
+
+let f17 x = Printf.sprintf "%.17g" x
+
+let on_frontier front p =
+  List.exists (fun (q, _) -> q == p) front.Pareto.frontier
+
+let csv_point buf ~group front (p : point) =
+  let m = p.metrics in
+  let pw = m.power in
+  Printf.bprintf buf "%s,%s,%d,%d,%d,%d,%d,%s,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%d,%d\n"
+    group
+    (variant_label p.variant)
+    p.geometry.Pf_cache.Icache.size_bytes
+    p.geometry.Pf_cache.Icache.block_bytes
+    p.geometry.Pf_cache.Icache.assoc m.instructions m.cycles (f17 m.ipc)
+    m.fetch_accesses m.cache_accesses m.cache_misses (f17 m.miss_rate_pm)
+    (f17 m.dcache_miss_rate_pm)
+    (f17 pw.Pf_power.Account.switching)
+    (f17 pw.Pf_power.Account.internal)
+    (f17 pw.Pf_power.Account.leakage)
+    (f17 pw.Pf_power.Account.total)
+    (f17 (Pf_power.Account.avg_power pw))
+    (f17 pw.Pf_power.Account.peak_power)
+    m.gate_count
+    (if on_frontier front p then 1 else 0)
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "bench,variant,size_bytes,block_bytes,assoc,instructions,cycles,ipc,\
+     fetch_accesses,cache_accesses,cache_misses,miss_rate_pm,\
+     dcache_miss_rate_pm,e_switching,e_internal,e_leakage,e_total,\
+     avg_power,peak_power,gates,pareto\n";
+  List.iter
+    (fun br ->
+      let front = frontier_of br.points in
+      List.iter (csv_point buf ~group:br.name front) br.points)
+    (completed_runs t);
+  (match aggregate t with
+  | [] -> ()
+  | pts ->
+      let front = frontier_of pts in
+      List.iter (csv_point buf ~group:"suite" front) pts);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_point buf front (p : point) =
+  let m = p.metrics in
+  let pw = m.power in
+  Printf.bprintf buf
+    "{\"variant\": \"%s\", \"size_bytes\": %d, \"block_bytes\": %d, \
+     \"assoc\": %d, \"instructions\": %d, \"cycles\": %d, \"ipc\": %s, \
+     \"fetch_accesses\": %d, \"cache_accesses\": %d, \"cache_misses\": %d, \
+     \"miss_rate_pm\": %s, \"dcache_miss_rate_pm\": %s, \"e_switching\": %s, \
+     \"e_internal\": %s, \"e_leakage\": %s, \"e_total\": %s, \
+     \"avg_power\": %s, \"peak_power\": %s, \"gates\": %d, \"pareto\": %s}"
+    (variant_label p.variant)
+    p.geometry.Pf_cache.Icache.size_bytes
+    p.geometry.Pf_cache.Icache.block_bytes
+    p.geometry.Pf_cache.Icache.assoc m.instructions m.cycles (f17 m.ipc)
+    m.fetch_accesses m.cache_accesses m.cache_misses (f17 m.miss_rate_pm)
+    (f17 m.dcache_miss_rate_pm)
+    (f17 pw.Pf_power.Account.switching)
+    (f17 pw.Pf_power.Account.internal)
+    (f17 pw.Pf_power.Account.leakage)
+    (f17 pw.Pf_power.Account.total)
+    (f17 (Pf_power.Account.avg_power pw))
+    (f17 pw.Pf_power.Account.peak_power)
+    m.gate_count
+    (if on_frontier front p then "true" else "false")
+
+let json_points buf pts =
+  let front = frontier_of pts in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_string buf ", ";
+      json_point buf front p)
+    pts;
+  Buffer.add_string buf "]"
+
+let to_json t =
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf "{\n  \"schema\": 1,\n  \"jobs\": %d,\n" t.jobs;
+  Printf.bprintf buf "  \"geometries\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun g -> Printf.sprintf "\"%s\"" (Space.label g))
+          t.geometries));
+  Printf.bprintf buf "  \"variants\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun v -> Printf.sprintf "\"%s\"" (variant_label v))
+          t.variants));
+  Buffer.add_string buf "  \"benchmarks\": [\n";
+  let first = ref true in
+  List.iter
+    (fun br ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Printf.bprintf buf
+        "    {\"name\": \"%s\", \"category\": \"%s\", \
+         \"outputs_consistent\": %b, \"replayed_events\": %d, \"points\": "
+        (json_escape br.name) (json_escape br.category) br.outputs_consistent
+        br.replayed_events;
+      json_points buf br.points;
+      Buffer.add_string buf "}")
+    (completed_runs t);
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"failed\": [";
+  let firstf = ref true in
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Ok _ -> ()
+      | Error e ->
+          if not !firstf then Buffer.add_string buf ", ";
+          firstf := false;
+          Printf.bprintf buf "{\"bench\": \"%s\", \"error\": \"%s\"}"
+            (json_escape r.bench)
+            (json_escape (Sim_error.to_string e)))
+    t.rows;
+  Buffer.add_string buf "],\n";
+  Buffer.add_string buf "  \"suite\": ";
+  (match aggregate t with
+  | [] -> Buffer.add_string buf "[]"
+  | pts -> json_points buf pts);
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

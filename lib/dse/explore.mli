@@ -1,0 +1,155 @@
+(** Evaluate a {!Space} over the benchmark suite via trace replay.
+
+    Each benchmark executes {e once per ISA variant} at the fixed
+    {!Space.recording_point}, recording the retired stream; every grid
+    geometry is then a cheap {!Pf_cpu.Trace} replay of that recording —
+    2 executions + 2·N replays per benchmark on the default variant axis,
+    never 2 + 2·N executions.  Per-point power uses
+    {!Pf_power.Account.Params.for_geometry}, so coefficients scale
+    analytically with the read width while both paper geometries see the
+    calibrated defaults unchanged — the ARM16/ARM8/FITS16/FITS8 grid
+    points reproduce the harness numbers bit-for-bit (asserted by
+    test/test_dse.ml).
+
+    Benchmarks fan out on {!Pf_util.Pool} with per-benchmark fault
+    isolation ({!Pf_util.Sim_error.protect} + a monotonic deadline), and
+    every reported artifact — points, aggregates, frontiers, emitters —
+    is a deterministic function of the space and suite, independent of
+    [--jobs]. *)
+
+type variant = Arm | Fits of int option
+(** An instruction-stream variant: the source ARM stream, or a FITS
+    synthesis with the given dictionary budget ([None] = uncapped). *)
+
+val variant_label : variant -> string
+(** ["arm"], ["fits"], or ["fits@<budget>"]. *)
+
+val variant_is_arm : variant -> bool
+
+type metrics = {
+  instructions : int;   (** source (ARM) instructions for both ISAs *)
+  cycles : int;
+  ipc : float;
+  fetch_accesses : int;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_pm : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+  gate_count : int;     (** area proxy of this geometry *)
+}
+
+type point = {
+  variant : variant;
+  geometry : Pf_cache.Icache.config;
+  metrics : metrics;
+}
+
+type bench_run = {
+  name : string;
+  category : string;
+  points : point list;
+      (** variant-major ({!variant} order), geometry order within —
+          the canonical {!Space.geometries} order *)
+  replayed_events : int;
+      (** trace events replayed: Σ trace length × geometries; the unit of
+          explore throughput in the bench gate *)
+  outputs_consistent : bool;
+      (** every recording run printed the reference output *)
+}
+
+type row = {
+  bench : string;
+  outcome : (bench_run, Pf_util.Sim_error.t) result;
+  elapsed_s : float;
+}
+
+type t = {
+  space : Space.t;
+  geometries : Pf_cache.Icache.config list;
+  variants : variant list;
+  rows : row list;       (** one per benchmark, in suite order *)
+  completed : int;
+  total : int;
+  jobs : int;
+}
+
+val default_wall_clock_s : float
+(** Per-benchmark wall-clock budget (600 s), as in the harness sweep. *)
+
+val run :
+  ?scale:int ->
+  ?max_steps:int ->
+  ?wall_clock_s:float ->
+  ?jobs:int ->
+  ?benchmarks:Pf_mibench.Registry.benchmark list ->
+  Space.t ->
+  t
+(** Explore the space over [benchmarks] (default: the full 21-benchmark
+    suite) with [jobs] worker domains.  A failing benchmark is isolated
+    into its row ([Error]); it never aborts the sweep. *)
+
+val run_benchmark :
+  ?scale:int ->
+  ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
+  geometries:Pf_cache.Icache.config list ->
+  dict_budgets:int option list ->
+  Pf_mibench.Registry.benchmark ->
+  bench_run
+(** One benchmark, unprotected (exceptions propagate) — {!run} wraps
+    this. *)
+
+val arm_sweep :
+  image:Pf_arm.Image.t ->
+  output:string ->
+  geometries:Pf_cache.Icache.config list ->
+  Pf_cpu.Trace.t ->
+  point list
+(** Replay a recorded ARM trace through every geometry — the DSE inner
+    loop, exposed so test/test_alloc.ml can assert it allocates O(grid),
+    not O(trace events). *)
+
+val fits_sweep :
+  dict_budget:int option ->
+  like:Pf_fits.Run.result ->
+  geometries:Pf_cache.Icache.config list ->
+  Pf_fits.Translate.t ->
+  Pf_cpu.Trace.t ->
+  point list
+(** FITS counterpart of {!arm_sweep}; [like] is the recording run. *)
+
+(** {2 Derived views} *)
+
+val completed_runs : t -> bench_run list
+val replayed_events : t -> int
+val diverged : t -> bool
+(** True when any completed benchmark printed non-reference output —
+    the CLI maps this to exit code 3, as [run]/[figures] do. *)
+
+val banner : t -> string
+(** Completion summary plus any failed or diverged benchmarks. *)
+
+val aggregate : t -> point list
+(** Suite-aggregate point per (variant, geometry), in point order:
+    counts, energies and cycles sum over completed benchmarks (in suite
+    order, so float sums are order-fixed); IPC and the I-cache miss rate
+    are recomputed from the sums; the (geometry-invariant) D-cache rate
+    is an instruction-weighted mean. *)
+
+val objectives : point -> Pareto.objectives
+(** (total energy, IPC, miss rate, gate count) of one point. *)
+
+val frontier_of : point list -> point Pareto.front
+(** {!Pareto.frontier} over {!objectives}, preserving point order. *)
+
+(** {2 Emitters} *)
+
+val to_csv : t -> string
+(** One row per (benchmark, variant, geometry) plus a ["suite"] aggregate
+    group; the [pareto] column marks frontier membership within each
+    group.  Floats print with ["%.17g"] (lossless round-trip). *)
+
+val to_json : t -> string
+(** Same content as {!to_csv}, as a single JSON document with per-
+    benchmark point arrays, the suite aggregate, and failed rows. *)

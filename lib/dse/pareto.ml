@@ -1,0 +1,48 @@
+type objectives = {
+  energy : float;
+  ipc : float;
+  miss_rate_pm : float;
+  area : float;
+}
+
+(* a dominates b: no objective worse, at least one strictly better.
+   Energy, miss rate and area are minimized; IPC is maximized.  Two points
+   with identical objectives do not dominate each other, so exact ties all
+   stay on the frontier — dropping one would make the result depend on
+   enumeration order. *)
+let dominates a b =
+  a.energy <= b.energy && a.ipc >= b.ipc
+  && a.miss_rate_pm <= b.miss_rate_pm
+  && a.area <= b.area
+  && (a.energy < b.energy || a.ipc > b.ipc
+     || a.miss_rate_pm < b.miss_rate_pm
+     || a.area < b.area)
+
+type 'a front = {
+  frontier : ('a * objectives) list;
+  dominated : int;
+  total : int;
+}
+
+(* O(n²) pairwise scan; the grids here are tens of points per benchmark,
+   and the result is trivially deterministic: frontier membership is a
+   property of the point set, and order is inherited from the input list
+   (itself the canonical Space order), so any --jobs value — indeed any
+   evaluation order — yields the identical frontier. *)
+let frontier points =
+  let arr = Array.of_list points in
+  let n = Array.length arr in
+  let on_front i =
+    let _, oi = arr.(i) in
+    let rec go j =
+      j >= n || ((i = j || not (dominates (snd arr.(j)) oi)) && go (j + 1))
+    in
+    go 0
+  in
+  let frontier = ref [] in
+  let dominated = ref 0 in
+  for i = n - 1 downto 0 do
+    if on_front i then frontier := arr.(i) :: !frontier
+    else incr dominated
+  done;
+  { frontier = !frontier; dominated = !dominated; total = n }

@@ -1,0 +1,33 @@
+(** Deterministic Pareto-frontier extraction over cache design points.
+
+    Objectives follow the study's axes of merit: total I-cache energy,
+    miss rate and an area proxy (gate count) are minimized, IPC is
+    maximized.  A point is on the frontier iff no other point is at least
+    as good on every objective and strictly better on one. *)
+
+type objectives = {
+  energy : float;        (** total I-cache energy — minimize *)
+  ipc : float;           (** source instructions per cycle — maximize *)
+  miss_rate_pm : float;  (** I-cache misses per million fetches — minimize *)
+  area : float;          (** gate-count area proxy — minimize *)
+}
+
+val dominates : objectives -> objectives -> bool
+(** [dominates a b] — [a] is no worse than [b] everywhere and strictly
+    better somewhere.  Points with identical objectives do not dominate
+    each other, so exact ties all survive (dropping one would make the
+    frontier depend on enumeration order). *)
+
+type 'a front = {
+  frontier : ('a * objectives) list;
+      (** non-dominated points, in input order *)
+  dominated : int;
+  total : int;
+}
+
+val frontier : ('a * objectives) list -> 'a front
+(** Frontier membership is a property of the point {e set}; output order
+    is inherited from the input list.  Callers pass points in the
+    canonical {!Space.geometries} order, making the result independent of
+    worker count and evaluation order — the jobs-independence the
+    harness guarantees for everything it reports. *)

@@ -41,6 +41,8 @@ type bench_result = {
 
 val cache_16k : Pf_cache.Icache.config
 val cache_8k : Pf_cache.Icache.config
+(** Aliases of {!Pf_dse.Space.cache_16k} / {!Pf_dse.Space.cache_8k}: the
+    paper's configurations are named points of the exploration grid. *)
 
 val of_arm : Pf_cpu.Arm_run.result -> per_config
 val of_fits : Pf_fits.Run.result -> per_config

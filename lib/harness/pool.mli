@@ -1,29 +1,8 @@
-(** Fixed-size domain worker pool for embarrassingly parallel sweeps.
+(** Re-export of {!Pf_util.Pool}, the fixed-size domain worker pool.
 
-    OCaml 5 gives the simulator one domain per core; the experiment sweep
-    (21 independent benchmarks × 4 configurations) and the fault
-    campaigns (N independently seeded trials) are pure fan-out, so a
-    small [Domain.spawn] pool with a mutex/condition work queue covers
-    both.  Results always come back in input order — parallelism must
-    never change what a sweep reports, only how fast it reports it. *)
+    The implementation lives in [pf_util] so lower layers (the
+    design-space explorer in [pf_dse]) can share it; the harness keeps
+    this alias because every sweep entry point historically takes its
+    pool from [Pf_harness.Pool]. *)
 
-val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()] — one worker per available
-    core. *)
-
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
-    [jobs] worker domains (the calling domain works too, so [jobs = 4]
-    spawns three) and returns the results in input order.
-
-    [jobs] defaults to {!default_jobs}; [jobs = 1] runs sequentially in
-    the calling domain — byte-for-byte today's behaviour, no domain is
-    spawned.  If [f] raises on some element, every in-flight element
-    still finishes, the spawned domains are joined, and the exception of
-    the {e lowest-indexed} failing element is re-raised with its
-    backtrace — deterministic even when several elements fail in
-    parallel.
-
-    [f] must be safe to run concurrently with itself on different
-    elements (no shared mutable state); every simulation entry point in
-    this tree qualifies. *)
+include module type of Pf_util.Pool

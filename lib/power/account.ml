@@ -24,6 +24,23 @@ module Params = struct
       k_leakage_per_gate = 7.5e-5;
       peak_window_cycles = 32;
     }
+
+  (* One read probes [assoc] ways of [block_bytes] each: every bitline in
+     the probed ways is precharged and sensed, so the fixed per-access
+     energy scales with assoc * block-bits.  The reference organization is
+     the paper's 32-way, 32 B-block cache (8192 read bits), where the
+     scale is exactly 1.0 — both paper points (16 K and 8 K share ways and
+     block size) therefore see [default] unchanged, which is what lets the
+     DSE grid reproduce the ARM16/ARM8/FITS16/FITS8 numbers bit-for-bit.
+     Size enters only through [gate_count] (internal and leakage terms),
+     which [create] already reads from the geometry; the per-toggle and
+     per-refill-bit coefficients are per-bit quantities and stay fixed. *)
+  let ref_read_bits = 32 * 32 * 8
+
+  let for_geometry ?(base = default) (g : Geometry.t) =
+    let read_bits = g.Geometry.assoc * g.Geometry.block_bytes * 8 in
+    let scale = float_of_int read_bits /. float_of_int ref_read_bits in
+    { base with k_access = base.k_access *. scale }
 end
 
 (* The energy accumulators live in their own all-float record: OCaml gives

@@ -34,6 +34,18 @@ module Params : sig
   (** Calibrated so an ARM16/SA-1100-like run shows the paper's Figure 6
       breakdown: internal > 50 %, switching ≈ a third, leakage ≈ a tenth
       (0.35 um process, where leakage is minor). *)
+
+  val for_geometry : ?base:t -> Geometry.t -> t
+  (** Analytic scaling of [base] (default {!default}) to an arbitrary
+      cache organization, for design-space sweeps.  A read probes
+      [assoc] ways of [block_bytes] each, so [k_access] scales with
+      [assoc * block_bytes * 8] relative to the reference 32-way / 32 B
+      organization (8192 bits) the constants were calibrated on; at both
+      paper geometries (16 K and 8 K, which share ways and block size)
+      the result equals [base] exactly, so grid points coincide with the
+      published ARM16/ARM8/FITS16/FITS8 numbers.  Cache {e size} affects
+      power through the geometry's gate count (internal and leakage
+      terms) rather than through any coefficient here. *)
 end
 
 type t

@@ -2,6 +2,7 @@ type t = {
   nsets : int;
   assoc : int;
   block_bytes : int;
+  index_bits : int;
   tag_bits : int;
   data_cells : int;
   tag_cells : int;
@@ -33,6 +34,7 @@ let of_config (cfg : Pf_cache.Icache.config) =
     nsets;
     assoc = cfg.assoc;
     block_bytes = cfg.block_bytes;
+    index_bits = Pf_util.Bits.log2_exact nsets;
     tag_bits;
     data_cells;
     tag_cells;

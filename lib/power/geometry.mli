@@ -10,6 +10,7 @@ type t = {
   nsets : int;
   assoc : int;
   block_bytes : int;
+  index_bits : int;      (** set-index width, log2 nsets *)
   tag_bits : int;
   data_cells : int;       (** SRAM bits in the data array *)
   tag_cells : int;        (** SRAM bits in tag array incl. valid *)

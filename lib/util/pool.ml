@@ -1,0 +1,57 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Closed-on-creation work queue: every task is known up front, so the
+   queue holds the next unclaimed index and the condition variable only
+   matters for the (cheap, uncontended) claim handshake.  Workers claim
+   one index at a time — benchmark runtimes vary by an order of
+   magnitude, so static striping would leave domains idle. *)
+type queue = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable next : int;
+  total : int;
+}
+
+let claim q =
+  Mutex.lock q.m;
+  let i = q.next in
+  if i < q.total then begin
+    q.next <- i + 1;
+    (* wake anyone blocked on a full mutex hand-off; with a pre-filled
+       queue this also keeps the condvar honest for future queue shapes *)
+    Condition.signal q.c
+  end;
+  Mutex.unlock q.m;
+  if i < q.total then Some i else None
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if jobs = 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let n = Array.length inputs in
+    let results = Array.make n None in
+    let q = { m = Mutex.create (); c = Condition.create (); next = 0; total = n } in
+    let rec worker () =
+      match claim q with
+      | None -> ()
+      | Some i ->
+          (results.(i) <-
+             Some
+               (match f inputs.(i) with
+               | v -> Ok v
+               | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          worker ()
+    in
+    let spawned = min (jobs - 1) (max 0 (n - 1)) in
+    let domains = List.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None ->
+             Sim_error.raisef Sim_error.Internal ~where:"util.pool"
+               "worker left a result slot empty")
+  end

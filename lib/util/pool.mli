@@ -1,0 +1,34 @@
+(** Fixed-size domain worker pool for embarrassingly parallel sweeps.
+
+    OCaml 5 gives the simulator one domain per core; the experiment sweep
+    (21 independent benchmarks × 4 configurations), the fault campaigns
+    (N independently seeded trials) and the design-space explorer (one
+    trace-replay pipeline per benchmark) are pure fan-out, so a small
+    [Domain.spawn] pool with a mutex/condition work queue covers all of
+    them.  Results always come back in input order — parallelism must
+    never change what a sweep reports, only how fast it reports it.
+
+    This lives in [pf_util] so layers below the harness (notably
+    [pf_dse]) can fan out too; [Pf_harness.Pool] re-exports it
+    unchanged. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — one worker per available
+    core. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
+    [jobs] worker domains (the calling domain works too, so [jobs = 4]
+    spawns three) and returns the results in input order.
+
+    [jobs] defaults to {!default_jobs}; [jobs = 1] runs sequentially in
+    the calling domain — byte-for-byte today's behaviour, no domain is
+    spawned.  If [f] raises on some element, every in-flight element
+    still finishes, the spawned domains are joined, and the exception of
+    the {e lowest-indexed} failing element is re-raised with its
+    backtrace — deterministic even when several elements fail in
+    parallel.
+
+    [f] must be safe to run concurrently with itself on different
+    elements (no shared mutable state); every simulation entry point in
+    this tree qualifies. *)

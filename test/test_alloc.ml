@@ -96,6 +96,23 @@ let test_fits_replay_alloc () =
   replay ();
   check_budget "Fits.Run.replay (trace replay)" (minor_delta replay)
 
+(* The DSE inner loop replays one trace across a whole geometry grid; its
+   per-event cost must stay allocation-free too (the per-geometry result
+   records are O(grid), inside budget). *)
+let test_dse_sweep_alloc () =
+  let image = loop_image () in
+  let trace = Pf_cpu.Trace.create ~isize:4 () in
+  let r = Pf_cpu.Arm_run.run ~trace image in
+  let geometries = Pf_dse.Space.geometries Pf_dse.Space.smoke in
+  let sweep () =
+    ignore
+      (Pf_dse.Explore.arm_sweep ~image ~output:r.Pf_cpu.Arm_run.output
+         ~geometries trace)
+  in
+  sweep ();
+  check_budget "Explore.arm_sweep (6-geometry DSE replay loop)"
+    (minor_delta sweep)
+
 let tests =
   [
     Alcotest.test_case "ARM step loop is allocation-free" `Quick
@@ -108,4 +125,6 @@ let tests =
       test_arm_replay_alloc;
     Alcotest.test_case "FITS trace replay is allocation-free" `Quick
       test_fits_replay_alloc;
+    Alcotest.test_case "DSE geometry sweep is allocation-free" `Quick
+      test_dse_sweep_alloc;
   ]

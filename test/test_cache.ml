@@ -167,11 +167,54 @@ let test_shadow_lru_order () =
   check_int "hit-refreshed block survived in shadow" 2 (C.stats_conflict t)
 
 let test_invalid_configs () =
-  Alcotest.(check bool) "non-power-of-two rejected" true
+  (* degenerate geometries must fail at [config] with a structured
+     Invalid_config naming the offending field — DSE grids hit these
+     corners as ordinary inputs, and the explorer classifies the error *)
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let rejected what ~sub ~block ~assoc size =
+    match C.config ~block_bytes:block ~assoc ~size_bytes:size () with
+    | _ -> Alcotest.failf "%s: config %d/%dB/%dw accepted" what size block assoc
+    | exception Pf_util.Sim_error.Error e ->
+        Alcotest.(check bool) (what ^ ": kind Invalid_config") true
+          (e.Pf_util.Sim_error.kind = Pf_util.Sim_error.Invalid_config);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: detail %S names %S" what
+             e.Pf_util.Sim_error.detail sub)
+          true
+          (contains ~sub e.Pf_util.Sim_error.detail)
+  in
+  rejected "non-power-of-two size" ~sub:"size_bytes=3000" ~block:32 ~assoc:2
+    3000;
+  rejected "non-power-of-two block" ~sub:"block_bytes=24" ~block:24 ~assoc:2
+    1024;
+  rejected "sub-word block" ~sub:"block_bytes=2" ~block:2 ~assoc:1 1024;
+  rejected "non-power-of-two assoc" ~sub:"assoc=3" ~block:32 ~assoc:3 1024;
+  rejected "zero assoc" ~sub:"assoc=0" ~block:32 ~assoc:0 1024;
+  rejected "more ways than lines" ~sub:"zero sets" ~block:32 ~assoc:64 1024;
+  rejected "cache smaller than a block" ~sub:"zero lines" ~block:64 ~assoc:1
+    32;
+  (* every offending field is listed, not just the first *)
+  (match C.config ~block_bytes:24 ~assoc:3 ~size_bytes:3000 () with
+  | _ -> Alcotest.fail "triply-degenerate config accepted"
+  | exception Pf_util.Sim_error.Error e ->
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "lists %S" sub)
+            true
+            (contains ~sub e.Pf_util.Sim_error.detail))
+        [ "size_bytes=3000"; "block_bytes=24"; "assoc=3" ]);
+  (* a record literal bypasses [config]; [create] re-validates *)
+  Alcotest.(check bool) "create re-validates record literals" true
     (try
-       ignore (C.create (C.config ~size_bytes:3000 ()));
+       ignore
+         (C.create { C.size_bytes = 1024; block_bytes = 32; assoc = 64 });
        false
-     with Invalid_argument _ -> true)
+     with Pf_util.Sim_error.Error _ -> true)
 
 (* properties *)
 

@@ -23,5 +23,6 @@ let () =
       ("fits", Test_fits.tests);
       ("multi", Test_multi.tests);
       ("alloc", Test_alloc.tests);
+      ("dse", Test_dse.tests);
       ("differential", Test_differential.tests);
     ]

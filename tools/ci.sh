@@ -21,6 +21,10 @@ dune build
 echo "== test =="
 dune runtest
 
+echo "== explore smoke grid =="
+dune exec bin/powerfits.exe -- explore --grid smoke --benchmarks crc32,sha \
+  --jobs 2
+
 echo "== bench regression check =="
 dune exec bench/main.exe -- --check BENCH_sweep.json
 
