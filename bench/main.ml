@@ -140,6 +140,58 @@ let run_explore_throughput () =
     (Printf.sprintf "%.0f" rate);
   rate
 
+(* ------------------------------------------------------------------ *)
+(* Serve throughput                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* End-to-end service throughput: an in-process daemon (4 workers, fresh
+   throwaway store, fsync off so the figure measures the service, not
+   the disk) driven by the load generator with 1000 requests over 4
+   client domains.  The small deterministic corpus repeats, so most
+   requests are cache hits — this is the steady-state figure a warm
+   daemon sustains, with p50/p99 request latency alongside. *)
+let serve_requests = 1000
+let serve_conns = 4
+
+let run_serve_phase () =
+  heading
+    (Printf.sprintf "serve throughput (%d requests, %d client domains)"
+       serve_requests serve_conns);
+  let stamp = int_of_float (Unix.gettimeofday () *. 1000.) in
+  let base = Filename.get_temp_dir_name () in
+  let socket = Filename.concat base (Printf.sprintf "pf-bench-%d.sock" stamp) in
+  let store_dir = Filename.concat base (Printf.sprintf "pf-bench-%d.store" stamp) in
+  let cfg =
+    {
+      Pf_serve.Daemon.default_config with
+      Pf_serve.Daemon.socket_path = socket;
+      store_dir = Some store_dir;
+      jobs = 4;
+      fsync = false;
+    }
+  in
+  let daemon = Domain.spawn (fun () -> Pf_serve.Daemon.run ~log:ignore cfg) in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (try ignore (Pf_serve.Client.shutdown ~socket ()) with _ -> ());
+        Domain.join daemon)
+      (fun () ->
+        Pf_serve.Loadgen.run ~socket ~requests:serve_requests
+          ~conns:serve_conns ~seed:1 ())
+  in
+  (* throwaway store: the figure must start cold every run *)
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm store_dir with Sys_error _ | Unix.Unix_error _ -> ());
+  print_endline (Pf_serve.Loadgen.summary result);
+  result
+
 (* Baseline parser for `--check`.  Hand-rolled like the writer (no JSON
    library in the image): pull the `"instructions": N` / `"sim_s": X`
    pairs out of `"ok": true` benchmark rows — works on both schema 1 and
@@ -266,10 +318,11 @@ let run_check file =
       exit 2);
   Printf.printf "check OK: within the 15%% regression budget\n"
 
-let write_sweep_json ~explore_rate (sweep : Pf_harness.Experiment.sweep) =
+let write_sweep_json ~explore_rate ~serve (sweep : Pf_harness.Experiment.sweep)
+    =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 3,\n";
+  Buffer.add_string b "  \"schema\": 4,\n";
   Buffer.add_string b "  \"engine\": \"predecoded\",\n";
   Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
@@ -279,6 +332,10 @@ let write_sweep_json ~explore_rate (sweep : Pf_harness.Experiment.sweep) =
   Printf.bprintf b "  \"aggregate_steps_per_sec\": %.0f,\n"
     (aggregate_steps_per_sec sweep);
   Printf.bprintf b "  \"explore_events_per_sec\": %.0f,\n" explore_rate;
+  Printf.bprintf b "  \"serve_requests_per_sec\": %.0f,\n"
+    serve.Pf_serve.Loadgen.throughput_rps;
+  Printf.bprintf b "  \"serve\": %s,\n"
+    (Pf_serve.Json.to_string (Pf_serve.Loadgen.to_json serve));
   Buffer.add_string b "  \"phases\": {\n";
   let phases = List.rev !phase_times in
   List.iteri
@@ -303,9 +360,7 @@ let write_sweep_json ~explore_rate (sweep : Pf_harness.Experiment.sweep) =
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Buffer.add_string b "  ]\n}\n";
-  let oc = open_out "BENCH_sweep.json" in
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  Pf_util.Atomic_file.write ~path:"BENCH_sweep.json" (Buffer.contents b);
   Printf.printf "\n(wrote BENCH_sweep.json: jobs=%d, %d phases timed)\n"
     sweep.Pf_harness.Experiment.jobs (List.length phases)
 
@@ -645,9 +700,10 @@ let () =
   timed_phase "scale_robustness" scale_robustness;
   timed_phase "cross_application" cross_application;
   let explore_rate = timed_phase "explore_smoke" run_explore_throughput in
+  let serve = timed_phase "serve_loadgen" run_serve_phase in
   timed_phase "microbenchmarks" (fun () ->
       try microbenchmarks ()
       with e ->
         Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
-  write_sweep_json ~explore_rate sweep;
+  write_sweep_json ~explore_rate ~serve sweep;
   print_newline ()

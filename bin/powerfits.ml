@@ -531,9 +531,9 @@ let explore_cmd =
       match path with
       | "-" -> print_string content
       | path ->
-          let oc = open_out path in
-          output_string oc content;
-          close_out oc;
+          (* atomic publication: a crash (or a concurrent reader) never
+             sees a torn artifact *)
+          Pf_util.Atomic_file.write ~path content;
           Printf.eprintf "explore: wrote %s to %s\n%!" what path
     in
     Option.iter (fun p -> emit "CSV" p (D.Explore.to_csv t)) csv;
@@ -614,6 +614,142 @@ let explore_cmd =
     Term.(const run $ grid_arg $ benchmarks_arg $ scale_arg $ max_steps_arg
           $ jobs_arg $ csv_arg $ json_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  (* --crash-at N:POINT arms a store-write crash: on the N-th time an
+     atomic store write reaches POINT, the process exits 42 on the spot —
+     file descriptors abandoned, temp files left torn, exactly what
+     kill -9 mid-write leaves behind.  The exit lives here in the CLI
+     (lib/serve is lint-banned from exiting); the library hook only
+     answers the "should I die here?" question. *)
+  let crash_of_spec spec =
+    let fail () =
+      Printf.eprintf
+        "powerfits serve: bad --crash-at %S (want N:POINT with POINT one \
+         of %s)\n"
+        spec
+        (String.concat "|"
+           (List.map Pf_util.Atomic_file.crash_point_name
+              Pf_util.Atomic_file.all_crash_points));
+      exit 2
+    in
+    match String.index_opt spec ':' with
+    | None -> fail ()
+    | Some i -> (
+        let n = String.sub spec 0 i in
+        let pname = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match
+          (int_of_string_opt n, Pf_util.Atomic_file.crash_point_of_string pname)
+        with
+        | Some n, Some point when n >= 1 ->
+            let count = ref 0 in
+            fun p ->
+              if p = point then begin
+                incr count;
+                if !count = n then begin
+                  Printf.eprintf "serve: injected crash at write %d (%s)\n%!"
+                    n pname;
+                  exit 42
+                end
+              end;
+              false
+        | _ -> fail ())
+  in
+  let run socket store jobs queue_cap budget_s max_steps max_requests no_fsync
+      crash_at selftest =
+    match selftest with
+    | Some dir ->
+        (* store-fault campaign: crash at every point, flip/truncate
+           records, prove nothing committed is lost and nothing corrupt
+           is served *)
+        let r = Pf_fault.Storefault.run ~dir ~seed:7 () in
+        print_endline (Pf_fault.Storefault.banner r);
+        if r.Pf_fault.Storefault.survived < r.Pf_fault.Storefault.total then
+          exit 4
+    | None ->
+        let jobs = resolve_jobs jobs in
+        let cfg =
+          {
+            Pf_serve.Daemon.socket_path = socket;
+            store_dir = store;
+            jobs;
+            queue_capacity = queue_cap;
+            budget_s;
+            default_max_steps = max_steps;
+            fsync = not no_fsync;
+            crash = Option.map crash_of_spec crash_at;
+            max_requests;
+          }
+        in
+        Pf_serve.Daemon.run cfg
+  in
+  let socket_arg =
+    Arg.(value
+         & opt string Pf_serve.Daemon.default_config.Pf_serve.Daemon.socket_path
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on.")
+  in
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Content-addressed artifact store directory (created if \
+                   missing; recovered and verified on startup).  Without \
+                   it every request recomputes.")
+  in
+  let queue_cap_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Admission-queue bound; requests beyond it get a \
+                   structured `overloaded' reply (backpressure).")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None
+         & info [ "budget-s" ] ~docv:"SECONDS"
+             ~doc:"Default per-request wall-clock budget (60s if unset); \
+                   over-budget requests degrade to half scale instead of \
+                   failing.")
+  in
+  let max_requests_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-requests" ] ~docv:"N"
+             ~doc:"Stop after accepting N connections (self-stopping test \
+                   daemons).")
+  in
+  let no_fsync_arg =
+    Arg.(value & flag
+         & info [ "no-fsync" ]
+             ~doc:"Skip fsync on store writes (tests only: a machine \
+                   crash may then lose — but still never tear — recent \
+                   entries).")
+  in
+  let crash_at_arg =
+    Arg.(value & opt (some string) None
+         & info [ "crash-at" ] ~docv:"N:POINT"
+             ~doc:"Fault injection: exit(42) when the N-th store write \
+                   reaches POINT (mid-write|after-write|before-rename|\
+                   after-rename), simulating kill -9 at the worst \
+                   instant.")
+  in
+  let selftest_arg =
+    Arg.(value & opt (some string) None
+         & info [ "selftest" ] ~docv:"DIR"
+             ~doc:"Run the store-fault campaign (crash points x \
+                   corruption) in DIR instead of serving; exit 4 if any \
+                   trial fails.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running synthesis service on a Unix-domain socket: \
+          length-prefixed JSON requests (synthesize / evaluate / \
+          explore-point / status), bounded admission onto a domain \
+          pool, and a crash-safe content-addressed artifact store with \
+          startup recovery.")
+    Term.(const run $ socket_arg $ store_arg $ jobs_arg $ queue_cap_arg
+          $ budget_arg $ max_steps_arg $ max_requests_arg $ no_fsync_arg
+          $ crash_at_arg $ selftest_arg)
+
 (* ---- report ---- *)
 
 let report_cmd =
@@ -689,7 +825,7 @@ let main =
          "Reproduction of PowerFITS (ISPASS 2005): application-specific \
           instruction-set synthesis for I-cache power.")
     [ list_cmd; profile_cmd; synth_cmd; disasm_cmd; run_cmd; report_cmd;
-      figures_cmd; inject_cmd; multi_cmd; explore_cmd ]
+      figures_cmd; inject_cmd; multi_cmd; explore_cmd; serve_cmd ]
 
 let () =
   (* Structured simulation faults carry their own exit code: 3 for a

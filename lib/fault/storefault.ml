@@ -1,0 +1,245 @@
+(* Store-fault campaign: prove the artifact store's two invariants under
+   injected faults —
+
+     1. no committed entry is ever lost (crash-at-any-point during a new
+        write leaves every previously committed record readable, and the
+        interrupted write is all-or-nothing);
+     2. no corrupt entry is ever served (any single-byte flip or
+        truncation of a record file is detected by the framing/CRC and
+        quarantined, never decoded into a payload).
+
+   Two trial families, each in a fresh store directory:
+
+   - crash trials: seed the store with K committed records, then attempt
+     one more write with the {!Pf_util.Atomic_file} crash hook armed at
+     each crash point in turn; reopen (recovery scan) and verify.
+   - corruption trials: seed records, then damage one record file in
+     place (seeded bit flip, truncation, extension) and verify the next
+     [get] refuses and quarantines it while all untouched records still
+     read back intact. *)
+
+module S = Pf_serve.Store
+module AF = Pf_util.Atomic_file
+
+type trial = {
+  label : string;
+  survived : bool;
+  detail : string;  (** what was verified, or what went wrong *)
+}
+
+type report = {
+  trials : trial list;
+  total : int;
+  survived : int;
+  crash_points : int;
+  corruptions : int;
+  quarantined_total : int;
+}
+
+let err fmt =
+  Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal ~where:"fault.storefault"
+    fmt
+
+(* deterministic seed corpus: key/payload pairs with enough bytes to give
+   bit flips room, including binary payload bytes *)
+let seed_entries n =
+  List.init n (fun i ->
+      let key = Printf.sprintf "storefault/key-%03d" i in
+      let payload =
+        Printf.sprintf "{\"trial\":%d,\"payload\":\"%s\"}" i
+          (String.init 64 (fun j -> Char.chr ((i + (j * 7)) land 0xFF))
+          |> String.to_seq
+          |> Seq.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+          |> List.of_seq |> String.concat "")
+      in
+      (key, payload))
+
+let fresh_dir root label n =
+  let dir = Filename.concat root (Printf.sprintf "%s-%03d" label n) in
+  dir
+
+let populate dir entries =
+  let store, _ = S.open_ ~fsync:false dir in
+  List.iter (fun (key, payload) -> S.put store ~key payload) entries;
+  S.close store;
+  store
+
+let verify_intact store entries =
+  List.for_all
+    (fun (key, payload) -> S.get store ~key = Some payload)
+    entries
+
+(* ---- crash trials ---- *)
+
+let crash_trial ~root ~n ~committed point =
+  let dir = fresh_dir root "crash" n in
+  let entries = seed_entries committed in
+  ignore (populate dir entries);
+  let victim_key = "storefault/victim" in
+  let victim_payload = String.make 256 '\x5A' in
+  (* arm the hook for the next write only *)
+  let armed = ref true in
+  let crash p =
+    if p = point && !armed then (
+      armed := false;
+      true)
+    else false
+  in
+  let store, _ = S.open_ ~fsync:false ~crash dir in
+  let crashed =
+    match S.put store ~key:victim_key victim_payload with
+    | () -> false
+    | exception AF.Crash p when p = point -> true
+  in
+  (* simulate process death: abandon the handle without close; reopen and
+     run recovery *)
+  let store2, recovery = S.open_ ~fsync:false dir in
+  let committed_ok = verify_intact store2 entries in
+  let victim = S.get store2 ~key:victim_key in
+  (* all-or-nothing: before the rename the victim must be absent, after
+     it it must be complete *)
+  let victim_ok =
+    match point with
+    | AF.Mid_write | AF.After_write | AF.Before_rename -> victim = None
+    | AF.After_rename -> victim = Some victim_payload
+  in
+  let no_temp_residue =
+    recovery.S.recovered_quarantined = 0
+    (* torn temp files are swept, not quarantined: they were never
+       committed, so they are residue, not corruption *)
+  in
+  let survived = crashed && committed_ok && victim_ok && no_temp_residue in
+  S.close store2;
+  {
+    label = Printf.sprintf "crash@%s" (AF.crash_point_name point);
+    survived;
+    detail =
+      Printf.sprintf
+        "crashed=%b committed_intact=%b victim_%s=%b swept_temps=%d \
+         quarantined=%d"
+        crashed committed_ok
+        (match point with AF.After_rename -> "complete" | _ -> "absent")
+        victim_ok recovery.S.swept_temps recovery.S.recovered_quarantined;
+  }
+
+(* ---- corruption trials ---- *)
+
+type damage = Flip of int | Truncate of int | Extend of int
+
+let damage_label = function
+  | Flip b -> Printf.sprintf "flip-bit-%d" b
+  | Truncate n -> Printf.sprintf "truncate-%d" n
+  | Extend n -> Printf.sprintf "extend-%d" n
+
+let apply_damage path = function
+  | Flip bit ->
+      let ic = open_in_bin path in
+      let bytes = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let len = String.length bytes in
+      let byte = bit / 8 mod len in
+      let b = Bytes.of_string bytes in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (bit mod 8))));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc
+  | Truncate n ->
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let keep = max 0 (len - n) in
+      let bytes = really_input_string ic keep in
+      close_in ic;
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc
+  | Extend n ->
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 path
+      in
+      output_string oc (String.make n '\x00');
+      close_out oc
+
+let corruption_trial ~root ~n ~committed damage =
+  let dir = fresh_dir root "corrupt" n in
+  let entries = seed_entries committed in
+  ignore (populate dir entries);
+  let victim_key, _ = List.nth entries (n mod committed) in
+  let victim_path =
+    Filename.concat (Filename.concat dir "objects") (S.key_hash victim_key ^ ".rec")
+  in
+  if not (Sys.file_exists victim_path) then err "seed record %s missing" victim_path;
+  apply_damage victim_path damage;
+  let store, _ = S.open_ ~fsync:false dir in
+  (* the recovery scan may already have quarantined it; either way a get
+     must refuse *)
+  let got = S.get store ~key:victim_key in
+  (* exact length + CRC cover every byte of the record, so any of these
+     damages must make the lookup miss — never return a payload, right
+     or wrong *)
+  let detected = got = None in
+  let others_ok =
+    List.for_all
+      (fun (key, payload) ->
+        key = victim_key || S.get store ~key = Some payload)
+      entries
+  in
+  let quarantined = S.quarantined store >= 1 in
+  let survived = detected && others_ok && quarantined in
+  S.close store;
+  {
+    label = damage_label damage;
+    survived;
+    detail =
+      Printf.sprintf "detected=%b others_intact=%b quarantined=%d" detected
+        others_ok (S.quarantined store);
+  }
+
+(* ---- the campaign ---- *)
+
+let run ?(committed = 6) ?(flips_per_record = 16) ~dir ~seed () =
+  let rng = Pf_util.Rng.create seed in
+  let crash_trials =
+    List.mapi
+      (fun n point -> crash_trial ~root:dir ~n ~committed point)
+      AF.all_crash_points
+  in
+  let record_bytes =
+    (* size of a seeded record file, for drawing in-range bit positions *)
+    String.length
+      (S.encode_record
+         ~key:(fst (List.hd (seed_entries 1)))
+         (snd (List.hd (seed_entries 1))))
+  in
+  let damages =
+    List.init flips_per_record (fun _ ->
+        Flip (Pf_util.Rng.int rng (record_bytes * 8)))
+    @ [ Truncate 1; Truncate 4; Truncate (record_bytes / 2); Extend 1; Extend 16 ]
+  in
+  let corruption_trials =
+    List.mapi
+      (fun n damage -> corruption_trial ~root:dir ~n ~committed damage)
+      damages
+  in
+  let trials = crash_trials @ corruption_trials in
+  let survived = List.length (List.filter (fun (t : trial) -> t.survived) trials) in
+  {
+    trials;
+    total = List.length trials;
+    survived;
+    crash_points = List.length crash_trials;
+    corruptions = List.length corruption_trials;
+    quarantined_total =
+      List.length (List.filter (fun (t : trial) -> t.survived) corruption_trials);
+  }
+
+let banner r =
+  let failed = List.filter (fun (t : trial) -> not t.survived) r.trials in
+  let lines =
+    Printf.sprintf
+      "storefault: %d/%d trials survived (%d crash points, %d corruptions)"
+      r.survived r.total r.crash_points r.corruptions
+    :: List.map (fun t -> Printf.sprintf "  FAILED %s: %s" t.label t.detail)
+         failed
+  in
+  String.concat "\n" lines

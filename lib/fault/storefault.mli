@@ -1,0 +1,50 @@
+(** Store-fault campaign: crash and corruption injection against the
+    {!Pf_serve.Store} artifact store.
+
+    Proves the store's two robustness invariants under injected faults:
+
+    + {b no committed entry is lost}: for every
+      {!Pf_util.Atomic_file.crash_point}, crashing a write there and
+      re-opening the store (recovery scan) leaves every previously
+      committed record readable, and the interrupted write is
+      all-or-nothing — absent before the publishing rename, complete
+      after it;
+    + {b no corrupt entry is served}: a seeded single-bit flip,
+      truncation or extension of a committed record file makes the next
+      lookup miss and quarantines the record, while every untouched
+      record still reads back intact.
+
+    Each trial runs in a fresh subdirectory of the campaign [dir], so
+    trials are independent and the whole campaign replays exactly from
+    its [seed]. *)
+
+type trial = {
+  label : string;  (** e.g. ["crash@mid-write"], ["flip-bit-1312"] *)
+  survived : bool;
+  detail : string;  (** what was verified, or what went wrong *)
+}
+
+type report = {
+  trials : trial list;
+  total : int;
+  survived : int;  (** the campaign passes iff [survived = total] *)
+  crash_points : int;
+  corruptions : int;
+  quarantined_total : int;  (** corruption trials that quarantined *)
+}
+
+val run :
+  ?committed:int ->
+  ?flips_per_record:int ->
+  dir:string ->
+  seed:int ->
+  unit ->
+  report
+(** [run ~dir ~seed ()] seeds each trial store with [committed] (default
+    6) records, runs one crash trial per crash point and
+    [flips_per_record] (default 16) seeded bit-flip trials plus fixed
+    truncation/extension trials.  [dir] must be writable scratch space;
+    trial stores are left on disk for inspection. *)
+
+val banner : report -> string
+(** One summary line plus one line per failed trial. *)

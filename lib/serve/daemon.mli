@@ -1,0 +1,40 @@
+(** The [powerfits serve] daemon: a Unix-domain-socket service wrapping
+    {!Service} with bounded admission and a crash-safe {!Store}.
+
+    One request/response exchange per connection.  [status] and
+    [shutdown] answer on the accept loop; compute requests go through a
+    bounded {!Pf_util.Pool.Service} whose refusal-when-full becomes a
+    structured [overloaded] reply — backpressure, not unbounded queueing.
+    Any single connection's failure (unreadable frame, malformed request,
+    simulation error, worker exception) is confined to that connection.
+
+    Graceful shutdown — a [shutdown] request, or [max_requests] for
+    self-stopping test daemons — drains every admitted request, closes
+    and fsyncs the store, and removes the socket file. *)
+
+type config = {
+  socket_path : string;
+  store_dir : string option;  (** [None]: no cache, compute everything *)
+  jobs : int;  (** worker domains *)
+  queue_capacity : int;  (** admission bound *)
+  budget_s : float option;
+      (** default per-request wall-clock budget
+          ({!Service.default_budget_s} when [None]) *)
+  default_max_steps : int option;
+  fsync : bool;  (** store durability; tests trade it for speed *)
+  crash : (Pf_util.Atomic_file.crash_point -> bool) option;
+      (** store-write crash injection hook (the CLI's [--crash-at]) *)
+  max_requests : int option;
+      (** stop after accepting this many connections *)
+}
+
+val default_config : config
+(** [/tmp/powerfits-serve.sock], no store, 2 jobs, capacity 64, fsync
+    on. *)
+
+val run : ?log:(string -> unit) -> config -> unit
+(** Open the store (recovery scan first), bind the socket (replacing a
+    stale socket file), and serve until shutdown; blocks the calling
+    domain for the daemon's whole life.  [log] (default stderr) receives
+    startup/recovery/quarantine/shutdown lines — the CI smoke stage
+    greps them. *)

@@ -1,0 +1,227 @@
+(* KIR programs as JSON, for carrying inline programs in serve requests
+   and for content-addressing: the store key hashes the *canonical
+   encoding* of the program, so two requests shipping the same program
+   (or naming the same registry benchmark) share one cache entry no
+   matter how the request bytes were formatted. *)
+
+module A = Pf_kir.Ast
+
+let err fmt =
+  Pf_util.Sim_error.raisef Pf_util.Sim_error.Invalid_config
+    ~where:"serve.kir_codec" fmt
+
+(* ---- encoding ---- *)
+
+let scale_name = function A.W8 -> "w8" | A.W16 -> "w16" | A.W32 -> "w32"
+
+let binop_name = function
+  | A.Add -> "add" | A.Sub -> "sub" | A.Mul -> "mul"
+  | A.Div -> "div" | A.Rem -> "rem" | A.Udiv -> "udiv" | A.Urem -> "urem"
+  | A.And -> "and" | A.Or -> "or" | A.Xor -> "xor"
+  | A.Shl -> "shl" | A.Shr -> "shr" | A.Sar -> "sar"
+
+let cmp_name = function
+  | A.Eq -> "eq" | A.Ne -> "ne" | A.Lt -> "lt" | A.Le -> "le"
+  | A.Gt -> "gt" | A.Ge -> "ge" | A.Ult -> "ult" | A.Ule -> "ule"
+  | A.Ugt -> "ugt" | A.Uge -> "uge"
+
+let unop_name = function A.Neg -> "neg" | A.Bnot -> "bnot"
+
+(* every node is ["op", args...]: compact, order-canonical (no object
+   key-order ambiguity inside the hashed part) *)
+let rec expr_to_json (e : A.expr) : Json.t =
+  let l xs = Json.List xs in
+  let s x = Json.String x in
+  match e with
+  | A.Int i -> l [ s "int"; Json.Int i ]
+  | A.Var v -> l [ s "var"; s v ]
+  | A.Global_addr g -> l [ s "global-addr"; s g ]
+  | A.Load { scale; signed; addr } ->
+      l [ s "load"; s (scale_name scale); Json.Bool signed; expr_to_json addr ]
+  | A.Binop (op, a, b) ->
+      l [ s "binop"; s (binop_name op); expr_to_json a; expr_to_json b ]
+  | A.Unop (op, a) -> l [ s "unop"; s (unop_name op); expr_to_json a ]
+  | A.Cmp (c, a, b) ->
+      l [ s "cmp"; s (cmp_name c); expr_to_json a; expr_to_json b ]
+  | A.Call (f, args) ->
+      l [ s "call"; s f; Json.List (List.map expr_to_json args) ]
+
+let rec stmt_to_json (st : A.stmt) : Json.t =
+  let l xs = Json.List xs in
+  let s x = Json.String x in
+  let body b = Json.List (List.map stmt_to_json b) in
+  match st with
+  | A.Let (v, e) -> l [ s "let"; s v; expr_to_json e ]
+  | A.Assign (v, e) -> l [ s "assign"; s v; expr_to_json e ]
+  | A.Store { scale; addr; value } ->
+      l [ s "store"; s (scale_name scale); expr_to_json addr; expr_to_json value ]
+  | A.If (c, t, e) -> l [ s "if"; expr_to_json c; body t; body e ]
+  | A.While (c, b) -> l [ s "while"; expr_to_json c; body b ]
+  | A.For (v, lo, hi, b) ->
+      l [ s "for"; s v; expr_to_json lo; expr_to_json hi; body b ]
+  | A.Expr e -> l [ s "expr"; expr_to_json e ]
+  | A.Return None -> l [ s "return" ]
+  | A.Return (Some e) -> l [ s "return"; expr_to_json e ]
+  | A.Break -> l [ s "break" ]
+  | A.Continue -> l [ s "continue" ]
+  | A.Print_int e -> l [ s "print-int"; expr_to_json e ]
+  | A.Print_char e -> l [ s "print-char"; expr_to_json e ]
+
+let func_to_json (f : A.func) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String f.A.name);
+      ("params", Json.List (List.map (fun p -> Json.String p) f.A.params));
+      ("body", Json.List (List.map stmt_to_json f.A.body));
+    ]
+
+let global_to_json (g : A.global) : Json.t =
+  Json.Obj
+    ([
+       ("name", Json.String g.A.gname);
+       ("scale", Json.String (scale_name g.A.gscale));
+       ("length", Json.Int g.A.length);
+     ]
+    @
+    match g.A.init with
+    | None -> []
+    | Some a ->
+        [ ("init", Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))) ]
+    )
+
+let to_json (p : A.program) : Json.t =
+  Json.Obj
+    [
+      ("funcs", Json.List (List.map func_to_json p.A.funcs));
+      ("globals", Json.List (List.map global_to_json p.A.globals));
+    ]
+
+let canonical p = Json.to_string (to_json p)
+let digest p = Digest.to_hex (Digest.string (canonical p))
+
+(* ---- decoding ---- *)
+
+let scale_of = function
+  | "w8" -> A.W8
+  | "w16" -> A.W16
+  | "w32" -> A.W32
+  | s -> err "bad scale %S" s
+
+let binop_of = function
+  | "add" -> A.Add | "sub" -> A.Sub | "mul" -> A.Mul
+  | "div" -> A.Div | "rem" -> A.Rem | "udiv" -> A.Udiv | "urem" -> A.Urem
+  | "and" -> A.And | "or" -> A.Or | "xor" -> A.Xor
+  | "shl" -> A.Shl | "shr" -> A.Shr | "sar" -> A.Sar
+  | s -> err "bad binop %S" s
+
+let cmp_of = function
+  | "eq" -> A.Eq | "ne" -> A.Ne | "lt" -> A.Lt | "le" -> A.Le
+  | "gt" -> A.Gt | "ge" -> A.Ge | "ult" -> A.Ult | "ule" -> A.Ule
+  | "ugt" -> A.Ugt | "uge" -> A.Uge
+  | s -> err "bad cmp %S" s
+
+let unop_of = function
+  | "neg" -> A.Neg
+  | "bnot" -> A.Bnot
+  | s -> err "bad unop %S" s
+
+let str = function Json.String s -> s | _ -> err "expected string node"
+let int_ = function Json.Int i -> i | _ -> err "expected int node"
+let bool_ = function Json.Bool b -> b | _ -> err "expected bool node"
+
+let rec expr_of_json (j : Json.t) : A.expr =
+  match j with
+  | Json.List (Json.String op :: args) -> (
+      match (op, args) with
+      | "int", [ i ] -> A.Int (int_ i)
+      | "var", [ v ] -> A.Var (str v)
+      | "global-addr", [ g ] -> A.Global_addr (str g)
+      | "load", [ sc; signed; addr ] ->
+          A.Load
+            {
+              scale = scale_of (str sc);
+              signed = bool_ signed;
+              addr = expr_of_json addr;
+            }
+      | "binop", [ op; a; b ] ->
+          A.Binop (binop_of (str op), expr_of_json a, expr_of_json b)
+      | "unop", [ op; a ] -> A.Unop (unop_of (str op), expr_of_json a)
+      | "cmp", [ c; a; b ] ->
+          A.Cmp (cmp_of (str c), expr_of_json a, expr_of_json b)
+      | "call", [ f; Json.List args ] ->
+          A.Call (str f, List.map expr_of_json args)
+      | op, _ -> err "bad expr node %S" op)
+  | _ -> err "expected expr node"
+
+let rec stmt_of_json (j : Json.t) : A.stmt =
+  let body = function
+    | Json.List xs -> List.map stmt_of_json xs
+    | _ -> err "expected stmt list"
+  in
+  match j with
+  | Json.List (Json.String op :: args) -> (
+      match (op, args) with
+      | "let", [ v; e ] -> A.Let (str v, expr_of_json e)
+      | "assign", [ v; e ] -> A.Assign (str v, expr_of_json e)
+      | "store", [ sc; addr; value ] ->
+          A.Store
+            {
+              scale = scale_of (str sc);
+              addr = expr_of_json addr;
+              value = expr_of_json value;
+            }
+      | "if", [ c; t; e ] -> A.If (expr_of_json c, body t, body e)
+      | "while", [ c; b ] -> A.While (expr_of_json c, body b)
+      | "for", [ v; lo; hi; b ] ->
+          A.For (str v, expr_of_json lo, expr_of_json hi, body b)
+      | "expr", [ e ] -> A.Expr (expr_of_json e)
+      | "return", [] -> A.Return None
+      | "return", [ e ] -> A.Return (Some (expr_of_json e))
+      | "break", [] -> A.Break
+      | "continue", [] -> A.Continue
+      | "print-int", [ e ] -> A.Print_int (expr_of_json e)
+      | "print-char", [ e ] -> A.Print_char (expr_of_json e)
+      | op, _ -> err "bad stmt node %S" op)
+  | _ -> err "expected stmt node"
+
+let func_of_json (j : Json.t) : A.func =
+  match
+    ( Option.bind (Json.member "name" j) Json.to_string_opt,
+      Option.bind (Json.member "params" j) Json.to_list_opt,
+      Option.bind (Json.member "body" j) Json.to_list_opt )
+  with
+  | Some name, Some params, Some body ->
+      {
+        A.name;
+        params = List.map str params;
+        body = List.map stmt_of_json body;
+      }
+  | _ -> err "bad func object (need name/params/body)"
+
+let global_of_json (j : Json.t) : A.global =
+  match
+    ( Option.bind (Json.member "name" j) Json.to_string_opt,
+      Option.bind (Json.member "scale" j) Json.to_string_opt,
+      Option.bind (Json.member "length" j) Json.to_int_opt )
+  with
+  | Some gname, Some scale, Some length ->
+      let init =
+        match Json.member "init" j with
+        | None | Some Json.Null -> None
+        | Some (Json.List xs) -> Some (Array.of_list (List.map int_ xs))
+        | Some _ -> err "bad global init (expected int list)"
+      in
+      { A.gname; gscale = scale_of scale; length; init }
+  | _ -> err "bad global object (need name/scale/length)"
+
+let of_json (j : Json.t) : A.program =
+  match
+    ( Option.bind (Json.member "funcs" j) Json.to_list_opt,
+      Option.bind (Json.member "globals" j) Json.to_list_opt )
+  with
+  | Some funcs, Some globals ->
+      {
+        A.funcs = List.map func_of_json funcs;
+        globals = List.map global_of_json globals;
+      }
+  | _ -> err "bad program object (need funcs/globals)"

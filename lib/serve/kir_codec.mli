@@ -1,0 +1,21 @@
+(** KIR programs as JSON.
+
+    Serve requests carry programs inline; the artifact store addresses
+    cached results by program {e content}.  Both need one canonical
+    encoding: AST nodes become ["op", arg, ...] arrays (no object
+    key-order ambiguity), so equal programs always produce equal bytes
+    and [of_json (to_json p) = p] for every program the registry can
+    build (asserted by the serve tests). *)
+
+val to_json : Pf_kir.Ast.program -> Json.t
+
+val of_json : Json.t -> Pf_kir.Ast.program
+(** Raises a structured [Invalid_config] {!Pf_util.Sim_error.Error}
+    naming the offending node on a malformed encoding. *)
+
+val canonical : Pf_kir.Ast.program -> string
+(** [Json.to_string (to_json p)] — the bytes the store key hashes. *)
+
+val digest : Pf_kir.Ast.program -> string
+(** MD5 hex of {!canonical} — the program-content component of a store
+    key. *)

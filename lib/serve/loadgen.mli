@@ -1,0 +1,49 @@
+(** Load generation against a running daemon.
+
+    Builds a deterministic request corpus (seeded choice over fast
+    benchmarks × actions × ISAs × the two paper geometries — a few dozen
+    unique cache keys, so a long run hammers the hit path), issues
+    [requests] of them over [conns] concurrent client domains (one
+    request per connection), and reports throughput, hit rate and
+    latency percentiles.  The request {e set} depends only on
+    [(seed, requests)], never on [conns]. *)
+
+type result = {
+  requests : int;
+  ok : int;
+  cached : int;
+  degraded : int;
+  errors : int;  (** error replies plus client-side failures *)
+  overloaded : int;  (** backpressure refusals *)
+  unique_keys : int;  (** corpus size the requests were drawn from *)
+  elapsed_s : float;
+  throughput_rps : float;
+  hit_rate : float;  (** cached / ok *)
+  p50_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+}
+
+val default_benchmarks : string list
+(** ["crc32"; "bitcount"; "stringsearch"] — fast programs; the generator
+    measures protocol and store traffic, not long simulations. *)
+
+val corpus : benchmarks:string list -> Proto.request list
+(** The unique requests load is drawn from: per benchmark, ARM/FITS
+    evaluate and an explore-point at each paper geometry, plus one
+    synthesize. *)
+
+val run :
+  ?benchmarks:string list ->
+  ?policy:Retry.policy ->
+  socket:string ->
+  requests:int ->
+  conns:int ->
+  seed:int ->
+  unit ->
+  result
+(** Raises a structured [Invalid_config] error for [requests < 1];
+    individual request failures are counted, never raised. *)
+
+val to_json : result -> Json.t
+val summary : result -> string

@@ -1,0 +1,48 @@
+(* Bounded retry with exponential backoff, for the two places the serve
+   stack meets genuinely transient failure: store I/O hit by interrupted
+   syscalls, and clients connecting to a daemon that is still binding its
+   socket.  Deterministic compute never retries — a simulation that
+   raised once raises identically forever, so retrying it only burns the
+   budget. *)
+
+type policy = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+}
+
+let default_policy = { attempts = 4; base_delay_s = 0.01; max_delay_s = 0.5 }
+
+let transient_unix_error = function
+  | Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED
+  | Unix.ECONNRESET | Unix.ENOENT ->
+      (* ENOENT/ECONNREFUSED: the daemon's socket is not bound *yet* —
+         transient from a connecting client's point of view *)
+      true
+  | _ -> false
+
+let is_transient = function
+  | Unix.Unix_error (e, _, _) -> transient_unix_error e
+  | _ -> false
+
+let delay_s policy attempt =
+  Float.min policy.max_delay_s
+    (policy.base_delay_s *. Float.pow 2. (float_of_int attempt))
+
+let with_backoff ?(policy = default_policy) ?(is_transient = is_transient)
+    ~where f =
+  if policy.attempts < 1 then
+    Pf_util.Sim_error.raisef Pf_util.Sim_error.Invalid_config
+      ~where:"serve.retry" "policy allows %d attempts" policy.attempts;
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when is_transient e && attempt + 1 < policy.attempts ->
+        Unix.sleepf (delay_s policy attempt);
+        go (attempt + 1)
+    | exception e when is_transient e ->
+        Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal ~where
+          "still failing after %d attempts: %s" policy.attempts
+          (Printexc.to_string e)
+  in
+  go 0

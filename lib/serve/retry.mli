@@ -1,0 +1,34 @@
+(** Bounded retry with exponential backoff for transient failures.
+
+    Used where the serve stack touches the outside world — store I/O and
+    client connects to a daemon that has not finished binding its socket.
+    Deterministic simulation failures are {e never} transient and never
+    retried through this. *)
+
+type policy = {
+  attempts : int;  (** total tries, including the first *)
+  base_delay_s : float;  (** delay before try 2; doubles per attempt *)
+  max_delay_s : float;  (** backoff ceiling *)
+}
+
+val default_policy : policy
+(** 4 attempts, 10 ms base, 500 ms cap. *)
+
+val is_transient : exn -> bool
+(** The default classifier: [Unix_error] with [EINTR], [EAGAIN],
+    [EWOULDBLOCK], [ECONNREFUSED], [ECONNRESET] or [ENOENT] (the last two
+    cover a daemon socket that is not bound yet). *)
+
+val delay_s : policy -> int -> float
+(** Backoff before retrying after 0-indexed attempt [n]. *)
+
+val with_backoff :
+  ?policy:policy ->
+  ?is_transient:(exn -> bool) ->
+  where:string ->
+  (unit -> 'a) ->
+  'a
+(** Run [f], retrying transient failures with exponential backoff.
+    Non-transient exceptions propagate immediately; exhausting the
+    attempts raises a structured [Internal] {!Pf_util.Sim_error.Error}
+    naming [where] and the final failure. *)

@@ -1,0 +1,46 @@
+(** Request evaluation: cache keys, compute paths and the degradation
+    ladder.  Stateless apart from the store handle it is given — the
+    daemon owns sockets, queueing and counters; tests drive this
+    directly. *)
+
+val cache_key : Proto.request -> string
+(** Canonical key preimage for a computable request: exactly the fields
+    that can change the result, with the program entering by content
+    (MD5 of its canonical KIR encoding at the request scale) so a
+    registry name and an identical inline program share one cache entry.
+    Raises a structured [Invalid_config] {!Pf_util.Sim_error.Error} for
+    [Status]/[Shutdown], which have no result to cache. *)
+
+val default_budget_s : float
+(** Per-request wall-clock budget when neither the request nor the
+    daemon sets one: 60 s. *)
+
+val compute :
+  ?budget_s:float ->
+  ?default_max_steps:int ->
+  Proto.request ->
+  (Json.t * bool, Pf_util.Sim_error.t) result
+(** Run the request's compute path under {!Pf_util.Sim_error.protect}
+    and a fresh {!Pf_util.Deadline} per attempt.  The bool is the
+    degraded flag: a [Watchdog_timeout] on a named benchmark with
+    [scale > 1] retries at half scale (repeatedly, down to 1) instead of
+    failing.  Deterministic simulation errors never retry. *)
+
+val envelope : degraded:bool -> Json.t -> string
+(** Store payload for a computed result: result JSON plus the degraded
+    flag, so a later cache hit replays the original reply exactly. *)
+
+val of_envelope : string -> Json.t * bool
+(** Inverse of {!envelope}; raises a structured error on malformed
+    payload bytes (which {!handle} maps to an error reply). *)
+
+val handle :
+  ?store:Store.t ->
+  ?budget_s:float ->
+  ?default_max_steps:int ->
+  Proto.request ->
+  Proto.response
+(** One computable request end to end: key → verified store lookup
+    (transient I/O retried with backoff) → on miss, {!compute} and
+    commit.  [Status]/[Shutdown] get an error reply — the daemon answers
+    those itself.  Never raises. *)

@@ -1,0 +1,95 @@
+(* Crash-safe file publication: write a unique temp file, fsync it,
+   rename it over the destination, fsync the directory.  A reader can
+   then never observe a half-written destination file — the worst a crash
+   leaves behind is a stale temp file next to it, which recovery sweeps.
+
+   The [crash] hook is the store-fault injector's entry point: it is
+   consulted at each point where a real process could die, and when it
+   answers [true] the write stops *exactly there* — file descriptors
+   closed (as the kernel would on process death), temp files left in
+   place, nothing cleaned up — and {!Crash} is raised so the caller (a
+   fault campaign, or the [--crash-at] CLI hook, which exits the process
+   instead) can inspect the torn state.  Without a hook the stages are
+   zero-cost. *)
+
+type crash_point = Mid_write | After_write | Before_rename | After_rename
+
+let crash_point_name = function
+  | Mid_write -> "mid-write"
+  | After_write -> "after-write"
+  | Before_rename -> "before-rename"
+  | After_rename -> "after-rename"
+
+let crash_point_of_string = function
+  | "mid-write" -> Some Mid_write
+  | "after-write" -> Some After_write
+  | "before-rename" -> Some Before_rename
+  | "after-rename" -> Some After_rename
+  | _ -> None
+
+let all_crash_points = [ Mid_write; After_write; Before_rename; After_rename ]
+
+exception Crash of crash_point
+
+(* Unique temp names: concurrent Pool workers may publish the same key at
+   once; sharing one temp path would let writer A rename writer B's
+   half-written bytes into place. *)
+let seq = Atomic.make 0
+
+let temp_path path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add seq 1)
+
+let is_temp name =
+  (* matches the [temp_path] shape anywhere in a directory scan *)
+  let rec find i =
+    i + 5 <= String.length name
+    && (String.sub name i 5 = ".tmp." || find (i + 1))
+  in
+  find 0
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_all fd s pos len =
+  let written = ref 0 in
+  while !written < len do
+    written :=
+      !written + Unix.single_write_substring fd s (pos + !written) (len - !written)
+  done
+
+let write ?(fsync = true) ?crash ~path data =
+  let crash_at p = match crash with Some f -> f p | None -> false in
+  let tmp = temp_path path in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let die p =
+    (* simulated process death: the kernel closes descriptors, nothing
+       else happens — the torn temp file stays exactly as written *)
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Crash p)
+  in
+  match
+    let len = String.length data in
+    let half = len / 2 in
+    write_all fd data 0 half;
+    if crash_at Mid_write then die Mid_write;
+    write_all fd data half (len - half);
+    if crash_at After_write then die After_write;
+    if fsync then Unix.fsync fd;
+    Unix.close fd;
+    if crash_at Before_rename then raise (Crash Before_rename);
+    Unix.rename tmp path;
+    if crash_at After_rename then raise (Crash After_rename);
+    if fsync then fsync_dir (Filename.dirname path)
+  with
+  | () -> ()
+  | exception (Crash _ as c) -> raise c
+  | exception e ->
+      (* a real I/O failure: don't leave the temp file behind *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+      raise e

@@ -1,0 +1,30 @@
+(* Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+   The artifact store frames every on-disk record with this checksum so a
+   single flipped or missing byte is detected before the record is ever
+   decoded; the same implementation backs the QCheck corruption
+   properties, so the table is computed once and shared. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    Sim_error.raisef Sim_error.Invalid_config ~where:"util.crc32"
+      "crc32 substring [%d, %d+%d) outside a %d-byte string" pos pos len
+      (String.length s);
+  update 0 s pos len

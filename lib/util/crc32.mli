@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3) checksums.
+
+    Frames the artifact-store records on disk: a checksum over the whole
+    record body means any single-byte flip or truncation is detected
+    before a corrupt record can be decoded (the property
+    test/test_serve.ml checks exhaustively). *)
+
+val string : ?pos:int -> ?len:int -> string -> int
+(** CRC-32 of a (sub)string, in [\[0, 0xFFFFFFFF\]].  Raises a structured
+    [Invalid_config] {!Sim_error.Error} when the substring falls outside
+    the string. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum: [string s] equals
+    [update 0 s 0 (String.length s)]. *)

@@ -1,5 +1,7 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* ---- one-shot batch map ------------------------------------------------ *)
+
 (* Closed-on-creation work queue: every task is known up front, so the
    queue holds the next unclaimed index and the condition variable only
    matters for the (cheap, uncontended) claim handshake.  Workers claim
@@ -24,34 +26,174 @@ let claim q =
   Mutex.unlock q.m;
   if i < q.total then Some i else None
 
+(* Every element ran (the parallel path always finished in-flight work,
+   and the sequential path now matches it), so a failure report can cover
+   *all* failing elements instead of dropping every diagnostic but the
+   first.  A single failure re-raises the original exception with its
+   backtrace — byte-for-byte the old behaviour; two or more aggregate
+   into one structured Sim_error whose kind is the lowest-indexed
+   failure's (the deterministic "primary" the old code re-raised) and
+   whose detail lists every worker's diagnostic. *)
+let raise_failures ~total = function
+  | [] ->
+      Sim_error.raisef Sim_error.Internal ~where:"util.pool"
+        "raise_failures on an empty failure list"
+  | [ (_, e, bt) ] -> Printexc.raise_with_backtrace e bt
+  | (_, first, _) :: _ as fails ->
+      let kind =
+        match first with
+        | Sim_error.Error e -> e.Sim_error.kind
+        | _ -> Sim_error.Internal
+      in
+      let describe (i, e, _) =
+        Printf.sprintf "  [%d] %s" i
+          (match e with
+          | Sim_error.Error se -> Sim_error.to_string se
+          | e -> Printexc.to_string e)
+      in
+      Sim_error.raisef kind ~where:"util.pool"
+        "%d of %d pooled tasks failed:\n%s" (List.length fails) total
+        (String.concat "\n" (List.map describe fails))
+
 let map ?jobs f xs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
-  if jobs = 1 then List.map f xs
+  let inputs = Array.of_list xs in
+  let n = Array.length inputs in
+  let results = Array.make n None in
+  let run_index i =
+    results.(i) <-
+      Some
+        (match f inputs.(i) with
+        | v -> Ok v
+        | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  if jobs = 1 then
+    for i = 0 to n - 1 do
+      run_index i
+    done
   else begin
-    let inputs = Array.of_list xs in
-    let n = Array.length inputs in
-    let results = Array.make n None in
     let q = { m = Mutex.create (); c = Condition.create (); next = 0; total = n } in
     let rec worker () =
       match claim q with
       | None -> ()
       | Some i ->
-          (results.(i) <-
-             Some
-               (match f inputs.(i) with
-               | v -> Ok v
-               | exception e -> Error (e, Printexc.get_raw_backtrace ())));
+          run_index i;
           worker ()
     in
     let spawned = min (jobs - 1) (max 0 (n - 1)) in
     let domains = List.init spawned (fun _ -> Domain.spawn worker) in
     worker ();
-    List.iter Domain.join domains;
-    Array.to_list results
-    |> List.map (function
-         | Some (Ok v) -> v
-         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-         | None ->
-             Sim_error.raisef Sim_error.Internal ~where:"util.pool"
-               "worker left a result slot empty")
-  end
+    List.iter Domain.join domains
+  end;
+  let fails = ref [] in
+  Array.iteri
+    (fun i -> function
+      | Some (Error (e, bt)) -> fails := (i, e, bt) :: !fails
+      | Some (Ok _) -> ()
+      | None ->
+          Sim_error.raisef Sim_error.Internal ~where:"util.pool"
+            "worker left result slot %d empty" i)
+    results;
+  match List.rev !fails with
+  | [] ->
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error _) | None ->
+               Sim_error.raisef Sim_error.Internal ~where:"util.pool"
+                 "unreachable: failures already raised")
+  | fails -> raise_failures ~total:n fails
+
+(* ---- persistent bounded-queue service ---------------------------------- *)
+
+module Service = struct
+  type 'a t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    idle : Condition.t;
+    q : 'a Queue.t;
+    capacity : int;
+    mutable stopping : bool;
+    mutable in_flight : int;
+    mutable accepted : int;
+    mutable workers : unit Domain.t list;
+    on_error : exn -> unit;
+  }
+
+  let create ?jobs ?(on_error = fun _ -> ()) ~capacity worker =
+    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let t =
+      {
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        q = Queue.create ();
+        capacity = max 1 capacity;
+        stopping = false;
+        in_flight = 0;
+        accepted = 0;
+        workers = [];
+        on_error;
+      }
+    in
+    let rec loop () =
+      Mutex.lock t.m;
+      while Queue.is_empty t.q && not t.stopping do
+        Condition.wait t.nonempty t.m
+      done;
+      if Queue.is_empty t.q then Mutex.unlock t.m (* stopping, queue dry *)
+      else begin
+        let item = Queue.pop t.q in
+        t.in_flight <- t.in_flight + 1;
+        Mutex.unlock t.m;
+        (* a worker domain must survive anything a task throws: one
+           poisoned request never takes the service down *)
+        (try worker item with e -> (try t.on_error e with _ -> ()));
+        Mutex.lock t.m;
+        t.in_flight <- t.in_flight - 1;
+        if Queue.is_empty t.q && t.in_flight = 0 then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.m;
+        loop ()
+      end
+    in
+    t.workers <- List.init jobs (fun _ -> Domain.spawn loop);
+    t
+
+  let submit t item =
+    Mutex.lock t.m;
+    let accepted = (not t.stopping) && Queue.length t.q < t.capacity in
+    if accepted then begin
+      Queue.push item t.q;
+      t.accepted <- t.accepted + 1;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.m;
+    accepted
+
+  let depth t =
+    Mutex.lock t.m;
+    let d = Queue.length t.q + t.in_flight in
+    Mutex.unlock t.m;
+    d
+
+  let capacity t = t.capacity
+  let workers t = List.length t.workers
+
+  let accepted t =
+    Mutex.lock t.m;
+    let a = t.accepted in
+    Mutex.unlock t.m;
+    a
+
+  let drain t =
+    Mutex.lock t.m;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    while not (Queue.is_empty t.q && t.in_flight = 0) do
+      Condition.wait t.idle t.m
+    done;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+end

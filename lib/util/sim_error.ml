@@ -11,6 +11,7 @@ type t = {
   kind : kind;
   where : string;
   detail : string;
+  backtrace : string option;
 }
 
 exception Error of t
@@ -25,10 +26,23 @@ let kind_name = function
   | Internal -> "internal"
 
 let to_string e =
-  Printf.sprintf "%s [%s]: %s" (kind_name e.kind) e.where e.detail
+  let base = Printf.sprintf "%s [%s]: %s" (kind_name e.kind) e.where e.detail in
+  match e.backtrace with
+  | None -> base
+  | Some bt ->
+      (* indent the captured backtrace under the error line so service
+         logs and campaign reports keep one finding per left-margin line *)
+      let indented =
+        String.split_on_char '\n' (String.trim bt)
+        |> List.map (fun l -> "    " ^ l)
+        |> String.concat "\n"
+      in
+      base ^ "\n" ^ indented
 
 let raisef kind ~where fmt =
-  Format.kasprintf (fun detail -> raise (Error { kind; where; detail })) fmt
+  Format.kasprintf
+    (fun detail -> raise (Error { kind; where; detail; backtrace = None }))
+    fmt
 
 let exit_code e = match e.kind with Divergence -> 3 | _ -> 4
 
@@ -36,9 +50,22 @@ let protect ~where f =
   try Ok (f ()) with
   | Error e -> Result.Error e
   | Stack_overflow ->
-      Result.Error { kind = Internal; where; detail = "stack overflow" }
-  | Out_of_memory ->
-      Result.Error { kind = Internal; where; detail = "out of memory" }
-  | exn ->
       Result.Error
-        { kind = Internal; where; detail = Printexc.to_string exn }
+        { kind = Internal; where; detail = "stack overflow"; backtrace = None }
+  | Out_of_memory ->
+      Result.Error
+        { kind = Internal; where; detail = "out of memory"; backtrace = None }
+  | exn ->
+      (* an unexpected exception: capture where it came from while the
+         raise is still fresh — this is the only diagnostic a service log
+         or campaign report will ever have for it *)
+      let bt =
+        Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+      in
+      Result.Error
+        {
+          kind = Internal;
+          where;
+          detail = Printexc.to_string exn;
+          backtrace = (if String.trim bt = "" then None else Some bt);
+        }

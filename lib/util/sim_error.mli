@@ -19,6 +19,10 @@ type t = {
   kind : kind;
   where : string;  (** originating subsystem, e.g. ["arm.exec"] *)
   detail : string;
+  backtrace : string option;
+      (** exception backtrace, captured by {!protect} for unexpected
+          (non-{!Error}) exceptions when the runtime records backtraces;
+          [None] for structured errors, which carry their own [where] *)
 }
 
 exception Error of t
@@ -39,4 +43,6 @@ val protect : where:string -> (unit -> 'a) -> ('a, t) result
 (** Run a thunk, converting any exception into a classified error:
     {!Error} passes through; other exceptions (including [Failure],
     [Invalid_argument], [Stack_overflow], [Out_of_memory]) become
-    {!Internal}.  Never lets an exception escape. *)
+    {!Internal}, with the exception backtrace attached when the runtime
+    recorded one (see {!t.backtrace}).  Never lets an exception
+    escape. *)

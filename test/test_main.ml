@@ -25,4 +25,5 @@ let () =
       ("alloc", Test_alloc.tests);
       ("dse", Test_dse.tests);
       ("differential", Test_differential.tests);
+      ("serve", Test_serve.tests);
     ]

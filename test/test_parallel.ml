@@ -23,19 +23,103 @@ let test_pool_order () =
 
 exception Boom of int
 
-let test_pool_first_error () =
-  (* several elements fail in parallel; the lowest-indexed exception must
-     win, deterministically *)
+let test_pool_single_error () =
+  (* exactly one element fails: its own exception is re-raised intact *)
   let got =
     try
       ignore
         (Pool.map ~jobs:4
-           (fun x -> if x mod 3 = 0 then raise (Boom x) else x)
+           (fun x -> if x = 7 then raise (Boom x) else x)
            (List.init 20 (fun i -> i + 1)));
       None
     with Boom x -> Some x
   in
-  check_bool "lowest-indexed exception re-raised" true (got = Some 3)
+  check_bool "single failure re-raised as-is" true (got = Some 7)
+
+let test_pool_error_aggregation () =
+  (* several elements fail in parallel; every failure must appear in one
+     aggregated Sim_error, deterministically, for any jobs count *)
+  let run jobs =
+    try
+      ignore
+        (Pool.map ~jobs
+           (fun x ->
+             if x mod 3 = 0 then raise (Boom x)
+             else if x = 10 then
+               Pf_util.Sim_error.raisef Pf_util.Sim_error.Memory_fault
+                 ~where:"test" "bad access at %d" x
+             else x)
+           (List.init 20 (fun i -> i + 1)));
+      None
+    with Pf_util.Sim_error.Error e -> Some e
+  in
+  match (run 1, run 4) with
+  | Some e1, Some e4 ->
+      check_bool "aggregate error from util.pool" true
+        (e1.Pf_util.Sim_error.where = "util.pool");
+      (* kind follows the lowest-indexed failure: Boom 3 is not a
+         Sim_error, so the aggregate is Internal *)
+      check_bool "kind from lowest-indexed failure" true
+        (e1.Pf_util.Sim_error.kind = Pf_util.Sim_error.Internal);
+      List.iter
+        (fun frag ->
+          check_bool ("detail mentions " ^ frag) true
+            (let detail = e1.Pf_util.Sim_error.detail in
+             let rec find i =
+               i + String.length frag <= String.length detail
+               && (String.sub detail i (String.length frag) = frag
+                   || find (i + 1))
+             in
+             find 0))
+        [ "7 of 20"; "Boom(3)"; "Boom(18)"; "memory-fault"; "bad access at 10" ];
+      check_bool "aggregation deterministic across jobs" true
+        (e1.Pf_util.Sim_error.detail = e4.Pf_util.Sim_error.detail)
+  | _ -> Alcotest.fail "expected aggregated Sim_error at jobs=1 and jobs=4"
+
+let test_pool_service () =
+  (* bounded admission: a stalled worker keeps the queue full, submits
+     beyond capacity are refused, drain completes the accepted work *)
+  let gate = Mutex.create () in
+  let processed = Atomic.make 0 in
+  Mutex.lock gate;
+  let svc =
+    Pool.Service.create ~jobs:1 ~capacity:2 (fun () ->
+        Mutex.lock gate;
+        Mutex.unlock gate;
+        Atomic.incr processed)
+  in
+  check_bool "first submit accepted" true (Pool.Service.submit svc ());
+  (* first task is now either queued or blocking on the gate; fill the
+     queue behind it *)
+  let rec fill n =
+    if Pool.Service.submit svc () then fill (n + 1) else n
+  in
+  let extra = fill 0 in
+  check_bool "bounded queue eventually refuses" true (extra <= 3);
+  check_int "capacity" 2 (Pool.Service.capacity svc);
+  check_int "workers" 1 (Pool.Service.workers svc);
+  Mutex.unlock gate;
+  Pool.Service.drain svc;
+  check_int "all accepted tasks ran" (Pool.Service.accepted svc)
+    (Atomic.get processed);
+  check_bool "submit after drain refused" true
+    (not (Pool.Service.submit svc ()));
+  check_int "drained service is idle" 0 (Pool.Service.depth svc)
+
+let test_pool_service_error_isolation () =
+  (* a raising task must not kill its worker domain *)
+  let errors = Atomic.make 0 in
+  let ok = Atomic.make 0 in
+  let svc =
+    Pool.Service.create ~jobs:2 ~capacity:16
+      ~on_error:(fun _ -> Atomic.incr errors)
+      (fun i -> if i mod 2 = 0 then raise (Boom i) else Atomic.incr ok)
+  in
+  List.iter (fun i -> check_bool "accepted" true (Pool.Service.submit svc i))
+    (List.init 10 Fun.id);
+  Pool.Service.drain svc;
+  check_int "failures routed to on_error" 5 (Atomic.get errors);
+  check_int "successes still processed" 5 (Atomic.get ok)
 
 (* ---- replay equivalence ---- *)
 
@@ -139,10 +223,17 @@ let boom : Pf_mibench.Registry.benchmark =
   }
 
 let strip_elapsed (s : E.sweep) =
-  (* wall-clock per row legitimately varies run to run; everything else
-     must not *)
+  (* wall-clock per row and captured backtraces legitimately vary run to
+     run (a worker domain's stack differs from the main domain's);
+     everything else must not *)
   List.map
-    (fun (r : E.sweep_row) -> (r.E.bench, r.E.outcome, r.E.retried))
+    (fun (r : E.sweep_row) ->
+      let outcome =
+        Result.map_error
+          (fun e -> { e with Pf_util.Sim_error.backtrace = None })
+          r.E.outcome
+      in
+      (r.E.bench, outcome, r.E.retried))
     s.E.rows
 
 let test_jobs_determinism () =
@@ -220,7 +311,13 @@ let test_deadline_disabled () =
 let tests =
   [
     Alcotest.test_case "pool: order preserved" `Quick test_pool_order;
-    Alcotest.test_case "pool: first error wins" `Quick test_pool_first_error;
+    Alcotest.test_case "pool: single error re-raised" `Quick
+      test_pool_single_error;
+    Alcotest.test_case "pool: all errors aggregated" `Quick
+      test_pool_error_aggregation;
+    Alcotest.test_case "pool: bounded service" `Quick test_pool_service;
+    Alcotest.test_case "pool: service error isolation" `Quick
+      test_pool_service_error_isolation;
     Alcotest.test_case "replay: bit-identical stats" `Slow
       test_replay_equivalence;
     Alcotest.test_case "replay: run_benchmark rows" `Quick

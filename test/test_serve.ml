@@ -1,0 +1,679 @@
+(* Serve-stack tests: CRC/atomic-write foundations, the record codec's
+   corruption detection (QCheck: every single-byte flip and truncation is
+   refused), store persistence and recovery, the store-fault campaign,
+   protocol round trips, the degradation ladder, and an end-to-end
+   in-process daemon (cached replies bit-identical to computed ones,
+   recovery across restart, backpressure). *)
+
+module SE = Pf_util.Sim_error
+module AF = Pf_util.Atomic_file
+module J = Pf_serve.Json
+module Store = Pf_serve.Store
+module Proto = Pf_serve.Proto
+module Service = Pf_serve.Service
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tmpdir =
+  let counter = ref 0 in
+  fun label ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pf-serve-test-%d-%s-%d" (Unix.getpid ()) label !counter)
+    in
+    dir
+
+(* ---- crc32 ---- *)
+
+let test_crc32 () =
+  (* the standard check value *)
+  check_bool "crc32 of '123456789'" true
+    (Pf_util.Crc32.string "123456789" = 0xCBF43926);
+  check_bool "crc32 of empty" true (Pf_util.Crc32.string "" = 0);
+  (* incremental = one-shot *)
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let split =
+    Pf_util.Crc32.update (Pf_util.Crc32.update 0 s 0 10) s 10
+      (String.length s - 10)
+  in
+  check_bool "incremental matches one-shot" true
+    (split = Pf_util.Crc32.string s)
+
+(* ---- atomic_file ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_atomic_write () =
+  let dir = tmpdir "atomic" in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "out.txt" in
+  AF.write ~fsync:false ~path "first";
+  check_string "first write lands" "first" (read_file path);
+  AF.write ~fsync:false ~path "second";
+  check_string "overwrite replaces" "second" (read_file path);
+  check_bool "no temp residue" true
+    (Sys.readdir dir |> Array.to_list
+    |> List.for_all (fun n -> not (AF.is_temp n)))
+
+let test_atomic_crash_points () =
+  let dir = tmpdir "crash" in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "out.txt" in
+  AF.write ~fsync:false ~path "committed";
+  List.iter
+    (fun point ->
+      let crashed =
+        match
+          AF.write ~fsync:false ~crash:(fun p -> p = point) ~path "replacement"
+        with
+        | () -> false
+        | exception AF.Crash p -> p = point
+      in
+      check_bool (AF.crash_point_name point ^ " raises Crash") true crashed;
+      let expected =
+        match point with
+        | AF.Mid_write | AF.After_write | AF.Before_rename -> "committed"
+        | AF.After_rename -> "replacement"
+      in
+      check_string
+        (AF.crash_point_name point ^ " leaves whole old or whole new")
+        expected (read_file path);
+      (* restore the baseline for the next point *)
+      AF.write ~fsync:false ~path "committed")
+    AF.all_crash_points;
+  (* torn temp files from the crashes are recognizable *)
+  let temps =
+    Sys.readdir dir |> Array.to_list |> List.filter AF.is_temp
+  in
+  check_bool "mid/after-write crashes left temp files" true
+    (List.length temps >= 2)
+
+(* ---- json ---- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      J.Null;
+      J.Bool true;
+      J.Int 0;
+      J.Int (-123456789);
+      J.Float 1.5;
+      J.Float 1e-17;
+      J.String "";
+      J.String "with \"quotes\" and \\ and \n tab \t done";
+      J.String "\x01\x1f control bytes";
+      J.List [ J.Int 1; J.String "two"; J.Null ];
+      J.Obj
+        [
+          ("a", J.Int 1);
+          ("nested", J.Obj [ ("xs", J.List [ J.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = J.to_string v in
+      match J.of_string s with
+      | Ok v' ->
+          check_string ("roundtrip " ^ s) s (J.to_string v');
+          check_bool ("value equal " ^ s) true (v = v')
+      | Error msg -> Alcotest.failf "reparse of %s failed: %s" s msg)
+    cases;
+  (* malformed inputs error, never raise *)
+  List.iter
+    (fun bad -> check_bool ("rejects " ^ bad) true (Result.is_error (J.of_string bad)))
+    [ "{"; "[1,"; "\"unterminated"; "01x"; "{\"a\" 1}"; "[1] trailing"; "" ]
+
+let test_kir_codec_roundtrip () =
+  (* every benchmark program in the registry round-trips *)
+  List.iter
+    (fun (b : Pf_mibench.Registry.benchmark) ->
+      let p = b.Pf_mibench.Registry.program ~scale:1 in
+      let j = Pf_serve.Kir_codec.to_json p in
+      let p' = Pf_serve.Kir_codec.of_json j in
+      check_bool (b.Pf_mibench.Registry.name ^ " roundtrips") true (p = p');
+      check_string
+        (b.Pf_mibench.Registry.name ^ " digest stable")
+        (Pf_serve.Kir_codec.digest p)
+        (Pf_serve.Kir_codec.digest p'))
+    Pf_mibench.Registry.all
+
+(* ---- record codec properties ---- *)
+
+let record_gen =
+  QCheck.Gen.(
+    pair (string_size ~gen:char (int_range 1 80))
+      (string_size ~gen:char (int_range 0 400)))
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~name:"store record: encode/decode roundtrip" ~count:200
+    (QCheck.make record_gen) (fun (key, payload) ->
+      Store.decode_record (Store.encode_record ~key payload)
+      = Ok (key, payload))
+
+let prop_record_flip_detected =
+  (* any single-byte corruption anywhere in the record is refused *)
+  QCheck.Test.make ~name:"store record: any byte flip detected" ~count:200
+    (QCheck.make
+       QCheck.Gen.(triple record_gen (int_bound 10_000) (int_range 1 255)))
+    (fun ((key, payload), pos, delta) ->
+      let rec_ = Store.encode_record ~key payload in
+      let pos = pos mod String.length rec_ in
+      let b = Bytes.of_string rec_ in
+      Bytes.set b pos
+        (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xFF));
+      Result.is_error (Store.decode_record (Bytes.to_string b)))
+
+let prop_record_truncation_detected =
+  QCheck.Test.make ~name:"store record: any truncation detected" ~count:200
+    (QCheck.make QCheck.Gen.(pair record_gen (int_bound 10_000)))
+    (fun ((key, payload), cut) ->
+      let rec_ = Store.encode_record ~key payload in
+      let keep = cut mod String.length rec_ in
+      Result.is_error
+        (Store.decode_record (String.sub rec_ 0 keep)))
+
+(* ---- store ---- *)
+
+let test_store_basic () =
+  let dir = tmpdir "store" in
+  let store, recovery = Store.open_ ~fsync:false dir in
+  check_int "fresh store is empty" 0 recovery.Store.entries;
+  check_bool "miss on empty" true (Store.get store ~key:"nope" = None);
+  Store.put store ~key:"k1" "payload-one";
+  Store.put store ~key:"k2" "payload-two";
+  check_bool "get back" true (Store.get store ~key:"k1" = Some "payload-one");
+  Store.put store ~key:"k1" "payload-one-v2";
+  check_bool "overwrite" true
+    (Store.get store ~key:"k1" = Some "payload-one-v2");
+  check_int "count" 2 (Store.count store);
+  Store.close store;
+  (* persistence across reopen *)
+  let store2, recovery2 = Store.open_ ~fsync:false dir in
+  check_int "reopen sees both" 2 recovery2.Store.entries;
+  check_int "reopen quarantines nothing" 0 recovery2.Store.recovered_quarantined;
+  check_bool "persisted" true
+    (Store.get store2 ~key:"k1" = Some "payload-one-v2");
+  Store.close store2
+
+let test_store_quarantine () =
+  let dir = tmpdir "quarantine" in
+  let store, _ = Store.open_ ~fsync:false dir in
+  Store.put store ~key:"good" "good-payload";
+  Store.put store ~key:"victim" "victim-payload";
+  Store.close store;
+  (* damage the victim in place *)
+  let victim_path =
+    Filename.concat (Filename.concat dir "objects")
+      (Store.key_hash "victim" ^ ".rec")
+  in
+  let bytes = Bytes.of_string (read_file victim_path) in
+  let pos = Bytes.length bytes / 2 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0x10));
+  let oc = open_out_bin victim_path in
+  output_bytes oc bytes;
+  close_out oc;
+  let quarantine_lines = ref [] in
+  let store2, recovery =
+    Store.open_ ~fsync:false ~log:(fun l -> quarantine_lines := l :: !quarantine_lines) dir
+  in
+  check_int "recovery quarantined the damaged record" 1
+    recovery.Store.recovered_quarantined;
+  check_int "good record survives" 1 recovery.Store.entries;
+  check_bool "damaged record never served" true
+    (Store.get store2 ~key:"victim" = None);
+  check_bool "good record still served" true
+    (Store.get store2 ~key:"good" = Some "good-payload");
+  check_bool "quarantine logged" true
+    (List.exists
+       (fun l ->
+         let frag = "quarantined=1" in
+         let rec find i =
+           i + String.length frag <= String.length l
+           && (String.sub l i (String.length frag) = frag || find (i + 1))
+         in
+         find 0)
+       !quarantine_lines);
+  check_bool "quarantine dir holds the bytes" true
+    (Sys.readdir (Filename.concat dir "quarantine") |> Array.length |> ( <> ) 0);
+  Store.close store2
+
+let test_storefault_campaign () =
+  let dir = tmpdir "campaign" in
+  let r = Pf_fault.Storefault.run ~committed:4 ~flips_per_record:8 ~dir ~seed:11 () in
+  check_int "every trial survives"
+    r.Pf_fault.Storefault.total r.Pf_fault.Storefault.survived;
+  check_int "all four crash points covered" 4 r.Pf_fault.Storefault.crash_points;
+  check_bool "corruption trials ran" true (r.Pf_fault.Storefault.corruptions >= 13)
+
+(* ---- retry ---- *)
+
+let test_retry () =
+  (* transient failures retry until success *)
+  let tries = ref 0 in
+  let v =
+    Pf_serve.Retry.with_backoff
+      ~policy:{ Pf_serve.Retry.attempts = 5; base_delay_s = 0.001; max_delay_s = 0.002 }
+      ~where:"test" (fun () ->
+        incr tries;
+        if !tries < 3 then raise (Unix.Unix_error (Unix.EINTR, "test", ""))
+        else 42)
+  in
+  check_int "succeeds on third try" 3 !tries;
+  check_int "returns the value" 42 v;
+  (* non-transient failures propagate immediately *)
+  let tries = ref 0 in
+  let raised =
+    match
+      Pf_serve.Retry.with_backoff ~where:"test" (fun () ->
+          incr tries;
+          failwith "permanent")
+    with
+    | _ -> false
+    | exception Failure _ -> true
+  in
+  check_bool "non-transient propagates" true raised;
+  check_int "no retry for non-transient" 1 !tries;
+  (* exhaustion becomes a structured error *)
+  let raised =
+    match
+      Pf_serve.Retry.with_backoff
+        ~policy:{ Pf_serve.Retry.attempts = 2; base_delay_s = 0.001; max_delay_s = 0.002 }
+        ~where:"test" (fun () -> raise (Unix.Unix_error (Unix.EAGAIN, "t", "")))
+    with
+    | _ -> None
+    | exception SE.Error e -> Some e.SE.kind
+  in
+  check_bool "exhaustion is structured Internal" true (raised = Some SE.Internal)
+
+(* ---- protocol round trips ---- *)
+
+let test_proto_roundtrip () =
+  let inline_program =
+    (Pf_mibench.Registry.find_exn "crc32").Pf_mibench.Registry.program ~scale:1
+  in
+  let requests =
+    [
+      Proto.default_request;
+      {
+        Proto.default_request with
+        Proto.action = Proto.Synthesize;
+        program = Proto.Named "sha";
+        isa = Proto.Fits;
+        weighting = Pf_multi.Weighting.Uniform;
+        dict_budget = Some 96;
+        scale = 4;
+        unroll = Some 2;
+        max_steps = Some 1_000_000;
+        budget_s = Some 2.5;
+        no_cache = true;
+      };
+      {
+        Proto.default_request with
+        Proto.action = Proto.Explore_point;
+        program = Proto.Inline inline_program;
+        geometry = Pf_dse.Space.cache_8k;
+      };
+    ]
+  in
+  List.iter
+    (fun r ->
+      let j = Proto.request_to_json r in
+      let r' = Proto.request_of_json j in
+      check_bool "request roundtrips" true (r = r');
+      (* and through actual bytes *)
+      match J.of_string (J.to_string j) with
+      | Ok j' -> check_bool "request json bytes roundtrip" true (Proto.request_of_json j' = r)
+      | Error m -> Alcotest.fail m)
+    requests;
+  let responses =
+    [
+      Proto.Ok_reply
+        { result = J.Obj [ ("x", J.Int 1) ]; cached = true; degraded = false };
+      Proto.Error_reply
+        {
+          SE.kind = SE.Watchdog_timeout;
+          where = "serve.test";
+          detail = "budget";
+          backtrace = None;
+        };
+      Proto.Overloaded { depth = 3; capacity = 2 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      check_bool "response roundtrips" true
+        (Proto.response_of_json (Proto.response_to_json r) = r))
+    responses
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close a; Unix.close b)
+    (fun () ->
+      Proto.write_frame a "hello frame";
+      Proto.write_frame a "";
+      check_bool "first frame" true (Proto.read_frame b = Some "hello frame");
+      check_bool "empty frame" true (Proto.read_frame b = Some ""))
+
+(* ---- service semantics ---- *)
+
+let test_cache_keys () =
+  let named =
+    { Proto.default_request with Proto.program = Proto.Named "crc32" }
+  in
+  let inline_same =
+    {
+      Proto.default_request with
+      Proto.program =
+        Proto.Inline
+          ((Pf_mibench.Registry.find_exn "crc32").Pf_mibench.Registry.program
+             ~scale:1);
+      (* the registry compiles crc32 with its own unroll; the inline
+         spelling must pin it to share the key *)
+      unroll = Some (Pf_mibench.Registry.find_exn "crc32").Pf_mibench.Registry.unroll;
+    }
+  in
+  check_string "name and identical inline program share a key"
+    (Service.cache_key named)
+    (Service.cache_key inline_same);
+  let other_geom =
+    { named with Proto.geometry = Pf_dse.Space.cache_8k }
+  in
+  check_bool "evaluate key depends on geometry" true
+    (Service.cache_key named <> Service.cache_key other_geom);
+  let synth g =
+    Service.cache_key
+      { named with Proto.action = Proto.Synthesize; geometry = g }
+  in
+  check_string "synthesize key ignores geometry"
+    (synth Pf_dse.Space.cache_16k) (synth Pf_dse.Space.cache_8k);
+  check_bool "isa changes the evaluate key" true
+    (Service.cache_key named
+    <> Service.cache_key { named with Proto.isa = Proto.Fits });
+  check_bool "status has no key" true
+    (Result.is_error
+       (SE.protect ~where:"t" (fun () ->
+            Service.cache_key { named with Proto.action = Proto.Status })))
+
+let test_compute_matches_direct () =
+  (* the service's arm evaluate must report exactly what a direct run
+     reports *)
+  let req =
+    { Proto.default_request with Proto.program = Proto.Named "bitcount" }
+  in
+  match Service.compute req with
+  | Error e -> Alcotest.fail (SE.to_string e)
+  | Ok (result, degraded) ->
+      check_bool "not degraded" false degraded;
+      let b = Pf_mibench.Registry.find_exn "bitcount" in
+      let image =
+        Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll
+          (b.Pf_mibench.Registry.program ~scale:1)
+      in
+      let direct = Pf_cpu.Arm_run.run ~cache_cfg:Pf_dse.Space.cache_16k image in
+      let got name =
+        match Option.bind (J.member name result) J.to_int_opt with
+        | Some v -> v
+        | None -> Alcotest.failf "missing %s" name
+      in
+      check_int "instructions" direct.Pf_cpu.Arm_run.instructions
+        (got "instructions");
+      check_int "cycles" direct.Pf_cpu.Arm_run.cycles (got "cycles");
+      check_int "cache_misses" direct.Pf_cpu.Arm_run.cache_misses
+        (got "cache_misses");
+      check_bool "output digested" true
+        (Option.bind (J.member "output_md5" result) J.to_string_opt
+        = Some (Digest.to_hex (Digest.string direct.Pf_cpu.Arm_run.output)))
+
+let test_handle_cached_bit_identical () =
+  let dir = tmpdir "svc-store" in
+  let store, _ = Store.open_ ~fsync:false dir in
+  let req =
+    { Proto.default_request with Proto.program = Proto.Named "crc32" }
+  in
+  let first = Service.handle ~store req in
+  let second = Service.handle ~store req in
+  (match (first, second) with
+  | ( Proto.Ok_reply { result = r1; cached = c1; _ },
+      Proto.Ok_reply { result = r2; cached = c2; _ } ) ->
+      check_bool "first is computed" false c1;
+      check_bool "second is cached" true c2;
+      check_string "cached reply bit-identical to computed"
+        (J.to_string r1) (J.to_string r2)
+  | _ -> Alcotest.fail "expected two ok replies");
+  (* no_cache bypasses but computes the same bytes *)
+  (match Service.handle ~store { req with Proto.no_cache = true } with
+  | Proto.Ok_reply { cached; result; _ } ->
+      check_bool "no_cache recomputes" false cached;
+      (match first with
+      | Proto.Ok_reply { result = r1; _ } ->
+          check_string "recompute deterministic" (J.to_string r1)
+            (J.to_string result)
+      | _ -> ())
+  | _ -> Alcotest.fail "expected ok");
+  Store.close store
+
+let test_degraded_half_scale () =
+  (* pick a step budget that scale 1 fits but scale 4 does not: the
+     ladder must degrade 4 -> 2 -> 1 and succeed with the flag set *)
+  let b = Pf_mibench.Registry.find_exn "crc32" in
+  let image s =
+    Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll
+      (b.Pf_mibench.Registry.program ~scale:s)
+  in
+  let steps s = (Pf_cpu.Arm_run.run (image s)).Pf_cpu.Arm_run.instructions in
+  let s1 = steps 1 and s4 = steps 4 in
+  check_bool "scale grows the workload" true (s4 > s1 + 2);
+  let budget = s1 + ((s4 - s1) / 8) in
+  let req =
+    {
+      Proto.default_request with
+      Proto.program = Proto.Named "crc32";
+      scale = 4;
+      max_steps = Some budget;
+    }
+  in
+  (match Service.compute req with
+  | Ok (_, degraded) -> check_bool "degraded flag set" true degraded
+  | Error e -> Alcotest.failf "expected degradation, got %s" (SE.to_string e));
+  (* inline programs cannot degrade: the timeout surfaces *)
+  let inline_req =
+    {
+      req with
+      Proto.program = Proto.Inline (b.Pf_mibench.Registry.program ~scale:4);
+      unroll = Some b.Pf_mibench.Registry.unroll;
+    }
+  in
+  match Service.compute inline_req with
+  | Error { SE.kind = SE.Watchdog_timeout; _ } -> ()
+  | Ok _ -> Alcotest.fail "inline request should not degrade"
+  | Error e -> Alcotest.failf "wrong error %s" (SE.to_string e)
+
+let test_envelope_roundtrip () =
+  let result = J.Obj [ ("cycles", J.Int 123); ("ipc", J.Float 0.75) ] in
+  let r, d = Service.of_envelope (Service.envelope ~degraded:true result) in
+  check_bool "degraded preserved" true d;
+  check_string "result preserved" (J.to_string result) (J.to_string r)
+
+(* ---- daemon end to end ---- *)
+
+let with_daemon ?(jobs = 2) ?(queue_capacity = 64) ?store_dir f =
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pf-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let cfg =
+    {
+      Pf_serve.Daemon.default_config with
+      Pf_serve.Daemon.socket_path = sock;
+      store_dir;
+      jobs;
+      queue_capacity;
+      fsync = false;
+    }
+  in
+  let logs = ref [] in
+  let logm = Mutex.create () in
+  let log l =
+    Mutex.lock logm;
+    logs := l :: !logs;
+    Mutex.unlock logm
+  in
+  let d = Domain.spawn (fun () -> Pf_serve.Daemon.run ~log cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Pf_serve.Client.shutdown ~socket:sock ()) with _ -> ());
+      Domain.join d)
+    (fun () -> f sock)
+
+let test_daemon_end_to_end () =
+  let store_dir = tmpdir "daemon-store" in
+  let req =
+    { Proto.default_request with Proto.program = Proto.Named "bitcount" }
+  in
+  let first =
+    with_daemon ~store_dir (fun sock ->
+        let first = Pf_serve.Client.request ~socket:sock req in
+        let second = Pf_serve.Client.request ~socket:sock req in
+        (match (first, second) with
+        | ( Proto.Ok_reply { result = r1; cached = false; _ },
+            Proto.Ok_reply { result = r2; cached = true; _ } ) ->
+            check_string "daemon cached reply bit-identical"
+              (J.to_string r1) (J.to_string r2)
+        | _ -> Alcotest.fail "expected computed then cached");
+        (* status sees the traffic *)
+        (match Pf_serve.Client.status ~socket:sock () with
+        | Proto.Ok_reply { result; _ } ->
+            check_bool "status counts a hit" true
+              (Option.bind (J.member "cache_hits" result) J.to_int_opt
+              = Some 1)
+        | _ -> Alcotest.fail "status failed");
+        first)
+  in
+  (* restart on the same store: the entry survives the daemon *)
+  with_daemon ~store_dir (fun sock ->
+      match (Pf_serve.Client.request ~socket:sock req, first) with
+      | ( Proto.Ok_reply { result = r2; cached = true; _ },
+          Proto.Ok_reply { result = r1; _ } ) ->
+          check_string "cache survives daemon restart" (J.to_string r1)
+            (J.to_string r2)
+      | _ -> Alcotest.fail "expected a cached reply after restart")
+
+let test_daemon_error_isolation () =
+  with_daemon (fun sock ->
+      (* unknown benchmark: structured error reply, daemon stays up *)
+      (match
+         Pf_serve.Client.request ~socket:sock
+           { Proto.default_request with Proto.program = Proto.Named "nope" }
+       with
+      | Proto.Error_reply e ->
+          check_bool "invalid-config kind" true (e.SE.kind = SE.Invalid_config)
+      | _ -> Alcotest.fail "expected error reply");
+      (* tiny budget: watchdog error reply *)
+      (match
+         Pf_serve.Client.request ~socket:sock
+           { Proto.default_request with Proto.budget_s = Some 1e-9 }
+       with
+      | Proto.Error_reply e ->
+          check_bool "watchdog kind" true (e.SE.kind = SE.Watchdog_timeout)
+      | _ -> Alcotest.fail "expected watchdog reply");
+      (* and the daemon still answers *)
+      match Pf_serve.Client.request ~socket:sock Proto.default_request with
+      | Proto.Ok_reply _ -> ()
+      | _ -> Alcotest.fail "daemon should survive bad requests")
+
+let test_daemon_backpressure () =
+  (* one worker, queue of one, six slow requests at once: at least one
+     must be refused with a structured overloaded reply, none may error *)
+  with_daemon ~jobs:1 ~queue_capacity:1 (fun sock ->
+      let req =
+        {
+          Proto.default_request with
+          Proto.action = Proto.Explore_point;
+          program = Proto.Named "sha";
+          no_cache = true;
+        }
+      in
+      let replies =
+        Pf_util.Pool.map ~jobs:6
+          (fun _ -> Pf_serve.Client.request ~socket:sock req)
+          (List.init 6 Fun.id)
+      in
+      let ok =
+        List.length
+          (List.filter (function Proto.Ok_reply _ -> true | _ -> false) replies)
+      in
+      let overloaded =
+        List.length
+          (List.filter
+             (function Proto.Overloaded _ -> true | _ -> false)
+             replies)
+      in
+      check_int "every request answered" 6 (ok + overloaded);
+      check_bool "backpressure engaged" true (overloaded >= 1);
+      check_bool "some work completed" true (ok >= 1))
+
+let test_loadgen_against_daemon () =
+  let store_dir = tmpdir "loadgen-store" in
+  with_daemon ~store_dir (fun sock ->
+      let r =
+        Pf_serve.Loadgen.run ~benchmarks:[ "crc32"; "bitcount" ] ~socket:sock
+          ~requests:40 ~conns:3 ~seed:5 ()
+      in
+      check_int "every request accounted" 40
+        (r.Pf_serve.Loadgen.ok + r.Pf_serve.Loadgen.errors
+        + r.Pf_serve.Loadgen.overloaded);
+      check_int "no errors" 0 r.Pf_serve.Loadgen.errors;
+      check_int "no refusals at this load" 0 r.Pf_serve.Loadgen.overloaded;
+      check_bool "corpus is small so the cache gets hits" true
+        (r.Pf_serve.Loadgen.cached > 0);
+      check_bool "hit rate consistent" true
+        (r.Pf_serve.Loadgen.hit_rate > 0.
+        && r.Pf_serve.Loadgen.hit_rate <= 1.))
+
+let tests =
+  [
+    Alcotest.test_case "crc32: known vectors" `Quick test_crc32;
+    Alcotest.test_case "atomic: write/overwrite" `Quick test_atomic_write;
+    Alcotest.test_case "atomic: crash-point matrix" `Quick
+      test_atomic_crash_points;
+    Alcotest.test_case "json: roundtrip + malformed" `Quick test_json_roundtrip;
+    Alcotest.test_case "kir codec: suite roundtrip" `Quick
+      test_kir_codec_roundtrip;
+    QCheck_alcotest.to_alcotest prop_record_roundtrip;
+    QCheck_alcotest.to_alcotest prop_record_flip_detected;
+    QCheck_alcotest.to_alcotest prop_record_truncation_detected;
+    Alcotest.test_case "store: put/get/persist" `Quick test_store_basic;
+    Alcotest.test_case "store: corrupt record quarantined" `Quick
+      test_store_quarantine;
+    Alcotest.test_case "storefault: campaign survives" `Slow
+      test_storefault_campaign;
+    Alcotest.test_case "retry: transient vs permanent" `Quick test_retry;
+    Alcotest.test_case "proto: request/response roundtrip" `Quick
+      test_proto_roundtrip;
+    Alcotest.test_case "proto: framing" `Quick test_frame_roundtrip;
+    Alcotest.test_case "service: cache keys" `Quick test_cache_keys;
+    Alcotest.test_case "service: matches direct run" `Quick
+      test_compute_matches_direct;
+    Alcotest.test_case "service: cached reply bit-identical" `Quick
+      test_handle_cached_bit_identical;
+    Alcotest.test_case "service: half-scale degradation" `Slow
+      test_degraded_half_scale;
+    Alcotest.test_case "service: envelope roundtrip" `Quick
+      test_envelope_roundtrip;
+    Alcotest.test_case "daemon: end to end + restart" `Slow
+      test_daemon_end_to_end;
+    Alcotest.test_case "daemon: error isolation" `Slow
+      test_daemon_error_isolation;
+    Alcotest.test_case "daemon: backpressure" `Slow test_daemon_backpressure;
+    Alcotest.test_case "daemon: loadgen run" `Slow test_loadgen_against_daemon;
+  ]

@@ -46,6 +46,25 @@ let forbidden =
     ("ITIMER", domain_safe_reason);
   ]
 
+(* Tree-scoped rules: (path substring, pattern, reason).  The serve
+   stack promises crash safety — every byte it persists must flow
+   through Pf_util.Atomic_file (temp + rename + CRC), so a bare
+   [open_out] would reintroduce torn writes; and a daemon library must
+   never [exit], it reports structured errors and lets bin/ decide the
+   process's fate (the injected-crash hook exits from bin/powerfits.ml
+   for exactly that reason). *)
+let scoped_forbidden =
+  [
+    ( "lib/serve/",
+      "open_out",
+      "persist through Pf_util.Atomic_file — bare open_out can tear on crash"
+    );
+    ( "lib/serve/",
+      "exit ",
+      "lib/serve must not terminate the process; return a structured error \
+       and let bin/ decide" );
+  ]
+
 let allowed file line =
   List.exists
     (fun (suffix, sub) ->
@@ -116,7 +135,18 @@ let () =
                    reason;
                  incr violations
                end)
-             forbidden
+             forbidden;
+           List.iter
+             (fun (scope, pat, reason) ->
+               if
+                 has_sub ~sub:scope file && has_sub ~sub:pat line
+                 && not (allowed file line)
+               then begin
+                 Printf.eprintf "%s:%d: `%s' in %s — %s\n" file !lineno pat
+                   scope reason;
+                 incr violations
+               end)
+             scoped_forbidden
          done
        with End_of_file -> ());
       close_in ic)
