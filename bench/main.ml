@@ -114,9 +114,9 @@ let aggregate_steps_per_sec (sweep : Pf_harness.Experiment.sweep) =
    runtime scales with, so it gets its own baseline in BENCH_sweep.json. *)
 let explore_subset = [ "crc32"; "sha"; "fft" ]
 
-let explore_events_per_sec () =
+let events_per_sec ?engine ~label space =
   let benchmarks = List.map Pf_mibench.Registry.find_exn explore_subset in
-  let t = Pf_dse.Explore.run ~jobs:1 ~benchmarks Pf_dse.Space.smoke in
+  let t = Pf_dse.Explore.run ~jobs:1 ?engine ~benchmarks space in
   let events = Pf_dse.Explore.replayed_events t in
   let sim_s =
     List.fold_left
@@ -124,12 +124,15 @@ let explore_events_per_sec () =
       0. t.Pf_dse.Explore.rows
   in
   if t.Pf_dse.Explore.completed < t.Pf_dse.Explore.total then begin
-    Printf.printf "explore smoke: only %d/%d benchmarks completed\n"
+    Printf.printf "%s: only %d/%d benchmarks completed\n" label
       t.Pf_dse.Explore.completed t.Pf_dse.Explore.total;
     0.
   end
   else if sim_s > 0. then float_of_int events /. sim_s
   else 0.
+
+let explore_events_per_sec () =
+  events_per_sec ~label:"explore smoke" Pf_dse.Space.smoke
 
 let run_explore_throughput () =
   heading
@@ -138,6 +141,27 @@ let run_explore_throughput () =
   let rate = explore_events_per_sec () in
   Printf.printf "replayed %s events/sec across the geometry grid\n"
     (Printf.sprintf "%.0f" rate);
+  rate
+
+(* Single-pass sweep throughput: the dense grid (~1058 geometries, 133
+   stack profiles) over the same subset, sequential, with the engine
+   pinned to [Sweep].  The unit matches the explore figure — trace
+   events × geometries per second of per-row wall clock — so the ratio
+   of the two rates is the sweep kernel's per-geometry speedup over
+   replay. *)
+let sweep_events_per_sec () =
+  events_per_sec ~engine:Pf_dse.Space.Sweep ~label:"sweep dense"
+    Pf_dse.Space.dense
+
+let run_sweep_throughput ~explore_rate =
+  heading
+    (Printf.sprintf "sweep throughput (dense grid, %s, sequential)"
+       (String.concat "/" explore_subset));
+  let rate = sweep_events_per_sec () in
+  Printf.printf "swept %.0f events/sec across the geometry grid\n" rate;
+  if explore_rate > 0. && rate > 0. then
+    Printf.printf "(%.1fx the replay engine's per-geometry rate)\n"
+      (rate /. explore_rate);
   rate
 
 (* ------------------------------------------------------------------ *)
@@ -316,13 +340,31 @@ let run_check file =
   | Some _ ->
       Printf.printf "--check: unusable explore_events_per_sec baseline\n";
       exit 2);
+  (match baseline_scalar file "sweep_events_per_sec" with
+  | None ->
+      Printf.printf
+        "(baseline predates sweep throughput; skipping that gate)\n"
+  | Some sweep_base when sweep_base > 0. ->
+      let sweep_now = timed_phase "check_sweep_engine" sweep_events_per_sec in
+      let sr = sweep_now /. sweep_base in
+      Printf.printf "baseline sweep: %.0f events/sec\n" sweep_base;
+      Printf.printf "current sweep:  %.0f events/sec (%.2fx)\n" sweep_now sr;
+      if sr < 0.85 then begin
+        Printf.printf
+          "CHECK FAILED: sweep events/sec dropped %.1f%% (>15%% budget)\n"
+          ((1. -. sr) *. 100.);
+        exit 2
+      end
+  | Some _ ->
+      Printf.printf "--check: unusable sweep_events_per_sec baseline\n";
+      exit 2);
   Printf.printf "check OK: within the 15%% regression budget\n"
 
-let write_sweep_json ~explore_rate ~serve (sweep : Pf_harness.Experiment.sweep)
-    =
+let write_sweep_json ~explore_rate ~sweep_rate ~serve
+    (sweep : Pf_harness.Experiment.sweep) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 4,\n";
+  Buffer.add_string b "  \"schema\": 5,\n";
   Buffer.add_string b "  \"engine\": \"predecoded\",\n";
   Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
@@ -332,6 +374,7 @@ let write_sweep_json ~explore_rate ~serve (sweep : Pf_harness.Experiment.sweep)
   Printf.bprintf b "  \"aggregate_steps_per_sec\": %.0f,\n"
     (aggregate_steps_per_sec sweep);
   Printf.bprintf b "  \"explore_events_per_sec\": %.0f,\n" explore_rate;
+  Printf.bprintf b "  \"sweep_events_per_sec\": %.0f,\n" sweep_rate;
   Printf.bprintf b "  \"serve_requests_per_sec\": %.0f,\n"
     serve.Pf_serve.Loadgen.throughput_rps;
   Printf.bprintf b "  \"serve\": %s,\n"
@@ -700,10 +743,13 @@ let () =
   timed_phase "scale_robustness" scale_robustness;
   timed_phase "cross_application" cross_application;
   let explore_rate = timed_phase "explore_smoke" run_explore_throughput in
+  let sweep_rate =
+    timed_phase "sweep_dense" (fun () -> run_sweep_throughput ~explore_rate)
+  in
   let serve = timed_phase "serve_loadgen" run_serve_phase in
   timed_phase "microbenchmarks" (fun () ->
       try microbenchmarks ()
       with e ->
         Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
-  write_sweep_json ~explore_rate ~serve sweep;
+  write_sweep_json ~explore_rate ~sweep_rate ~serve sweep;
   print_newline ()

@@ -470,10 +470,28 @@ let explore_cmd =
     Arg.(value & opt string "full"
          & info [ "grid" ] ~docv:"GRID"
              ~doc:"Design-space grid: $(b,smoke) (6 geometries), $(b,full) \
-                   (36 geometries), or a spec like \
+                   (36 geometries), $(b,dense) (1058 geometries, evaluated \
+                   by the single-pass sweep engine), or a spec like \
                    $(b,sizes=1k,4k,16k;blocks=16,32;assocs=2,32;dicts=none,96) \
                    (sizes/blocks take a k suffix; dicts caps the FITS \
                    dictionary, $(b,none) = the uncapped per-app flow).")
+  in
+  let engine_arg =
+    Arg.(value & opt (some string) None
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Force the evaluation engine: $(b,replay) (one trace \
+                   replay per geometry) or $(b,sweep) (one stack-distance \
+                   pass per trace, all geometries at once).  Default: \
+                   chosen per grid density.  Results are bit-identical \
+                   either way.")
+  in
+  let cross_check_arg =
+    Arg.(value & flag
+         & info [ "cross-check" ]
+             ~doc:"After the sweep, re-evaluate the paper-point geometries \
+                   with the replay-engine oracle and require every \
+                   overlapping point to be bit-identical (floats compared \
+                   by their IEEE bits).  Exits 5 on any mismatch.")
   in
   let csv_arg =
     Arg.(value & opt (some string) None
@@ -513,7 +531,113 @@ let explore_cmd =
     [ "geometry"; "isa"; "E_total"; "avg power"; "IPC"; "miss/M"; "gates";
       "pareto"; "paper" ]
   in
-  let run grid benchmarks scale max_steps jobs csv json =
+  (* bit-exact point comparison for --cross-check: ints by =, floats by
+     their IEEE-754 bits, so "equal" means reproducible, not just close *)
+  let points_bit_identical (a : D.Explore.point) (b : D.Explore.point) =
+    let fbits = Int64.bits_of_float in
+    let ma = a.D.Explore.metrics and mb = b.D.Explore.metrics in
+    let pa = ma.D.Explore.power and pb = mb.D.Explore.power in
+    a.D.Explore.variant = b.D.Explore.variant
+    && a.D.Explore.geometry = b.D.Explore.geometry
+    && ma.D.Explore.instructions = mb.D.Explore.instructions
+    && ma.D.Explore.cycles = mb.D.Explore.cycles
+    && fbits ma.D.Explore.ipc = fbits mb.D.Explore.ipc
+    && ma.D.Explore.fetch_accesses = mb.D.Explore.fetch_accesses
+    && ma.D.Explore.cache_accesses = mb.D.Explore.cache_accesses
+    && ma.D.Explore.cache_misses = mb.D.Explore.cache_misses
+    && fbits ma.D.Explore.miss_rate_pm = fbits mb.D.Explore.miss_rate_pm
+    && fbits ma.D.Explore.dcache_miss_rate_pm
+       = fbits mb.D.Explore.dcache_miss_rate_pm
+    && fbits pa.Pf_power.Account.switching
+       = fbits pb.Pf_power.Account.switching
+    && fbits pa.Pf_power.Account.internal = fbits pb.Pf_power.Account.internal
+    && fbits pa.Pf_power.Account.leakage = fbits pb.Pf_power.Account.leakage
+    && fbits pa.Pf_power.Account.total = fbits pb.Pf_power.Account.total
+    && fbits pa.Pf_power.Account.peak_power
+       = fbits pb.Pf_power.Account.peak_power
+    && pa.Pf_power.Account.cycles = pb.Pf_power.Account.cycles
+    && ma.D.Explore.gate_count = mb.D.Explore.gate_count
+  in
+  let cross_check ~scale ~max_steps ~jobs ~benches space (t : D.Explore.t) =
+    let oracle_space =
+      D.Space.make
+        ~sizes:[ 8 * 1024; 16 * 1024 ]
+        ~dict_budgets:space.D.Space.dict_budgets ()
+    in
+    let oracle_geoms =
+      List.filter
+        (fun g -> List.mem g t.D.Explore.geometries)
+        (D.Space.geometries oracle_space)
+    in
+    if oracle_geoms = [] then begin
+      Printf.eprintf
+        "cross-check: grid contains no paper-point geometry, nothing to \
+         compare\n%!";
+      exit 2
+    end;
+    Printf.eprintf
+      "cross-check: re-evaluating %d paper-point geometries with the \
+       replay oracle\n%!"
+      (List.length oracle_geoms);
+    let oracle =
+      D.Explore.run ~scale ?max_steps ~jobs ~engine:D.Space.Replay
+        ~benchmarks:benches oracle_space
+    in
+    let compared = ref 0 and mismatched = ref 0 in
+    List.iter
+      (fun (ob : D.Explore.bench_run) ->
+        match
+          List.find_opt
+            (fun (b : D.Explore.bench_run) ->
+              b.D.Explore.name = ob.D.Explore.name)
+            (D.Explore.completed_runs t)
+        with
+        | None -> ()
+        | Some br ->
+            List.iter
+              (fun (op : D.Explore.point) ->
+                if List.mem op.D.Explore.geometry oracle_geoms then begin
+                  match
+                    List.find_opt
+                      (fun (p : D.Explore.point) ->
+                        p.D.Explore.variant = op.D.Explore.variant
+                        && p.D.Explore.geometry = op.D.Explore.geometry)
+                      br.D.Explore.points
+                  with
+                  | None ->
+                      incr mismatched;
+                      Printf.eprintf
+                        "cross-check: %s %s %s missing from the sweep \
+                         output\n%!"
+                        br.D.Explore.name
+                        (D.Explore.variant_label op.D.Explore.variant)
+                        (D.Space.label op.D.Explore.geometry)
+                  | Some p ->
+                      incr compared;
+                      if not (points_bit_identical p op) then begin
+                        incr mismatched;
+                        Printf.eprintf
+                          "cross-check: MISMATCH at %s %s %s (sweep vs \
+                           replay oracle)\n%!"
+                          br.D.Explore.name
+                          (D.Explore.variant_label op.D.Explore.variant)
+                          (D.Space.label op.D.Explore.geometry)
+                      end
+                end)
+              ob.D.Explore.points)
+      (D.Explore.completed_runs oracle);
+    if !mismatched > 0 then begin
+      Printf.eprintf "cross-check: %d of %d points differ from the oracle\n%!"
+        !mismatched
+        (!compared + !mismatched);
+      exit 5
+    end
+    else
+      Printf.eprintf
+        "cross-check: %d points bit-identical to the replay oracle\n%!"
+        !compared
+  in
+  let run grid benchmarks scale max_steps jobs engine do_cross csv json =
     let jobs = resolve_jobs jobs in
     let space =
       match D.Space.of_string grid with
@@ -522,11 +646,24 @@ let explore_cmd =
           Printf.eprintf "powerfits explore: %s\n" msg;
           exit 2
     in
+    let engine =
+      match engine with
+      | None -> None
+      | Some e -> (
+          match D.Space.engine_of_string e with
+          | Ok e -> Some e
+          | Error msg ->
+              Printf.eprintf "powerfits explore: %s\n" msg;
+              exit 2)
+    in
     let benches = resolve_benchmarks benchmarks in
     Printf.eprintf "explore: %s\n%!"
       (D.Space.describe ~benchmarks:(List.length benches) space);
-    let t = D.Explore.run ~scale ?max_steps ~jobs ~benchmarks:benches space in
+    let t =
+      D.Explore.run ~scale ?max_steps ~jobs ?engine ~benchmarks:benches space
+    in
     Printf.eprintf "%s\n%!" (D.Explore.banner t);
+    if do_cross then cross_check ~scale ~max_steps ~jobs ~benches space t;
     let emit what path content =
       match path with
       | "-" -> print_string content
@@ -607,12 +744,14 @@ let explore_cmd =
     (Cmd.info "explore"
        ~doc:
          "Design-space exploration: sweep cache geometries (and FITS \
-          dictionary budgets) over the suite via trace replay — one \
-          execution per ISA per benchmark, one cheap replay per geometry \
-          — and report deterministic Pareto frontiers with the paper's \
-          four configurations annotated.")
+          dictionary budgets) over the suite — one execution per ISA per \
+          benchmark, then either one cheap replay per geometry or, for \
+          dense grids, one single-pass stack-distance sweep per trace \
+          covering every geometry at once — and report deterministic \
+          Pareto frontiers with the paper's four configurations \
+          annotated.")
     Term.(const run $ grid_arg $ benchmarks_arg $ scale_arg $ max_steps_arg
-          $ jobs_arg $ csv_arg $ json_arg)
+          $ jobs_arg $ engine_arg $ cross_check_arg $ csv_arg $ json_arg)
 
 (* ---- serve ---- *)
 

@@ -50,6 +50,22 @@ let sets c = c.size_bytes / c.block_bytes / c.assoc
 
 let tag_bits c = 32 - Bits.log2_exact (sets c) - Bits.log2_exact c.block_bytes
 
+(* Address decomposition, exposed so trace-level evaluators (the
+   all-geometry DSE sweep) index their stack-distance profiles exactly the
+   way [access_fast] indexes the tag array. *)
+
+let block_of_addr c ~addr = addr lsr Bits.log2_exact c.block_bytes
+let set_of_block c ~block = block land (sets c - 1)
+let tag_of_block c ~block = block lsr Bits.log2_exact (sets c)
+
+(* The activity (toggle) model: Hamming distance between consecutive set
+   indices on the decoder path, and between consecutive words on the
+   output bus.  [access_fast] charges exactly these per access; external
+   cache models (the sweep kernel's per-profile accounting) go through
+   the same two functions to stay bit-compatible. *)
+let[@inline] index_toggle ~last_idx ~idx = Bits.hamming idx last_idx
+let[@inline] output_toggle ~last_out ~out = Bits.hamming out last_out
+
 (* Fully-associative shadow cache for miss classification, kept as an
    intrusive doubly-linked recency list (sentinel-based) plus a block ->
    node table.  Touch and evict are O(1); the previous implementation
@@ -208,8 +224,8 @@ let access_fast t ~addr ~data =
   let block = addr lsr t.block_shift in
   let set = block land (t.nsets - 1) in
   let tag = block lsr t.set_shift in
-  let idx_t = Bits.hamming set t.last_idx in
-  let out_t = Bits.hamming data t.last_out in
+  let idx_t = index_toggle ~last_idx:t.last_idx ~idx:set in
+  let out_t = output_toggle ~last_out:t.last_out ~out:data in
   t.idx_toggles <- t.idx_toggles + idx_t;
   t.last_idx <- set;
   t.out_toggles <- t.out_toggles + out_t;

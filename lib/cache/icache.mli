@@ -35,6 +35,30 @@ val validate : config -> unit
 val sets : config -> int
 val tag_bits : config -> int
 
+(** {2 Address decomposition and activity model}
+
+    The exact functions {!access_fast} applies per access, exposed so
+    trace-level cache evaluators (the all-geometry DSE sweep kernel)
+    decompose addresses and charge toggles identically. *)
+
+val block_of_addr : config -> addr:int -> int
+(** Block number of a byte address: [addr lsr log2 block_bytes]. *)
+
+val set_of_block : config -> block:int -> int
+(** Set index (bit selection): [block land (sets - 1)]. *)
+
+val tag_of_block : config -> block:int -> int
+(** Stored tag: [block lsr log2 sets]. *)
+
+val index_toggle : last_idx:int -> idx:int -> int
+(** Decoder-path activity of one access: Hamming distance between
+    consecutive set indices. *)
+
+val output_toggle : last_out:int -> out:int -> int
+(** Output-bus activity of one access: Hamming distance between
+    consecutive fetched words.  Both toggle baselines start at 0
+    (a fresh cache charges [popcount] of the first index/word). *)
+
 type t
 
 val create : ?classify:bool -> config -> t

@@ -66,6 +66,25 @@ let spend t n =
     Pf_power.Account.on_cycles t.account n
   end
 
+(* The back-end penalty arithmetic is exposed as pure functions of the
+   config and the (geometry-invariant) event fields: the all-geometry
+   sweep kernel (Pf_dse.Sweep) recomputes per-window cycle counts from
+   trace events alone and must charge exactly what [issue] charges. *)
+
+let[@inline] mispredicted cfg ~cls ~taken ~backward =
+  (* backward-taken/forward-not-taken static prediction: a correctly
+     predicted direct branch pays no redirect (the paper leans on MiBench
+     branches being "easily predictable"); indirect branches (backward =
+     false, taken) always pay *)
+  match cfg.predictor with
+  | No_prediction -> taken
+  | Btfn -> ( match cls with Branch -> taken <> backward | _ -> taken)
+
+let[@inline] extra_cycles cfg ~cls ~taken ~backward ~mem_words =
+  (match cls with Mul -> cfg.mul_extra | _ -> 0)
+  + (if mem_words > 1 then (mem_words - 1) * cfg.ldm_word_extra else 0)
+  + if mispredicted cfg ~cls ~taken ~backward then cfg.branch_penalty else 0
+
 let issue t ~backward ~mem_addr ~dmisses ~addr ~size ~cls ~reads ~writes
     ~taken ~mem_words =
   t.instrs <- t.instrs + 1;
@@ -134,20 +153,7 @@ let issue t ~backward ~mem_addr ~dmisses ~addr ~size ~cls ~reads ~writes
     t.slot_mem <- is_mem
   end;
   (* back-end penalties close the pairing window *)
-  (* backward-taken/forward-not-taken static prediction: a correctly
-     predicted direct branch pays no redirect (the paper leans on MiBench
-     branches being "easily predictable"); indirect branches (backward =
-     false, taken) always pay *)
-  let mispredicted =
-    match t.cfg.predictor with
-    | No_prediction -> taken
-    | Btfn -> if is_branch then taken <> backward else taken
-  in
-  let extra =
-    (if is_mul then t.cfg.mul_extra else 0)
-    + (if mem_words > 1 then (mem_words - 1) * t.cfg.ldm_word_extra else 0)
-    + if mispredicted then t.cfg.branch_penalty else 0
-  in
+  let extra = extra_cycles t.cfg ~cls ~taken ~backward ~mem_words in
   if extra > 0 then begin
     spend t extra;
     t.pair_slot_free <- false
@@ -155,7 +161,8 @@ let issue t ~backward ~mem_addr ~dmisses ~addr ~size ~cls ~reads ~writes
   if taken then
     (* redirect: the fetch buffer does not survive a taken branch *)
     t.last_fetch_addr <- -1;
-  t.prev_load_writes <- (if is_load then writes else 0)
+  t.prev_load_writes <- (if is_load then writes else 0);
+  Pf_power.Account.on_retire t.account
 
 let cycles t = t.cycles
 let instructions t = t.instrs

@@ -45,6 +45,25 @@ val sa1100 : config
     2-cycle taken-branch redirect, 1-cycle load-use bubble, 2 extra cycles
     per multiply. *)
 
+val mispredicted :
+  config -> cls:insn_class -> taken:bool -> backward:bool -> bool
+(** Does this retirement pay the redirect penalty?  Pure function of the
+    config and geometry-invariant event fields — the exact predicate
+    {!issue} applies, exposed so trace-level evaluators (the all-geometry
+    DSE sweep) charge identical penalties. *)
+
+val extra_cycles :
+  config ->
+  cls:insn_class ->
+  taken:bool ->
+  backward:bool ->
+  mem_words:int ->
+  int
+(** Back-end penalty cycles of one retirement (multiply latency, extra
+    LDM/STM words, branch redirect) — exactly what {!issue} spends after
+    the issue slot itself.  Like {!mispredicted}, shared with trace-level
+    evaluators. *)
+
 type t
 
 val create :

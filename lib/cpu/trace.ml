@@ -45,6 +45,30 @@ let create ?(chunk_events = 65536) ~isize () =
 let isize t = t.isize
 let length t = t.len
 let set_dcache_rate t pm = t.dcache_rate_pm <- pm
+let dcache_rate t = t.dcache_rate_pm
+
+(* Packed-meta field decoders, shared by [replay] and by trace-level
+   evaluators (the all-geometry DSE sweep) so both read the exact same
+   event fields.  Layout documented at the top of this file. *)
+let[@inline] meta_cls_code m = m land 0x7
+let[@inline] meta_taken m = m land 0x8 <> 0
+let[@inline] meta_backward m = m land 0x10 <> 0
+let[@inline] meta_mem_words m = (m lsr 5) land 0x3F
+let[@inline] meta_reads m = (m lsr 11) land 0x1FFFF
+let[@inline] meta_writes m = (m lsr 28) land 0x1FFFF
+let[@inline] meta_dmisses m = (m lsr 45) land 0x3F
+
+let iter t f =
+  let full = t.chunk_events * ints_per_event in
+  for ci = 0 to t.nchunks - 1 do
+    let chunk = t.chunks.(ci) in
+    let used = if ci = t.nchunks - 1 then t.cur_used else full in
+    let i = ref 0 in
+    while !i < used do
+      f chunk.(!i) chunk.(!i + 1);
+      i := !i + 2
+    done
+  done
 
 let cls_code : Pipeline.insn_class -> int = function
   | Pipeline.Alu -> 0
@@ -128,15 +152,15 @@ let replay ?pipeline_cfg ?power_params ?(classify = false) ?cache ~cache_cfg
       let addr = chunk.(!i) in
       let meta = chunk.(!i + 1) in
       Pipeline.issue pipe
-        ~backward:(meta land 0x10 <> 0)
+        ~backward:(meta_backward meta)
         ~mem_addr:(-1)
-        ~dmisses:((meta lsr 45) land 0x3F)
+        ~dmisses:(meta_dmisses meta)
         ~addr ~size
-        ~cls:(cls_of_code (meta land 0x7))
-        ~reads:((meta lsr 11) land 0x1FFFF)
-        ~writes:((meta lsr 28) land 0x1FFFF)
-        ~taken:(meta land 0x8 <> 0)
-        ~mem_words:((meta lsr 5) land 0x3F);
+        ~cls:(cls_of_code (meta_cls_code meta))
+        ~reads:(meta_reads meta)
+        ~writes:(meta_writes meta)
+        ~taken:(meta_taken meta)
+        ~mem_words:(meta_mem_words meta);
       i := !i + 2
     done
   done;

@@ -59,6 +59,34 @@ val set_dcache_rate : t -> float -> unit
     replays report it verbatim — the data-side stream is identical in
     every configuration, so re-measuring it would only cost time. *)
 
+val dcache_rate : t -> float
+(** The stored D-cache miss rate (per million); what {!replay} reports as
+    [dcache_miss_rate_pm]. *)
+
+(** {2 Raw event iteration}
+
+    Trace-level evaluators (the all-geometry DSE sweep kernel) process
+    events without driving a pipeline object per geometry.  They read the
+    same packed events through the same decoders [replay] uses. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] calls [f addr meta] for every recorded event in order.
+    [meta] is the packed metadata word; decode it with the [meta_*]
+    accessors below. *)
+
+val meta_cls_code : int -> int
+(** Instruction-class code of a packed meta word (see {!cls_of_code}). *)
+
+val meta_taken : int -> bool
+val meta_backward : int -> bool
+val meta_mem_words : int -> int
+val meta_reads : int -> int
+val meta_writes : int -> int
+
+val meta_dmisses : int -> int
+(** Recorded D-cache miss count of the event (what [replay] passes to
+    {!Pipeline.issue} as [dmisses]). *)
+
 (** What a replay measures — the cache/timing/power half of a runner's
     result record.  Identical to what the same instruction stream produces
     when simulated directly: replay drives the same [Pipeline.issue]

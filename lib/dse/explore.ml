@@ -50,6 +50,7 @@ type t = {
   completed : int;
   total : int;
   jobs : int;
+  engine : Space.engine;
 }
 
 (* Per-point power: the coefficients scale analytically with the read
@@ -112,12 +113,73 @@ let fits_sweep ~dict_budget ~like ~geometries tr trace =
       { variant = Fits dict_budget; geometry = g; metrics = metrics_of_fits g r })
     geometries
 
+(* Single-pass engine: one Sweep.run per recorded trace evaluates every
+   geometry at once.  The metrics are assembled with exactly the
+   expressions the replay runners use ([Arm_run.replay] /
+   [Fits.Run.replay]), so a point is bit-identical whichever engine
+   produced it — the sweep-vs-replay equivalence is asserted by
+   test/test_dse.ml and by `powerfits explore --cross-check`. *)
+
+let metrics_of_stats cfg ~instructions (s : Pf_cpu.Trace.stats) =
+  {
+    instructions;
+    cycles = s.Pf_cpu.Trace.cycles;
+    ipc =
+      (if s.Pf_cpu.Trace.cycles = 0 then 0.0
+       else float_of_int instructions /. float_of_int s.Pf_cpu.Trace.cycles);
+    fetch_accesses = s.Pf_cpu.Trace.fetch_accesses;
+    cache_accesses = s.Pf_cpu.Trace.cache_accesses;
+    cache_misses = s.Pf_cpu.Trace.cache_misses;
+    miss_rate_pm = s.Pf_cpu.Trace.miss_rate_per_million;
+    dcache_miss_rate_pm = s.Pf_cpu.Trace.dcache_miss_rate_pm;
+    power = s.Pf_cpu.Trace.power;
+    gate_count = gates_for cfg;
+  }
+
+let arm_sweep_1pass ~image ~geometries trace =
+  let r =
+    Sweep.run ~params_of:params_for ~geometries
+      ~fetch_data:(fun addr -> Pf_arm.Image.word_at image addr)
+      trace
+  in
+  List.mapi
+    (fun i g ->
+      let s = r.Sweep.stats.(i) in
+      {
+        variant = Arm;
+        geometry = g;
+        metrics =
+          metrics_of_stats g ~instructions:s.Pf_cpu.Trace.instructions s;
+      })
+    geometries
+
+let fits_sweep_1pass ~dict_budget ~(like : Pf_fits.Run.result) ~geometries
+    (tr : Pf_fits.Translate.t) trace =
+  let code_base = tr.Pf_fits.Translate.code_base in
+  let words = tr.Pf_fits.Translate.words in
+  let r =
+    Sweep.run ~params_of:params_for ~geometries
+      ~fetch_data:(fun addr -> words.((addr - code_base) lsr 2))
+      trace
+  in
+  List.mapi
+    (fun i g ->
+      {
+        variant = Fits dict_budget;
+        geometry = g;
+        metrics =
+          metrics_of_stats g
+            ~instructions:like.Pf_fits.Run.arm_instructions
+            r.Sweep.stats.(i);
+      })
+    geometries
+
 (* One benchmark: 1 + |dict_budgets| recording executions, each replayed
    through every geometry.  The replays are the cheap part — no
    architectural simulation, no D-cache, just cache/pipeline/power driven
    by the recorded stream. *)
-let run_benchmark ?(scale = 1) ?max_steps ?deadline ~geometries ~dict_budgets
-    (b : Pf_mibench.Registry.benchmark) =
+let run_benchmark ?(scale = 1) ?max_steps ?deadline ?(engine = Space.Replay)
+    ~geometries ~dict_budgets (b : Pf_mibench.Registry.benchmark) =
   let check () = Deadline.check ~where:"dse.explore" deadline in
   let n_geoms = List.length geometries in
   let p = b.Pf_mibench.Registry.program ~scale in
@@ -136,7 +198,11 @@ let run_benchmark ?(scale = 1) ?max_steps ?deadline ~geometries ~dict_budgets
   in
   check ();
   let arm_points =
-    arm_sweep ~image ~output:arm_r.Pf_cpu.Arm_run.output ~geometries arm_trace
+    match engine with
+    | Space.Replay ->
+        arm_sweep ~image ~output:arm_r.Pf_cpu.Arm_run.output ~geometries
+          arm_trace
+    | Space.Sweep -> arm_sweep_1pass ~image ~geometries arm_trace
   in
   let consistent = ref (arm_r.Pf_cpu.Arm_run.output = reference_output) in
   let replayed = ref (n_geoms * Pf_cpu.Trace.length arm_trace) in
@@ -168,7 +234,12 @@ let run_benchmark ?(scale = 1) ?max_steps ?deadline ~geometries ~dict_budgets
         check ();
         if f_r.Pf_fits.Run.output <> reference_output then consistent := false;
         replayed := !replayed + (n_geoms * Pf_cpu.Trace.length ftrace);
-        fits_sweep ~dict_budget:budget ~like:f_r ~geometries tr ftrace)
+        match engine with
+        | Space.Replay ->
+            fits_sweep ~dict_budget:budget ~like:f_r ~geometries tr ftrace
+        | Space.Sweep ->
+            fits_sweep_1pass ~dict_budget:budget ~like:f_r ~geometries tr
+              ftrace)
       dict_budgets
   in
   {
@@ -182,11 +253,14 @@ let run_benchmark ?(scale = 1) ?max_steps ?deadline ~geometries ~dict_budgets
 let default_wall_clock_s = 600.
 
 let run ?(scale = 1) ?max_steps ?(wall_clock_s = default_wall_clock_s) ?jobs
-    ?(benchmarks = Pf_mibench.Registry.all) space =
+    ?engine ?(benchmarks = Pf_mibench.Registry.all) space =
   Space.validate space;
   let geometries = Space.geometries space in
   let dict_budgets = space.Space.dict_budgets in
   let variants = Arm :: List.map (fun b -> Fits b) dict_budgets in
+  let engine =
+    match engine with Some e -> e | None -> Space.choose_engine space
+  in
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
@@ -198,7 +272,7 @@ let run ?(scale = 1) ?max_steps ?(wall_clock_s = default_wall_clock_s) ?jobs
         let outcome =
           Sim_error.protect ~where:("dse." ^ b.Pf_mibench.Registry.name)
             (fun () ->
-              run_benchmark ~scale ?max_steps ~deadline ~geometries
+              run_benchmark ~scale ?max_steps ~deadline ~engine ~geometries
                 ~dict_budgets b)
         in
         {
@@ -221,6 +295,7 @@ let run ?(scale = 1) ?max_steps ?(wall_clock_s = default_wall_clock_s) ?jobs
     completed;
     total = List.length rows;
     jobs;
+    engine;
   }
 
 let completed_runs t =
@@ -238,8 +313,9 @@ let diverged t =
 
 let banner t =
   let b = Buffer.create 256 in
-  Printf.bprintf b "%d of %d benchmarks completed (jobs=%d)" t.completed
-    t.total t.jobs;
+  Printf.bprintf b "%d of %d benchmarks completed (jobs=%d, engine=%s)"
+    t.completed t.total t.jobs
+    (Space.engine_label t.engine);
   List.iter
     (fun r ->
       match r.outcome with
@@ -447,7 +523,9 @@ let json_points buf pts =
 
 let to_json t =
   let buf = Buffer.create 8192 in
-  Printf.bprintf buf "{\n  \"schema\": 1,\n  \"jobs\": %d,\n" t.jobs;
+  Printf.bprintf buf "{\n  \"schema\": 1,\n  \"jobs\": %d,\n  \"engine\": \"%s\",\n"
+    t.jobs
+    (Space.engine_label t.engine);
   Printf.bprintf buf "  \"geometries\": [%s],\n"
     (String.concat ", "
        (List.map

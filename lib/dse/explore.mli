@@ -1,10 +1,15 @@
-(** Evaluate a {!Space} over the benchmark suite via trace replay.
+(** Evaluate a {!Space} over the benchmark suite via trace replay or the
+    single-pass sweep kernel.
 
     Each benchmark executes {e once per ISA variant} at the fixed
     {!Space.recording_point}, recording the retired stream; every grid
-    geometry is then a cheap {!Pf_cpu.Trace} replay of that recording —
-    2 executions + 2·N replays per benchmark on the default variant axis,
-    never 2 + 2·N executions.  Per-point power uses
+    geometry is then evaluated from that recording, either by a cheap
+    {!Pf_cpu.Trace} replay per geometry (2 executions + 2·N replays per
+    benchmark on the default variant axis, never 2 + 2·N executions) or —
+    for dense grids — by ONE {!Sweep} pass per trace that measures all
+    geometries simultaneously with bit-identical results.  The engine is
+    chosen per space ({!Space.choose_engine}) unless forced via
+    [?engine].  Per-point power uses
     {!Pf_power.Account.Params.for_geometry}, so coefficients scale
     analytically with the read width while both paper geometries see the
     calibrated defaults unchanged — the ARM16/ARM8/FITS16/FITS8 grid
@@ -52,8 +57,10 @@ type bench_run = {
       (** variant-major ({!variant} order), geometry order within —
           the canonical {!Space.geometries} order *)
   replayed_events : int;
-      (** trace events replayed: Σ trace length × geometries; the unit of
-          explore throughput in the bench gate *)
+      (** trace events evaluated: Σ trace length × geometries — counted
+          identically under both engines (the sweep evaluates every
+          geometry per pass), so it stays the unit of explore throughput
+          in the bench gate *)
   outputs_consistent : bool;
       (** every recording run printed the reference output *)
 }
@@ -72,6 +79,7 @@ type t = {
   completed : int;
   total : int;
   jobs : int;
+  engine : Space.engine; (** how geometries were evaluated *)
 }
 
 val default_wall_clock_s : float
@@ -82,23 +90,28 @@ val run :
   ?max_steps:int ->
   ?wall_clock_s:float ->
   ?jobs:int ->
+  ?engine:Space.engine ->
   ?benchmarks:Pf_mibench.Registry.benchmark list ->
   Space.t ->
   t
 (** Explore the space over [benchmarks] (default: the full 21-benchmark
-    suite) with [jobs] worker domains.  A failing benchmark is isolated
-    into its row ([Error]); it never aborts the sweep. *)
+    suite) with [jobs] worker domains.  [engine] forces the evaluation
+    engine; by default {!Space.choose_engine} picks per space (replay
+    for sparse grids, single-pass sweep for dense ones) — results are
+    bit-identical either way.  A failing benchmark is isolated into its
+    row ([Error]); it never aborts the sweep. *)
 
 val run_benchmark :
   ?scale:int ->
   ?max_steps:int ->
   ?deadline:Pf_util.Deadline.t ->
+  ?engine:Space.engine ->
   geometries:Pf_cache.Icache.config list ->
   dict_budgets:int option list ->
   Pf_mibench.Registry.benchmark ->
   bench_run
 (** One benchmark, unprotected (exceptions propagate) — {!run} wraps
-    this. *)
+    this.  [engine] defaults to [Replay]. *)
 
 val arm_sweep :
   image:Pf_arm.Image.t ->

@@ -56,17 +56,52 @@ type cardinality = {
 
 val cardinality : t -> cardinality
 
+(** {2 Evaluation engine}
+
+    How recorded traces are turned into per-geometry statistics:
+    [Replay] drives a fresh cache/pipeline/power stack through the trace
+    once per geometry; [Sweep] makes one stack-distance annotated pass
+    per trace that evaluates every geometry simultaneously
+    ({!Pf_dse.Sweep}).  Both produce bit-identical statistics. *)
+
+type engine = Replay | Sweep
+
+val engine_label : engine -> string
+(** ["replay"] / ["sweep"]. *)
+
+val engine_of_string : string -> (engine, string) result
+(** Parse an [--engine] argument. *)
+
+val profiles : t -> int
+(** Distinct (block size, set count) pairs among the feasible
+    geometries — the number of Mattson stack-distance profiles one sweep
+    pass maintains.  Sweep cost scales with this, replay cost with
+    {!cardinality.feasible}. *)
+
+val choose_engine : t -> engine
+(** [Sweep] when the grid is dense enough to pay off (feasible
+    geometries at least twice the profile count), [Replay] otherwise.
+    The named [smoke] and [full] grids choose [Replay]; [dense] chooses
+    [Sweep]. *)
+
 type cost = {
   executions : int;   (** recording runs: benchmarks × variants *)
-  replays : int;      (** cheap trace replays: executions × geometries *)
+  replays : int;      (** trace replays the [Replay] engine would do:
+                          executions × geometries *)
   points_total : int; (** evaluated (benchmark, variant, geometry) points *)
+  engine : engine;    (** {!choose_engine} for this space *)
+  profiles : int;     (** stack profiles per sweep pass ({!profiles}) *)
+  sweep_passes : int; (** annotated passes the [Sweep] engine would do:
+                          one per recorded trace = [executions] *)
 }
 
 val cost : benchmarks:int -> t -> cost
 (** What {!Explore.run} will do for a [benchmarks]-program suite: each
-    benchmark executes once per ISA variant (recording a trace) and the
-    trace is replayed once per geometry — 2 executions + 2·N replays per
-    benchmark on the default variant axis, never 2 + 2·N executions. *)
+    benchmark executes once per ISA variant (recording a trace); the
+    trace is then either replayed once per geometry (replay engine:
+    2 executions + 2·N replays per benchmark on the default variant
+    axis) or swept once covering all geometries at once (sweep engine:
+    2 executions + 2 passes per benchmark). *)
 
 (** {2 Named points and grids} *)
 
@@ -96,8 +131,15 @@ val full : t
 (** The headline grid: {1..32} KB × {2, 8, 32} ways × {16, 32} B blocks —
     36 geometries including both paper points. *)
 
+val dense : t
+(** The full-resolution grid: every power-of-two size 64 B – 8 MB ×
+    blocks 4–256 B × ways 1–1024 — 1058 feasible geometries (of 1386
+    corners), including both paper points.  Sized for the single-pass
+    sweep engine; see {!choose_engine}. *)
+
 val of_string : string -> (t, string) result
-(** Parse a [--grid] argument: ["smoke"], ["full"], or a spec of the form
+(** Parse a [--grid] argument: ["smoke"], ["full"], ["dense"], or a spec
+    of the form
     ["sizes=1k,2k,16k;blocks=16,32;assocs=2,32;dicts=none,96"] (sizes and
     blocks accept a [k] suffix; [dicts] accepts ["none"] for the uncapped
     flow).  Validation problems come back as [Error msg]. *)

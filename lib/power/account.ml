@@ -5,7 +5,7 @@ module Params = struct
     k_refill_per_bit : float;
     k_internal_per_gate : float;
     k_leakage_per_gate : float;
-    peak_window_cycles : int;
+    peak_window_insns : int;
   }
 
   (* Calibration (see mli): with a 16 KB 32-way cache (~151 k gate
@@ -22,7 +22,7 @@ module Params = struct
       k_refill_per_bit = 3.0;
       k_internal_per_gate = 3.4e-4;
       k_leakage_per_gate = 7.5e-5;
-      peak_window_cycles = 32;
+      peak_window_insns = 32;
     }
 
   (* One read probes [assoc] ways of [block_bytes] each: every bitline in
@@ -43,84 +43,100 @@ module Params = struct
     { base with k_access = base.k_access *. scale }
 end
 
-(* The energy accumulators live in their own all-float record: OCaml gives
-   such records flat unboxed storage, so the per-step [on_access]/[on_cycles]
-   stores don't box a float each (a mutable float field in a mixed record
-   does).  The per-cycle static terms are constants of the configuration,
-   computed once at [create] — same products, so reports are bit-identical
-   to recomputing them per call. *)
-type acc = {
-  mutable e_switch : float;
-  mutable e_internal : float;
-  mutable e_leak : float;
-  mutable window_switch : float;
-  mutable peak : float;
-  int_per_cycle : float;
-  leak_per_cycle : float;
-}
+(* Accounting is pure integer event counting; every energy is a closed-form
+   function of the counters, evaluated on demand.  This is what lets the
+   single-pass DSE kernel (Pf_dse.Sweep) reproduce a replay's floats
+   bit-for-bit: both paths count the same integers and then evaluate the
+   same expressions below, so there is no dependence on the order in which
+   per-access energies were accumulated.  Peak-power windows close every
+   [peak_window_insns] retired instructions — an instruction-aligned
+   boundary that falls at the same event index for every cache geometry
+   (a cycle-aligned boundary would not: cycle counts are geometry-
+   dependent). *)
+
+let[@inline always] switching_energy (p : Params.t) ~accesses ~toggles ~refill_words =
+  (p.Params.k_access *. float_of_int accesses)
+  +. (p.Params.k_output *. float_of_int toggles)
+  +. (p.Params.k_refill_per_bit *. float_of_int (refill_words * 32))
+
+let[@inline always] internal_per_cycle (p : Params.t) (g : Geometry.t) =
+  p.Params.k_internal_per_gate *. float_of_int g.Geometry.gate_count
+
+let[@inline always] leakage_per_cycle (p : Params.t) (g : Geometry.t) =
+  p.Params.k_leakage_per_gate *. float_of_int g.Geometry.gate_count
+
+let[@inline always] window_power (p : Params.t) (g : Geometry.t) ~accesses ~toggles
+    ~refill_words ~cycles =
+  (switching_energy p ~accesses ~toggles ~refill_words
+  /. float_of_int cycles)
+  +. internal_per_cycle p g +. leakage_per_cycle p g
 
 type t = {
   params : Params.t;
   geometry : Geometry.t;
-  acc : acc;
+  mutable accesses : int;
+  mutable toggles : int;
+  mutable refill_words : int;
   mutable cycles : int;
-  (* peak tracking *)
-  mutable window_cycles : int;
+  mutable insns : int;
+  (* open peak window *)
+  mutable w_accesses : int;
+  mutable w_toggles : int;
+  mutable w_refill_words : int;
+  mutable w_cycles : int;
+  mutable w_insns : int;
+  mutable peak : float;
 }
 
 let create ?(params = Params.default) geometry =
-  let g = float_of_int geometry.Geometry.gate_count in
   {
     params;
     geometry;
-    acc =
-      {
-        e_switch = 0.0;
-        e_internal = 0.0;
-        e_leak = 0.0;
-        window_switch = 0.0;
-        peak = 0.0;
-        int_per_cycle = params.Params.k_internal_per_gate *. g;
-        leak_per_cycle = params.Params.k_leakage_per_gate *. g;
-      };
+    accesses = 0;
+    toggles = 0;
+    refill_words = 0;
     cycles = 0;
-    window_cycles = 0;
+    insns = 0;
+    w_accesses = 0;
+    w_toggles = 0;
+    w_refill_words = 0;
+    w_cycles = 0;
+    w_insns = 0;
+    peak = 0.0;
   }
 
 let on_access t ~toggles ~refilled_words =
-  let a = t.acc in
-  let e =
-    t.params.Params.k_access
-    +. (t.params.Params.k_output *. float_of_int toggles)
-    +. (t.params.Params.k_refill_per_bit *. float_of_int (refilled_words * 32))
-  in
-  a.e_switch <- a.e_switch +. e;
-  a.window_switch <- a.window_switch +. e
-
-let close_window t n =
-  (* n cycles of this window: static power is constant per cycle, so the
-     window power is switching/window + static. *)
-  let a = t.acc in
-  if n > 0 then begin
-    let power =
-      (a.window_switch /. float_of_int n) +. a.int_per_cycle +. a.leak_per_cycle
-    in
-    if power > a.peak then a.peak <- power
-  end;
-  a.window_switch <- 0.0;
-  t.window_cycles <- 0
+  t.accesses <- t.accesses + 1;
+  t.toggles <- t.toggles + toggles;
+  t.refill_words <- t.refill_words + refilled_words;
+  t.w_accesses <- t.w_accesses + 1;
+  t.w_toggles <- t.w_toggles + toggles;
+  t.w_refill_words <- t.w_refill_words + refilled_words
 
 let on_cycles t n =
-  if n > 0 then begin
-    let a = t.acc in
-    let fn = float_of_int n in
-    a.e_internal <- a.e_internal +. (a.int_per_cycle *. fn);
-    a.e_leak <- a.e_leak +. (a.leak_per_cycle *. fn);
-    t.cycles <- t.cycles + n;
-    t.window_cycles <- t.window_cycles + n;
-    if t.window_cycles >= t.params.Params.peak_window_cycles then
-      close_window t t.window_cycles
-  end
+  t.cycles <- t.cycles + n;
+  t.w_cycles <- t.w_cycles + n
+
+let close_window t =
+  (* an all-paired (zero-cycle) window has no power sample *)
+  if t.w_cycles > 0 then begin
+    let p =
+      window_power t.params t.geometry ~accesses:t.w_accesses
+        ~toggles:t.w_toggles ~refill_words:t.w_refill_words
+        ~cycles:t.w_cycles
+    in
+    if p > t.peak then t.peak <- p
+  end;
+  t.w_accesses <- 0;
+  t.w_toggles <- 0;
+  t.w_refill_words <- 0;
+  t.w_cycles <- 0;
+  t.w_insns <- 0
+
+let on_retire t =
+  t.insns <- t.insns + 1;
+  t.w_insns <- t.w_insns + 1;
+  if t.w_insns >= t.params.Params.peak_window_insns then close_window t
 
 type report = {
   switching : float;
@@ -131,17 +147,35 @@ type report = {
   cycles : int;
 }
 
-let report t =
-  (* fold any open window into the peak before reporting *)
-  if t.window_cycles > 0 then close_window t t.window_cycles;
-  let a = t.acc in
+let report_of_counts ?(params = Params.default) geometry ~accesses ~toggles
+    ~refill_words ~cycles ~peak =
+  let switching = switching_energy params ~accesses ~toggles ~refill_words in
+  let internal = internal_per_cycle params geometry *. float_of_int cycles in
+  let leakage = leakage_per_cycle params geometry *. float_of_int cycles in
   {
-    switching = a.e_switch;
-    internal = a.e_internal;
-    leakage = a.e_leak;
-    total = a.e_switch +. a.e_internal +. a.e_leak;
-    peak_power = a.peak;
-    cycles = t.cycles;
+    switching;
+    internal;
+    leakage;
+    total = switching +. internal +. leakage;
+    peak_power = peak;
+    cycles;
   }
+
+let report t =
+  (* fold the open window into the peak without closing it: reporting is
+     read-only, so mid-stream reports compose *)
+  let peak =
+    if t.w_cycles > 0 then begin
+      let p =
+        window_power t.params t.geometry ~accesses:t.w_accesses
+          ~toggles:t.w_toggles ~refill_words:t.w_refill_words
+          ~cycles:t.w_cycles
+      in
+      if p > t.peak then p else t.peak
+    end
+    else t.peak
+  in
+  report_of_counts ~params:t.params t.geometry ~accesses:t.accesses
+    ~toggles:t.toggles ~refill_words:t.refill_words ~cycles:t.cycles ~peak
 
 let avg_power r = if r.cycles = 0 then 0.0 else r.total /. float_of_int r.cycles

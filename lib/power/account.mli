@@ -9,6 +9,18 @@
     - {b leakage} power: proportional to gate count and elapsed time;
     - {b peak} power: maximum power over any accounting window.
 
+    Accounting is {e integer event counting}: accesses, toggles, refill
+    words, cycles and retired instructions.  Every energy figure is a
+    closed-form function of those counters ({!switching_energy},
+    {!window_power}, {!report_of_counts}), evaluated on demand — never an
+    accumulation of per-access floats.  Two simulators that count the same
+    integers therefore report bit-identical floats, which is what lets the
+    single-pass all-geometry DSE kernel reproduce a per-geometry replay
+    exactly.  Peak windows close every [peak_window_insns] {e retired
+    instructions} ({!on_retire}), an event-aligned boundary shared by all
+    geometries; a cycle-aligned window would close at geometry-dependent
+    points.
+
     Energies are in arbitrary consistent units; every figure reports
     ratios against the ARM16 baseline, where the units cancel. *)
 
@@ -26,8 +38,8 @@ module Params : sig
         (** per-gate per-cycle clock energy (internal component) *)
     k_leakage_per_gate : float;
         (** per-gate per-cycle leakage energy (static component) *)
-    peak_window_cycles : int;
-        (** window over which peak power is evaluated *)
+    peak_window_insns : int;
+        (** retired instructions per peak-power evaluation window *)
   }
 
   val default : t
@@ -48,27 +60,79 @@ module Params : sig
       terms) rather than through any coefficient here. *)
 end
 
+(** {2 Closed-form energy expressions}
+
+    The single source of the model's float arithmetic, shared by the
+    incremental accountant below and by batch evaluators (the DSE sweep
+    kernel) that count accesses/toggles/cycles themselves.  Keeping every
+    caller on these exact expressions is what makes their reports
+    bit-identical. *)
+
+val switching_energy :
+  Params.t -> accesses:int -> toggles:int -> refill_words:int -> float
+(** [k_access·accesses + k_output·toggles + k_refill_per_bit·32·refill_words]. *)
+
+val internal_per_cycle : Params.t -> Geometry.t -> float
+val leakage_per_cycle : Params.t -> Geometry.t -> float
+
+val window_power :
+  Params.t ->
+  Geometry.t ->
+  accesses:int ->
+  toggles:int ->
+  refill_words:int ->
+  cycles:int ->
+  float
+(** Power of one accounting window: switching energy over the window
+    divided by its cycle count, plus the static per-cycle terms.
+    [cycles] must be positive (zero-cycle windows carry no sample). *)
+
 type t
 
 val create : ?params:Params.t -> Geometry.t -> t
 
 val on_access : t -> toggles:int -> refilled_words:int -> unit
-(** Record one cache access (switching energy). *)
+(** Record one cache access (switching activity). *)
 
 val on_cycles : t -> int -> unit
-(** Advance simulated time: accrues internal and leakage energy and
-    advances the peak-power window. *)
+(** Advance simulated time: accrues internal/leakage cycles, attributed
+    to the open peak window. *)
+
+val on_retire : t -> unit
+(** Record one retired instruction.  Every [peak_window_insns] retirements
+    the open window is evaluated ({!window_power}) into the running peak
+    and a fresh window starts.  Instruction retirement is the one event
+    stream shared by every cache geometry replaying the same trace, so
+    window boundaries land at identical points across a design-space
+    sweep. *)
 
 type report = {
   switching : float;
   internal : float;
   leakage : float;
   total : float;          (** switching + internal + leakage *)
-  peak_power : float;     (** max energy/cycle over any window *)
+  peak_power : float;     (** max energy/cycle over any closed window *)
   cycles : int;
 }
 
 val report : t -> report
+(** Read-only: evaluates the closed forms over the counters, folding any
+    open partial window into the peak without disturbing it — safe to call
+    mid-stream and repeatedly. *)
+
+val report_of_counts :
+  ?params:Params.t ->
+  Geometry.t ->
+  accesses:int ->
+  toggles:int ->
+  refill_words:int ->
+  cycles:int ->
+  peak:float ->
+  report
+(** Build the same report directly from externally-maintained counters —
+    the batch path used by the all-geometry sweep kernel.  Feeding the
+    counters an incremental accountant would have accumulated yields the
+    bit-identical report. *)
 
 val avg_power : report -> float
 (** Mean power in energy units per cycle. *)

@@ -98,9 +98,10 @@ let run ?(log = prerr_endline) (cfg : config) =
       degraded = 0;
     }
   in
+  let inflight : Proto.response Inflight.t = Inflight.create () in
   let handle_compute (fd, req) =
     let resp =
-      Service.handle ?store ?budget_s:cfg.budget_s
+      Service.handle ?store ~inflight ?budget_s:cfg.budget_s
         ?default_max_steps:cfg.default_max_steps req
     in
     count_response c resp;
@@ -127,6 +128,8 @@ let run ?(log = prerr_endline) (cfg : config) =
          ("errors", Json.Int errors);
          ("overloaded", Json.Int overloaded);
          ("degraded", Json.Int degraded);
+         ("coalesced", Json.Int (Inflight.coalesced inflight));
+         ("in_flight", Json.Int (Inflight.pending inflight));
          ("queue_depth", Json.Int (Pf_util.Pool.Service.depth service));
          ("queue_capacity", Json.Int (Pf_util.Pool.Service.capacity service));
          ("workers", Json.Int (Pf_util.Pool.Service.workers service));
@@ -231,6 +234,7 @@ let run ?(log = prerr_endline) (cfg : config) =
   log
     (Printf.sprintf
        "serve: shutdown complete served=%d hits=%d computed=%d errors=%d \
-        overloaded=%d degraded=%d"
-       c.served c.hits c.computed c.errors c.overloaded c.degraded);
+        overloaded=%d degraded=%d coalesced=%d"
+       c.served c.hits c.computed c.errors c.overloaded c.degraded
+       (Inflight.coalesced inflight));
   Mutex.unlock c.m

@@ -5,6 +5,9 @@
     [shutdown] answer on the accept loop; compute requests go through a
     bounded {!Pf_util.Pool.Service} whose refusal-when-full becomes a
     structured [overloaded] reply — backpressure, not unbounded queueing.
+    Identical concurrent requests coalesce ({!Inflight}): the second
+    waiter blocks on the first computation and shares its response; the
+    [status] report and shutdown summary count coalesced requests.
     Any single connection's failure (unreadable frame, malformed request,
     simulation error, worker exception) is confined to that connection.
 

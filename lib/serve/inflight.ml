@@ -1,0 +1,84 @@
+(* In-flight request coalescing.
+
+   When two identical compute requests land on different worker domains
+   at the same time, the store cannot help — neither has committed a
+   result yet — so without coordination both run the full synthesis.
+   This table closes that window: the first arrival for a cache key
+   becomes the *leader* and computes; every later arrival for the same
+   key becomes a *follower* and blocks on the leader's slot until the
+   result (or the leader's exception) is published, then shares it
+   verbatim.  The slot is removed once published, so a request arriving
+   after completion starts a fresh computation (or, in the daemon, hits
+   the store the leader just populated).
+
+   Publication is all-or-nothing under the table mutex: the leader
+   stores an [('a, exn) result], broadcasts, and unlinks the key before
+   releasing the lock, so a follower can never observe an empty slot
+   after wakeup nor join a slot that already completed.  The computation
+   itself runs outside the lock — only table bookkeeping is serialized. *)
+
+type 'a slot = {
+  cond : Condition.t;
+  mutable published : ('a, exn) result option; (* None while computing *)
+}
+
+type 'a t = {
+  m : Mutex.t;
+  tbl : (string, 'a slot) Hashtbl.t;
+  mutable waiting : int;   (* followers currently blocked *)
+  mutable coalesced : int; (* total computations avoided, monotonic *)
+}
+
+type 'a outcome = Led of 'a | Joined of 'a
+
+let create () =
+  { m = Mutex.create (); tbl = Hashtbl.create 16; waiting = 0; coalesced = 0 }
+
+let pending t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.m;
+  n
+
+let waiting t =
+  Mutex.lock t.m;
+  let n = t.waiting in
+  Mutex.unlock t.m;
+  n
+
+let coalesced t =
+  Mutex.lock t.m;
+  let n = t.coalesced in
+  Mutex.unlock t.m;
+  n
+
+let run t ~key f =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.tbl key with
+  | Some slot ->
+      (* follower: the leader unlinks the key before broadcasting, so a
+         visible slot is always still computing — wait for it *)
+      t.waiting <- t.waiting + 1;
+      let rec await () =
+        match slot.published with
+        | None ->
+            Condition.wait slot.cond t.m;
+            await ()
+        | Some r -> r
+      in
+      let r = await () in
+      t.waiting <- t.waiting - 1;
+      t.coalesced <- t.coalesced + 1;
+      Mutex.unlock t.m;
+      (match r with Ok v -> Joined v | Error e -> raise e)
+  | None ->
+      let slot = { cond = Condition.create (); published = None } in
+      Hashtbl.replace t.tbl key slot;
+      Mutex.unlock t.m;
+      let r = try Ok (f ()) with e -> Error e in
+      Mutex.lock t.m;
+      slot.published <- Some r;
+      Hashtbl.remove t.tbl key;
+      Condition.broadcast slot.cond;
+      Mutex.unlock t.m;
+      (match r with Ok v -> Led v | Error e -> raise e)

@@ -1,0 +1,39 @@
+(** In-flight request coalescing for the daemon's worker pool.
+
+    The crash-safe {!Store} deduplicates *completed* work; this table
+    deduplicates *concurrent* work: when several worker domains receive
+    the same cache key while the first computation is still running, one
+    becomes the leader and the rest block until its result is published,
+    then share it verbatim.  Entries exist only while a computation is
+    in flight — a key arriving after publication leads a fresh run (and,
+    in the daemon, hits the store entry the leader committed). *)
+
+type 'a t
+(** A keyed table of in-flight computations.  Thread- and domain-safe;
+    one per daemon. *)
+
+val create : unit -> 'a t
+
+type 'a outcome =
+  | Led of 'a     (** this caller ran the computation *)
+  | Joined of 'a  (** shared a concurrent leader's result verbatim *)
+
+val run : 'a t -> key:string -> (unit -> 'a) -> 'a outcome
+(** [run t ~key f] — if no computation for [key] is in flight, run [f]
+    (outside the table lock), publish its result, and return [Led];
+    otherwise block until the current leader publishes and return
+    [Joined] with the leader's value.  If the leader's [f] raises, the
+    exception is published and re-raised in the leader {e and} every
+    follower ({!Service.handle} never raises, so the daemon path never
+    exercises this; it exists so a buggy closure cannot strand
+    followers). *)
+
+val pending : 'a t -> int
+(** Keys currently in flight. *)
+
+val waiting : 'a t -> int
+(** Followers currently blocked on a leader. *)
+
+val coalesced : 'a t -> int
+(** Total computations avoided since {!create} (monotonic) — the
+    daemon's [status] report and shutdown summary surface this. *)

@@ -291,7 +291,7 @@ let of_envelope s =
 
 (* ---- one request end to end ---- *)
 
-let handle ?store ?budget_s ?default_max_steps (req : Proto.request) =
+let handle ?store ?inflight ?budget_s ?default_max_steps (req : Proto.request) =
   match req.Proto.action with
   | Proto.Status | Proto.Shutdown ->
       Proto.Error_reply
@@ -307,30 +307,40 @@ let handle ?store ?budget_s ?default_max_steps (req : Proto.request) =
       let use_cache = store <> None && not req.Proto.no_cache in
       match SE.protect ~where:"serve.service" (fun () -> cache_key req) with
       | Error e -> Proto.Error_reply e
-      | Ok key -> (
-          let cached_hit =
-            if not use_cache then None
-            else
-              Option.bind store (fun s ->
-                  Retry.with_backoff ~where:"serve.store" (fun () ->
-                      Store.get s ~key))
+      | Ok key ->
+          let lookup_or_compute () =
+            let cached_hit =
+              if not use_cache then None
+              else
+                Option.bind store (fun s ->
+                    Retry.with_backoff ~where:"serve.store" (fun () ->
+                        Store.get s ~key))
+            in
+            match cached_hit with
+            | Some payload -> (
+                match SE.protect ~where:"serve.service" (fun () ->
+                          of_envelope payload)
+                with
+                | Ok (result, degraded) ->
+                    Proto.Ok_reply { result; cached = true; degraded }
+                | Error e -> Proto.Error_reply e)
+            | None -> (
+                match compute ?budget_s ?default_max_steps req with
+                | Error e -> Proto.Error_reply e
+                | Ok (result, degraded) ->
+                    (if use_cache then
+                       match store with
+                       | Some s ->
+                           Retry.with_backoff ~where:"serve.store" (fun () ->
+                               Store.put s ~key (envelope ~degraded result))
+                       | None -> ());
+                    Proto.Ok_reply { result; cached = false; degraded })
           in
-          match cached_hit with
-          | Some payload -> (
-              match SE.protect ~where:"serve.service" (fun () ->
-                        of_envelope payload)
-              with
-              | Ok (result, degraded) ->
-                  Proto.Ok_reply { result; cached = true; degraded }
-              | Error e -> Proto.Error_reply e)
-          | None -> (
-              match compute ?budget_s ?default_max_steps req with
-              | Error e -> Proto.Error_reply e
-              | Ok (result, degraded) ->
-                  (if use_cache then
-                     match store with
-                     | Some s ->
-                         Retry.with_backoff ~where:"serve.store" (fun () ->
-                             Store.put s ~key (envelope ~degraded result))
-                     | None -> ());
-                  Proto.Ok_reply { result; cached = false; degraded })))
+          (* coalescing is safe even under [no_cache]: that flag bypasses
+             possibly-stale *store* entries, but a concurrent in-flight
+             computation is fresh by definition *)
+          (match inflight with
+          | None -> lookup_or_compute ()
+          | Some infl -> (
+              match Inflight.run infl ~key lookup_or_compute with
+              | Inflight.Led resp | Inflight.Joined resp -> resp)))

@@ -36,11 +36,17 @@ val of_envelope : string -> Json.t * bool
 
 val handle :
   ?store:Store.t ->
+  ?inflight:Proto.response Inflight.t ->
   ?budget_s:float ->
   ?default_max_steps:int ->
   Proto.request ->
   Proto.response
 (** One computable request end to end: key → verified store lookup
     (transient I/O retried with backoff) → on miss, {!compute} and
-    commit.  [Status]/[Shutdown] get an error reply — the daemon answers
-    those itself.  Never raises. *)
+    commit.  With [inflight], the lookup-or-compute step is coalesced:
+    concurrent calls with the same cache key block on the first and
+    share its response verbatim (coalescing applies even under
+    [no_cache] — that flag bypasses possibly-stale store entries, but an
+    in-flight computation is fresh by definition).  [Status]/[Shutdown]
+    get an error reply — the daemon answers those itself.  Never
+    raises. *)

@@ -113,6 +113,23 @@ let test_dse_sweep_alloc () =
   check_budget "Explore.arm_sweep (6-geometry DSE replay loop)"
     (minor_delta sweep)
 
+(* The single-pass all-geometry kernel walks the same trace once while
+   updating every stack profile; its per-event cost must be
+   allocation-free as well (profiles, stacks and per-lane accumulators
+   are O(grid), allocated in setup).  Measured over the dense grid's
+   geometry count so a per-event-per-profile box would blow the budget
+   by orders of magnitude. *)
+let test_single_pass_sweep_alloc () =
+  let image = loop_image () in
+  let trace = Pf_cpu.Trace.create ~isize:4 () in
+  ignore (Pf_cpu.Arm_run.run ~trace image);
+  let geometries = Pf_dse.Space.geometries Pf_dse.Space.full in
+  let fetch_data addr = Pf_arm.Image.word_at image addr in
+  let run () = ignore (Pf_dse.Sweep.run ~geometries ~fetch_data trace) in
+  run ();
+  check_budget "Sweep.run (36-geometry single-pass kernel)"
+    (minor_delta run)
+
 let tests =
   [
     Alcotest.test_case "ARM step loop is allocation-free" `Quick
@@ -127,4 +144,6 @@ let tests =
       test_fits_replay_alloc;
     Alcotest.test_case "DSE geometry sweep is allocation-free" `Quick
       test_dse_sweep_alloc;
+    Alcotest.test_case "single-pass sweep kernel is allocation-free" `Quick
+      test_single_pass_sweep_alloc;
   ]

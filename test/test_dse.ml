@@ -327,10 +327,114 @@ let prop_replay_equals_direct =
       && C.stats_conflict direct_cache = C.stats_conflict replay_cache
       && direct.Pf_cpu.Arm_run.output = recorded.Pf_cpu.Arm_run.output)
 
+(* ---- single-pass sweep == per-geometry replay --------------------------- *)
+
+let bits = Int64.bits_of_float
+
+let sweep_matches_replay gs =
+  let image, trace, _ = Lazy.force replay_setup in
+  let fetch_data a = Pf_arm.Image.word_at image a in
+  let params_of g =
+    Pf_power.Account.Params.for_geometry (Pf_power.Geometry.of_config g)
+  in
+  let sw =
+    Pf_dse.Sweep.run ~classify:true ~params_of ~geometries:gs ~fetch_data
+      trace
+  in
+  let classes = Option.get sw.Pf_dse.Sweep.classes in
+  List.for_all
+    (fun (i, g) ->
+      let cache = C.create ~classify:true g in
+      let st =
+        Pf_cpu.Trace.replay ~power_params:(params_of g) ~cache ~cache_cfg:g
+          ~fetch_data trace
+      in
+      let sv = sw.Pf_dse.Sweep.stats.(i) in
+      let cl = classes.(i) in
+      let p = params_of g in
+      (* the trace stats record, bit-for-bit (floats compared as bits) *)
+      st.Pf_cpu.Trace.instructions = sv.Pf_cpu.Trace.instructions
+      && st.Pf_cpu.Trace.cycles = sv.Pf_cpu.Trace.cycles
+      && st.Pf_cpu.Trace.fetch_accesses = sv.Pf_cpu.Trace.fetch_accesses
+      && st.Pf_cpu.Trace.cache_accesses = sv.Pf_cpu.Trace.cache_accesses
+      && st.Pf_cpu.Trace.cache_misses = sv.Pf_cpu.Trace.cache_misses
+      && bits st.Pf_cpu.Trace.miss_rate_per_million
+         = bits sv.Pf_cpu.Trace.miss_rate_per_million
+      && bits st.Pf_cpu.Trace.dcache_miss_rate_pm
+         = bits sv.Pf_cpu.Trace.dcache_miss_rate_pm
+      && bits st.Pf_cpu.Trace.power.Pf_power.Account.switching
+         = bits sv.Pf_cpu.Trace.power.Pf_power.Account.switching
+      && bits st.Pf_cpu.Trace.power.Pf_power.Account.internal
+         = bits sv.Pf_cpu.Trace.power.Pf_power.Account.internal
+      && bits st.Pf_cpu.Trace.power.Pf_power.Account.leakage
+         = bits sv.Pf_cpu.Trace.power.Pf_power.Account.leakage
+      && bits st.Pf_cpu.Trace.power.Pf_power.Account.total
+         = bits sv.Pf_cpu.Trace.power.Pf_power.Account.total
+      && bits st.Pf_cpu.Trace.power.Pf_power.Account.peak_power
+         = bits sv.Pf_cpu.Trace.power.Pf_power.Account.peak_power
+      (* toggle accounting: the sweep's switching energy must equal the
+         closed form evaluated on the replay cache's own toggle/refill
+         counters — this pins the sweep's per-profile index-toggle and
+         shared output-toggle sums to the cache model's, bit-for-bit *)
+      && bits sv.Pf_cpu.Trace.power.Pf_power.Account.switching
+         = bits
+             (Pf_power.Account.switching_energy p
+                ~accesses:(C.stats_accesses cache)
+                ~toggles:(C.output_toggles cache + C.addr_toggles cache)
+                ~refill_words:(C.refill_words cache))
+      (* miss classification against the shadow cache *)
+      && C.stats_compulsory cache = cl.Pf_dse.Sweep.compulsory
+      && C.stats_capacity cache = cl.Pf_dse.Sweep.capacity
+      && C.stats_conflict cache = cl.Pf_dse.Sweep.conflict)
+    (List.mapi (fun i g -> (i, g)) gs)
+
+let prop_sweep_equals_replay =
+  QCheck.Test.make
+    ~name:
+      "single-pass all-geometry sweep is bit-identical to per-geometry \
+       replay (counts, miss classes, toggles, energy, peak)"
+    ~count:8
+    (QCheck.make
+       ~print:(fun gs -> String.concat " " (List.map Space.label gs))
+       QCheck.Gen.(list_size (int_range 3 8) geometry_gen))
+    (fun gs ->
+      (* paper points always ride along; duplicates are legal lanes *)
+      sweep_matches_replay (Space.cache_16k :: Space.cache_8k :: gs))
+
+let test_space_engines () =
+  let dense = Space.cardinality Space.dense in
+  check_bool "dense grid meets the >= 1000 geometry bar" true
+    (dense.Space.feasible >= 1000);
+  let geoms = Space.geometries Space.dense in
+  check_bool "dense contains the 16K paper point" true
+    (List.mem Space.cache_16k geoms);
+  check_bool "dense contains the 8K paper point" true
+    (List.mem Space.cache_8k geoms);
+  check_bool "dense parses by name" true
+    (Space.of_string "dense" = Ok Space.dense);
+  check_bool "dense grid picks the sweep engine" true
+    (Space.choose_engine Space.dense = Space.Sweep);
+  check_bool "smoke grid stays on replay" true
+    (Space.choose_engine Space.smoke = Space.Replay);
+  check_bool "full grid stays on replay" true
+    (Space.choose_engine Space.full = Space.Replay);
+  let co = Space.cost ~benchmarks:21 Space.dense in
+  check_int "one sweep pass per recorded trace" (21 * 2) co.Space.sweep_passes;
+  check_bool "cost reports the auto engine" true (co.Space.engine = Space.Sweep);
+  check_bool "profiles well under geometries" true
+    (2 * co.Space.profiles <= dense.Space.feasible);
+  check_bool "engine round-trips through labels" true
+    (Space.engine_of_string (Space.engine_label Space.Sweep) = Ok Space.Sweep
+    && Space.engine_of_string (Space.engine_label Space.Replay)
+       = Ok Space.Replay
+    && Result.is_error (Space.engine_of_string "bogus"))
+
 let tests =
   [
     Alcotest.test_case "named grids and the cost contract" `Quick
       test_space_grids;
+    Alcotest.test_case "engine choice and the dense grid" `Quick
+      test_space_engines;
     Alcotest.test_case "infeasible corners are skipped, counted" `Quick
       test_space_feasibility_filter;
     Alcotest.test_case "space validation" `Quick test_space_validation;
@@ -350,4 +454,5 @@ let tests =
     Alcotest.test_case "dict-budget FITS variants" `Slow
       test_dict_budget_variant;
     QCheck_alcotest.to_alcotest prop_replay_equals_direct;
+    QCheck_alcotest.to_alcotest prop_sweep_equals_replay;
   ]

@@ -29,8 +29,13 @@ let params : Acc.Params.t =
     k_refill_per_bit = 2.0;
     k_internal_per_gate = 1e-4;
     k_leakage_per_gate = 1e-5;
-    peak_window_cycles = 4;
+    peak_window_insns = 4;
   }
+
+let retire_n a n =
+  for _ = 1 to n do
+    Acc.on_retire a
+  done
 
 let test_accounting_linearity () =
   let a = Acc.create ~params (geom 16) in
@@ -56,12 +61,14 @@ let test_refill_energy () =
 
 let test_peak_exceeds_average () =
   let a = Acc.create ~params (geom 16) in
-  (* one busy window, three idle windows *)
+  (* one busy 4-instruction window, then two idle windows *)
   for _ = 1 to 10 do
     Acc.on_access a ~toggles:10 ~refilled_words:0
   done;
   Acc.on_cycles a 4;
+  retire_n a 4;
   Acc.on_cycles a 12;
+  retire_n a 8;
   let r = Acc.report a in
   let avg = Acc.avg_power r in
   check_bool "peak >= average" true (r.Acc.peak_power >= avg);
@@ -70,12 +77,41 @@ let test_peak_exceeds_average () =
 
 let test_peak_window_boundaries () =
   let a = Acc.create ~params (geom 16) in
-  (* switching lands in the open window even before cycles advance *)
+  (* switching lands in the open window even before it closes *)
   Acc.on_access a ~toggles:100 ~refilled_words:0;
   Acc.on_cycles a 4;
+  retire_n a 4;
   let r1 = (Acc.report a).Acc.peak_power in
   check_bool "window closed with switching included" true
     (r1 > (Acc.report a).Acc.internal /. 4.0)
+
+let test_closed_form_equivalence () =
+  (* an incremental accountant and the batch closed forms over the same
+     integer counters must agree bit-for-bit — the contract the
+     all-geometry sweep kernel relies on *)
+  let a = Acc.create ~params (geom 8) in
+  let acc = ref 0 and tog = ref 0 and rw = ref 0 and cyc = ref 0 in
+  List.iter
+    (fun (t, w, c) ->
+      Acc.on_access a ~toggles:t ~refilled_words:w;
+      incr acc;
+      tog := !tog + t;
+      rw := !rw + w;
+      Acc.on_cycles a c;
+      cyc := !cyc + c;
+      Acc.on_retire a)
+    [ (3, 0, 1); (15, 8, 26); (0, 0, 2); (7, 0, 1); (2, 8, 25); (9, 0, 3) ];
+  let r = Acc.report a in
+  let direct =
+    Acc.report_of_counts ~params (geom 8) ~accesses:!acc ~toggles:!tog
+      ~refill_words:!rw ~cycles:!cyc ~peak:r.Acc.peak_power
+  in
+  check_bool "bit-identical switching" true
+    (r.Acc.switching = direct.Acc.switching);
+  check_bool "bit-identical internal" true (r.Acc.internal = direct.Acc.internal);
+  check_bool "bit-identical total" true (r.Acc.total = direct.Acc.total);
+  (* report is read-only: a second call sees the same state *)
+  check_bool "report idempotent" true (Acc.report a = r)
 
 let baseline = { Chip.icache_energy = 270.0; cycles = 1000 }
 
@@ -146,6 +182,8 @@ let tests =
     Alcotest.test_case "peak exceeds average" `Quick test_peak_exceeds_average;
     Alcotest.test_case "peak window switching" `Quick
       test_peak_window_boundaries;
+    Alcotest.test_case "closed-form equivalence" `Quick
+      test_closed_form_equivalence;
     Alcotest.test_case "chip-level model" `Quick test_chip_model;
     Alcotest.test_case "default calibration shape" `Quick
       test_calibration_breakdown;

@@ -11,6 +11,7 @@ module J = Pf_serve.Json
 module Store = Pf_serve.Store
 module Proto = Pf_serve.Proto
 module Service = Pf_serve.Service
+module Inflight = Pf_serve.Inflight
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -504,6 +505,95 @@ let test_envelope_roundtrip () =
   check_bool "degraded preserved" true d;
   check_string "result preserved" (J.to_string result) (J.to_string r)
 
+(* ---- in-flight coalescing ---- *)
+
+let test_inflight_coalescing () =
+  (* deterministic interleaving via a gate the leader blocks on: the
+     leader is provably inside its computation when the follower
+     arrives, and the follower is provably blocked before the gate
+     opens — no sleeps standing in for synchronization *)
+  let t : string Inflight.t = Inflight.create () in
+  let gate_m = Mutex.create () and gate_c = Condition.create () in
+  let entered = ref false and release = ref false in
+  let await cond =
+    Mutex.lock gate_m;
+    while not (cond ()) do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m
+  in
+  let signal flag =
+    Mutex.lock gate_m;
+    flag := true;
+    Condition.broadcast gate_c;
+    Mutex.unlock gate_m
+  in
+  let leader =
+    Domain.spawn (fun () ->
+        Inflight.run t ~key:"k" (fun () ->
+            signal entered;
+            await (fun () -> !release);
+            "leader-result"))
+  in
+  await (fun () -> !entered);
+  (* the leader is inside its computation; a same-key arrival must join *)
+  let follower_ran = Atomic.make false in
+  let follower =
+    Domain.spawn (fun () ->
+        Inflight.run t ~key:"k" (fun () ->
+            Atomic.set follower_ran true;
+            "follower-result"))
+  in
+  (* wait until the follower is provably blocked on the leader *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  while Inflight.waiting t < 1 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  check_int "one follower blocked" 1 (Inflight.waiting t);
+  (* an unrelated key is not serialized behind it *)
+  (match Inflight.run t ~key:"other" (fun () -> "o") with
+  | Inflight.Led v -> check_string "other key leads" "o" v
+  | Inflight.Joined _ -> Alcotest.fail "unrelated key must not join");
+  signal release;
+  let lr = Domain.join leader and fr = Domain.join follower in
+  (match lr with
+  | Inflight.Led v -> check_string "leader computed" "leader-result" v
+  | Inflight.Joined _ -> Alcotest.fail "leader must lead");
+  (match fr with
+  | Inflight.Joined v ->
+      check_string "follower shares the leader's result" "leader-result" v
+  | Inflight.Led _ -> Alcotest.fail "follower must join, not recompute");
+  check_bool "follower's closure never ran" false (Atomic.get follower_ran);
+  check_int "one computation avoided" 1 (Inflight.coalesced t);
+  check_int "table drained" 0 (Inflight.pending t);
+  check_int "no waiters left" 0 (Inflight.waiting t);
+  (* after publication the key is gone: a late arrival leads afresh *)
+  match Inflight.run t ~key:"k" (fun () -> "fresh") with
+  | Inflight.Led v -> check_string "late arrival leads" "fresh" v
+  | Inflight.Joined _ -> Alcotest.fail "late arrival must not join"
+
+let test_handle_with_inflight () =
+  (* sequential requests through the coalescing path behave exactly as
+     without it: compute then cache hit, nothing coalesced *)
+  let dir = tmpdir "svc-inflight" in
+  let store, _ = Store.open_ ~fsync:false dir in
+  let inflight : Proto.response Inflight.t = Inflight.create () in
+  let req =
+    { Proto.default_request with Proto.program = Proto.Named "crc32" }
+  in
+  let first = Service.handle ~store ~inflight req in
+  let second = Service.handle ~store ~inflight req in
+  (match (first, second) with
+  | ( Proto.Ok_reply { result = r1; cached = c1; _ },
+      Proto.Ok_reply { result = r2; cached = c2; _ } ) ->
+      check_bool "first computed" false c1;
+      check_bool "second cached" true c2;
+      check_string "same bytes" (J.to_string r1) (J.to_string r2)
+  | _ -> Alcotest.fail "expected two ok replies");
+  check_int "sequential requests never coalesce" 0 (Inflight.coalesced inflight);
+  check_int "nothing left in flight" 0 (Inflight.pending inflight);
+  Store.close store
+
 (* ---- daemon end to end ---- *)
 
 let with_daemon ?(jobs = 2) ?(queue_capacity = 64) ?store_dir f =
@@ -668,6 +758,10 @@ let tests =
       test_handle_cached_bit_identical;
     Alcotest.test_case "service: half-scale degradation" `Slow
       test_degraded_half_scale;
+    Alcotest.test_case "inflight: second waiter blocks on first result"
+      `Quick test_inflight_coalescing;
+    Alcotest.test_case "service: coalescing path is transparent" `Quick
+      test_handle_with_inflight;
     Alcotest.test_case "service: envelope roundtrip" `Quick
       test_envelope_roundtrip;
     Alcotest.test_case "daemon: end to end + restart" `Slow

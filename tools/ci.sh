@@ -25,6 +25,13 @@ echo "== explore smoke grid =="
 dune exec bin/powerfits.exe -- explore --grid smoke --benchmarks crc32,sha \
   --jobs 2
 
+echo "== explore dense grid: sweep engine vs replay oracle =="
+# The dense grid (1058 geometries) picks the single-pass sweep engine;
+# --cross-check re-evaluates the paper-point geometries with the replay
+# engine and exits 5 unless every shared point is bit-identical.
+dune exec bin/powerfits.exe -- explore --grid dense --benchmarks crc32,sha \
+  --engine sweep --cross-check --jobs 2
+
 echo "== serve smoke: crash recovery =="
 # Start a daemon armed to die (exit 42) mid-write on its second store
 # write, drive it until it crashes, then restart on the same store and
