@@ -32,6 +32,39 @@ let jobs =
   | Some j when j >= 1 -> j
   | Some _ | None -> Pf_harness.Pool.default_jobs ()
 
+(* `--engine reference|predecoded|compiled` pins the execution engine of
+   the figures sweep, the headline aggregate and the `--check` gate
+   (default: compiled, the fastest engine — the one whose regressions
+   matter).  Every engine retires the identical architectural stream, so
+   this changes throughput figures only, never results. *)
+let engine_name = function
+  | Pf_cpu.Arm_run.Reference -> "reference"
+  | Pf_cpu.Arm_run.Predecoded -> "predecoded"
+  | Pf_cpu.Arm_run.Compiled -> "compiled"
+
+let engine =
+  let of_name = function
+    | "reference" -> Pf_cpu.Arm_run.Reference
+    | "predecoded" -> Pf_cpu.Arm_run.Predecoded
+    | "compiled" -> Pf_cpu.Arm_run.Compiled
+    | s ->
+        Printf.eprintf
+          "bench: unknown --engine %s (want reference|predecoded|compiled)\n"
+          s;
+        exit 2
+  in
+  let rec scan i =
+    if i >= Array.length Sys.argv then None
+    else
+      match Sys.argv.(i) with
+      | "--engine" when i + 1 < Array.length Sys.argv ->
+          Some (of_name Sys.argv.(i + 1))
+      | s when String.length s > 9 && String.sub s 0 9 = "--engine=" ->
+          Some (of_name (String.sub s 9 (String.length s - 9)))
+      | _ -> scan (i + 1)
+  in
+  match scan 1 with Some e -> e | None -> Pf_cpu.Arm_run.Compiled
+
 (* `--check BASELINE.json` runs only the sequential sweep and compares its
    aggregate steps/sec against the committed baseline, exiting 2 on a
    >15% regression — the CI guard for simulator throughput. *)
@@ -300,8 +333,9 @@ let run_check file =
     (Printf.sprintf "throughput regression check vs %s (sequential sweep)"
        file);
   let sweep = timed_phase "check_sweep" (fun () ->
-      Pf_harness.Experiment.run_all ~jobs:1 ())
+      Pf_harness.Experiment.run_all ~jobs:1 ~engine ())
   in
+  Printf.printf "engine: %s\n" (engine_name engine);
   let current = aggregate_steps_per_sec sweep in
   let ratio = if baseline > 0. then current /. baseline else infinity in
   Printf.printf "baseline aggregate: %.0f steps/sec\n" baseline;
@@ -360,12 +394,30 @@ let run_check file =
       exit 2);
   Printf.printf "check OK: within the 15%% regression budget\n"
 
-let write_sweep_json ~explore_rate ~sweep_rate ~serve
+(* Per-engine throughput matrix: the same sequential 21-benchmark sweep
+   under each execution engine.  Results are engine-invariant (the
+   differential tests pin that), so the aggregates differ only in
+   simulator speed — the compiled engine's speedup over the interpreters
+   is the ratio of its row to theirs. *)
+let engine_matrix () =
+  heading "engine throughput matrix (sequential 21-benchmark sweep)";
+  List.map
+    (fun e ->
+      let sweep = Pf_harness.Experiment.run_all ~jobs:1 ~engine:e () in
+      let rate = aggregate_steps_per_sec sweep in
+      Printf.printf "  %-10s %11.0f steps/sec (%d/%d benchmarks)\n"
+        (engine_name e) rate sweep.Pf_harness.Experiment.completed
+        sweep.Pf_harness.Experiment.total;
+      (engine_name e, rate))
+    [ Pf_cpu.Arm_run.Reference; Pf_cpu.Arm_run.Predecoded;
+      Pf_cpu.Arm_run.Compiled ]
+
+let write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve
     (sweep : Pf_harness.Experiment.sweep) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 5,\n";
-  Buffer.add_string b "  \"engine\": \"predecoded\",\n";
+  Buffer.add_string b "  \"schema\": 6,\n";
+  Printf.bprintf b "  \"engine\": \"%s\",\n" (engine_name engine);
   Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
   Printf.bprintf b "  \"completed\": %d,\n"
@@ -373,6 +425,13 @@ let write_sweep_json ~explore_rate ~sweep_rate ~serve
   Printf.bprintf b "  \"total\": %d,\n" sweep.Pf_harness.Experiment.total;
   Printf.bprintf b "  \"aggregate_steps_per_sec\": %.0f,\n"
     (aggregate_steps_per_sec sweep);
+  Buffer.add_string b "  \"aggregate_steps_per_sec_by_engine\": {\n";
+  List.iteri
+    (fun i (name, rate) ->
+      Printf.bprintf b "    \"%s\": %.0f%s\n" name rate
+        (if i = List.length engine_rates - 1 then "" else ","))
+    engine_rates;
+  Buffer.add_string b "  },\n";
   Printf.bprintf b "  \"explore_events_per_sec\": %.0f,\n" explore_rate;
   Printf.bprintf b "  \"sweep_events_per_sec\": %.0f,\n" sweep_rate;
   Printf.bprintf b "  \"serve_requests_per_sec\": %.0f,\n"
@@ -414,12 +473,13 @@ let write_sweep_json ~explore_rate ~sweep_rate ~serve
 let run_figures () =
   heading "PowerFITS evaluation figures (21-benchmark suite, scale 1)";
   let t0 = Unix.gettimeofday () in
-  let sweep = Pf_harness.Experiment.run_all ~jobs () in
+  let sweep = Pf_harness.Experiment.run_all ~jobs ~engine () in
   Printf.printf
-    "(simulated %d/%d benchmarks x 4 configurations in %.1f s, jobs=%d)\n"
+    "(simulated %d/%d benchmarks x 4 configurations in %.1f s, jobs=%d, \
+     engine=%s)\n"
     sweep.Pf_harness.Experiment.completed sweep.Pf_harness.Experiment.total
     (Unix.gettimeofday () -. t0)
-    sweep.Pf_harness.Experiment.jobs;
+    sweep.Pf_harness.Experiment.jobs (engine_name engine);
   Printf.printf "%s\n\n" (Pf_harness.Experiment.banner sweep);
   let all = Pf_harness.Experiment.completed_results sweep in
   List.iter
@@ -742,6 +802,7 @@ let () =
       ablation_fetch_buffer ());
   timed_phase "scale_robustness" scale_robustness;
   timed_phase "cross_application" cross_application;
+  let engine_rates = timed_phase "engine_matrix" engine_matrix in
   let explore_rate = timed_phase "explore_smoke" run_explore_throughput in
   let sweep_rate =
     timed_phase "sweep_dense" (fun () -> run_sweep_throughput ~explore_rate)
@@ -751,5 +812,5 @@ let () =
       try microbenchmarks ()
       with e ->
         Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
-  write_sweep_json ~explore_rate ~sweep_rate ~serve sweep;
+  write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve sweep;
   print_newline ()

@@ -183,8 +183,33 @@ let max_steps_arg =
            ~doc:"Step-budget watchdog; exceeding it fails with a structured \
                  timeout (exit code 4).")
 
+(* Execution-engine selector shared by `run` and `figures`.  Distinct
+   from `explore --engine replay|sweep`, which picks how the DSE grid is
+   evaluated; this one picks how an instruction stream is *executed*.
+   Every engine retires the identical architectural stream (pinned by the
+   three-way differential tests), so it affects simulator speed only. *)
+let exec_engine_arg =
+  let engine_conv =
+    Arg.enum
+      [ ("reference", Pf_cpu.Arm_run.Reference);
+        ("predecoded", Pf_cpu.Arm_run.Predecoded);
+        ("compiled", Pf_cpu.Arm_run.Compiled) ]
+  in
+  Arg.(value & opt engine_conv Pf_cpu.Arm_run.Compiled
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,reference) (decode-as-you-go \
+                 interpreter), $(b,predecoded) (micro-op interpreter) or \
+                 $(b,compiled) (basic-block compiler, the default).  \
+                 Results are engine-invariant; only simulation speed \
+                 changes.")
+
+let fits_engine = function
+  | Pf_cpu.Arm_run.Reference -> Pf_fits.Run.Reference
+  | Pf_cpu.Arm_run.Predecoded -> Pf_fits.Run.Predecoded
+  | Pf_cpu.Arm_run.Compiled -> Pf_fits.Run.Compiled
+
 let run_cmd =
-  let run_one ~scale ~config ~max_steps b =
+  let run_one ~scale ~config ~max_steps ~engine b =
     let image = build ~scale b in
     let cache_cfg =
       match config with
@@ -206,7 +231,7 @@ let run_cmd =
     in
     match config with
     | `Arm16 | `Arm8 ->
-        let r = Pf_cpu.Arm_run.run ~cache_cfg ?max_steps image in
+        let r = Pf_cpu.Arm_run.run ~engine ~cache_cfg ?max_steps image in
         print_common ~instrs:r.Pf_cpu.Arm_run.instructions
           ~cycles:r.Pf_cpu.Arm_run.cycles ~ipc:r.Pf_cpu.Arm_run.ipc
           ~accesses:r.Pf_cpu.Arm_run.cache_accesses
@@ -219,7 +244,10 @@ let run_cmd =
         let tr =
           Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image
         in
-        let r = Pf_fits.Run.run ~cache_cfg ?max_steps tr in
+        let r =
+          Pf_fits.Run.run ~engine:(fits_engine engine) ~cache_cfg ?max_steps
+            tr
+        in
         Printf.printf "dynamic 1-to-1 mapping: %.1f%%\n"
           r.Pf_fits.Run.dyn_one_to_one_pct;
         print_common ~instrs:r.Pf_fits.Run.arm_instructions
@@ -229,7 +257,7 @@ let run_cmd =
           ~mr:r.Pf_fits.Run.miss_rate_per_million r.Pf_fits.Run.power
           r.Pf_fits.Run.output
   in
-  let run name benchmarks scale config max_steps jobs =
+  let run name benchmarks scale config max_steps engine jobs =
     (* a single-configuration simulation has no sweep to spread across
        domains; --jobs is accepted for symmetry with figures/inject *)
     ignore (resolve_jobs jobs);
@@ -239,7 +267,7 @@ let run_cmd =
       (fun (b : Pf_mibench.Registry.benchmark) ->
         if many then
           Printf.printf "=== %s ===\n" b.Pf_mibench.Registry.name;
-        run_one ~scale ~config ~max_steps b)
+        run_one ~scale ~config ~max_steps ~engine b)
       benches
   in
   Cmd.v
@@ -248,7 +276,7 @@ let run_cmd =
          "Simulate one benchmark (or a --benchmarks subset) on one of the \
           four configurations.")
     Term.(const run $ bench_opt_arg $ benchmarks_arg $ scale_arg
-          $ config_arg $ max_steps_arg $ jobs_arg)
+          $ config_arg $ max_steps_arg $ exec_engine_arg $ jobs_arg)
 
 (* ---- figures ---- *)
 
@@ -258,10 +286,12 @@ let figures_cmd =
          & info [ "only" ] ~docv:"FIG"
              ~doc:"Print a single figure (fig3..fig14).")
   in
-  let run scale only benchmarks jobs =
+  let run scale only benchmarks engine jobs =
     let jobs = resolve_jobs jobs in
     let benchmarks = resolve_benchmarks benchmarks in
-    let sweep = Pf_harness.Experiment.run_all ~scale ~benchmarks ~jobs () in
+    let sweep =
+      Pf_harness.Experiment.run_all ~scale ~benchmarks ~engine ~jobs ()
+    in
     Printf.eprintf "%s\n%!" (Pf_harness.Experiment.banner sweep);
     let all = Pf_harness.Experiment.completed_results sweep in
     let divergent =
@@ -311,7 +341,8 @@ let figures_cmd =
        ~doc:
          "Run the experiment (optionally on a --benchmarks subset) and \
           print every evaluation figure.")
-    Term.(const run $ scale_arg $ only $ benchmarks_arg $ jobs_arg)
+    Term.(const run $ scale_arg $ only $ benchmarks_arg $ exec_engine_arg
+          $ jobs_arg)
 
 (* ---- inject ---- *)
 

@@ -293,6 +293,37 @@ let dp (st : Exec.t) (o : Exec.outcome) u a b sc =
   | Insn.CMP -> ignore (Exec.sub_with_flags st ~set_flags:true a b 1)
   | Insn.CMN -> ignore (Exec.add_with_flags st ~set_flags:true a b 0)
 
+(* Flag-elided copy for the block compiler: same dispatch and register
+   semantics minus the condition-flag writes.  Pipeline metadata
+   (cls/reads/writes/backward) is deliberately untouched so the issued and
+   recorded event stream is identical to the unelided instruction's.
+   [uop] is private; this is the one sanctioned way to derive a variant. *)
+let elide_flags u = { u with s = false }
+
+(* DP-family execution specialized to the block compiler's [sh_dp] shape:
+   unconditional (no [cond_passed] test) and never writing the pc (the
+   caller proves rd <> 15 for writing forms), so the outcome record needs
+   no resetting — control flow is straight-line by construction.  Flag and
+   value semantics are [dp]'s, case for case. *)
+let exec_dp_nr (st : Exec.t) (o : Exec.outcome) u =
+  st.Exec.steps <- st.Exec.steps + 1;
+  let code = u.code in
+  if code = k_dp_imm then begin
+    let a = rr st u u.rn in
+    let sc = if u.carry < 0 then st.Exec.cf else u.carry = 1 in
+    dp st o u a u.imm sc
+  end
+  else if code = k_dp_reg then dp st o u (rr st u u.rn) (rr st u u.rm) st.Exec.cf
+  else if code = k_dp_shift_imm then begin
+    let p = shift_pack st.Exec.cf (rr st u u.rm) u.kind u.amount in
+    dp st o u (rr st u u.rn) (p land 0xFFFF_FFFF) (p land cbit <> 0)
+  end
+  else begin
+    let amount = rr st u u.rs land 0xFF in
+    let p = shift_pack st.Exec.cf (rr st u u.rm) u.kind amount in
+    dp st o u (rr st u u.rn) (p land 0xFFFF_FFFF) (p land cbit <> 0)
+  end
+
 let exec (st : Exec.t) (o : Exec.outcome) u =
   o.Exec.executed <- false;
   o.Exec.branch_taken <- false;

@@ -49,6 +49,28 @@ val code_undef : int
     entries).  {!exec} raises [Decode_fault] on them; fetch loops test
     [u.code = code_undef] to fault with their own message. *)
 
+(** {2 Dispatch codes}
+
+    The [code] field's values, exported for the basic-block compiler
+    ({!Bexec}), which classifies micro-ops (terminator? DP family?
+    pc-writing?) at block-build time.  [k_dp_imm .. k_dp_shift_reg] are
+    contiguous from 0, so [code <= k_dp_shift_reg] tests DP-family
+    membership. *)
+
+val k_dp_imm : int
+val k_dp_reg : int
+val k_dp_shift_imm : int
+val k_dp_shift_reg : int
+val k_mem : int
+val k_mem_reg : int
+val k_mul : int
+val k_push : int
+val k_pop : int
+val k_b : int
+val k_bx : int
+val k_swi : int
+val k_jalr : int
+
 type program = {
   uops : uop array;         (** indexed by static slot, like [Image.insns] *)
   code_base : int;
@@ -84,6 +106,19 @@ val compile : Image.t -> program
 val exec : Exec.t -> Exec.outcome -> uop -> unit
 (** Execute one micro-op: same state updates and outcome fields as
     {!Exec.execute}, no heap allocation. *)
+
+val elide_flags : uop -> uop
+(** Copy of a micro-op with [s = false]: same register-file semantics, no
+    condition-flag writes.  The block compiler applies it to S-suffixed
+    ops whose flag results are provably dead within their basic block;
+    pipeline metadata is unchanged so the event stream is identical. *)
+
+val exec_dp_nr : Exec.t -> Exec.outcome -> uop -> unit
+(** Execute a DP-family micro-op ([code <= k_dp_shift_reg]) known to be
+    unconditional and non-pc-writing — the block compiler's straight-line
+    fast shape.  Skips the condition test and the outcome resets {!exec}
+    performs; the caller owns the pc.  Calling it on any other micro-op is
+    undefined (the compiler's shape analysis is the proof obligation). *)
 
 val run : ?max_steps:int -> ?deadline:Pf_util.Deadline.t -> program -> Exec.t -> unit
 (** Fetch-execute loop over a predecoded program: the counterpart of

@@ -266,6 +266,99 @@ let access_fast t ~addr ~data =
     ((idx_t + out_t) lsl 16) lor (rw lsl 1)
   end
 
+(* [access_fast] minus the switching-activity model: no index/output
+   Hamming toggles, no bus state.  Tag array, MRU order, miss counters,
+   classification and pending flips evolve identically, so the hit/miss
+   sequence is bit-identical to [access_fast] on the same address stream.
+   Only sound on an instance whose toggle counters are never read AND
+   whose every access goes through this entry point (skipping the
+   [last_idx]/[last_out] updates desynchronizes any later toggle
+   computation): the D-cache qualifies — the pipeline consumes only its
+   miss counts, and power accounting models the I-cache alone. *)
+let access_count t ~addr =
+  t.accesses <- t.accesses + 1;
+  (match t.pending_flips with [] -> () | _ -> apply_due_flips t);
+  let block = addr lsr t.block_shift in
+  let set = block land (t.nsets - 1) in
+  let tag = block lsr t.set_shift in
+  let assoc = t.assoc in
+  let base = set * assoc in
+  let tags = t.tags in
+  let way = ref 0 in
+  while !way < assoc && Array.unsafe_get tags (base + !way) <> tag do
+    incr way
+  done;
+  if !way < assoc then begin
+    let w = !way in
+    if w > 0 then begin
+      for j = w downto 1 do
+        Array.unsafe_set tags (base + j)
+          (Array.unsafe_get tags (base + j - 1))
+      done;
+      Array.unsafe_set tags base tag
+    end;
+    (match t.shadow with None -> () | Some l -> lru_touch l block);
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.refills <- t.refills + t.refill_block_words;
+    (match t.seen with None -> () | Some _ -> classify_miss t block);
+    Array.blit tags base tags (base + 1) (assoc - 1);
+    tags.(base) <- tag;
+    (match t.shadow with None -> () | Some l -> lru_touch l block);
+    false
+  end
+
+let line_of_addr t ~addr = addr lsr t.block_shift
+
+(* Same-line fast path for the block-compiled engine and sequential
+   straight-line fetch: the caller proves (by tracking [line_of_addr]
+   values) that the immediately preceding access to this cache touched the
+   same cache line.  Under that precondition the outcome of [access_fast]
+   is fully determined — both its hit and its miss path leave the touched
+   line at way 0 (MRU-first order), so this access is a way-0 hit; the set
+   index equals [last_idx], so the decoder Hamming toggle is 0; and the
+   shadow-LRU touch is idempotent (the block is already at the recency
+   front).  The only state that changes is the access counter and the
+   output-bus toggle stream.  Pending tag flips take the slow path: a flip
+   can corrupt the way-0 tag between two sequential fetches and its due
+   time is a function of the access counter — and after [access_fast]
+   handles it, the matched-or-refilled tag is back at way 0, re-arming the
+   precondition.  Counter-for-counter identical to [access_fast]; the
+   replay-equivalence and three-way differential tests assert it. *)
+let access_seq t ~addr ~data =
+  match t.pending_flips with
+  | _ :: _ -> access_fast t ~addr ~data
+  | [] ->
+      t.accesses <- t.accesses + 1;
+      let out_t = output_toggle ~last_out:t.last_out ~out:data in
+      t.out_toggles <- t.out_toggles + out_t;
+      t.last_out <- data;
+      (match t.shadow with
+      | None -> ()
+      | Some l -> lru_touch l (addr lsr t.block_shift));
+      (out_t lsl 16) lor 1
+
+let has_pending_flips t = t.pending_flips <> []
+let block_bytes t = t.cfg.block_bytes
+
+(* Bulk form of [naccesses] same-line sequential hits.  Preconditions
+   (caller-proved, see the mli): every access is to the line of the
+   immediately preceding access, so each is a guaranteed way-0 MRU hit
+   with zero index toggles (same set), refills nothing, and leaves the
+   shadow recency list unchanged (the block is already at the front —
+   [lru_touch] is idempotent there).  [toggles] must be the Hamming sum
+   of the accessed word sequence against its predecessors and [last_out]
+   the final word driven on the bus.  No pending tag flips: the access
+   counter jumps by [naccesses], so a flip falling due inside the run
+   would be applied late — callers check [has_pending_flips] and take the
+   per-access path instead. *)
+let access_seq_run t ~naccesses ~toggles ~last_out =
+  t.accesses <- t.accesses + naccesses;
+  t.out_toggles <- t.out_toggles + toggles;
+  t.last_out <- last_out
+
 let access t ~addr ~data =
   let r = access_fast t ~addr ~data in
   {

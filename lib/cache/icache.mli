@@ -83,6 +83,54 @@ val access_fast : t -> addr:int -> data:int -> int
     refilled words, bits 16 and up = toggles.  {!access} is a wrapper
     around this. *)
 
+val access_count : t -> addr:int -> bool
+(** {!access_fast} minus the switching-activity model: returns the hit
+    bit alone and skips the index/output Hamming toggles and bus-state
+    updates.  Tag array, MRU order, miss counters, classification and
+    pending flips evolve identically, so the hit/miss sequence on any
+    address stream is bit-identical.  Only sound on an instance whose
+    toggle counters are never read and whose {e every} access goes
+    through this entry point — the pipeline's D-cache, whose misses are
+    the only thing the timing model consumes (power accounting models
+    the I-cache alone). *)
+
+val line_of_addr : t -> addr:int -> int
+(** Cache-line number of a byte address under this instance's geometry
+    ([addr lsr log2 block_bytes]) — the value callers track to prove the
+    {!access_seq} precondition. *)
+
+val access_seq : t -> addr:int -> data:int -> int
+(** Same contract and packed result as {!access_fast}, specialized to an
+    access whose line ({!line_of_addr}) equals that of the immediately
+    preceding access to this cache.  Under that precondition the line is a
+    guaranteed way-0 MRU hit with zero index toggles, so only the access
+    counter and the output-toggle stream advance — one Hamming distance
+    instead of a way search, an MRU rotate and a decoder toggle.  Falls
+    back to {!access_fast} internally while tag flips are pending.
+    Calling it when the precondition does not hold silently corrupts the
+    simulation; the block-compiled engine is its only intended caller. *)
+
+val access_seq_run : t -> naccesses:int -> toggles:int -> last_out:int -> unit
+(** Bulk form of [naccesses] consecutive {!access_seq}-eligible fetches:
+    every access touches the line of the immediately preceding access (so
+    each is a guaranteed way-0 hit with zero index toggles and an
+    unchanged shadow recency front), [toggles] is the output-bus Hamming
+    sum of the fetched word sequence, and [last_out] the final word on
+    the bus.  Counter-for-counter identical to the per-access calls under
+    those preconditions — only the access counter, the output-toggle
+    total and the bus baseline advance.  Callers must check
+    {!has_pending_flips} first: the access counter jumps by [naccesses],
+    which would defer a flip falling due inside the run. *)
+
+val has_pending_flips : t -> bool
+(** Are tag flips scheduled but not yet applied?  While true, batched
+    accessors ({!access_seq_run}) are unsound and callers must take the
+    per-access path. *)
+
+val block_bytes : t -> int
+(** Line size in bytes of this instance's geometry (callers compute line
+    spans without re-deriving the config). *)
+
 val stats_accesses : t -> int
 val stats_misses : t -> int
 val stats_compulsory : t -> int

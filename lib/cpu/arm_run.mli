@@ -21,10 +21,16 @@ val dcache_cfg : Pf_cache.Icache.config
 
 (** Which interpreter drives the run.  [Predecoded] (the default) executes
     {!Pf_arm.Pexec} micro-ops — statically decoded once, allocation-free
-    per step; [Reference] walks {!Pf_arm.Exec.run} re-deriving everything
-    per dynamic step.  Results are bit-identical; the reference engine is
+    per step; [Compiled] additionally groups them into basic blocks
+    ({!Pf_arm.Bexec}) and dispatches per block, with dead flag writes
+    elided, the per-instruction condition/bounds/outcome work hoisted and
+    watchdog/deadline checks honored at exact per-instruction granularity
+    via a boundary single-step mode; [Reference] walks
+    {!Pf_arm.Exec.run} re-deriving everything per dynamic step.  Results
+    — cycles, toggles, every power float, recorded traces, outputs, fault
+    pcs — are bit-identical across all three; the reference engine is
     kept as the differential-testing oracle. *)
-type engine = Reference | Predecoded
+type engine = Reference | Predecoded | Compiled
 
 val run :
   ?engine:engine ->

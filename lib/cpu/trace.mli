@@ -54,6 +54,37 @@ val record :
     the D-cache miss count the recording pipeline observed for this event
     ({!Pipeline.last_dcache_misses}, recorded {e after} issuing). *)
 
+val static_meta :
+  cls_code:int -> backward:bool -> reads:int -> writes:int -> int
+(** The static (per-static-instruction constant) part of a packed meta
+    word: class, branch direction and register masks, with the dynamic
+    fields (taken, mem_words, dmisses) zero.  The block-compiled engine
+    computes this once per instruction at block-compile time. *)
+
+val dynamic_meta : taken:bool -> mem_words:int -> dmisses:int -> int
+(** The dynamic part of a packed meta word; [static_meta ... lor
+    dynamic_meta ...] equals what {!record} packs from the same fields. *)
+
+val record_packed : t -> addr:int -> meta:int -> unit
+(** Append one event whose meta word is already packed ({!static_meta}
+    [lor] {!dynamic_meta}).  Identical trace bytes to {!record}; exists so
+    a compiled block pays two stores per instruction instead of re-packing
+    seven fields. *)
+
+val register_pairs : t -> int array -> int
+(** Register a compiled block's pairs table — (addr, meta) two ints per
+    instruction, [record_packed]'s layout, ALU-shaped and strictly
+    sequential — returning the table id {!record_span} references.  The
+    table is aliased, not copied: it must not change for the life of the
+    trace (the engines' tables are block-compile-time constants). *)
+
+val record_span : t -> tid:int -> pos:int -> n:int -> unit
+(** Append a fused ALU run of [n] events as ONE block-granular trace
+    event referencing [n] pairs of registered table [tid] starting at int
+    offset [pos].  Consumers expand it to exactly the stream [n]
+    {!record_packed} calls of those pairs would have recorded; the
+    recording itself is two stores regardless of [n]. *)
+
 val set_dcache_rate : t -> float -> unit
 (** Store the recording run's final D-cache miss rate (per million);
     replays report it verbatim — the data-side stream is identical in
@@ -87,6 +118,14 @@ val meta_dmisses : int -> int
 (** Recorded D-cache miss count of the event (what [replay] passes to
     {!Pipeline.issue} as [dmisses]). *)
 
+val exec_counts : t -> base:int -> n:int -> int array
+(** Per-slot execution counts of the recorded stream: slot
+    [(addr - base) / isize] of an [n]-slot code segment.  For an ARM
+    recording this is bit-identical to the per-word profile a dedicated
+    counting run produces — the trace {e is} the executed sequence —
+    letting the harness feed instruction-set synthesis without a separate
+    profiling execution. *)
+
 (** What a replay measures — the cache/timing/power half of a runner's
     result record.  Identical to what the same instruction stream produces
     when simulated directly: replay drives the same [Pipeline.issue]
@@ -111,6 +150,7 @@ val replay :
   ?power_params:Pf_power.Account.Params.t ->
   ?classify:bool ->
   ?cache:Pf_cache.Icache.t ->
+  ?seq:int array * int ->
   cache_cfg:Pf_cache.Icache.config ->
   fetch_data:(int -> int) ->
   t ->
@@ -120,4 +160,8 @@ val replay :
     counts.  [fetch_data] must be the same word-at-address function the
     execute phase used (the image is immutable, so the words driven onto
     the fetch bus are reproduced exactly).  [cache] substitutes a
-    pre-built I-cache instance, as in the direct runners. *)
+    pre-built I-cache instance, as in the direct runners.  [seq] =
+    [(Pipeline.seq_toggle_prefix of the code words, code_base / 4)]
+    routes sequential ALU runs through the line-batched span kernel
+    ({!Pipeline.issue_alu_seq_span}) — identical results, several times
+    faster; omit it and replay uses the per-access span path. *)

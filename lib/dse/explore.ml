@@ -174,40 +174,53 @@ let fits_sweep_1pass ~dict_budget ~(like : Pf_fits.Run.result) ~geometries
       })
     geometries
 
-(* One benchmark: 1 + |dict_budgets| recording executions, each replayed
-   through every geometry.  The replays are the cheap part — no
-   architectural simulation, no D-cache, just cache/pipeline/power driven
-   by the recorded stream. *)
-let run_benchmark ?(scale = 1) ?max_steps ?deadline ?(engine = Space.Replay)
-    ~geometries ~dict_budgets (b : Pf_mibench.Registry.benchmark) =
+(* A benchmark's recorded executions, separated from the geometry sweeps
+   so the expensive half can be shared: the traces and translations are a
+   function of (program, max_steps, dict budgets) alone — geometry never
+   enters — so one recording serves any number of geometry evaluations
+   (the serve daemon shares them across explore-point requests).  Traces
+   and images are immutable once recorded; sweeping a recording only
+   reads it, so concurrent sweeps of a shared recording are safe. *)
+type recording = {
+  rec_name : string;
+  rec_category : string;
+  rec_image : Pf_arm.Image.t;
+  rec_arm_trace : Pf_cpu.Trace.t;
+  rec_arm_output : string;
+  rec_fits :
+    (int option * Pf_fits.Translate.t * Pf_cpu.Trace.t * Pf_fits.Run.result)
+    list;
+  rec_consistent : bool;
+}
+
+(* 1 + |dict_budgets| recording executions under the block-compiled
+   engine (results are engine-invariant; the compiled engine is just the
+   fastest way to produce them).  The ARM recording doubles as the
+   profiling run — [Trace.exec_counts] of its trace is bit-identical to
+   a dedicated counting execution — so synthesis costs no extra run. *)
+let record ?(scale = 1) ?max_steps ?deadline ~dict_budgets
+    (b : Pf_mibench.Registry.benchmark) =
   let check () = Deadline.check ~where:"dse.explore" deadline in
-  let n_geoms = List.length geometries in
   let p = b.Pf_mibench.Registry.program ~scale in
   let image =
     Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
   in
   check ();
-  let dyn_counts, reference_output =
-    Pf_fits.Synthesis.dyn_counts_of_run ?max_steps ?deadline image
-  in
-  check ();
   let arm_trace = Pf_cpu.Trace.create ~isize:4 () in
   let arm_r =
-    Pf_cpu.Arm_run.run ~cache_cfg:Space.recording_point ?max_steps ?deadline
-      ~trace:arm_trace image
+    Pf_cpu.Arm_run.run ~engine:Pf_cpu.Arm_run.Compiled
+      ~cache_cfg:Space.recording_point ?max_steps ?deadline ~trace:arm_trace
+      image
   in
   check ();
-  let arm_points =
-    match engine with
-    | Space.Replay ->
-        arm_sweep ~image ~output:arm_r.Pf_cpu.Arm_run.output ~geometries
-          arm_trace
-    | Space.Sweep -> arm_sweep_1pass ~image ~geometries arm_trace
+  let dyn_counts =
+    Pf_cpu.Trace.exec_counts arm_trace ~base:image.Pf_arm.Image.code_base
+      ~n:(Array.length image.Pf_arm.Image.words)
   in
-  let consistent = ref (arm_r.Pf_cpu.Arm_run.output = reference_output) in
-  let replayed = ref (n_geoms * Pf_cpu.Trace.length arm_trace) in
-  let fits_points =
-    List.concat_map
+  let reference_output = arm_r.Pf_cpu.Arm_run.output in
+  let consistent = ref true in
+  let fits =
+    List.map
       (fun budget ->
         let syn =
           match budget with
@@ -228,11 +241,42 @@ let run_benchmark ?(scale = 1) ?max_steps ?deadline ?(engine = Space.Replay)
         check ();
         let ftrace = Pf_cpu.Trace.create ~isize:2 () in
         let f_r =
-          Pf_fits.Run.run ~cache_cfg:Space.recording_point ?max_steps
-            ?deadline ~trace:ftrace tr
+          Pf_fits.Run.run ~engine:Pf_fits.Run.Compiled
+            ~cache_cfg:Space.recording_point ?max_steps ?deadline
+            ~trace:ftrace tr
         in
         check ();
-        if f_r.Pf_fits.Run.output <> reference_output then consistent := false;
+        if f_r.Pf_fits.Run.output <> reference_output then
+          consistent := false;
+        (budget, tr, ftrace, f_r))
+      dict_budgets
+  in
+  {
+    rec_name = b.Pf_mibench.Registry.name;
+    rec_category = b.Pf_mibench.Registry.category;
+    rec_image = image;
+    rec_arm_trace = arm_trace;
+    rec_arm_output = reference_output;
+    rec_fits = fits;
+    rec_consistent = !consistent;
+  }
+
+(* The geometry half: replay (or single-pass sweep) a recording through
+   every grid point.  Read-only on the recording. *)
+let sweep_recording ?(engine = Space.Replay) ~geometries (r : recording) =
+  let n_geoms = List.length geometries in
+  let arm_points =
+    match engine with
+    | Space.Replay ->
+        arm_sweep ~image:r.rec_image ~output:r.rec_arm_output ~geometries
+          r.rec_arm_trace
+    | Space.Sweep ->
+        arm_sweep_1pass ~image:r.rec_image ~geometries r.rec_arm_trace
+  in
+  let replayed = ref (n_geoms * Pf_cpu.Trace.length r.rec_arm_trace) in
+  let fits_points =
+    List.concat_map
+      (fun (budget, tr, ftrace, f_r) ->
         replayed := !replayed + (n_geoms * Pf_cpu.Trace.length ftrace);
         match engine with
         | Space.Replay ->
@@ -240,15 +284,24 @@ let run_benchmark ?(scale = 1) ?max_steps ?deadline ?(engine = Space.Replay)
         | Space.Sweep ->
             fits_sweep_1pass ~dict_budget:budget ~like:f_r ~geometries tr
               ftrace)
-      dict_budgets
+      r.rec_fits
   in
   {
-    name = b.Pf_mibench.Registry.name;
-    category = b.Pf_mibench.Registry.category;
+    name = r.rec_name;
+    category = r.rec_category;
     points = arm_points @ fits_points;
     replayed_events = !replayed;
-    outputs_consistent = !consistent;
+    outputs_consistent = r.rec_consistent;
   }
+
+let run_benchmark ?scale ?max_steps ?deadline ?engine ?recording ~geometries
+    ~dict_budgets (b : Pf_mibench.Registry.benchmark) =
+  let r =
+    match recording with
+    | Some r -> r
+    | None -> record ?scale ?max_steps ?deadline ~dict_budgets b
+  in
+  sweep_recording ?engine ~geometries r
 
 let default_wall_clock_s = 600.
 

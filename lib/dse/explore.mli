@@ -101,17 +101,51 @@ val run :
     bit-identical either way.  A failing benchmark is isolated into its
     row ([Error]); it never aborts the sweep. *)
 
+type recording
+(** A benchmark's recorded executions — image, per-ISA traces,
+    translations, recording-run results — separated from the geometry
+    sweeps.  A recording is a function of (program, [max_steps],
+    [dict_budgets]) alone; cache geometry never enters, so one recording
+    serves any number of geometry evaluations.  Immutable once built:
+    sweeping only reads it, so a recording may be shared across domains
+    (the serve daemon shares them across explore-point requests). *)
+
+val record :
+  ?scale:int ->
+  ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
+  dict_budgets:int option list ->
+  Pf_mibench.Registry.benchmark ->
+  recording
+(** The expensive half of {!run_benchmark}: 1 + |dict_budgets| recording
+    executions under the block-compiled engine (results are
+    engine-invariant), with the synthesis profile derived from the ARM
+    trace ({!Pf_cpu.Trace.exec_counts}) instead of a dedicated counting
+    run.  Unprotected; exceptions (including watchdogs) propagate. *)
+
+val sweep_recording :
+  ?engine:Space.engine ->
+  geometries:Pf_cache.Icache.config list ->
+  recording ->
+  bench_run
+(** The geometry half: evaluate every grid point from the recording, by
+    per-geometry replay (default) or the single-pass [Sweep] kernel —
+    bit-identical either way.  Read-only on the recording. *)
+
 val run_benchmark :
   ?scale:int ->
   ?max_steps:int ->
   ?deadline:Pf_util.Deadline.t ->
   ?engine:Space.engine ->
+  ?recording:recording ->
   geometries:Pf_cache.Icache.config list ->
   dict_budgets:int option list ->
   Pf_mibench.Registry.benchmark ->
   bench_run
 (** One benchmark, unprotected (exceptions propagate) — {!run} wraps
-    this.  [engine] defaults to [Replay]. *)
+    this.  [engine] defaults to [Replay].  [recording] substitutes an
+    existing {!record} result (its [scale]/[max_steps]/[dict_budgets]
+    must match the arguments, which then go unused). *)
 
 val arm_sweep :
   image:Pf_arm.Image.t ->

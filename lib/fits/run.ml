@@ -59,7 +59,7 @@ let predecode (tr : Translate.t) =
       | Mapping.M_undef why -> Px.undef ~isize:2 ~pc ~why)
     tr.Translate.insns
 
-type engine = Pf_cpu.Arm_run.engine = Reference | Predecoded
+type engine = Pf_cpu.Arm_run.engine = Reference | Predecoded | Compiled
 
 let default_cache_cfg = Pf_cache.Icache.config ~size_bytes:(16 * 1024) ()
 
@@ -98,8 +98,234 @@ let run ?(engine = Predecoded) ?cache ?(cache_cfg = default_cache_cfg)
   let steps = ref 0 in
   let src_retired = ref 0 in
   let src_one = ref 0 in
+  let no_hook = match on_step with None -> true | Some _ -> false in
   (match engine with
-  | Predecoded -> begin
+  | Compiled when no_hook -> begin
+      (* Block-compiled driver: the FITS counterpart of
+         [Arm_run.run_compiled] — 16-bit slots, the local step counter as
+         the budget, per-block source-instruction bookkeeping summed from
+         [Translate.first]/[group_len] once at first dispatch, and the
+         FITS-specific fault messages in boundary mode.  Watchdog and
+         deadline behaviour is made exact the same way: when a budget
+         exhaustion or a deadline poll would land inside the next block
+         (or the block is a legality fallback), one instruction runs with
+         the exact per-instruction body. *)
+      let uops = predecode tr in
+      let cx =
+        Pf_cpu.Cexec.create ~isize:2 ~code_base (Pf_arm.Bexec.create uops)
+      in
+      let dmask = Pf_arm.Exec.deadline_mask in
+      let sh_dp = Pf_arm.Bexec.sh_dp in
+      let seq_tog = P.seq_toggle_prefix ~words in
+      let wbase = code_base lsr 2 in
+      (* per-block source-retirement sums, filled at first dispatch *)
+      let src_tab = Array.make ninsns (-1) in
+      let one_tab = Array.make ninsns 0 in
+      let fill_src idx len =
+        let a = ref 0 and b = ref 0 in
+        for i = idx to idx + len - 1 do
+          let fi = insns.(i) in
+          if fi.Translate.first then begin
+            incr a;
+            if fi.Translate.group_len = 1 then incr b
+          end
+        done;
+        src_tab.(idx) <- !a;
+        one_tab.(idx) <- !b
+      in
+      let step_boundary idx =
+        (* one exact per-instruction step: same checks, same faults, same
+           step counts as the predecoded loop bodies *)
+        if !steps >= max_steps then budget_fault max_steps;
+        if !steps land dmask = 0 then Pf_util.Deadline.check ~where deadline;
+        let u = uops.(idx) in
+        if u.Px.code = Px.code_undef then
+          Pf_util.Sim_error.raisef Pf_util.Sim_error.Decode_fault ~where
+            "corrupted decoder entry at 0x%x: %s" !pc u.Px.why;
+        Px.exec st o u;
+        u
+      in
+      let finish_boundary idx =
+        let fi = insns.(idx) in
+        if fi.Translate.first then begin
+          incr src_retired;
+          if fi.Translate.group_len = 1 then incr src_one
+        end;
+        incr steps;
+        pc := o.Pf_arm.Exec.next_pc
+      in
+      (* run-scan cursors, hoisted so block dispatch allocates nothing *)
+      let i = ref 0 and j = ref 0 in
+      match trace with
+      | None ->
+          while not st.Pf_arm.Exec.halted do
+            if !pc = Pf_arm.Exec.halt_sentinel then
+              st.Pf_arm.Exec.halted <- true
+            else begin
+              let idx = (!pc - code_base) asr 1 in
+              if idx < 0 || idx >= ninsns then outside_fault !pc;
+              let cbk = Pf_cpu.Cexec.block_at cx idx in
+              let bb = cbk.Pf_cpu.Cexec.bb in
+              let len = bb.Pf_arm.Bexec.len in
+              let s0 = !steps in
+              if
+                bb.Pf_arm.Bexec.fallback
+                || s0 + len > max_steps
+                || (s0 + dmask) land lnot dmask < s0 + len
+              then begin
+                let u = step_boundary idx in
+                P.issue pipe ~backward:u.Px.backward
+                  ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:!pc
+                  ~size:2
+                  ~cls:(Pf_cpu.Trace.cls_of_code u.Px.cls)
+                  ~reads:u.Px.reads ~writes:u.Px.writes
+                  ~taken:o.Pf_arm.Exec.branch_taken
+                  ~mem_words:o.Pf_arm.Exec.mem_words;
+                finish_boundary idx
+              end
+              else begin
+                bb.Pf_arm.Bexec.execs <- bb.Pf_arm.Bexec.execs + 1;
+                if src_tab.(idx) < 0 then fill_src idx len;
+                let xu = bb.Pf_arm.Bexec.xuops in
+                let shapes = bb.Pf_arm.Bexec.shapes in
+                let pairs = cbk.Pf_cpu.Cexec.pairs in
+                (* run-scan, as in [Arm_run.run_compiled]: maximal ALU runs
+                   execute first (dead compares do nothing at all — the
+                   local step counter is authoritative here), then issue as
+                   one span from the precomputed pairs *)
+                i := 0;
+                while !i < len do
+                  let sh = Array.unsafe_get shapes !i in
+                  if sh <= sh_dp then begin
+                    j := !i + 1;
+                    while !j < len && Array.unsafe_get shapes !j <= sh_dp do
+                      incr j
+                    done;
+                    for k = !i to !j - 1 do
+                      if Array.unsafe_get shapes k = sh_dp then
+                        Px.exec_dp_nr st o (Array.unsafe_get xu k)
+                    done;
+                    P.issue_alu_seq_span pipe ~ev:pairs ~pos:(2 * !i)
+                      ~n:(!j - !i) ~size:2 ~seq_tog ~wbase;
+                    i := !j
+                  end
+                  else begin
+                    let u = Array.unsafe_get xu !i in
+                    Px.exec st o u;
+                    P.issue pipe ~backward:u.Px.backward
+                      ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1)
+                      ~addr:(!pc + (!i lsl 1)) ~size:2
+                      ~cls:(Pf_cpu.Trace.cls_of_code u.Px.cls)
+                      ~reads:u.Px.reads ~writes:u.Px.writes
+                      ~taken:o.Pf_arm.Exec.branch_taken
+                      ~mem_words:o.Pf_arm.Exec.mem_words;
+                    incr i
+                  end
+                done;
+                steps := s0 + len;
+                src_retired := !src_retired + src_tab.(idx);
+                src_one := !src_one + one_tab.(idx);
+                pc :=
+                  (if bb.Pf_arm.Bexec.has_term then o.Pf_arm.Exec.next_pc
+                   else !pc + (len lsl 1))
+              end
+            end
+          done
+      | Some t ->
+          while not st.Pf_arm.Exec.halted do
+            if !pc = Pf_arm.Exec.halt_sentinel then
+              st.Pf_arm.Exec.halted <- true
+            else begin
+              let idx = (!pc - code_base) asr 1 in
+              if idx < 0 || idx >= ninsns then outside_fault !pc;
+              let cbk = Pf_cpu.Cexec.block_at cx idx in
+              let bb = cbk.Pf_cpu.Cexec.bb in
+              let len = bb.Pf_arm.Bexec.len in
+              let s0 = !steps in
+              if
+                bb.Pf_arm.Bexec.fallback
+                || s0 + len > max_steps
+                || (s0 + dmask) land lnot dmask < s0 + len
+              then begin
+                let u = step_boundary idx in
+                let cls = Pf_cpu.Trace.cls_of_code u.Px.cls in
+                let taken = o.Pf_arm.Exec.branch_taken in
+                let mem_words = o.Pf_arm.Exec.mem_words in
+                P.issue pipe ~backward:u.Px.backward
+                  ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:!pc
+                  ~size:2 ~cls ~reads:u.Px.reads ~writes:u.Px.writes ~taken
+                  ~mem_words;
+                Pf_cpu.Trace.record t ~addr:!pc ~cls ~reads:u.Px.reads
+                  ~writes:u.Px.writes ~taken ~backward:u.Px.backward
+                  ~dmisses:(P.last_dcache_misses pipe) ~mem_words;
+                finish_boundary idx
+              end
+              else begin
+                bb.Pf_arm.Bexec.execs <- bb.Pf_arm.Bexec.execs + 1;
+                if src_tab.(idx) < 0 then fill_src idx len;
+                let xu = bb.Pf_arm.Bexec.xuops in
+                let shapes = bb.Pf_arm.Bexec.shapes in
+                let metas = cbk.Pf_cpu.Cexec.metas in
+                let pairs = cbk.Pf_cpu.Cexec.pairs in
+                (* same run-scan as the untraced loop; ALU spans also
+                   bulk-record their precomputed (addr, meta) pairs *)
+                i := 0;
+                while !i < len do
+                  let sh = Array.unsafe_get shapes !i in
+                  if sh <= sh_dp then begin
+                    j := !i + 1;
+                    while !j < len && Array.unsafe_get shapes !j <= sh_dp do
+                      incr j
+                    done;
+                    for k = !i to !j - 1 do
+                      if Array.unsafe_get shapes k = sh_dp then
+                        Px.exec_dp_nr st o (Array.unsafe_get xu k)
+                    done;
+                    P.issue_alu_seq_span pipe ~ev:pairs ~pos:(2 * !i)
+                      ~n:(!j - !i) ~size:2 ~seq_tog ~wbase;
+                    let tid =
+                      if cbk.Pf_cpu.Cexec.tid >= 0 then cbk.Pf_cpu.Cexec.tid
+                      else begin
+                        let id = Pf_cpu.Trace.register_pairs t pairs in
+                        cbk.Pf_cpu.Cexec.tid <- id;
+                        id
+                      end
+                    in
+                    Pf_cpu.Trace.record_span t ~tid ~pos:(2 * !i)
+                      ~n:(!j - !i);
+                    i := !j
+                  end
+                  else begin
+                    let u = Array.unsafe_get xu !i in
+                    let m = Array.unsafe_get metas !i in
+                    let a = !pc + (!i lsl 1) in
+                    Px.exec st o u;
+                    let taken = o.Pf_arm.Exec.branch_taken in
+                    let mem_words = o.Pf_arm.Exec.mem_words in
+                    P.issue pipe ~backward:u.Px.backward
+                      ~mem_addr:o.Pf_arm.Exec.mem_addr ~dmisses:(-1) ~addr:a
+                      ~size:2
+                      ~cls:(Pf_cpu.Trace.cls_of_code u.Px.cls)
+                      ~reads:u.Px.reads ~writes:u.Px.writes ~taken ~mem_words;
+                    Pf_cpu.Trace.record_packed t ~addr:a
+                      ~meta:
+                        (m
+                        lor Pf_cpu.Trace.dynamic_meta ~taken ~mem_words
+                              ~dmisses:(P.last_dcache_misses pipe));
+                    incr i
+                  end
+                done;
+                steps := s0 + len;
+                src_retired := !src_retired + src_tab.(idx);
+                src_one := !src_one + one_tab.(idx);
+                pc :=
+                  (if bb.Pf_arm.Bexec.has_term then o.Pf_arm.Exec.next_pc
+                   else !pc + (len lsl 1))
+              end
+            end
+          done
+    end
+  | Predecoded | Compiled -> begin
       let uops = predecode tr in
       (* the [trace] / [on_step] option dispatch is hoisted out of the
          loop: the common paths (plain run, recording run) execute
@@ -290,7 +516,9 @@ let replay ?pipeline_cfg ?power_params ?classify ~cache_cfg ~like
   let code_base = tr.Translate.code_base in
   let words = tr.Translate.words in
   let s =
-    Pf_cpu.Trace.replay ?pipeline_cfg ?power_params ?classify ~cache_cfg
+    Pf_cpu.Trace.replay ?pipeline_cfg ?power_params ?classify
+      ~seq:(Pf_cpu.Pipeline.seq_toggle_prefix ~words, code_base lsr 2)
+      ~cache_cfg
       ~fetch_data:(fun addr -> words.((addr - code_base) lsr 2))
       trace
   in

@@ -26,11 +26,15 @@ type result = {
   power : Pf_power.Account.report;
 }
 
-type engine = Pf_cpu.Arm_run.engine = Reference | Predecoded
+type engine = Pf_cpu.Arm_run.engine = Reference | Predecoded | Compiled
 (** Interpreter choice, shared with the ARM runner: [Predecoded] (default)
     executes the stream via {!Pf_arm.Pexec} micro-ops with no per-step
-    allocation; [Reference] dispatches {!Mapping.micro} through
-    {!Pf_arm.Exec.execute} each step.  Bit-identical results. *)
+    allocation; [Compiled] dispatches per basic block ({!Pf_arm.Bexec})
+    with dead-flag elision and exact boundary-mode watchdog/deadline
+    semantics (when [on_step] is supplied the per-instruction path is
+    used, since the hook observes every step); [Reference] dispatches
+    {!Mapping.micro} through {!Pf_arm.Exec.execute} each step.
+    Bit-identical results across all three. *)
 
 val run :
   ?engine:engine ->

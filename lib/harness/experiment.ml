@@ -63,8 +63,24 @@ let of_fits (r : Pf_fits.Run.result) =
    Cache geometry cannot change architectural behaviour, so the replayed
    statistics are bit-identical to a direct simulation (asserted by the
    replay-equivalence tests) at roughly half the cost — 2 executions plus
-   2 cheap replays instead of 4 executions. *)
-let run_benchmark ?(scale = 1) ?(classify = false) ?max_steps ?deadline
+   2 cheap replays instead of 4 executions.
+
+   The ARM recording doubles as the profiling run: synthesis needs
+   per-word dynamic counts, and the recorded trace IS the executed
+   sequence, so [Trace.exec_counts] recovers counts bit-identical to a
+   dedicated [dyn_counts_of_run] execution (pinned by the synthesis
+   tests) without executing the program an extra time.  The ARM side
+   therefore runs first and the reference output is the ARM run's output;
+   cross-ISA consistency is still asserted against the FITS runs, and
+   cross-ENGINE architectural identity is pinned by the three-way
+   differential tests. *)
+let engine_fits : Pf_cpu.Arm_run.engine -> Pf_fits.Run.engine = function
+  | Pf_cpu.Arm_run.Reference -> Pf_fits.Run.Reference
+  | Pf_cpu.Arm_run.Predecoded -> Pf_fits.Run.Predecoded
+  | Pf_cpu.Arm_run.Compiled -> Pf_fits.Run.Compiled
+
+let run_benchmark ?(scale = 1) ?(classify = false)
+    ?(engine = Pf_cpu.Arm_run.Predecoded) ?max_steps ?deadline
     (b : Pf_mibench.Registry.benchmark) =
   let check () = Pf_util.Deadline.check ~where:"harness.experiment" deadline in
   let p = b.Pf_mibench.Registry.program ~scale in
@@ -72,36 +88,36 @@ let run_benchmark ?(scale = 1) ?(classify = false) ?max_steps ?deadline
     Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
   in
   check ();
-  let dyn_counts, reference_output =
-    Pf_fits.Synthesis.dyn_counts_of_run ?deadline image
-  in
-  check ();
-  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
-  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
-  check ();
-  let thumb = Pf_thumb.Translate.estimate image in
   let arm_trace = Pf_cpu.Trace.create ~isize:4 () in
   let arm16_r =
-    Pf_cpu.Arm_run.run ~cache_cfg:cache_16k ~classify ?max_steps ?deadline
-      ~trace:arm_trace image
+    Pf_cpu.Arm_run.run ~engine ~cache_cfg:cache_16k ~classify ?max_steps
+      ?deadline ~trace:arm_trace image
   in
   let arm8_r =
     Pf_cpu.Arm_run.replay ~cache_cfg:cache_8k ~classify
       ~output:arm16_r.Pf_cpu.Arm_run.output image arm_trace
   in
   check ();
+  let dyn_counts =
+    Pf_cpu.Trace.exec_counts arm_trace ~base:image.Pf_arm.Image.code_base
+      ~n:(Array.length image.Pf_arm.Image.words)
+  in
+  let reference_output = arm16_r.Pf_cpu.Arm_run.output in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  check ();
+  let thumb = Pf_thumb.Translate.estimate image in
   let fits_trace = Pf_cpu.Trace.create ~isize:2 () in
   let fits16_r =
-    Pf_fits.Run.run ~cache_cfg:cache_16k ~classify ?max_steps ?deadline
-      ~trace:fits_trace tr
+    Pf_fits.Run.run ~engine:(engine_fits engine) ~cache_cfg:cache_16k
+      ~classify ?max_steps ?deadline ~trace:fits_trace tr
   in
   let fits8_r =
     Pf_fits.Run.replay ~cache_cfg:cache_8k ~classify ~like:fits16_r tr
       fits_trace
   in
   let outputs_consistent =
-    arm16_r.Pf_cpu.Arm_run.output = reference_output
-    && arm8_r.Pf_cpu.Arm_run.output = reference_output
+    arm8_r.Pf_cpu.Arm_run.output = reference_output
     && fits16_r.Pf_fits.Run.output = reference_output
     && fits8_r.Pf_fits.Run.output = reference_output
   in
@@ -148,14 +164,14 @@ let default_wall_clock_s = 600.
    delivers signals to the main domain only, so a wedged benchmark inside
    a worker domain would have hung the whole sweep. *)
 let run_isolated ?(scale = 1) ?max_steps
-    ?(wall_clock_s = default_wall_clock_s) ?classify
+    ?(wall_clock_s = default_wall_clock_s) ?classify ?engine
     (b : Pf_mibench.Registry.benchmark) =
   let t0 = Unix.gettimeofday () in
   let attempt scale =
     let deadline = Pf_util.Deadline.after ~seconds:wall_clock_s in
     Pf_util.Sim_error.protect
       ~where:("harness." ^ b.Pf_mibench.Registry.name)
-      (fun () -> run_benchmark ~scale ?max_steps ?classify ~deadline b)
+      (fun () -> run_benchmark ~scale ?max_steps ?classify ?engine ~deadline b)
   in
   let finish outcome retried =
     {
@@ -173,14 +189,15 @@ let run_isolated ?(scale = 1) ?max_steps
       finish (attempt (max 1 (scale / 2))) true
   | Error e -> finish (Error e) false
 
-let run_all ?scale ?max_steps ?wall_clock_s ?classify
+let run_all ?scale ?max_steps ?wall_clock_s ?classify ?engine
     ?(benchmarks = Pf_mibench.Registry.all) ?jobs () =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   let rows =
     Pool.map ~jobs
-      (fun b -> run_isolated ?scale ?max_steps ?wall_clock_s ?classify b)
+      (fun b ->
+        run_isolated ?scale ?max_steps ?wall_clock_s ?classify ?engine b)
       benchmarks
   in
   let completed, total =

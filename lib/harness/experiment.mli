@@ -52,18 +52,24 @@ val of_fits : Pf_fits.Run.result -> per_config
 val run_benchmark :
   ?scale:int ->
   ?classify:bool ->
+  ?engine:Pf_cpu.Arm_run.engine ->
   ?max_steps:int ->
   ?deadline:Pf_util.Deadline.t ->
   Pf_mibench.Registry.benchmark ->
   bench_result
-(** Full pipeline for one benchmark (default scale 1): compile, profile,
-    synthesize, translate, then simulate the four configurations as two
-    recorded executions (ARM16, FITS16) plus two trace replays (ARM8,
-    FITS8) — cache geometry cannot change architectural behaviour, so the
-    replayed statistics are bit-identical to direct simulation.
-    [max_steps] is a per-run step watchdog and [deadline] a wall-clock
-    one, polled inside the execute loops and at phase boundaries;
-    exhaustion of either raises a [Watchdog_timeout]
+(** Full pipeline for one benchmark (default scale 1): compile, then
+    simulate the four configurations as two recorded executions (ARM16,
+    FITS16) plus two trace replays (ARM8, FITS8) — cache geometry cannot
+    change architectural behaviour, so the replayed statistics are
+    bit-identical to direct simulation.  The ARM16 recording doubles as
+    the profiling run: synthesis consumes {!Pf_cpu.Trace.exec_counts} of
+    its trace, which is bit-identical to a dedicated counting execution.
+    [engine] (default [Predecoded]) selects the execution engine for both
+    recording runs; every engine retires the identical architectural
+    stream (three-way differential tests), so results do not depend on
+    it.  [max_steps] is a per-run step watchdog and [deadline] a
+    wall-clock one, polled inside the execute loops and at phase
+    boundaries; exhaustion of either raises a [Watchdog_timeout]
     {!Pf_util.Sim_error.Error}. *)
 
 (** {2 Crash-proof parallel sweep}
@@ -100,6 +106,7 @@ val run_isolated :
   ?max_steps:int ->
   ?wall_clock_s:float ->
   ?classify:bool ->
+  ?engine:Pf_cpu.Arm_run.engine ->
   Pf_mibench.Registry.benchmark ->
   sweep_row
 (** One benchmark under full isolation: any simulation failure — including
@@ -111,6 +118,7 @@ val run_all :
   ?max_steps:int ->
   ?wall_clock_s:float ->
   ?classify:bool ->
+  ?engine:Pf_cpu.Arm_run.engine ->
   ?benchmarks:Pf_mibench.Registry.benchmark list ->
   ?jobs:int ->
   unit ->

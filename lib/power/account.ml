@@ -138,6 +138,29 @@ let on_retire t =
   t.w_insns <- t.w_insns + 1;
   if t.w_insns >= t.params.Params.peak_window_insns then close_window t
 
+let window_room t = t.params.Params.peak_window_insns - t.w_insns
+
+(* Batched accounting for [insns] retired instructions whose summed
+   activity is [accesses]/[toggles]/[refilled_words]/[cycles].  Exactness
+   hinges on the peak windows: a window closes at a retire boundary, and
+   contributions within one window are order-free (the sample is a
+   function of the window sums), so a batch is bit-identical to the
+   per-instruction call sequence iff no close falls strictly inside it —
+   the caller must keep [insns <= window_room].  Equivalent to [insns]
+   interleaved on_access/on_cycles/on_retire calls. *)
+let on_block t ~accesses ~toggles ~refilled_words ~cycles ~insns =
+  t.accesses <- t.accesses + accesses;
+  t.toggles <- t.toggles + toggles;
+  t.refill_words <- t.refill_words + refilled_words;
+  t.cycles <- t.cycles + cycles;
+  t.insns <- t.insns + insns;
+  t.w_accesses <- t.w_accesses + accesses;
+  t.w_toggles <- t.w_toggles + toggles;
+  t.w_refill_words <- t.w_refill_words + refilled_words;
+  t.w_cycles <- t.w_cycles + cycles;
+  t.w_insns <- t.w_insns + insns;
+  if t.w_insns >= t.params.Params.peak_window_insns then close_window t
+
 type report = {
   switching : float;
   internal : float;

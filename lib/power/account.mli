@@ -106,6 +106,21 @@ val on_retire : t -> unit
     window boundaries land at identical points across a design-space
     sweep. *)
 
+val window_room : t -> int
+(** Retirements left before the open peak window closes; always in
+    [1, peak_window_insns].  The batch quantum for {!on_block}. *)
+
+val on_block : t -> accesses:int -> toggles:int -> refilled_words:int ->
+  cycles:int -> insns:int -> unit
+(** Batched equivalent of [insns] interleaved {!on_access} /
+    {!on_cycles} / {!on_retire} calls whose activity sums to the given
+    counts.  Bit-identical to the per-instruction sequence {e provided}
+    [insns <= window_room t]: window closes happen at retire boundaries
+    and window sums are order-free, so the only thing a batch could get
+    wrong is skipping a close that falls strictly inside it — the
+    precondition rules that out.  Callers chunk longer runs by
+    [window_room].  Used by {!Pf_cpu.Pipeline.issue_alu_span}. *)
+
 type report = {
   switching : float;
   internal : float;

@@ -99,9 +99,10 @@ let run ?(log = prerr_endline) (cfg : config) =
     }
   in
   let inflight : Proto.response Inflight.t = Inflight.create () in
+  let traces = Trace_share.create () in
   let handle_compute (fd, req) =
     let resp =
-      Service.handle ?store ~inflight ?budget_s:cfg.budget_s
+      Service.handle ?store ~inflight ~traces ?budget_s:cfg.budget_s
         ?default_max_steps:cfg.default_max_steps req
     in
     count_response c resp;
@@ -129,6 +130,14 @@ let run ?(log = prerr_endline) (cfg : config) =
          ("overloaded", Json.Int overloaded);
          ("degraded", Json.Int degraded);
          ("coalesced", Json.Int (Inflight.coalesced inflight));
+         ( "trace_share",
+           let shared, recorded, entries = Trace_share.stats traces in
+           Json.Obj
+             [
+               ("shared", Json.Int shared);
+               ("recorded", Json.Int recorded);
+               ("entries", Json.Int entries);
+             ] );
          ("in_flight", Json.Int (Inflight.pending inflight));
          ("queue_depth", Json.Int (Pf_util.Pool.Service.depth service));
          ("queue_capacity", Json.Int (Pf_util.Pool.Service.capacity service));

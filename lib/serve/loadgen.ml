@@ -21,6 +21,10 @@ type result = {
   p50_ms : float;
   p99_ms : float;
   mean_ms : float;
+  warm_requests : int;
+  warm_p50_ms : float;
+  warm_p99_ms : float;
+  warm_mean_ms : float;
 }
 
 (* default corpus axes: fast benchmarks only — the generator's job is
@@ -91,11 +95,29 @@ let run ?(benchmarks = default_benchmarks) ?(policy = Retry.default_policy)
     Array.init requests (fun _ ->
         pool.(Pf_util.Rng.int rng unique_keys))
   in
+  (* warm = not the plan's first request on its cache key.  First touches
+     pay the compute (synthesis, simulation); everything after should be
+     a store hit or coalesced wait, so splitting the percentiles
+     separates steady-state serving latency from cold-start compute.
+     The mask is a function of the plan alone, deterministic and
+     conns-independent like the plan itself. *)
+  let warm_at =
+    let seen = Hashtbl.create 64 in
+    Array.map
+      (fun req ->
+        let key = Service.cache_key req in
+        if Hashtbl.mem seen key then true
+        else begin
+          Hashtbl.add seen key ();
+          false
+        end)
+      plan
+  in
   let t0 = now_ms () in
   let per_conn =
     Pf_util.Pool.map ~jobs:conns
       (fun c ->
-        let lat = ref [] in
+        let lat = ref [] and warm_lat = ref [] in
         let ok = ref 0 and cached = ref 0 and degraded = ref 0 in
         let errors = ref 0 and overloaded = ref 0 in
         let i = ref c in
@@ -109,27 +131,37 @@ let run ?(benchmarks = default_benchmarks) ?(policy = Retry.default_policy)
           | Proto.Error_reply _ -> incr errors
           | Proto.Overloaded _ -> incr overloaded
           | exception Pf_util.Sim_error.Error _ -> incr errors);
-          lat := (now_ms () -. t) :: !lat;
+          let ms = now_ms () -. t in
+          lat := ms :: !lat;
+          if warm_at.(!i) then warm_lat := ms :: !warm_lat;
           i := !i + conns
         done;
-        (!lat, !ok, !cached, !degraded, !errors, !overloaded))
+        (!lat, !warm_lat, !ok, !cached, !degraded, !errors, !overloaded))
       (List.init conns Fun.id)
   in
   let elapsed_s = (now_ms () -. t0) /. 1e3 in
   let lats =
-    List.concat_map (fun (l, _, _, _, _, _) -> l) per_conn |> Array.of_list
+    List.concat_map (fun (l, _, _, _, _, _, _) -> l) per_conn
+    |> Array.of_list
+  in
+  let warm_lats =
+    List.concat_map (fun (_, l, _, _, _, _, _) -> l) per_conn
+    |> Array.of_list
   in
   Array.sort compare lats;
+  Array.sort compare warm_lats;
   let sum f = List.fold_left (fun a x -> a + f x) 0 per_conn in
-  let ok = sum (fun (_, x, _, _, _, _) -> x) in
-  let cached = sum (fun (_, _, x, _, _, _) -> x) in
-  let degraded = sum (fun (_, _, _, x, _, _) -> x) in
-  let errors = sum (fun (_, _, _, _, x, _) -> x) in
-  let overloaded = sum (fun (_, _, _, _, _, x) -> x) in
-  let mean_ms =
-    if Array.length lats = 0 then 0.
-    else Array.fold_left ( +. ) 0. lats /. float_of_int (Array.length lats)
+  let ok = sum (fun (_, _, x, _, _, _, _) -> x) in
+  let cached = sum (fun (_, _, _, x, _, _, _) -> x) in
+  let degraded = sum (fun (_, _, _, _, x, _, _) -> x) in
+  let errors = sum (fun (_, _, _, _, _, x, _) -> x) in
+  let overloaded = sum (fun (_, _, _, _, _, _, x) -> x) in
+  let mean arr =
+    if Array.length arr = 0 then 0.
+    else Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr)
   in
+  let mean_ms = mean lats in
+  let warm_mean_ms = mean warm_lats in
   {
     requests;
     ok;
@@ -145,6 +177,10 @@ let run ?(benchmarks = default_benchmarks) ?(policy = Retry.default_policy)
     p50_ms = percentile lats 50.;
     p99_ms = percentile lats 99.;
     mean_ms;
+    warm_requests = Array.length warm_lats;
+    warm_p50_ms = percentile warm_lats 50.;
+    warm_p99_ms = percentile warm_lats 99.;
+    warm_mean_ms;
   }
 
 let to_json (r : result) =
@@ -163,11 +199,17 @@ let to_json (r : result) =
       ("p50_ms", Json.Float r.p50_ms);
       ("p99_ms", Json.Float r.p99_ms);
       ("mean_ms", Json.Float r.mean_ms);
+      ("warm_requests", Json.Int r.warm_requests);
+      ("warm_p50_ms", Json.Float r.warm_p50_ms);
+      ("warm_p99_ms", Json.Float r.warm_p99_ms);
+      ("warm_mean_ms", Json.Float r.warm_mean_ms);
     ]
 
 let summary (r : result) =
   Printf.sprintf
     "loadgen: %d requests in %.2fs (%.0f req/s) ok=%d cached=%d (hit %.1f%%) \
-     degraded=%d errors=%d overloaded=%d unique_keys=%d p50=%.2fms p99=%.2fms"
+     degraded=%d errors=%d overloaded=%d unique_keys=%d p50=%.2fms p99=%.2fms \
+     warm(%d) p50=%.2fms p99=%.2fms"
     r.requests r.elapsed_s r.throughput_rps r.ok r.cached (100. *. r.hit_rate)
     r.degraded r.errors r.overloaded r.unique_keys r.p50_ms r.p99_ms
+    r.warm_requests r.warm_p50_ms r.warm_p99_ms

@@ -19,9 +19,20 @@ type result = {
   elapsed_s : float;
   throughput_rps : float;
   hit_rate : float;  (** cached / ok *)
-  p50_ms : float;
+  p50_ms : float;  (** over every request, first touches included *)
   p99_ms : float;
   mean_ms : float;
+  warm_requests : int;
+      (** requests whose cache key already appeared earlier in the plan *)
+  warm_p50_ms : float;
+      (** warm-only percentiles: the plan's first request on each unique
+          cache key pays the compute (synthesis, simulation), so the raw
+          percentiles mix cold-start compute into serving latency; these
+          exclude first touches.  The warm set is a function of the plan
+          alone — deterministic in [(seed, requests)], independent of
+          [conns] — not of which replies happened to report [cached]. *)
+  warm_p99_ms : float;
+  warm_mean_ms : float;
 }
 
 val default_benchmarks : string list

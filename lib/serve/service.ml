@@ -183,8 +183,27 @@ let compute_evaluate ~(req : Proto.request) ~(r : resolved) ?max_steps ?deadline
           ("output_md5", Json.String (output_md5 res.Pf_fits.Run.output));
         ]
 
-let compute_explore_point ~(req : Proto.request) ~(r : resolved) ?max_steps
-    ?deadline () =
+(* Recording key for explore-point trace sharing: exactly what
+   determines a recording — program content (scale-specialized), unroll,
+   effective max_steps, dictionary budget.  Geometry deliberately stays
+   out: that is the axis requests share across.  A deadline never enters
+   either — it aborts a recording, it cannot truncate one. *)
+let share_key ~(req : Proto.request) ~(r : resolved) ~max_steps =
+  String.concat "\n"
+    [
+      "powerfits-trace/1";
+      "program=" ^ Kir_codec.digest r.r_program;
+      Printf.sprintf "unroll=%d" r.r_unroll;
+      (match max_steps with
+      | None -> "max_steps=none"
+      | Some i -> Printf.sprintf "max_steps=%d" i);
+      (match req.Proto.dict_budget with
+      | None -> "dict_budget=none"
+      | Some i -> Printf.sprintf "dict_budget=%d" i);
+    ]
+
+let compute_explore_point ?traces ~(req : Proto.request) ~(r : resolved)
+    ?max_steps ?deadline () =
   let bench : Pf_mibench.Registry.benchmark =
     {
       Pf_mibench.Registry.name = r.r_name;
@@ -195,11 +214,20 @@ let compute_explore_point ~(req : Proto.request) ~(r : resolved) ?max_steps
       unroll = r.r_unroll;
     }
   in
+  let dict_budgets = [ req.Proto.dict_budget ] in
+  let record () =
+    Pf_dse.Explore.record ?max_steps ?deadline ~dict_budgets bench
+  in
+  let recording, trace_shared =
+    match traces with
+    | None -> (record (), false)
+    | Some ts ->
+        Trace_share.find_or_record ts ~key:(share_key ~req ~r ~max_steps)
+          record
+  in
   let run =
-    Pf_dse.Explore.run_benchmark ?max_steps ?deadline
-      ~geometries:[ req.Proto.geometry ]
-      ~dict_budgets:[ req.Proto.dict_budget ]
-      bench
+    Pf_dse.Explore.sweep_recording ~geometries:[ req.Proto.geometry ]
+      recording
   in
   let point_json (p : Pf_dse.Explore.point) =
     let m = p.Pf_dse.Explore.metrics in
@@ -225,13 +253,14 @@ let compute_explore_point ~(req : Proto.request) ~(r : resolved) ?max_steps
       ("replayed_events", Json.Int run.Pf_dse.Explore.replayed_events);
       ( "outputs_consistent",
         Json.Bool run.Pf_dse.Explore.outputs_consistent );
+      ("trace_shared", Json.Bool trace_shared);
     ]
 
 (* ---- degradation ladder ---- *)
 
 let default_budget_s = 60.
 
-let compute ?(budget_s = default_budget_s) ?default_max_steps
+let compute ?traces ?(budget_s = default_budget_s) ?default_max_steps
     (req : Proto.request) =
   let attempt (req : Proto.request) =
     SE.protect ~where:"serve.service" (fun () ->
@@ -250,7 +279,7 @@ let compute ?(budget_s = default_budget_s) ?default_max_steps
         | Proto.Synthesize -> compute_synthesize ~req ~r ?max_steps ?deadline ()
         | Proto.Evaluate -> compute_evaluate ~req ~r ?max_steps ?deadline ()
         | Proto.Explore_point ->
-            compute_explore_point ~req ~r ?max_steps ?deadline ()
+            compute_explore_point ?traces ~req ~r ?max_steps ?deadline ()
         | (Proto.Status | Proto.Shutdown) as a ->
             err "action %s is not computable" (Proto.action_name a))
   in
@@ -291,7 +320,8 @@ let of_envelope s =
 
 (* ---- one request end to end ---- *)
 
-let handle ?store ?inflight ?budget_s ?default_max_steps (req : Proto.request) =
+let handle ?store ?inflight ?traces ?budget_s ?default_max_steps
+    (req : Proto.request) =
   match req.Proto.action with
   | Proto.Status | Proto.Shutdown ->
       Proto.Error_reply
@@ -325,7 +355,7 @@ let handle ?store ?inflight ?budget_s ?default_max_steps (req : Proto.request) =
                     Proto.Ok_reply { result; cached = true; degraded }
                 | Error e -> Proto.Error_reply e)
             | None -> (
-                match compute ?budget_s ?default_max_steps req with
+                match compute ?traces ?budget_s ?default_max_steps req with
                 | Error e -> Proto.Error_reply e
                 | Ok (result, degraded) ->
                     (if use_cache then

@@ -16,6 +16,7 @@ val default_budget_s : float
     daemon sets one: 60 s. *)
 
 val compute :
+  ?traces:Trace_share.t ->
   ?budget_s:float ->
   ?default_max_steps:int ->
   Proto.request ->
@@ -24,7 +25,14 @@ val compute :
     and a fresh {!Pf_util.Deadline} per attempt.  The bool is the
     degraded flag: a [Watchdog_timeout] on a named benchmark with
     [scale > 1] retries at half scale (repeatedly, down to 1) instead of
-    failing.  Deterministic simulation errors never retry. *)
+    failing.  Deterministic simulation errors never retry.  With
+    [traces], an explore-point request reuses (or contributes) the
+    program's recorded executions, keyed by program content, unroll,
+    effective max_steps and dictionary budget — never geometry — so
+    requests walking a geometry grid record once and sweep many; the
+    reply's [trace_shared] field says which happened.  Results are
+    bit-identical with or without sharing (replays are read-only on the
+    recording). *)
 
 val envelope : degraded:bool -> Json.t -> string
 (** Store payload for a computed result: result JSON plus the degraded
@@ -37,6 +45,7 @@ val of_envelope : string -> Json.t * bool
 val handle :
   ?store:Store.t ->
   ?inflight:Proto.response Inflight.t ->
+  ?traces:Trace_share.t ->
   ?budget_s:float ->
   ?default_max_steps:int ->
   Proto.request ->

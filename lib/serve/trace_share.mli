@@ -1,0 +1,31 @@
+(** Memoized {!Pf_dse.Explore.recording}s, shared across explore-point
+    requests.
+
+    A recording (the program's per-ISA executions and traces) is a
+    function of program content, unroll, effective max_steps and
+    dictionary budget — never of cache geometry — so a client walking a
+    geometry grid needs it recorded once, not once per point.  The table
+    is mutex-protected and LRU-bounded; recordings are immutable, so a
+    shared one can be swept by concurrent worker domains. *)
+
+type t
+
+val default_capacity : int
+(** 8 — traces are the largest objects the daemon holds. *)
+
+val create : ?capacity:int -> unit -> t
+
+val find_or_record :
+  t -> key:string -> (unit -> Pf_dse.Explore.recording) ->
+  Pf_dse.Explore.recording * bool
+(** [find_or_record t ~key f] returns the memoized recording for [key]
+    (flag [true]), or runs [f] to record, inserts, and returns it (flag
+    [false]).  [f] runs outside the table lock: two workers racing on
+    the same fresh key may both record — bit-identical results, first
+    insert wins, both callers share the winner. *)
+
+val entries : t -> int
+
+val stats : t -> int * int * int
+(** [(shared, recorded, entries)]: lookups served from the table,
+    recordings inserted, and current size. *)

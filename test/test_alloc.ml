@@ -56,6 +56,19 @@ let test_pexec_run_alloc () =
   let delta = minor_delta (fun () -> Pf_arm.Pexec.run p st) in
   check_budget "Pexec.run (bare interpreter)" delta
 
+(* The compiled engine discovers and compiles blocks at run start —
+   O(static) allocation, same bucket as predecode — after which the
+   block-dispatch loop must be as allocation-free as the per-instruction
+   loops above.  A closure or tuple born per block execution (~34k block
+   runs here) would blow the budget. *)
+let test_arm_compiled_alloc () =
+  let image = loop_image () in
+  let run () =
+    ignore (Pf_cpu.Arm_run.run ~engine:Pf_cpu.Arm_run.Compiled image)
+  in
+  run ();
+  check_budget "Arm_run.run (compiled engine)" (minor_delta run)
+
 let test_fits_run_alloc () =
   let image = loop_image () in
   let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
@@ -64,6 +77,15 @@ let test_fits_run_alloc () =
   ignore (Pf_fits.Run.run tr);
   let delta = minor_delta (fun () -> ignore (Pf_fits.Run.run tr)) in
   check_budget "Fits.Run.run (predecoded, full stack)" delta
+
+let test_fits_compiled_alloc () =
+  let image = loop_image () in
+  let dyn_counts, _ = Pf_fits.Synthesis.dyn_counts_of_run image in
+  let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+  let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+  let run () = ignore (Pf_fits.Run.run ~engine:Pf_fits.Run.Compiled tr) in
+  run ();
+  check_budget "Fits.Run.run (compiled engine)" (minor_delta run)
 
 (* The trace-replay paths the generality harness leans on (one recorded
    execution, N cheap replays) must not allocate per trace event either —
@@ -138,6 +160,10 @@ let tests =
       test_pexec_run_alloc;
     Alcotest.test_case "FITS step loop is allocation-free" `Quick
       test_fits_run_alloc;
+    Alcotest.test_case "ARM compiled block loop is allocation-free" `Quick
+      test_arm_compiled_alloc;
+    Alcotest.test_case "FITS compiled block loop is allocation-free" `Quick
+      test_fits_compiled_alloc;
     Alcotest.test_case "ARM trace replay is allocation-free" `Quick
       test_arm_replay_alloc;
     Alcotest.test_case "FITS trace replay is allocation-free" `Quick

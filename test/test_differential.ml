@@ -1,11 +1,12 @@
-(* Reference-vs-predecoded differential: the predecoded engine must
-   produce *bit-identical* results to the reference interpreter — cycles,
-   IPC, toggles (via power switching energy), miss classification, power
-   report and program output — on every benchmark, for both the ARM and
-   FITS streams and both cache geometries.  16 KB runs execute both
-   engines directly; the 8 KB data points replay each engine's own
-   recorded trace (the harness's own structure), so a divergence in
-   anything the trace captures shows up there too. *)
+(* Three-way engine differential: the predecoded AND the block-compiled
+   engines must produce *bit-identical* results to the reference
+   interpreter — cycles, IPC, toggles (via power switching energy), miss
+   classification, power report and program output — on every benchmark,
+   for both the ARM and FITS streams and both cache geometries.  16 KB
+   runs execute all three engines directly; the 8 KB data points replay
+   each engine's own recorded trace (the harness's own structure), so a
+   divergence in anything the trace captures — including the compiled
+   engine's block-granular recording — shows up there too. *)
 
 module R = Pf_mibench.Registry
 module AR = Pf_cpu.Arm_run
@@ -33,15 +34,15 @@ let pp_fits (r : FR.result) =
     r.FR.power.Pf_power.Account.switching r.FR.power.Pf_power.Account.total
     r.FR.power.Pf_power.Account.peak_power (String.length r.FR.output)
 
-let check_arm what a b =
+let check_arm what ~oracle a b =
   if a <> b then
-    Alcotest.failf "%s: engines diverge\n  reference:  %s\n  predecoded: %s"
-      what (pp_arm a) (pp_arm b)
+    Alcotest.failf "%s: engines diverge\n  %s: %s\n  candidate: %s" what
+      oracle (pp_arm a) (pp_arm b)
 
-let check_fits what a b =
+let check_fits what ~oracle a b =
   if a <> b then
-    Alcotest.failf "%s: engines diverge\n  reference:  %s\n  predecoded: %s"
-      what (pp_fits a) (pp_fits b)
+    Alcotest.failf "%s: engines diverge\n  %s: %s\n  candidate: %s" what
+      oracle (pp_fits a) (pp_fits b)
 
 let translate_benchmark (b : R.benchmark) =
   let p = b.R.program ~scale:1 in
@@ -54,50 +55,61 @@ let translate_benchmark (b : R.benchmark) =
 let test_benchmark (b : R.benchmark) () =
   let name = b.R.name in
   let image, tr = translate_benchmark b in
-  (* ARM stream: direct 16 KB runs, replayed 8 KB runs *)
+  (* ARM stream: direct 16 KB runs under all three engines, replayed 8 KB
+     runs from each engine's own recording *)
   let tr_ref = Pf_cpu.Trace.create ~isize:4 () in
   let tr_pre = Pf_cpu.Trace.create ~isize:4 () in
+  let tr_cmp = Pf_cpu.Trace.create ~isize:4 () in
   let a_ref =
     AR.run ~engine:AR.Reference ~cache_cfg:cache_16k ~trace:tr_ref image
   in
   let a_pre = AR.run ~cache_cfg:cache_16k ~trace:tr_pre image in
-  check_arm (name ^ "/arm/16k") a_ref a_pre;
+  let a_cmp =
+    AR.run ~engine:AR.Compiled ~cache_cfg:cache_16k ~trace:tr_cmp image
+  in
+  check_arm (name ^ "/arm/16k/pre") ~oracle:"reference" a_ref a_pre;
+  check_arm (name ^ "/arm/16k/cmp") ~oracle:"reference" a_ref a_cmp;
   let a_ref8 =
     AR.replay ~cache_cfg:cache_8k ~output:a_ref.AR.output image tr_ref
   in
   let a_pre8 =
     AR.replay ~cache_cfg:cache_8k ~output:a_pre.AR.output image tr_pre
   in
-  check_arm (name ^ "/arm/8k") a_ref8 a_pre8;
+  let a_cmp8 =
+    AR.replay ~cache_cfg:cache_8k ~output:a_cmp.AR.output image tr_cmp
+  in
+  check_arm (name ^ "/arm/8k/pre") ~oracle:"reference" a_ref8 a_pre8;
+  check_arm (name ^ "/arm/8k/cmp") ~oracle:"reference" a_ref8 a_cmp8;
   (* FITS stream *)
   let ft_ref = Pf_cpu.Trace.create ~isize:2 () in
   let ft_pre = Pf_cpu.Trace.create ~isize:2 () in
+  let ft_cmp = Pf_cpu.Trace.create ~isize:2 () in
   let f_ref =
     FR.run ~engine:FR.Reference ~cache_cfg:cache_16k ~trace:ft_ref tr
   in
   let f_pre = FR.run ~cache_cfg:cache_16k ~trace:ft_pre tr in
-  check_fits (name ^ "/fits/16k") f_ref f_pre;
-  let f_ref8 =
-    FR.replay ~cache_cfg:cache_8k ~like:f_ref tr ft_ref
+  let f_cmp =
+    FR.run ~engine:FR.Compiled ~cache_cfg:cache_16k ~trace:ft_cmp tr
   in
-  let f_pre8 =
-    FR.replay ~cache_cfg:cache_8k ~like:f_pre tr ft_pre
-  in
-  check_fits (name ^ "/fits/8k") f_ref8 f_pre8
+  check_fits (name ^ "/fits/16k/pre") ~oracle:"reference" f_ref f_pre;
+  check_fits (name ^ "/fits/16k/cmp") ~oracle:"reference" f_ref f_cmp;
+  let f_ref8 = FR.replay ~cache_cfg:cache_8k ~like:f_ref tr ft_ref in
+  let f_pre8 = FR.replay ~cache_cfg:cache_8k ~like:f_pre tr ft_pre in
+  let f_cmp8 = FR.replay ~cache_cfg:cache_8k ~like:f_cmp tr ft_cmp in
+  check_fits (name ^ "/fits/8k/pre") ~oracle:"reference" f_ref8 f_pre8;
+  check_fits (name ^ "/fits/8k/cmp") ~oracle:"reference" f_ref8 f_cmp8
 
 (* Miss classification goes through the shadow-LRU path that the plain
-   runs skip: compare compulsory/capacity/conflict on a subset. *)
+   runs skip: compare compulsory/capacity/conflict on a subset, for all
+   three engines. *)
 let test_classification () =
   let subset = List.filteri (fun i _ -> i mod 7 = 0) R.all in
   List.iter
     (fun (b : R.benchmark) ->
       let image, tr = translate_benchmark b in
-      let classes engine_arm =
+      let classes engine =
         let cache = C.create ~classify:true cache_16k in
-        (match engine_arm with
-        | Some engine ->
-            ignore (AR.run ~engine ~cache ~cache_cfg:cache_16k image)
-        | None -> ignore (AR.run ~cache ~cache_cfg:cache_16k image));
+        ignore (AR.run ~engine ~cache ~cache_cfg:cache_16k image);
         (C.stats_compulsory cache, C.stats_capacity cache,
          C.stats_conflict cache)
       in
@@ -107,20 +119,28 @@ let test_classification () =
         (C.stats_compulsory cache, C.stats_capacity cache,
          C.stats_conflict cache)
       in
-      let ref_c = classes (Some AR.Reference) in
-      let pre_c = classes None in
+      let ref_c = classes AR.Reference in
       Alcotest.(check (triple int int int))
-        (b.R.name ^ ": arm miss classes") ref_c pre_c;
+        (b.R.name ^ ": arm miss classes pre")
+        ref_c (classes AR.Predecoded);
+      Alcotest.(check (triple int int int))
+        (b.R.name ^ ": arm miss classes cmp")
+        ref_c (classes AR.Compiled);
       let fref_c = fclasses FR.Reference in
-      let fpre_c = fclasses FR.Predecoded in
       Alcotest.(check (triple int int int))
-        (b.R.name ^ ": fits miss classes") fref_c fpre_c)
+        (b.R.name ^ ": fits miss classes pre")
+        fref_c (fclasses FR.Predecoded);
+      Alcotest.(check (triple int int int))
+        (b.R.name ^ ": fits miss classes cmp")
+        fref_c (fclasses FR.Compiled))
     subset
 
 let tests =
   List.map
     (fun (b : R.benchmark) ->
-      Alcotest.test_case ("ref=pre: " ^ b.R.name) `Quick (test_benchmark b))
+      Alcotest.test_case
+        ("ref=pre=cmp: " ^ b.R.name)
+        `Quick (test_benchmark b))
     R.all
-  @ [ Alcotest.test_case "miss classification ref=pre" `Quick
+  @ [ Alcotest.test_case "miss classification ref=pre=cmp" `Quick
         test_classification ]

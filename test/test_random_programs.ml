@@ -248,9 +248,117 @@ let prop_spec_wellformed =
       spec.Pf_fits.Spec.groups_used <= Pf_fits.Spec.max_groups
       && Array.length spec.Pf_fits.Spec.dict <= Pf_fits.Spec.dict_capacity)
 
+(* The execution-engine invariant under adversarial inputs: every random
+   program run by all three engines must produce the SAME result record —
+   instructions, cycles, every power float — and a step cutoff landing
+   anywhere (including mid basic block) must stop each engine at exactly
+   the same retired instruction: identical structured error, identical
+   recorded trace prefix.  This is what licenses defaulting harness,
+   bench and CLI to the compiled engine. *)
+let engines =
+  [
+    Pf_cpu.Arm_run.Reference;
+    Pf_cpu.Arm_run.Predecoded;
+    Pf_cpu.Arm_run.Compiled;
+  ]
+
+let trace_sig t =
+  let b = Buffer.create 4096 in
+  Pf_cpu.Trace.iter t (fun addr meta -> Printf.bprintf b "%x.%x;" addr meta);
+  (Pf_cpu.Trace.length t, Digest.string (Buffer.contents b))
+
+let check_all_equal what = function
+  | [] | [ _ ] -> ()
+  | x :: rest ->
+      List.iteri
+        (fun i y ->
+          if y <> x then
+            QCheck.Test.fail_reportf "%s: engine %d diverges from reference"
+              what (i + 1))
+        rest
+
+let prop_engines_agree =
+  QCheck.Test.make
+    ~name:"three engines bit-identical, incl. mid-block max-steps cutoffs"
+    ~count:20
+    QCheck.(pair arbitrary_program (int_range 0 1_000_000))
+    (fun (p, salt) ->
+      let image = Pf_armgen.Compile.program p in
+      let arm_full =
+        List.map
+          (fun e -> Pf_cpu.Arm_run.run ~engine:e ~max_steps:20_000_000 image)
+          engines
+      in
+      check_all_equal "ARM full-run result" arm_full;
+      (* a budget strictly inside the run: every engine must trip the
+         watchdog after exactly the same retired prefix *)
+      let arm_cut =
+        let total = (List.hd arm_full).Pf_cpu.Arm_run.instructions in
+        let cut = 1 + (salt mod max 1 (total - 1)) in
+        List.map
+          (fun e ->
+            let trace = Pf_cpu.Trace.create ~isize:4 () in
+            let out =
+              Pf_util.Sim_error.protect ~where:"test" (fun () ->
+                  ignore
+                    (Pf_cpu.Arm_run.run ~engine:e ~max_steps:cut ~trace image))
+            in
+            (match out with
+            | Error e when e.Pf_util.Sim_error.kind
+                           = Pf_util.Sim_error.Watchdog_timeout -> ()
+            | Error e ->
+                QCheck.Test.fail_reportf "ARM cutoff raised %s"
+                  (Pf_util.Sim_error.to_string e)
+            | Ok () ->
+                QCheck.Test.fail_reportf
+                  "ARM cutoff at %d of %d did not trip" cut total);
+            ( (match out with Error e -> e.Pf_util.Sim_error.detail | Ok () -> ""),
+              trace_sig trace ))
+          engines
+      in
+      check_all_equal "ARM cutoff (error, trace prefix)" arm_cut;
+      (* same invariant on the FITS side, through synthesis + translation *)
+      let dyn_counts, _ =
+        Pf_fits.Synthesis.dyn_counts_of_run ~max_steps:20_000_000 image
+      in
+      let syn = Pf_fits.Synthesis.synthesize image ~dyn_counts in
+      let tr = Pf_fits.Translate.translate syn.Pf_fits.Synthesis.spec image in
+      let fits_full =
+        List.map
+          (fun e -> Pf_fits.Run.run ~engine:e ~max_steps:20_000_000 tr)
+          engines
+      in
+      check_all_equal "FITS full-run result" fits_full;
+      let fits_cut =
+        let total = (List.hd fits_full).Pf_fits.Run.fits_instructions in
+        let cut = 1 + (salt mod max 1 (total - 1)) in
+        List.map
+          (fun e ->
+            let trace = Pf_cpu.Trace.create ~isize:2 () in
+            let out =
+              Pf_util.Sim_error.protect ~where:"test" (fun () ->
+                  ignore (Pf_fits.Run.run ~engine:e ~max_steps:cut ~trace tr))
+            in
+            (match out with
+            | Error e when e.Pf_util.Sim_error.kind
+                           = Pf_util.Sim_error.Watchdog_timeout -> ()
+            | Error e ->
+                QCheck.Test.fail_reportf "FITS cutoff raised %s"
+                  (Pf_util.Sim_error.to_string e)
+            | Ok () ->
+                QCheck.Test.fail_reportf
+                  "FITS cutoff at %d of %d did not trip" cut total);
+            ( (match out with Error e -> e.Pf_util.Sim_error.detail | Ok () -> ""),
+              trace_sig trace ))
+          engines
+      in
+      check_all_equal "FITS cutoff (error, trace prefix)" fits_cut;
+      true)
+
 let tests =
   [
     QCheck_alcotest.to_alcotest prop_differential;
+    QCheck_alcotest.to_alcotest prop_engines_agree;
     QCheck_alcotest.to_alcotest prop_differential_unrolled;
     QCheck_alcotest.to_alcotest prop_mapping_sane;
     QCheck_alcotest.to_alcotest prop_code_always_smaller;

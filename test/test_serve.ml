@@ -728,7 +728,71 @@ let test_loadgen_against_daemon () =
         (r.Pf_serve.Loadgen.cached > 0);
       check_bool "hit rate consistent" true
         (r.Pf_serve.Loadgen.hit_rate > 0.
-        && r.Pf_serve.Loadgen.hit_rate <= 1.))
+        && r.Pf_serve.Loadgen.hit_rate <= 1.);
+      (* 40 draws from a 14-key corpus: most requests are re-touches, and
+         only those feed the warm percentiles *)
+      check_bool "warm subset is proper and non-empty" true
+        (r.Pf_serve.Loadgen.warm_requests > 0
+        && r.Pf_serve.Loadgen.warm_requests < r.Pf_serve.Loadgen.requests);
+      check_bool "warm percentiles populated" true
+        (r.Pf_serve.Loadgen.warm_p50_ms >= 0.
+        && r.Pf_serve.Loadgen.warm_p50_ms <= r.Pf_serve.Loadgen.warm_p99_ms))
+
+let test_trace_sharing () =
+  (* two explore points on the same program but different geometries:
+     the second must reuse the first's recording and still produce
+     exactly what an unshared compute produces *)
+  let traces = Pf_serve.Trace_share.create () in
+  let point geometry =
+    {
+      Proto.default_request with
+      Proto.action = Proto.Explore_point;
+      program = Proto.Named "crc32";
+      geometry;
+    }
+  in
+  let run req =
+    match Service.compute ~traces req with
+    | Ok (result, _) -> result
+    | Error e -> Alcotest.fail (SE.to_string e)
+  in
+  let shared result =
+    match Option.bind (J.member "trace_shared" result) J.to_bool_opt with
+    | Some b -> b
+    | None -> Alcotest.fail "missing trace_shared"
+  in
+  let r16 = run (point Pf_dse.Space.cache_16k) in
+  let r8 = run (point Pf_dse.Space.cache_8k) in
+  check_bool "first point records" false (shared r16);
+  check_bool "second point shares" true (shared r8);
+  let shd, rcd, ent = Pf_serve.Trace_share.stats traces in
+  check_int "one share" 1 shd;
+  check_int "one recording" 1 rcd;
+  check_int "one entry" 1 ent;
+  (* bit-identical to a compute with no sharing, apart from the flag *)
+  let member name r =
+    match J.member name r with
+    | Some j -> J.to_string j
+    | None -> Alcotest.failf "missing %s" name
+  in
+  (match Service.compute (point Pf_dse.Space.cache_8k) with
+  | Error e -> Alcotest.fail (SE.to_string e)
+  | Ok (fresh, _) ->
+      check_bool "unshared compute does not share" false (shared fresh);
+      List.iter
+        (fun name ->
+          check_string (name ^ " identical under sharing") (member name fresh)
+            (member name r8))
+        [ "points"; "replayed_events"; "outputs_consistent" ]);
+  (* a different dict budget is a different recording *)
+  let r_dict =
+    run { (point Pf_dse.Space.cache_16k) with Proto.dict_budget = Some 96 }
+  in
+  check_bool "dict budget splits the key" false (shared r_dict);
+  let shd, rcd, ent = Pf_serve.Trace_share.stats traces in
+  check_int "still one share" 1 shd;
+  check_int "two recordings" 2 rcd;
+  check_int "two entries" 2 ent
 
 let tests =
   [
@@ -770,4 +834,6 @@ let tests =
       test_daemon_error_isolation;
     Alcotest.test_case "daemon: backpressure" `Slow test_daemon_backpressure;
     Alcotest.test_case "daemon: loadgen run" `Slow test_loadgen_against_daemon;
+    Alcotest.test_case "service: trace sharing across geometries" `Quick
+      test_trace_sharing;
   ]

@@ -64,6 +64,26 @@ let scoped_forbidden =
       "lib/serve must not terminate the process; return a structured error \
        and let bin/ decide" );
   ]
+  (* The block-compilation engine (basic-block discovery in bexec, the
+     block-dispatch driver in cexec) stakes its correctness on closures
+     whose captured micro-op arrays the type checker has fully vetted —
+     an [Obj.magic] there would let a representation confusion ride into
+     every engine and corrupt the bit-identity contract silently.
+     Legality failures must fall back to the interpreter via the typed
+     fallback path, never "fix" a type with a cast. *)
+  @ List.concat_map
+      (fun scope ->
+        [
+          ( scope,
+            "Obj.magic",
+            "the compiled engine must stay representation-honest; make the \
+             block illegal and fall back to the interpreter instead" );
+          ( scope,
+            "Obj.repr",
+            "the compiled engine must stay representation-honest; make the \
+             block illegal and fall back to the interpreter instead" );
+        ])
+      [ "lib/arm/bexec"; "lib/cpu/cexec" ]
 
 let allowed file line =
   List.exists
