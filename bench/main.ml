@@ -249,6 +249,41 @@ let run_serve_phase () =
   print_endline (Pf_serve.Loadgen.summary result);
   result
 
+(* ------------------------------------------------------------------ *)
+(* Population throughput                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Workload-generation + population-campaign throughput: a sequential
+   seeded 96-program campaign (DESIGN.md §16).  Two figures come out:
+   how fast the generator emits calibrated programs, and how fast the
+   campaign simulates (trace-once ARM16 baseline + two FITS8 runs per
+   program, shared synthesis included in the denominator). *)
+let population_count = 96
+
+let run_population_phase () =
+  heading
+    (Printf.sprintf "population throughput (%d programs, sequential)"
+       population_count);
+  let r =
+    Pf_workgen.Population.run ~jobs:1 ~count:population_count ~seed:42 ()
+  in
+  let gen_rate =
+    float_of_int r.Pf_workgen.Population.count
+    /. Float.max 1e-9 r.Pf_workgen.Population.gen_s
+  in
+  let steps_rate =
+    float_of_int r.Pf_workgen.Population.total_steps
+    /. Float.max 1e-9 r.Pf_workgen.Population.eval_s
+  in
+  Printf.printf
+    "generated %.0f programs/sec; campaign simulated %.0f src-insns/sec \
+     (%d rows ok, %d failed, calib max chi2 %.4f)\n"
+    gen_rate steps_rate
+    (List.length r.Pf_workgen.Population.rows)
+    (List.length r.Pf_workgen.Population.failures)
+    r.Pf_workgen.Population.calib_max_distance;
+  (gen_rate, steps_rate)
+
 (* Baseline parser for `--check`.  Hand-rolled like the writer (no JSON
    library in the image): pull the `"instructions": N` / `"sim_s": X`
    pairs out of `"ok": true` benchmark rows — works on both schema 1 and
@@ -392,6 +427,39 @@ let run_check file =
   | Some _ ->
       Printf.printf "--check: unusable sweep_events_per_sec baseline\n";
       exit 2);
+  (match
+     ( baseline_scalar file "population_gen_programs_per_sec",
+       baseline_scalar file "population_steps_per_sec" )
+   with
+  | None, None ->
+      Printf.printf
+        "(baseline predates population throughput; skipping that gate)\n"
+  | gen_base, steps_base ->
+      let gen_now, steps_now =
+        timed_phase "check_population" run_population_phase
+      in
+      let gate label base now =
+        match base with
+        | None ->
+            Printf.printf "(baseline lacks population %s; skipping)\n" label
+        | Some base when base > 0. ->
+            let r = now /. base in
+            Printf.printf "baseline population %s: %.0f/sec\n" label base;
+            Printf.printf "current population %s:  %.0f/sec (%.2fx)\n" label
+              now r;
+            if r < 0.85 then begin
+              Printf.printf
+                "CHECK FAILED: population %s dropped %.1f%% (>15%% budget)\n"
+                label
+                ((1. -. r) *. 100.);
+              exit 2
+            end
+        | Some _ ->
+            Printf.printf "--check: unusable population %s baseline\n" label;
+            exit 2
+      in
+      gate "gen_programs" gen_base gen_now;
+      gate "steps" steps_base steps_now);
   Printf.printf "check OK: within the 15%% regression budget\n"
 
 (* Per-engine throughput matrix: the same sequential 21-benchmark sweep
@@ -413,10 +481,11 @@ let engine_matrix () =
       Pf_cpu.Arm_run.Compiled ]
 
 let write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve
+    ~population:(pop_gen_rate, pop_steps_rate)
     (sweep : Pf_harness.Experiment.sweep) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 6,\n";
+  Buffer.add_string b "  \"schema\": 7,\n";
   Printf.bprintf b "  \"engine\": \"%s\",\n" (engine_name engine);
   Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
@@ -438,6 +507,9 @@ let write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve
     serve.Pf_serve.Loadgen.throughput_rps;
   Printf.bprintf b "  \"serve\": %s,\n"
     (Pf_serve.Json.to_string (Pf_serve.Loadgen.to_json serve));
+  Printf.bprintf b "  \"population_gen_programs_per_sec\": %.0f,\n"
+    pop_gen_rate;
+  Printf.bprintf b "  \"population_steps_per_sec\": %.0f,\n" pop_steps_rate;
   Buffer.add_string b "  \"phases\": {\n";
   let phases = List.rev !phase_times in
   List.iteri
@@ -808,9 +880,11 @@ let () =
     timed_phase "sweep_dense" (fun () -> run_sweep_throughput ~explore_rate)
   in
   let serve = timed_phase "serve_loadgen" run_serve_phase in
+  let population = timed_phase "population" run_population_phase in
   timed_phase "microbenchmarks" (fun () ->
       try microbenchmarks ()
       with e ->
         Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
-  write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve sweep;
+  write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve ~population
+    sweep;
   print_newline ()

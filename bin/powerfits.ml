@@ -493,6 +493,86 @@ let multi_cmd =
     Term.(const run $ programs_arg $ weighting_arg $ loo_arg
           $ dict_budget_arg $ scale_arg $ jobs_arg)
 
+(* ---- population ---- *)
+
+let population_cmd =
+  let count_arg =
+    Arg.(value & opt int 1000
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Number of programs to generate and evaluate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Population seed.  Program $(i,i) is generated from a \
+                   splitmix of (S, i), so the population is reproducible \
+                   and independent of $(b,--jobs).")
+  in
+  let adaptive_arg =
+    Arg.(value & flag
+         & info [ "adaptive" ]
+             ~doc:"Also run phase-adaptive resynthesis: segment the \
+                   fleet schedule by opcode-mix drift, synthesize \
+                   per-phase dictionary/register-list tables over the \
+                   shared opcode plane, and report static-vs-adaptive \
+                   energy including decoder data-plane reload charges.")
+  in
+  let dict_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "dict-budget" ] ~docv:"N"
+             ~doc:"Shared-dictionary entry budget (default: capacity \
+                   minus a 64-entry reloadable per-program tail).")
+  in
+  let show_program_arg =
+    Arg.(value & opt (some int) None
+         & info [ "show-program" ] ~docv:"K"
+             ~doc:"Print the canonical rendering of generated program K \
+                   to stdout and exit (no evaluation).")
+  in
+  let run count seed adaptive dict_budget show_program max_steps jobs =
+    let jobs = resolve_jobs jobs in
+    match show_program with
+    | Some k ->
+        if k < 0 || k >= count then begin
+          Printf.eprintf
+            "powerfits population: --show-program %d out of range [0, %d)\n"
+            k count;
+          exit 2
+        end;
+        let model = Pf_workgen.Calibrate.reference () in
+        let p = Pf_workgen.Generate.program ~model ~seed ~index:k in
+        print_string (Pf_workgen.Generate.render p)
+    | None ->
+        let r =
+          Pf_workgen.Population.run ~jobs ?dict_budget ?max_steps ~adaptive
+            ~count ~seed ()
+        in
+        Printf.eprintf
+          "population: %d programs, jobs=%d, gen %.2fs, eval %.2fs \
+           (%.0f src-insns/s)\n%!"
+          r.Pf_workgen.Population.count r.Pf_workgen.Population.jobs
+          r.Pf_workgen.Population.gen_s r.Pf_workgen.Population.eval_s
+          (float_of_int r.Pf_workgen.Population.total_steps
+          /. Float.max 1e-9 r.Pf_workgen.Population.eval_s);
+        print_string (Pf_workgen.Population.report r);
+        if
+          List.exists
+            (fun row -> not row.Pf_workgen.Population.r_output_ok)
+            r.Pf_workgen.Population.rows
+        then exit 3
+        else if r.Pf_workgen.Population.failures <> [] then exit 4
+  in
+  Cmd.v
+    (Cmd.info "population"
+       ~doc:
+         "Fleet-scale campaign over a generated workload population: \
+          synthesize calibrated programs from a seed, build one shared \
+          FITS ISA across all of them, and report the shared-ISA \
+          power-saving degradation distribution (with $(b,--adaptive), \
+          also phase-adaptive data-plane resynthesis).")
+    Term.(const run $ count_arg $ seed_arg $ adaptive_arg $ dict_budget_arg
+          $ show_program_arg $ max_steps_arg $ jobs_arg)
+
 (* ---- explore ---- *)
 
 let explore_cmd =
@@ -995,7 +1075,8 @@ let main =
          "Reproduction of PowerFITS (ISPASS 2005): application-specific \
           instruction-set synthesis for I-cache power.")
     [ list_cmd; profile_cmd; synth_cmd; disasm_cmd; run_cmd; report_cmd;
-      figures_cmd; inject_cmd; multi_cmd; explore_cmd; serve_cmd ]
+      figures_cmd; inject_cmd; multi_cmd; population_cmd; explore_cmd;
+      serve_cmd ]
 
 let () =
   (* Structured simulation faults carry their own exit code: 3 for a

@@ -22,6 +22,12 @@ type stats = {
   code_bytes_fits : int;
 }
 
+type reload = {
+  dict_appended : int;
+  reglists_appended : int;
+  reload_bits : int;
+}
+
 type t = {
   spec : Spec.t;
   image : Pf_arm.Image.t;
@@ -31,7 +37,17 @@ type t = {
   entry : int;
   addr_of_arm : (int, int) Hashtbl.t;
   stats : stats;
+  reload : reload;
 }
+
+(* decoder data-plane SRAM row widths: dictionary entries hold a 32-bit
+   immediate, register-list entries a 16-bit r0-r15 membership mask *)
+let dict_entry_bits = 32
+let reglist_entry_bits = 16
+
+let data_plane_bits (spec : Spec.t) =
+  (dict_entry_bits * Array.length spec.Spec.dict)
+  + (reglist_entry_bits * Array.length spec.Spec.reglists)
 
 (* branch demotion levels *)
 type blevel = Near | Skip_near | Absolute
@@ -268,6 +284,8 @@ let extend_reglists (spec : Spec.t) (image : Pf_arm.Image.t) =
   end
 
 let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
+  let dict_before = Array.length spec.Spec.dict in
+  let reglists_before = Array.length spec.Spec.reglists in
   let spec = extend_reglists spec image in
   let sites, addr_of_arm, code_bytes_fits = layout spec image in
   (* produce the final fdesc lists *)
@@ -360,6 +378,19 @@ let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
         internal "entry point 0x%x was not translated"
           image.Pf_arm.Image.entry
   in
+  let reload =
+    let dict_appended = Array.length spec.Spec.dict - dict_before in
+    let reglists_appended =
+      Array.length spec.Spec.reglists - reglists_before
+    in
+    {
+      dict_appended;
+      reglists_appended;
+      reload_bits =
+        (dict_entry_bits * dict_appended)
+        + (reglist_entry_bits * reglists_appended);
+    }
+  in
   {
     spec;
     image;
@@ -369,6 +400,7 @@ let translate (spec : Spec.t) (image : Pf_arm.Image.t) =
     entry;
     addr_of_arm;
     stats;
+    reload;
   }
 
 let static_mapping_rate t =

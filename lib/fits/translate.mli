@@ -34,6 +34,18 @@ type stats = {
   code_bytes_fits : int;
 }
 
+(** Decoder data-plane reload traffic incurred by this translation: the
+    dictionary and register-list entries appended beyond what the input
+    spec already carried (the §3.1 per-program reload).  A spec
+    synthesized for this very program reloads nothing; a shared or
+    foreign spec pays [reload_bits] of decoder-SRAM writes, chargeable at
+    {!Pf_power.Account.Params.k_refill_per_bit}. *)
+type reload = {
+  dict_appended : int;       (** dictionary entries added (32 bits each) *)
+  reglists_appended : int;   (** register lists added (16-bit masks) *)
+  reload_bits : int;         (** 32·dict_appended + 16·reglists_appended *)
+}
+
 type t = {
   spec : Spec.t;             (** with the final (possibly extended) dictionary *)
   image : Pf_arm.Image.t;    (** the source image (provides data segment) *)
@@ -43,7 +55,13 @@ type t = {
   entry : int;               (** FITS address of _start *)
   addr_of_arm : (int, int) Hashtbl.t;  (** ARM address -> FITS address *)
   stats : stats;
+  reload : reload;
 }
+
+val data_plane_bits : Spec.t -> int
+(** Total decoder data-plane size of a spec in bits (32 per dictionary
+    entry + 16 per register-list entry) — the cost of loading its tables
+    into the programmable decoder from scratch, e.g. at a phase switch. *)
 
 val translate : Spec.t -> Pf_arm.Image.t -> t
 

@@ -31,44 +31,34 @@ type result = {
    protocol and store traffic, not long simulations *)
 let default_benchmarks = [ "crc32"; "bitcount"; "stringsearch" ]
 
-let corpus ~benchmarks =
+let requests_for program =
   let geometries = [ Pf_dse.Space.cache_16k; Pf_dse.Space.cache_8k ] in
   let base = Proto.default_request in
   List.concat_map
-    (fun bench ->
-      List.concat_map
-        (fun geometry ->
-          [
-            {
-              base with
-              Proto.action = Proto.Evaluate;
-              program = Proto.Named bench;
-              isa = Proto.Arm;
-              geometry;
-            };
-            {
-              base with
-              Proto.action = Proto.Evaluate;
-              program = Proto.Named bench;
-              isa = Proto.Fits;
-              geometry;
-            };
-            {
-              base with
-              Proto.action = Proto.Explore_point;
-              program = Proto.Named bench;
-              geometry;
-            };
-          ])
-        geometries
-      @ [
-          {
-            base with
-            Proto.action = Proto.Synthesize;
-            program = Proto.Named bench;
-          };
-        ])
-    benchmarks
+    (fun geometry ->
+      [
+        {
+          base with
+          Proto.action = Proto.Evaluate;
+          program;
+          isa = Proto.Arm;
+          geometry;
+        };
+        {
+          base with
+          Proto.action = Proto.Evaluate;
+          program;
+          isa = Proto.Fits;
+          geometry;
+        };
+        { base with Proto.action = Proto.Explore_point; program; geometry };
+      ])
+    geometries
+  @ [ { base with Proto.action = Proto.Synthesize; program } ]
+
+let corpus ?(inline = []) ~benchmarks () =
+  List.concat_map (fun bench -> requests_for (Proto.Named bench)) benchmarks
+  @ List.concat_map (fun p -> requests_for (Proto.Inline p)) inline
 
 let percentile sorted p =
   let n = Array.length sorted in
@@ -79,13 +69,13 @@ let percentile sorted p =
 
 let now_ms () = Int64.to_float (Monotonic_clock.now ()) /. 1e6
 
-let run ?(benchmarks = default_benchmarks) ?(policy = Retry.default_policy)
-    ~socket ~requests ~conns ~seed () =
+let run ?(benchmarks = default_benchmarks) ?(inline = [])
+    ?(policy = Retry.default_policy) ~socket ~requests ~conns ~seed () =
   if requests < 1 then
     Pf_util.Sim_error.raisef Pf_util.Sim_error.Invalid_config
       ~where:"serve.loadgen" "requests must be positive (got %d)" requests;
   let conns = max 1 conns in
-  let pool = Array.of_list (corpus ~benchmarks) in
+  let pool = Array.of_list (corpus ~inline ~benchmarks ()) in
   let unique_keys = Array.length pool in
   (* pre-draw every request deterministically, then stripe across
      connections: the request *set* is a function of (seed, requests)

@@ -39,13 +39,20 @@ val default_benchmarks : string list
 (** ["crc32"; "bitcount"; "stringsearch"] — fast programs; the generator
     measures protocol and store traffic, not long simulations. *)
 
-val corpus : benchmarks:string list -> Proto.request list
+val corpus :
+  ?inline:Pf_kir.Ast.program list ->
+  benchmarks:string list ->
+  unit ->
+  Proto.request list
 (** The unique requests load is drawn from: per benchmark, ARM/FITS
     evaluate and an explore-point at each paper geometry, plus one
-    synthesize. *)
+    synthesize.  [inline] programs (e.g. a {!Pf_workgen}-generated
+    population slice) get the same request shapes, shipped in the
+    request body as [Proto.Inline]. *)
 
 val run :
   ?benchmarks:string list ->
+  ?inline:Pf_kir.Ast.program list ->
   ?policy:Retry.policy ->
   socket:string ->
   requests:int ->

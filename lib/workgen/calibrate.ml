@@ -1,0 +1,270 @@
+(* Structural statistics of kir program populations.  One AST walker bins
+   both the hand-written benchmarks and generated programs, so the
+   chi-square-style closeness report compares identically-measured share
+   vectors. *)
+
+open Pf_kir.Ast
+
+type dim = { dname : string; labels : string array; counts : int array }
+type t = { programs : int; dims : dim array }
+
+let dim_specs =
+  [|
+    ( "ops",
+      [|
+        "addsub"; "mul"; "divrem"; "logic"; "shift"; "cmp"; "load"; "store";
+        "call";
+      |] );
+    ("imm", [| "w4"; "w8"; "w16"; "w32" |]);
+    ("stmt", [| "straight"; "if"; "loop" |]);
+    ("loopdepth", [| "d1"; "d2"; "d3plus" |]);
+    ("locals", [| "l0_3"; "l4_7"; "l8_12"; "l13plus" |]);
+    ("arity", [| "a0"; "a1"; "a2"; "a3"; "a4" |]);
+    ("fanout", [| "c0"; "c1"; "c2"; "c3plus" |]);
+    ("footprint", [| "le1k"; "le4k"; "le16k"; "gt16k" |]);
+    ("gwidth", [| "w8"; "w16"; "w32" |]);
+  |]
+
+module Cat = struct
+  let addsub = 0
+  let mul = 1
+  let divrem = 2
+  let logic = 3
+  let shift = 4
+  let cmp = 5
+  let load = 6
+  let store = 7
+  let call = 8
+end
+
+let empty () =
+  {
+    programs = 0;
+    dims =
+      Array.map
+        (fun (dname, labels) ->
+          { dname; labels; counts = Array.make (Array.length labels) 0 })
+        dim_specs;
+  }
+
+let dim_index name =
+  let rec find i =
+    if i >= Array.length dim_specs then
+      Pf_util.Sim_error.raisef Pf_util.Sim_error.Invalid_config
+        ~where:"workgen.calibrate" "unknown calibration dimension %S" name
+    else if fst dim_specs.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let d_ops = dim_index "ops"
+let d_imm = dim_index "imm"
+let d_stmt = dim_index "stmt"
+let d_loopdepth = dim_index "loopdepth"
+let d_locals = dim_index "locals"
+let d_arity = dim_index "arity"
+let d_fanout = dim_index "fanout"
+let d_footprint = dim_index "footprint"
+let d_gwidth = dim_index "gwidth"
+
+let bump t d i =
+  let c = t.dims.(d).counts in
+  c.(i) <- c.(i) + 1
+
+let imm_bucket v =
+  let m = abs v in
+  if m < 16 then 0 else if m < 256 then 1 else if m < 65536 then 2 else 3
+
+let scale_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4
+let scale_bucket = function W8 -> 0 | W16 -> 1 | W32 -> 2
+
+(* straight / if / loop *)
+let stmt_bucket = function
+  | If _ -> 1
+  | While _ | For _ -> 2
+  | Let _ | Assign _ | Store _ | Expr _ | Return _ | Break | Continue
+  | Print_int _ | Print_char _ ->
+      0
+
+let features_of_program (p : program) =
+  let t = empty () in
+  let rec expr = function
+    | Int v -> bump t d_imm (imm_bucket v)
+    | Var _ | Global_addr _ -> ()
+    | Load { addr; _ } ->
+        bump t d_ops Cat.load;
+        expr addr
+    | Binop (op, a, b) ->
+        let cat =
+          match op with
+          | Add | Sub -> Cat.addsub
+          | Mul -> Cat.mul
+          | Div | Rem | Udiv | Urem -> Cat.divrem
+          | And | Or | Xor -> Cat.logic
+          | Shl | Shr | Sar -> Cat.shift
+        in
+        bump t d_ops cat;
+        expr a;
+        expr b
+    | Unop (_, a) ->
+        bump t d_ops Cat.logic;
+        expr a
+    | Cmp (_, a, b) ->
+        bump t d_ops Cat.cmp;
+        expr a;
+        expr b
+    | Call (_, args) ->
+        bump t d_ops Cat.call;
+        List.iter expr args
+  in
+  (* per-function accumulators threaded by reference *)
+  let locals = ref 0 in
+  let callees : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec note_calls = function
+    | Call (f, args) ->
+        Hashtbl.replace callees f ();
+        List.iter note_calls args
+    | Int _ | Var _ | Global_addr _ -> ()
+    | Load { addr; _ } -> note_calls addr
+    | Binop (_, a, b) | Cmp (_, a, b) ->
+        note_calls a;
+        note_calls b
+    | Unop (_, a) -> note_calls a
+  in
+  let rec stmt depth s =
+    bump t d_stmt (stmt_bucket s);
+    match s with
+    | Let (_, e) ->
+        incr locals;
+        note_calls e;
+        expr e
+    | Assign (_, e) | Expr e | Print_int e | Print_char e ->
+        note_calls e;
+        expr e
+    | Return (Some e) ->
+        note_calls e;
+        expr e
+    | Return None | Break | Continue -> ()
+    | Store { addr; value; _ } ->
+        bump t d_ops Cat.store;
+        note_calls addr;
+        note_calls value;
+        expr addr;
+        expr value
+    | If (c, th, el) ->
+        note_calls (match c with e -> e);
+        expr c;
+        List.iter (stmt depth) th;
+        List.iter (stmt depth) el
+    | While (c, body) ->
+        bump t d_loopdepth (min (depth + 1) 3 - 1);
+        note_calls c;
+        expr c;
+        List.iter (stmt (depth + 1)) body
+    | For (_, lo, hi, body) ->
+        incr locals;
+        bump t d_loopdepth (min (depth + 1) 3 - 1);
+        note_calls lo;
+        note_calls hi;
+        expr lo;
+        expr hi;
+        List.iter (stmt (depth + 1)) body
+  in
+  List.iter
+    (fun (f : func) ->
+      locals := List.length f.params;
+      Hashtbl.reset callees;
+      List.iter (stmt 0) f.body;
+      let l = !locals in
+      bump t d_locals
+        (if l <= 3 then 0 else if l <= 7 then 1 else if l <= 12 then 2 else 3);
+      bump t d_arity (min (List.length f.params) 4);
+      let c = Hashtbl.length callees in
+      bump t d_fanout (min c 3))
+    p.funcs;
+  let bytes =
+    List.fold_left
+      (fun acc (g : global) -> acc + (g.length * scale_bytes g.gscale))
+      0 p.globals
+  in
+  bump t d_footprint
+    (if bytes <= 1024 then 0
+     else if bytes <= 4096 then 1
+     else if bytes <= 16384 then 2
+     else 3);
+  List.iter (fun (g : global) -> bump t d_gwidth (scale_bucket g.gscale)) p.globals;
+  { t with programs = 1 }
+
+let merge a b =
+  {
+    programs = a.programs + b.programs;
+    dims =
+      Array.map2
+        (fun da db ->
+          { da with counts = Array.map2 ( + ) da.counts db.counts })
+        a.dims b.dims;
+  }
+
+let merge_all = List.fold_left merge (empty ())
+
+let reference_v =
+  lazy
+    (Pf_mibench.Registry.all
+    |> List.map (fun (b : Pf_mibench.Registry.benchmark) ->
+           features_of_program (b.program ~scale:1))
+    |> merge_all)
+
+let reference () = Lazy.force reference_v
+
+let shares t name =
+  let d = t.dims.(dim_index name) in
+  let total = Array.fold_left ( + ) 0 d.counts in
+  if total = 0 then Array.make (Array.length d.counts) 0.
+  else Array.map (fun c -> float_of_int c /. float_of_int total) d.counts
+
+let eps = 0.01
+
+let distance ~reference t =
+  Array.to_list t.dims
+  |> List.map (fun d ->
+         let p = shares t d.dname and q = shares reference d.dname in
+         let dist = ref 0. in
+         Array.iteri
+           (fun i pi ->
+             let diff = pi -. q.(i) in
+             dist := !dist +. (diff *. diff /. (q.(i) +. eps)))
+           p;
+         (d.dname, !dist))
+
+let max_distance ~reference t =
+  List.fold_left (fun acc (_, d) -> Float.max acc d) 0. (distance ~reference t)
+
+let tolerance = 0.25
+
+let report ~reference t =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "calibration vs %d-benchmark envelope (population: %d programs)\n"
+       reference.programs t.programs);
+  let dists = distance ~reference t in
+  Array.iter
+    (fun d ->
+      let p = shares t d.dname and q = shares reference d.dname in
+      let dist = List.assoc d.dname dists in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s chi2=%.4f %s\n" d.dname dist
+           (if dist <= tolerance then "ok" else "DRIFT"));
+      Array.iteri
+        (fun i label ->
+          Buffer.add_string buf
+            (Printf.sprintf "    %-8s ref %5.1f%%  gen %5.1f%%\n" label
+               (100. *. q.(i)) (100. *. p.(i))))
+        d.labels)
+    t.dims;
+  let m = max_distance ~reference t in
+  Buffer.add_string buf
+    (Printf.sprintf "  max chi2 distance %.4f (tolerance %.2f): %s\n" m
+       tolerance
+       (if m <= tolerance then "within envelope" else "OUT OF ENVELOPE"));
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+(** Workload-envelope calibration: measure the structural statistics of a
+    kir program population and compare populations chi-square-style.
+
+    One extractor ({!features_of_program}) walks the AST and bins it along
+    nine dimensions — operator mix, immediate magnitudes, statement mix,
+    loop-nest depth, per-function locals (register pressure), call arity,
+    call fan-out, global data footprint and global element widths.  The
+    {e same} extractor runs over the 21 hand-written MiBench-workalike
+    benchmarks ({!reference}) and over generated populations, so the
+    closeness report compares like with like: structural address
+    arithmetic introduced by the {!Pf_kir.Build} combinators counts
+    identically on both sides. *)
+
+type dim = {
+  dname : string;
+  labels : string array;
+  counts : int array;  (** one counter per label, same length *)
+}
+
+type t = {
+  programs : int;  (** population size the counts were merged over *)
+  dims : dim array;  (** fixed order, identical across all values of [t] *)
+}
+
+(** Category indices of the ["ops"] dimension — the shared contract
+    between the extractor and {!Generate}'s quota sampler. *)
+module Cat : sig
+  val addsub : int
+  val mul : int
+  val divrem : int
+  val logic : int
+  val shift : int
+  val cmp : int
+  val load : int
+  val store : int
+  val call : int
+end
+
+val empty : unit -> t
+val features_of_program : Pf_kir.Ast.program -> t
+(** Features of one program ([programs = 1]). *)
+
+val merge : t -> t -> t
+val merge_all : t list -> t
+
+val reference : unit -> t
+(** The 21-benchmark envelope (scale 1, AST-only — no execution).
+    Computed once and cached. *)
+
+val shares : t -> string -> float array
+(** Normalized category shares of one dimension (all zeros when the
+    dimension counted nothing).
+    @raise Pf_util.Sim_error.Error for an unknown dimension name. *)
+
+val distance : reference:t -> t -> (string * float) list
+(** Per-dimension chi-square-style distance between share vectors:
+    [sum_i (p_i - q_i)^2 / (q_i + eps)] with [q] the reference shares and
+    [eps = 0.01] guarding empty reference bins.  0 = identical shapes. *)
+
+val max_distance : reference:t -> t -> float
+
+val tolerance : float
+(** Documented acceptance threshold on {!max_distance} for generated
+    populations (see DESIGN.md §16). *)
+
+val report : reference:t -> t -> string
+(** Side-by-side share table per dimension with distances and a
+    within-tolerance verdict line. *)

@@ -1,0 +1,745 @@
+(* Deficit-weighted seeded program generation.  Every free choice is
+   drawn from a quota tracking its calibration dimension; structurally
+   forced nodes (index masks, address arithmetic, loop bounds, divisor
+   guards) are charged to the same quotas so the measured statistics stay
+   truthful.  A dynamic statement-execution budget bounds every loop nest
+   and every call site, and the helper call graph is generated as a DAG,
+   so termination is by construction. *)
+
+module Ast = Pf_kir.Ast
+module Rng = Pf_util.Rng
+module Cat = Calibrate.Cat
+
+let name ~index = Printf.sprintf "gen-%06d" index
+
+(* ---------- deficit quotas ---------- *)
+
+type quota = { target : float array; counts : int array; mutable total : int }
+
+let quota_of model dim =
+  let target = Calibrate.shares model dim in
+  let n = Array.length target in
+  let sum = Array.fold_left ( +. ) 0. target in
+  let target =
+    if sum <= 0. then Array.make n (1. /. float_of_int n) else target
+  in
+  { target; counts = Array.make n 0; total = 0 }
+
+let note q i =
+  q.counts.(i) <- q.counts.(i) + 1;
+  q.total <- q.total + 1
+
+let deficit q i =
+  (q.target.(i) *. float_of_int (q.total + 1)) -. float_of_int q.counts.(i)
+
+(* Sample a legal category with weight proportional to its deficit
+   (plain target shares once every deficit is spent), and count it. *)
+let pick rng q ~legal =
+  let n = Array.length q.target in
+  let w = Array.make n 0. in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    if legal i then begin
+      w.(i) <- Float.max 0. (deficit q i);
+      sum := !sum +. w.(i)
+    end
+  done;
+  if !sum <= 0. then
+    for i = 0 to n - 1 do
+      if legal i then begin
+        w.(i) <- Float.max q.target.(i) 1e-6;
+        sum := !sum +. w.(i)
+      end
+    done;
+  if !sum <= 0. then
+    Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal
+      ~where:"workgen.generate" "quota pick with no legal category";
+  let r = Rng.float rng !sum in
+  let choice = ref (-1) in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    if !choice < 0 && w.(i) > 0. then begin
+      acc := !acc +. w.(i);
+      if r < !acc then choice := i
+    end
+  done;
+  if !choice < 0 then
+    for i = n - 1 downto 0 do
+      if !choice < 0 && w.(i) > 0. then choice := i
+    done;
+  note q !choice;
+  !choice
+
+(* ---------- generator state ---------- *)
+
+type helper = { h_name : string; h_arity : int; h_cost : int }
+
+type st = {
+  rng : Rng.t;
+  ops : quota;
+  imm : quota;
+  stmt : quota;
+  depthq : quota;
+  localsq : quota;
+  arityq : quota;
+  fanoutq : quota;
+  footq : quota;
+  gwidthq : quota;
+  mutable budget : int;  (* remaining dynamic statement executions *)
+  mutable fresh : int;
+  mutable globals : (string * Ast.scale * int) list;  (* name, scale, len *)
+  mutable helpers : helper list;  (* generated so far, callable *)
+}
+
+let fresh st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s%d" prefix st.fresh
+
+(* same binning as Calibrate.imm_bucket (kept private there) *)
+let imm_bucket v =
+  let m = abs v in
+  if m < 16 then 0 else if m < 256 then 1 else if m < 65536 then 2 else 3
+
+(* a structurally required literal: count it where the extractor will *)
+let imm_lit st v =
+  note st.imm (imm_bucket v);
+  Ast.Int v
+
+(* a free-choice literal: bucket by deficit, value within the bucket *)
+let fresh_imm st =
+  let b = pick st.rng st.imm ~legal:(fun _ -> true) in
+  let v =
+    match b with
+    | 0 -> Rng.int st.rng 16
+    | 1 -> 16 + Rng.int st.rng 240
+    | 2 -> 256 + Rng.int st.rng 65280
+    | _ -> 65536 + Rng.int st.rng 0x40000000
+  in
+  Ast.Int v
+
+let leaf st vars =
+  if Array.length vars > 0 && Rng.int st.rng 4 > 0 then
+    Ast.Var vars.(Rng.int st.rng (Array.length vars))
+  else fresh_imm st
+
+let pick_global st =
+  let gs = Array.of_list st.globals in
+  gs.(Rng.int st.rng (Array.length gs))
+
+(* Masked global index: [e land (len-1)] — lengths are powers of two, so
+   every access is in bounds.  The Build combinators add the address
+   arithmetic ([gaddr + (idx << k)]); charge those nodes to the quotas
+   exactly as the extractor will count them. *)
+let masked_index st vars =
+  fun (len : int) ->
+    note st.ops Cat.logic;
+    Ast.Binop (Ast.And, leaf st vars, imm_lit st (len - 1))
+
+let note_addr_arith st (scale : Ast.scale) =
+  note st.ops Cat.addsub;
+  match scale with
+  | Ast.W8 -> ()
+  | Ast.W16 | Ast.W32 ->
+      note st.ops Cat.shift;
+      note st.imm 0
+
+(* load with the category already counted by the caller's [pick] *)
+let load_noted st vars (gname, scale, len) =
+  let idx = masked_index st vars len in
+  note_addr_arith st scale;
+  match scale with
+  | Ast.W8 -> Pf_kir.Build.idx8 gname idx
+  | Ast.W16 -> Pf_kir.Build.idx16 gname idx
+  | Ast.W32 -> Pf_kir.Build.idx32 gname idx
+
+let store_noted st vars (gname, scale, len) value =
+  let idx = masked_index st vars len in
+  note_addr_arith st scale;
+  match scale with
+  | Ast.W8 -> Pf_kir.Build.setidx8 gname idx value
+  | Ast.W16 -> Pf_kir.Build.setidx16 gname idx value
+  | Ast.W32 -> Pf_kir.Build.setidx32 gname idx value
+
+let rand_cmp st =
+  match Rng.int st.rng 10 with
+  | 0 -> Ast.Eq
+  | 1 -> Ast.Ne
+  | 2 -> Ast.Lt
+  | 3 -> Ast.Le
+  | 4 -> Ast.Gt
+  | 5 -> Ast.Ge
+  | 6 -> Ast.Ult
+  | 7 -> Ast.Ule
+  | 8 -> Ast.Ugt
+  | _ -> Ast.Uge
+
+(* ---------- expressions ---------- *)
+
+let affordable st ~mult callees =
+  List.filter (fun h -> st.budget >= mult * h.h_cost) callees
+
+let rec gen_expr st ~vars ~callees ~mult ~depth =
+  if depth <= 0 || Rng.int st.rng 100 < 30 then leaf st vars
+  else begin
+    let can_call = affordable st ~mult callees <> [] in
+    let legal i =
+      if i = Cat.store then false
+      else if i = Cat.load then st.globals <> []
+      else if i = Cat.call then can_call
+      else true
+    in
+    let cat = pick st.rng st.ops ~legal in
+    let sub () = gen_expr st ~vars ~callees ~mult ~depth:(depth - 1) in
+    if cat = Cat.addsub then
+      Ast.Binop ((if Rng.bool st.rng then Ast.Add else Ast.Sub), sub (), sub ())
+    else if cat = Cat.mul then Ast.Binop (Ast.Mul, sub (), sub ())
+    else if cat = Cat.divrem then begin
+      (* unsigned with an |1 divisor: never a division by zero *)
+      note st.ops Cat.logic;
+      let divisor = Ast.Binop (Ast.Or, sub (), imm_lit st 1) in
+      Ast.Binop ((if Rng.bool st.rng then Ast.Udiv else Ast.Urem), sub (),
+                 divisor)
+    end
+    else if cat = Cat.logic then begin
+      match Rng.int st.rng 5 with
+      | 0 -> Ast.Binop (Ast.And, sub (), sub ())
+      | 1 -> Ast.Binop (Ast.Or, sub (), sub ())
+      | 2 -> Ast.Binop (Ast.Xor, sub (), sub ())
+      | 3 -> Ast.Unop (Ast.Bnot, sub ())
+      | _ -> Ast.Unop (Ast.Neg, sub ())
+    end
+    else if cat = Cat.shift then begin
+      let op =
+        match Rng.int st.rng 3 with
+        | 0 -> Ast.Shl
+        | 1 -> Ast.Shr
+        | _ -> Ast.Sar
+      in
+      Ast.Binop (op, sub (), imm_lit st (Rng.int st.rng 32))
+    end
+    else if cat = Cat.cmp then Ast.Cmp (rand_cmp st, sub (), sub ())
+    else if cat = Cat.load then load_noted st vars (pick_global st)
+    else (* call *)
+      gen_call st ~vars ~callees ~mult
+  end
+
+and gen_call st ~vars ~callees ~mult =
+  let pool = Array.of_list (affordable st ~mult callees) in
+  let h = pool.(Rng.int st.rng (Array.length pool)) in
+  st.budget <- st.budget - (mult * h.h_cost);
+  let args = List.init h.h_arity (fun _ -> leaf st vars) in
+  Ast.Call (h.h_name, args)
+
+(* ---------- statements ---------- *)
+
+let trips = [| 4; 8; 16; 32; 64 |]
+
+(* straight / if / loop category indices in the "stmt" dimension *)
+let s_straight = 0
+let s_if = 1
+let s_loop = 2
+
+let accum_stmt st ~vars x =
+  let e = gen_expr st ~vars ~callees:[] ~mult:1 ~depth:1 in
+  let op, cat =
+    match Rng.int st.rng 3 with
+    | 0 -> (Ast.Add, Cat.addsub)
+    | 1 -> (Ast.Xor, Cat.logic)
+    | _ -> (Ast.Sub, Cat.addsub)
+  in
+  note st.ops cat;
+  Ast.Assign (x, Ast.Binop (op, Ast.Var x, e))
+
+let rec gen_block st ~mut ~vars ~callees ~depth ~mult ~in_loop ~in_for ~n =
+  let out = ref [] in
+  let emit s = out := s :: !out in
+  let i = ref 0 in
+  while !i < n && st.budget >= mult do
+    incr i;
+    st.budget <- st.budget - mult;
+    let min_trip_cost = mult * trips.(0) * 3 in
+    let loop_ok =
+      depth < 3
+      && st.budget >= min_trip_cost
+      && (depth = 0 || deficit st.depthq (min (depth + 1) 3 - 1) > 0.)
+    in
+    let legal c = c <> s_loop || loop_ok in
+    let cat = pick st.rng st.stmt ~legal in
+    if cat = s_straight then
+      emit (gen_straight st ~mut ~vars ~callees ~mult)
+    else if cat = s_if then begin
+      note st.ops Cat.cmp;
+      let sub d = gen_expr st ~vars ~callees ~mult ~depth:d in
+      let cond = Ast.Cmp (rand_cmp st, sub 1, sub 1) in
+      let then_n = 1 + Rng.int st.rng 3 in
+      let then_b =
+        gen_block st ~mut ~vars ~callees ~depth ~mult ~in_loop ~in_for
+          ~n:then_n
+      in
+      let then_b =
+        (* occasional early exit keeps control flow realistic; only ever
+           appended inside a loop *)
+        if in_loop && Rng.int st.rng 6 = 0 then begin
+          note st.stmt s_straight;
+          then_b
+          @ [ (if in_for && Rng.bool st.rng then Ast.Continue else Ast.Break) ]
+        end
+        else then_b
+      in
+      let else_b =
+        if Rng.bool st.rng then
+          gen_block st ~mut ~vars ~callees ~depth ~mult ~in_loop ~in_for ~n:1
+        else []
+      in
+      emit (Ast.If (cond, then_b, else_b))
+    end
+    else begin
+      (* loop: constant-trip for_, occasionally a guarded down-counter *)
+      let legal_trips =
+        Array.to_list trips
+        |> List.filter (fun t -> st.budget >= mult * t * 3)
+      in
+      match legal_trips with
+      | [] -> emit (gen_straight st ~mut ~vars ~callees ~mult)
+      | ts ->
+          let ts = Array.of_list ts in
+          let trip = ts.(Rng.int st.rng (Array.length ts)) in
+          note st.depthq (min (depth + 1) 3 - 1);
+          (* loop-header evaluations *)
+          st.budget <- st.budget - (mult * trip);
+          let body_n = 2 + Rng.int st.rng 4 in
+          if Rng.int st.rng 100 < 85 || Array.length mut < 2 then begin
+            let iv = fresh st "i" in
+            let vars' = Array.append vars [| iv |] in
+            let body =
+              gen_block st ~mut ~vars:vars' ~callees ~depth:(depth + 1)
+                ~mult:(mult * trip) ~in_loop:true ~in_for:true ~n:body_n
+            in
+            emit (Ast.For (iv, imm_lit st 0, imm_lit st trip, body))
+          end
+          else begin
+            (* down-counter while: the counter local is excluded from the
+               body's assignable set, and continue is forbidden inside so
+               the decrement always runs *)
+            let x = mut.(Rng.int st.rng (Array.length mut)) in
+            (* the counter must be unassignable inside the body, or the
+               loop may never reach zero; mut has >= 2 entries here *)
+            let mut' =
+              Array.of_list
+                (List.filter (fun y -> y <> x) (Array.to_list mut))
+            in
+            note st.stmt s_straight;
+            emit (Ast.Assign (x, imm_lit st trip));
+            let body =
+              gen_block st ~mut:mut' ~vars ~callees ~depth:(depth + 1)
+                ~mult:(mult * trip) ~in_loop:true ~in_for:false ~n:body_n
+            in
+            note st.ops Cat.cmp;
+            let cond = Ast.Cmp (Ast.Gt, Ast.Var x, imm_lit st 0) in
+            note st.stmt s_straight;
+            note st.ops Cat.addsub;
+            let dec =
+              Ast.Assign (x, Ast.Binop (Ast.Sub, Ast.Var x, imm_lit st 1))
+            in
+            emit (Ast.While (cond, body @ [ dec ]))
+          end
+    end
+  done;
+  List.rev !out
+
+and gen_straight st ~mut ~vars ~callees ~mult =
+  let assignable = Array.length mut > 0 in
+  let x () = mut.(Rng.int st.rng (Array.length mut)) in
+  match Rng.int st.rng 8 with
+  | (0 | 1 | 2) when assignable ->
+      Ast.Assign (x (), gen_expr st ~vars ~callees ~mult ~depth:3)
+  | 3 when assignable -> accum_stmt st ~vars (x ())
+  | (4 | 5) when st.globals <> [] ->
+      note st.ops Cat.store;
+      let value = gen_expr st ~vars ~callees ~mult ~depth:2 in
+      store_noted st vars (pick_global st) value
+  | 6 when affordable st ~mult callees <> [] ->
+      Ast.Expr (gen_call st ~vars ~callees ~mult)
+  | _ when assignable ->
+      Ast.Assign (x (), gen_expr st ~vars ~callees ~mult ~depth:2)
+  | _ ->
+      Ast.Expr (gen_expr st ~vars ~callees ~mult ~depth:2)
+
+(* ---------- functions ---------- *)
+
+let bucket_value st (bounds : (int * int) array) b =
+  let lo, span = bounds.(b) in
+  lo + Rng.int st.rng span
+
+let gen_preamble st ~params ~count =
+  let lets = ref [] in
+  let names = ref [] in
+  for _ = 1 to count do
+    let t = fresh st "t" in
+    let vars = Array.of_list (params @ List.rev !names) in
+    note st.stmt s_straight;
+    let init =
+      if Array.length vars > 0 && Rng.bool st.rng then
+        Ast.Var vars.(Rng.int st.rng (Array.length vars))
+      else fresh_imm st
+    in
+    lets := Ast.Let (t, init) :: !lets;
+    names := t :: !names
+  done;
+  (List.rev !lets, List.rev !names)
+
+let gen_helper st ~index =
+  let hname = Printf.sprintf "f%d" index in
+  let arity = pick st.rng st.arityq ~legal:(fun _ -> true) in
+  (* fan-out: how many earlier helpers this one may call *)
+  let avail = Array.of_list st.helpers in
+  let fan =
+    pick st.rng st.fanoutq ~legal:(fun i ->
+        i = 0 || Array.length avail >= min i 3)
+  in
+  let fan_count =
+    min (Array.length avail) (if fan >= 3 then 3 + Rng.int st.rng 2 else fan)
+  in
+  Rng.shuffle st.rng avail;
+  let callees = Array.to_list (Array.sub avail 0 fan_count) in
+  let lbucket = pick st.rng st.localsq ~legal:(fun _ -> true) in
+  let locals_target =
+    bucket_value st [| (1, 3); (4, 4); (8, 5); (13, 4) |] lbucket
+  in
+  let nlets = max 1 (min 10 (locals_target - arity - 2)) in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  let budget_before = st.budget in
+  let preamble, lets = gen_preamble st ~params ~count:nlets in
+  let mut = Array.of_list lets in
+  let vars = Array.of_list (params @ lets) in
+  let body =
+    gen_block st ~mut ~vars ~callees ~depth:0 ~mult:1 ~in_loop:false
+      ~in_for:false
+      ~n:(4 + Rng.int st.rng 8)
+  in
+  note st.stmt s_straight;
+  note st.ops Cat.addsub;
+  let ret =
+    let a = Ast.Var (List.nth lets 0) in
+    let b =
+      if Array.length vars > 0 then
+        Ast.Var vars.(Rng.int st.rng (Array.length vars))
+      else imm_lit st 1
+    in
+    Ast.Return (Some (Ast.Binop (Ast.Add, a, b)))
+  in
+  let cost = max 4 (budget_before - st.budget) in
+  st.helpers <- st.helpers @ [ { h_name = hname; h_arity = arity; h_cost = cost } ];
+  { Ast.name = hname; params; body = preamble @ body @ [ ret ] }
+
+(* ---------- globals ---------- *)
+
+let gen_globals st =
+  let fb = pick st.rng st.footq ~legal:(fun _ -> true) in
+  let target =
+    bucket_value st [| (256, 768); (1025, 3071); (4097, 12287); (16385, 16384) |]
+      fb
+  in
+  let arrays = ref [] in
+  let sofar = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let b = pick st.rng st.gwidthq ~legal:(fun _ -> true) in
+    let sb = [| 1; 2; 4 |].(b) in
+    let scale = [| Ast.W8; Ast.W16; Ast.W32 |].(b) in
+    let room = target - !sofar in
+    if room < 64 * sb || List.length !arrays >= 6 then stop := true
+    else begin
+      let len = ref 64 in
+      while !len * 2 * sb <= room && !len < 8192 do
+        len := !len * 2
+      done;
+      let len = if Rng.bool st.rng && !len > 64 then !len / 2 else !len in
+      let gname = fresh st "g" in
+      arrays := (gname, scale, len) :: !arrays;
+      sofar := !sofar + (len * sb)
+    end
+  done;
+  if !arrays = [] then arrays := [ (fresh st "g", Ast.W32, 64) ];
+  st.globals <- List.rev !arrays;
+  List.map
+    (fun (gname, scale, len) ->
+      if Rng.bool st.rng then
+        (* seeded data segment *)
+        let bound =
+          match scale with Ast.W8 -> 256 | Ast.W16 -> 65536 | Ast.W32 -> 0
+        in
+        let init =
+          Array.init (min len 64) (fun _ ->
+              if bound = 0 then Rng.int32u st.rng else Rng.int st.rng bound)
+        in
+        { Ast.gname; gscale = scale; length = len; init = Some init }
+      else { Ast.gname; gscale = scale; length = len; init = None })
+    st.globals
+
+(* ---------- main + whole program ---------- *)
+
+let gen_main st =
+  note st.arityq 0;
+  note st.fanoutq (min (List.length st.helpers) 3);
+  note st.localsq 1;
+  let acc = "acc" in
+  note st.stmt s_straight;
+  let preamble0 = [ Ast.Let (acc, imm_lit st 0) ] in
+  let preamble, lets = gen_preamble st ~params:[] ~count:2 in
+  let mut = Array.of_list (acc :: lets) in
+  let vars = mut in
+  (* call every helper at least once, folding results into acc *)
+  let calls =
+    List.map
+      (fun h ->
+        st.budget <- max 0 (st.budget - h.h_cost);
+        note st.stmt s_straight;
+        note st.ops Cat.call;
+        note st.ops Cat.addsub;
+        let args =
+          List.init h.h_arity (fun _ -> leaf st vars)
+        in
+        Ast.Assign
+          (acc, Ast.Binop (Ast.Add, Ast.Var acc, Ast.Call (h.h_name, args))))
+      st.helpers
+  in
+  let body =
+    gen_block st ~mut ~vars ~callees:st.helpers ~depth:0 ~mult:1
+      ~in_loop:false ~in_for:false
+      ~n:(3 + Rng.int st.rng 5)
+  in
+  (* checksum sweep over the first global keeps the output sensitive to
+     the data segment *)
+  let checksum =
+    match st.globals with
+    | [] -> []
+    | (gname, scale, len) :: _ ->
+        let span = min len 64 in
+        st.budget <- max 0 (st.budget - (2 * span));
+        note st.stmt s_loop;
+        note st.depthq 0;
+        let iv = fresh st "i" in
+        note st.stmt s_straight;
+        note st.ops Cat.addsub;
+        note st.ops Cat.load;
+        note st.ops Cat.logic;
+        let mask = Ast.Binop (Ast.And, Ast.Var iv, imm_lit st (len - 1)) in
+        note_addr_arith st scale;
+        let ld =
+          match scale with
+          | Ast.W8 -> Pf_kir.Build.idx8 gname mask
+          | Ast.W16 -> Pf_kir.Build.idx16 gname mask
+          | Ast.W32 -> Pf_kir.Build.idx32 gname mask
+        in
+        [
+          Ast.For
+            ( iv,
+              imm_lit st 0,
+              imm_lit st span,
+              [ Ast.Assign (acc, Ast.Binop (Ast.Add, Ast.Var acc, ld)) ] );
+        ]
+  in
+  note st.stmt s_straight;
+  let out = [ Ast.Print_int (Ast.Var acc) ] in
+  {
+    Ast.name = "main";
+    params = [];
+    body = preamble0 @ preamble @ calls @ body @ checksum @ out;
+  }
+
+let mix64 seed index =
+  (* splitmix64-style avalanche of (seed, index): per-index streams are
+     independent of generation order *)
+  let z = seed lxor ((index + 1) * 0x9E3779B97F4A7C) in
+  let z = (z lxor (z lsr 30)) * 0xBF58476D1CE4E5B in
+  let z = (z lxor (z lsr 27)) * 0x94D049BB133111E in
+  z lxor (z lsr 31)
+
+let program ~model ~seed ~index =
+  let rng = Rng.create (mix64 seed index) in
+  let st =
+    {
+      rng;
+      ops = quota_of model "ops";
+      imm = quota_of model "imm";
+      stmt = quota_of model "stmt";
+      depthq = quota_of model "loopdepth";
+      localsq = quota_of model "locals";
+      arityq = quota_of model "arity";
+      fanoutq = quota_of model "fanout";
+      footq = quota_of model "footprint";
+      gwidthq = quota_of model "gwidth";
+      budget = 2000 + Rng.int rng 20000;
+      fresh = 0;
+      globals = [];
+      helpers = [];
+    }
+  in
+  let globals = gen_globals st in
+  let n_helpers = 2 + Rng.int st.rng 4 in
+  (* helpers collectively spend at most half the budget; main gets the
+     reserve back plus whatever they left *)
+  let reserve = st.budget / 2 in
+  st.budget <- st.budget - reserve;
+  let helpers = List.init n_helpers (fun i -> gen_helper st ~index:i) in
+  st.budget <- st.budget + reserve;
+  let main = gen_main st in
+  Pf_kir.Build.program globals (helpers @ [ main ])
+
+(* ---------- canonical rendering ---------- *)
+
+let scale_str = function Ast.W8 -> "w8" | Ast.W16 -> "w16" | Ast.W32 -> "w32"
+
+let binop_str = function
+  | Ast.Add -> "add"
+  | Ast.Sub -> "sub"
+  | Ast.Mul -> "mul"
+  | Ast.Div -> "div"
+  | Ast.Rem -> "rem"
+  | Ast.Udiv -> "udiv"
+  | Ast.Urem -> "urem"
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+  | Ast.Xor -> "xor"
+  | Ast.Shl -> "shl"
+  | Ast.Shr -> "shr"
+  | Ast.Sar -> "sar"
+
+let cmp_str = function
+  | Ast.Eq -> "eq"
+  | Ast.Ne -> "ne"
+  | Ast.Lt -> "lt"
+  | Ast.Le -> "le"
+  | Ast.Gt -> "gt"
+  | Ast.Ge -> "ge"
+  | Ast.Ult -> "ult"
+  | Ast.Ule -> "ule"
+  | Ast.Ugt -> "ugt"
+  | Ast.Uge -> "uge"
+
+let unop_str = function Ast.Neg -> "neg" | Ast.Bnot -> "bnot"
+
+let render (p : Ast.program) =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let rec expr = function
+    | Ast.Int v -> pr "(i %d)" v
+    | Ast.Var s -> pr "(v %s)" s
+    | Ast.Global_addr s -> pr "(ga %s)" s
+    | Ast.Load { scale; signed; addr } ->
+        pr "(load %s %b " (scale_str scale) signed;
+        expr addr;
+        pr ")"
+    | Ast.Binop (op, a, b) ->
+        pr "(%s " (binop_str op);
+        expr a;
+        pr " ";
+        expr b;
+        pr ")"
+    | Ast.Unop (op, a) ->
+        pr "(%s " (unop_str op);
+        expr a;
+        pr ")"
+    | Ast.Cmp (c, a, b) ->
+        pr "(%s " (cmp_str c);
+        expr a;
+        pr " ";
+        expr b;
+        pr ")"
+    | Ast.Call (f, args) ->
+        pr "(call %s" f;
+        List.iter
+          (fun a ->
+            pr " ";
+            expr a)
+          args;
+        pr ")"
+  in
+  let rec stmt = function
+    | Ast.Let (x, e) ->
+        pr "(let %s " x;
+        expr e;
+        pr ")"
+    | Ast.Assign (x, e) ->
+        pr "(set %s " x;
+        expr e;
+        pr ")"
+    | Ast.Store { scale; addr; value } ->
+        pr "(store %s " (scale_str scale);
+        expr addr;
+        pr " ";
+        expr value;
+        pr ")"
+    | Ast.If (c, t, e) ->
+        pr "(if ";
+        expr c;
+        pr " (";
+        List.iter stmt t;
+        pr ") (";
+        List.iter stmt e;
+        pr "))"
+    | Ast.While (c, b) ->
+        pr "(while ";
+        expr c;
+        pr " (";
+        List.iter stmt b;
+        pr "))"
+    | Ast.For (x, lo, hi, b) ->
+        pr "(for %s " x;
+        expr lo;
+        pr " ";
+        expr hi;
+        pr " (";
+        List.iter stmt b;
+        pr "))"
+    | Ast.Expr e ->
+        pr "(expr ";
+        expr e;
+        pr ")"
+    | Ast.Return None -> pr "(ret)"
+    | Ast.Return (Some e) ->
+        pr "(ret ";
+        expr e;
+        pr ")"
+    | Ast.Break -> pr "(break)"
+    | Ast.Continue -> pr "(continue)"
+    | Ast.Print_int e ->
+        pr "(print_int ";
+        expr e;
+        pr ")"
+    | Ast.Print_char e ->
+        pr "(print_char ";
+        expr e;
+        pr ")"
+  in
+  List.iter
+    (fun (g : Ast.global) ->
+      pr "(global %s %s %d" g.gname (scale_str g.gscale) g.length;
+      (match g.init with
+      | None -> ()
+      | Some a ->
+          pr " (init";
+          Array.iter (fun v -> pr " %d" v) a;
+          pr ")");
+      pr ")\n")
+    p.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      pr "(func %s (%s)\n" f.name (String.concat " " f.params);
+      List.iter
+        (fun s ->
+          pr "  ";
+          stmt s;
+          pr "\n")
+        f.body;
+      pr ")\n")
+    p.funcs;
+  Buffer.contents buf
+
+let digest programs =
+  programs
+  |> List.map render
+  |> String.concat "\n"
+  |> Digest.string
+  |> Digest.to_hex

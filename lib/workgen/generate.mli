@@ -1,0 +1,37 @@
+(** Seeded, fully deterministic kir program generation.
+
+    [program ~model ~seed ~index] emits a valid program whose structural
+    statistics are steered toward [model] (normally
+    [Calibrate.reference ()]) by deficit-weighted quota sampling: every
+    free choice — operator, immediate magnitude, statement kind, loop
+    nesting, arity, fan-out, footprint — is drawn with weight
+    proportional to how far that category lags its target share, with
+    structurally-forced emissions (address arithmetic, masks, loop
+    bounds) counted against the same quotas.  Population aggregates
+    therefore converge on the envelope even though any single program
+    quantizes it coarsely.
+
+    Generated programs are safe by construction: array indices are
+    masked to power-of-two bounds, division is unsigned with an [| 1]
+    divisor, shifts use constant amounts, every loop has a constant trip
+    count (or a protected down-counter) under a dynamic statement-budget,
+    and the helper call graph is a DAG — so every program passes
+    {!Pf_kir.Validate}, terminates, and prints at least one value.
+
+    Determinism: the program is a pure function of [(model, seed,
+    index)].  Each index derives its own splitmix64 stream, so
+    generating index [i] never depends on indices [< i] — populations
+    can be produced in parallel in any order. *)
+
+val name : index:int -> string
+(** ["gen-%06d"]. *)
+
+val program :
+  model:Calibrate.t -> seed:int -> index:int -> Pf_kir.Ast.program
+
+val render : Pf_kir.Ast.program -> string
+(** Canonical s-expression rendering — the byte-identity witness used by
+    {!digest} and the same-seed QCheck property. *)
+
+val digest : Pf_kir.Ast.program list -> string
+(** MD5 hex digest over the canonical renderings. *)

@@ -1,0 +1,97 @@
+(* Windowed opcode-mix drift with hysteresis.  Integer category counts
+   are summed before normalizing, so mixes are independent of hashtable
+   iteration order; the segmentation itself is a deterministic single
+   pass. *)
+
+let categories =
+  [| "alu"; "mul"; "load"; "store"; "stack"; "branch"; "other" |]
+
+let cat_of_key (k : Pf_fits.Opkey.t) =
+  match k with
+  | Pf_fits.Opkey.K_dp _ -> 0
+  | K_mul _ -> 1
+  | K_mem { load = true; _ } -> 2
+  | K_mem { load = false; _ } -> 3
+  | K_push | K_pop -> 4
+  | K_branch _ | K_bx -> 5
+  | K_swi -> 6
+
+let mix_of_profile (p : Pf_fits.Profile.t) =
+  let totals = Array.make (Array.length categories) 0 in
+  Hashtbl.iter
+    (fun (pk : Pf_fits.Opkey.predicated) count ->
+      let c = cat_of_key pk.Pf_fits.Opkey.key in
+      totals.(c) <- totals.(c) + count)
+    p.Pf_fits.Profile.dyn_keys;
+  let sum = Array.fold_left ( + ) 0 totals in
+  if sum = 0 then Array.map (fun _ -> 0.) totals
+  else Array.map (fun c -> float_of_int c /. float_of_int sum) totals
+
+let l1 a b =
+  let d = ref 0. in
+  Array.iteri (fun i x -> d := !d +. Float.abs (x -. b.(i))) a;
+  !d
+
+type config = { enter : float; exit_ : float; confirm : int }
+
+let default_config = { enter = 0.35; exit_ = 0.20; confirm = 2 }
+
+type segmentation = { boundaries : int list; drifts : float array }
+
+let segment ?(config = default_config) mixes =
+  let n = Array.length mixes in
+  let drifts = Array.make n 0. in
+  if n = 0 then { boundaries = []; drifts }
+  else begin
+    let k = Array.length mixes.(0) in
+    let mean = Array.make k 0. in
+    let count = ref 0 in
+    let fold m =
+      incr count;
+      let c = float_of_int !count in
+      Array.iteri (fun i x -> mean.(i) <- mean.(i) +. ((x -. mean.(i)) /. c)) m
+    in
+    let reset () =
+      count := 0;
+      Array.fill mean 0 k 0.
+    in
+    fold mixes.(0);
+    let boundaries = ref [] in
+    let armed = ref 0 in
+    let armed_start = ref 0 in
+    for w = 1 to n - 1 do
+      let d = l1 mean mixes.(w) in
+      drifts.(w) <- d;
+      if d > config.enter then begin
+        if !armed = 0 then armed_start := w;
+        incr armed;
+        if !armed >= config.confirm then begin
+          (* confirmed: the phase changed where the drift first armed *)
+          boundaries := !armed_start :: !boundaries;
+          reset ();
+          for j = !armed_start to w do
+            fold mixes.(j)
+          done;
+          armed := 0
+        end
+      end
+      else if d < config.exit_ then begin
+        (* back in band: an unconfirmed excursion was a blip — drop it
+           from the mean rather than polluting the phase statistics *)
+        armed := 0;
+        fold mixes.(w)
+      end
+      else if !armed = 0 then fold mixes.(w)
+      (* dead band while armed: hold the armed count, fold nothing *)
+    done;
+    { boundaries = List.rev !boundaries; drifts }
+  end
+
+let phases seg ~n =
+  if n <= 0 then []
+  else
+    let rec build start = function
+      | [] -> [ (start, n) ]
+      | b :: rest -> (start, b) :: build b rest
+    in
+    build 0 seg.boundaries

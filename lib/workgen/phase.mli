@@ -1,0 +1,50 @@
+(** Phase detection over execution profiles: windowed opcode-mix drift
+    with hysteresis.
+
+    A {e mix} is a normalized vector over a small fixed set of dynamic
+    operation categories ({!mix_of_profile}).  {!segment} walks a
+    sequence of mixes (one per scheduled workload, or one per execution
+    window), maintains the running mean mix of the current phase, and
+    opens a new phase when the L1 drift from that mean stays above
+    [enter] for [confirm] consecutive windows (hysteresis: a single
+    outlier window never triggers a resynthesis; the armed state clears
+    as soon as drift falls back under [exit_]).  Each boundary is where
+    an adaptive FITS core would reload its decoder data plane
+    ({!Pf_fits.Translate.data_plane_bits}). *)
+
+val categories : string array
+(** The mix basis, in vector order: dynamic shares of
+    [alu; mul; load; store; stack; branch; other]. *)
+
+val mix_of_profile : Pf_fits.Profile.t -> float array
+(** Normalized dynamic opcode mix of one profile.  Integer category
+    totals are accumulated first, so the result is independent of
+    hashtable iteration order.  All zeros for an empty profile. *)
+
+val l1 : float array -> float array -> float
+(** L1 distance between two mixes (sum of absolute component
+    differences, range [0, 2] for normalized vectors). *)
+
+type config = {
+  enter : float;   (** drift that arms a phase change *)
+  exit_ : float;   (** drift below which the armed state clears *)
+  confirm : int;   (** consecutive armed windows before a boundary *)
+}
+
+val default_config : config
+(** [enter = 0.35], [exit_ = 0.20], [confirm = 2]. *)
+
+type segmentation = {
+  boundaries : int list;
+      (** indices (into the input sequence) where a new phase starts;
+          never includes 0 — the first phase starts implicitly *)
+  drifts : float array;
+      (** per-window drift from the running phase mean, for reporting *)
+}
+
+val segment : ?config:config -> float array array -> segmentation
+(** Deterministic single pass; [segment [||]] has no boundaries. *)
+
+val phases : segmentation -> n:int -> (int * int) list
+(** The phase extents [(start, stop))] covering [0..n-1] implied by the
+    boundaries. *)

@@ -26,4 +26,5 @@ let () =
       ("dse", Test_dse.tests);
       ("differential", Test_differential.tests);
       ("serve", Test_serve.tests);
+      ("workgen", Test_workgen.tests);
     ]

@@ -1,0 +1,235 @@
+(* Workload generation: determinism, validity, termination, calibration
+   closeness, phase detection, population campaign jobs-independence and
+   decoder reload accounting. *)
+
+let model = Pf_workgen.Calibrate.reference ()
+
+let gen ~seed ~index = Pf_workgen.Generate.program ~model ~seed ~index
+
+(* arbitrary over (seed, index) pairs *)
+let seed_index =
+  QCheck.make
+    ~print:(fun (s, i) -> Printf.sprintf "seed=%d index=%d" s i)
+    QCheck.Gen.(pair (int_bound 1_000_000) (int_bound 2_000))
+
+let prop_same_seed_identical =
+  QCheck.Test.make ~name:"workgen: same seed => byte-identical program"
+    ~count:30 seed_index (fun (seed, index) ->
+      let a = Pf_workgen.Generate.render (gen ~seed ~index) in
+      let b = Pf_workgen.Generate.render (gen ~seed ~index) in
+      a = b)
+
+let prop_valid_and_terminates =
+  QCheck.Test.make
+    ~name:"workgen: generated programs validate, run, and agree" ~count:25
+    seed_index (fun (seed, index) ->
+      let p = gen ~seed ~index in
+      Pf_kir.Validate.check_exn p;
+      let ev = Pf_kir.Eval.run ~max_steps:50_000_000 p in
+      let image = Pf_armgen.Compile.program p in
+      let out = Pf_armgen.Compile.run ~max_steps:50_000_000 image in
+      if ev.Pf_kir.Eval.output <> out then
+        QCheck.Test.fail_reportf
+          "eval/compiled outputs differ: %S vs %S" ev.Pf_kir.Eval.output out;
+      if String.length out = 0 then
+        QCheck.Test.fail_reportf "generated program printed nothing";
+      true)
+
+let calibration_within_tolerance () =
+  let n = 150 in
+  let feats =
+    List.init n (fun index ->
+        Pf_workgen.Calibrate.features_of_program (gen ~seed:7 ~index))
+  in
+  let merged = Pf_workgen.Calibrate.merge_all feats in
+  let d = Pf_workgen.Calibrate.max_distance ~reference:model merged in
+  if d > Pf_workgen.Calibrate.tolerance then
+    Alcotest.failf "calibration drift %.4f > tolerance %.2f:\n%s" d
+      Pf_workgen.Calibrate.tolerance
+      (Pf_workgen.Calibrate.report ~reference:model merged)
+
+let reference_envelope_sane () =
+  let r = model in
+  Alcotest.(check int) "21 benchmarks" 21 r.Pf_workgen.Calibrate.programs;
+  (* every dimension of the envelope observed something *)
+  Array.iter
+    (fun (d : Pf_workgen.Calibrate.dim) ->
+      let total = Array.fold_left ( + ) 0 d.counts in
+      if total = 0 then Alcotest.failf "empty reference dimension %s" d.dname)
+    r.Pf_workgen.Calibrate.dims
+
+(* ---- phase detection ---- *)
+
+let mix_a = [| 0.6; 0.0; 0.2; 0.1; 0.05; 0.05; 0.0 |]
+let mix_b = [| 0.2; 0.0; 0.5; 0.2; 0.05; 0.05; 0.0 |]
+
+let phase_two_phases () =
+  (* ten windows of A then ten of B: exactly one confirmed boundary *)
+  let mixes = Array.init 20 (fun i -> if i < 10 then mix_a else mix_b) in
+  let seg = Pf_workgen.Phase.segment mixes in
+  Alcotest.(check (list int)) "boundary where B starts" [ 10 ]
+    seg.Pf_workgen.Phase.boundaries;
+  Alcotest.(check (list (pair int int)))
+    "extents" [ (0, 10); (10, 20) ]
+    (Pf_workgen.Phase.phases seg ~n:20)
+
+let phase_blip_ignored () =
+  (* a single outlier window never confirms: hysteresis absorbs it *)
+  let mixes = Array.init 20 (fun i -> if i = 7 then mix_b else mix_a) in
+  let seg = Pf_workgen.Phase.segment mixes in
+  Alcotest.(check (list int)) "no boundary" []
+    seg.Pf_workgen.Phase.boundaries;
+  Alcotest.(check (list (pair int int)))
+    "one phase" [ (0, 20) ]
+    (Pf_workgen.Phase.phases seg ~n:20)
+
+let phase_boundary_at_arming_window () =
+  (* confirm=2: drift arms at window 10, confirms at 11, and the
+     boundary lands where the drift first armed, not where it confirmed *)
+  let mixes = Array.init 14 (fun i -> if i < 10 then mix_a else mix_b) in
+  let seg =
+    Pf_workgen.Phase.segment
+      ~config:{ Pf_workgen.Phase.enter = 0.35; exit_ = 0.2; confirm = 2 }
+      mixes
+  in
+  Alcotest.(check (list int)) "boundary at arming window" [ 10 ]
+    seg.Pf_workgen.Phase.boundaries
+
+let mix_of_profile_normalized () =
+  let p = gen ~seed:3 ~index:0 in
+  let image = Pf_armgen.Compile.program p in
+  let trace = Pf_cpu.Trace.create ~isize:4 () in
+  let _ =
+    Pf_cpu.Arm_run.run ~max_steps:50_000_000
+      ~cache_cfg:Pf_harness.Experiment.cache_16k ~trace image
+  in
+  let counts =
+    Pf_cpu.Trace.exec_counts trace ~base:image.Pf_arm.Image.code_base
+      ~n:(Array.length image.Pf_arm.Image.words)
+  in
+  let profile = Pf_fits.Profile.of_image_counts image ~counts in
+  let mix = Pf_workgen.Phase.mix_of_profile profile in
+  let sum = Array.fold_left ( +. ) 0. mix in
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 sum;
+  Array.iter (fun x -> Alcotest.(check bool) "non-negative" true (x >= 0.)) mix
+
+(* ---- decoder reload accounting ---- *)
+
+let translate_reload_accounting () =
+  (* translating a program under a foreign spec appends the dictionary
+     entries and register lists the spec lacks; the reload cost is the
+     bit size of exactly those appended rows *)
+  let prep name =
+    let p =
+      (Pf_mibench.Registry.find name).Pf_mibench.Registry.program ~scale:1
+    in
+    let image = Pf_armgen.Compile.program p in
+    let trace = Pf_cpu.Trace.create ~isize:4 () in
+    let _ =
+      Pf_cpu.Arm_run.run ~max_steps:200_000_000
+        ~cache_cfg:Pf_harness.Experiment.cache_16k ~trace image
+    in
+    let counts =
+      Pf_cpu.Trace.exec_counts trace ~base:image.Pf_arm.Image.code_base
+        ~n:(Array.length image.Pf_arm.Image.words)
+    in
+    (image, counts)
+  in
+  let image_c, counts_c = prep "crc32" in
+  let image_b, counts_b = prep "bitcount" in
+  let own =
+    (Pf_fits.Synthesis.synthesize image_c ~dyn_counts:counts_c)
+      .Pf_fits.Synthesis.spec
+  in
+  let foreign =
+    (Pf_fits.Synthesis.synthesize image_b ~dyn_counts:counts_b)
+      .Pf_fits.Synthesis.spec
+  in
+  let tr_own = Pf_fits.Translate.translate own image_c in
+  let r = tr_own.Pf_fits.Translate.reload in
+  Alcotest.(check int) "own spec: nothing appended" 0
+    r.Pf_fits.Translate.reload_bits;
+  let tr = Pf_fits.Translate.translate foreign image_c in
+  let r = tr.Pf_fits.Translate.reload in
+  Alcotest.(check bool) "foreign spec appends dict entries" true
+    (r.Pf_fits.Translate.dict_appended > 0);
+  Alcotest.(check int) "reload bits = 32/dict + 16/reglist"
+    ((32 * r.Pf_fits.Translate.dict_appended)
+    + (16 * r.Pf_fits.Translate.reglists_appended))
+    r.Pf_fits.Translate.reload_bits;
+  Alcotest.(check int) "data_plane_bits matches table sizes"
+    ((32 * Array.length foreign.Pf_fits.Spec.dict)
+    + (16 * Array.length foreign.Pf_fits.Spec.reglists))
+    (Pf_fits.Translate.data_plane_bits foreign)
+
+(* ---- population campaign ---- *)
+
+let population_jobs_independent () =
+  let run jobs =
+    Pf_workgen.Population.run ~jobs ~count:10 ~seed:11 ()
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check string) "digest" a.Pf_workgen.Population.digest
+    b.Pf_workgen.Population.digest;
+  Alcotest.(check string) "full report"
+    (Pf_workgen.Population.report a)
+    (Pf_workgen.Population.report b)
+
+let population_rows_sane () =
+  let r = Pf_workgen.Population.run ~jobs:2 ~count:12 ~seed:5 () in
+  Alcotest.(check int) "all rows evaluated" 12
+    (List.length r.Pf_workgen.Population.rows);
+  Alcotest.(check (list (pair int string))) "no failures" []
+    r.Pf_workgen.Population.failures;
+  List.iter
+    (fun (row : Pf_workgen.Population.row) ->
+      Alcotest.(check bool) "outputs reproduced" true row.r_output_ok;
+      Alcotest.(check bool) "per-app saving positive" true
+        (row.r_per_app_saving > 0.);
+      Alcotest.(check (float 1e-9)) "degradation = perapp - shared"
+        (row.r_per_app_saving -. row.r_shared_saving)
+        row.r_degradation_pp)
+    r.Pf_workgen.Population.rows
+
+let population_adaptive_smoke () =
+  let r =
+    Pf_workgen.Population.run ~jobs:2 ~adaptive:true ~count:16 ~seed:42 ()
+  in
+  match r.Pf_workgen.Population.adaptive_r with
+  | None -> Alcotest.fail "adaptive requested but absent"
+  | Some a ->
+      Alcotest.(check bool) "at least one phase" true
+        (List.length a.Pf_workgen.Population.a_phases >= 1);
+      Alcotest.(check bool) "static energy positive" true
+        (a.Pf_workgen.Population.a_static_energy > 0.);
+      Alcotest.(check bool) "adaptive energy positive" true
+        (a.Pf_workgen.Population.a_adaptive_energy > 0.);
+      Alcotest.(check bool) "static reload bits charged" true
+        (a.Pf_workgen.Population.a_static_reload_bits > 0);
+      Alcotest.(check bool) "adaptive reload bits charged" true
+        (a.Pf_workgen.Population.a_adaptive_reload_bits > 0)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_same_seed_identical;
+    QCheck_alcotest.to_alcotest prop_valid_and_terminates;
+    Alcotest.test_case "reference envelope sane" `Quick
+      reference_envelope_sane;
+    Alcotest.test_case "calibration within tolerance" `Slow
+      calibration_within_tolerance;
+    Alcotest.test_case "phase: two phases, one boundary" `Quick
+      phase_two_phases;
+    Alcotest.test_case "phase: single-window blip ignored" `Quick
+      phase_blip_ignored;
+    Alcotest.test_case "phase: boundary at arming window" `Quick
+      phase_boundary_at_arming_window;
+    Alcotest.test_case "phase: profile mix normalized" `Quick
+      mix_of_profile_normalized;
+    Alcotest.test_case "translate: reload accounting" `Quick
+      translate_reload_accounting;
+    Alcotest.test_case "population: jobs-independent" `Slow
+      population_jobs_independent;
+    Alcotest.test_case "population: rows sane" `Quick population_rows_sane;
+    Alcotest.test_case "population: adaptive smoke" `Slow
+      population_adaptive_smoke;
+  ]

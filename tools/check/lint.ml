@@ -36,6 +36,15 @@ let domain_safe_reason =
   "signals only reach the main domain; use the monotonic Pf_util.Deadline \
    watchdog, which works inside Pool worker domains"
 
+(* Everything random in lib/ must flow from explicit seeded state
+   (Pf_util.Rng): the population digests, the workload generator, the
+   fault campaigns and the loadgen plans all promise bit-identical
+   replay from a seed, and one stray draw from stdlib Random's global,
+   per-domain state silently breaks that for every jobs count. *)
+let seeded_rng_reason =
+  "unseeded global RNG; thread explicit Pf_util.Rng state from a seed so \
+   results replay bit-identically at any --jobs"
+
 let forbidden =
   [
     ("failwith", sim_error_reason);
@@ -44,6 +53,10 @@ let forbidden =
     ("Sys.set_signal", domain_safe_reason);
     ("setitimer", domain_safe_reason);
     ("ITIMER", domain_safe_reason);
+    ("Random.self_init", seeded_rng_reason);
+    ("Random.int", seeded_rng_reason);
+    ("Random.bits", seeded_rng_reason);
+    ("Random.float", seeded_rng_reason);
   ]
 
 (* Tree-scoped rules: (path substring, pattern, reason).  The serve

@@ -109,6 +109,19 @@ FAULT_DIR=$(mktemp -d)
 dune exec bin/powerfits.exe -- serve --selftest "$FAULT_DIR"
 rm -rf "$FAULT_DIR"
 
+echo "== population smoke: seeded run, jobs-independent digest =="
+# A 64-program campaign at two jobs counts: the stdout report (digest,
+# calibration, distribution, every table) must be byte-identical — the
+# population promise is bit-exact replay from (count, seed) alone.
+POP_DIR=$(mktemp -d)
+"$PF" population --count 64 --seed 42 --jobs 1 >"$POP_DIR/j1.out"
+"$PF" population --count 64 --seed 42 --jobs 3 >"$POP_DIR/j3.out"
+cmp -s "$POP_DIR/j1.out" "$POP_DIR/j3.out" || {
+  echo "ci: population report differs between --jobs 1 and --jobs 3"; exit 1; }
+grep -q "population digest: " "$POP_DIR/j1.out" || {
+  echo "ci: population report lacks a digest line"; exit 1; }
+rm -rf "$POP_DIR"
+
 echo "== bench regression check =="
 dune exec bench/main.exe -- --check BENCH_sweep.json
 

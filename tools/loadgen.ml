@@ -10,7 +10,22 @@
 
 let usage =
   "loadgen --socket PATH [--requests N] [--conns N] [--seed N]\n\
-  \        [--benchmarks A,B,C] [--json PATH]"
+  \        [--benchmarks A,B,C] [--corpus generated:N:SEED] [--json PATH]"
+
+(* --corpus generated:N:SEED — N workgen programs, shipped inline *)
+let parse_corpus s =
+  match String.split_on_char ':' s with
+  | [ "generated"; n; seed ] -> (
+      match (int_of_string_opt n, int_of_string_opt seed) with
+      | Some n, Some seed when n >= 1 ->
+          let model = Pf_workgen.Calibrate.reference () in
+          List.init n (fun index -> Pf_workgen.Generate.program ~model ~seed ~index)
+      | _ ->
+          Printf.eprintf "loadgen: bad --corpus %S (want generated:N:SEED)\n" s;
+          exit 2)
+  | _ ->
+      Printf.eprintf "loadgen: bad --corpus %S (want generated:N:SEED)\n" s;
+      exit 2
 
 let () =
   let socket = ref "" in
@@ -18,6 +33,7 @@ let () =
   let conns = ref 4 in
   let seed = ref 1 in
   let benchmarks = ref None in
+  let inline = ref [] in
   let json_out = ref None in
   let spec =
     [
@@ -31,6 +47,10 @@ let () =
             benchmarks :=
               Some (List.filter (fun x -> x <> "") (String.split_on_char ',' s))),
         "A,B,C corpus benchmarks (default crc32,bitcount,stringsearch)" );
+      ( "--corpus",
+        Arg.String (fun s -> inline := parse_corpus s),
+        "generated:N:SEED draw from N seeded workgen programs, shipped \
+         inline, instead of only the named benchmarks" );
       ( "--json",
         Arg.String (fun s -> json_out := Some s),
         "PATH write the result record as JSON (atomic)" );
@@ -46,8 +66,8 @@ let () =
     exit 2
   end;
   match
-    Pf_serve.Loadgen.run ?benchmarks:!benchmarks ~socket:!socket
-      ~requests:!requests ~conns:!conns ~seed:!seed ()
+    Pf_serve.Loadgen.run ?benchmarks:!benchmarks ~inline:!inline
+      ~socket:!socket ~requests:!requests ~conns:!conns ~seed:!seed ()
   with
   | exception Pf_util.Sim_error.Error e ->
       Printf.eprintf "loadgen: %s\n" (Pf_util.Sim_error.to_string e);
