@@ -284,6 +284,53 @@ let run_population_phase () =
     r.Pf_workgen.Population.calib_max_distance;
   (gen_rate, steps_rate)
 
+(* ------------------------------------------------------------------ *)
+(* Multicore throughput                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Interleaving-machine throughput: a 4-core machine (one ARM benchmark
+   image per core, private memories, seeded random scheduler) run to
+   completion, measured in retired instructions per second of wall
+   clock.  One machine slice retires at most one instruction, so this is
+   also the slice rate — the figure the litmus seed sweeps (1000
+   interleavings x 7 tests) scale with. *)
+let mc_cores = [ "crc32"; "bitcount"; "sha"; "stringsearch" ]
+
+let run_mc_phase () =
+  heading
+    (Printf.sprintf
+       "multicore throughput (%d-core machine, seeded random scheduler)"
+       (List.length mc_cores));
+  let cores =
+    Array.of_list
+      (List.map
+         (fun name ->
+           let b = Pf_mibench.Registry.find name in
+           let p = b.Pf_mibench.Registry.program ~scale:1 in
+           let image =
+             Pf_armgen.Compile.program ~unroll:b.Pf_mibench.Registry.unroll p
+           in
+           (name, Pf_mc.Machine.arm_core image))
+         mc_cores)
+  in
+  let sched =
+    Pf_mc.Sched.create ~policy:Pf_mc.Sched.Seeded_random
+      ~ncores:(Array.length cores) 1
+  in
+  let m = Pf_mc.Machine.create ~sched cores in
+  let t0 = Unix.gettimeofday () in
+  Pf_mc.Machine.run m;
+  let el = Unix.gettimeofday () -. t0 in
+  let r = Pf_mc.Machine.report m in
+  let rate =
+    if el > 0. then float_of_int r.Pf_mc.Machine.instructions /. el else 0.
+  in
+  Printf.printf "%d cores retired %d instructions over %d slices: %.0f \
+                 insns/sec\n"
+    (List.length mc_cores) r.Pf_mc.Machine.instructions
+    r.Pf_mc.Machine.slices rate;
+  rate
+
 (* Baseline parser for `--check`.  Hand-rolled like the writer (no JSON
    library in the image): pull the `"instructions": N` / `"sim_s": X`
    pairs out of `"ok": true` benchmark rows — works on both schema 1 and
@@ -460,6 +507,23 @@ let run_check file =
       in
       gate "gen_programs" gen_base gen_now;
       gate "steps" steps_base steps_now);
+  (match baseline_scalar file "mc_steps_per_sec" with
+  | None ->
+      Printf.printf "(baseline predates mc throughput; skipping that gate)\n"
+  | Some mc_base when mc_base > 0. ->
+      let mc_now = timed_phase "check_mc" run_mc_phase in
+      let mr = mc_now /. mc_base in
+      Printf.printf "baseline mc: %.0f insns/sec\n" mc_base;
+      Printf.printf "current mc:  %.0f insns/sec (%.2fx)\n" mc_now mr;
+      if mr < 0.85 then begin
+        Printf.printf
+          "CHECK FAILED: mc insns/sec dropped %.1f%% (>15%% budget)\n"
+          ((1. -. mr) *. 100.);
+        exit 2
+      end
+  | Some _ ->
+      Printf.printf "--check: unusable mc_steps_per_sec baseline\n";
+      exit 2);
   Printf.printf "check OK: within the 15%% regression budget\n"
 
 (* Per-engine throughput matrix: the same sequential 21-benchmark sweep
@@ -481,11 +545,11 @@ let engine_matrix () =
       Pf_cpu.Arm_run.Compiled ]
 
 let write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve
-    ~population:(pop_gen_rate, pop_steps_rate)
+    ~population:(pop_gen_rate, pop_steps_rate) ~mc_rate
     (sweep : Pf_harness.Experiment.sweep) =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": 7,\n";
+  Buffer.add_string b "  \"schema\": 8,\n";
   Printf.bprintf b "  \"engine\": \"%s\",\n" (engine_name engine);
   Printf.bprintf b "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
   Printf.bprintf b "  \"jobs\": %d,\n" sweep.Pf_harness.Experiment.jobs;
@@ -510,6 +574,7 @@ let write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve
   Printf.bprintf b "  \"population_gen_programs_per_sec\": %.0f,\n"
     pop_gen_rate;
   Printf.bprintf b "  \"population_steps_per_sec\": %.0f,\n" pop_steps_rate;
+  Printf.bprintf b "  \"mc_steps_per_sec\": %.0f,\n" mc_rate;
   Buffer.add_string b "  \"phases\": {\n";
   let phases = List.rev !phase_times in
   List.iteri
@@ -881,10 +946,11 @@ let () =
   in
   let serve = timed_phase "serve_loadgen" run_serve_phase in
   let population = timed_phase "population" run_population_phase in
+  let mc_rate = timed_phase "mc_machine" run_mc_phase in
   timed_phase "microbenchmarks" (fun () ->
       try microbenchmarks ()
       with e ->
         Printf.printf "microbenchmarks skipped: %s\n" (Printexc.to_string e));
   write_sweep_json ~engine_rates ~explore_rate ~sweep_rate ~serve ~population
-    sweep;
+    ~mc_rate sweep;
   print_newline ()

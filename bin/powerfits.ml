@@ -83,10 +83,10 @@ let jobs_arg =
                  sequentially; results are identical for every value.")
 
 let resolve_jobs = function
-  | Some j when j >= 1 -> j
-  | Some _ ->
-      Printf.eprintf "powerfits: --jobs must be >= 1\n";
-      exit 2
+  (* a malformed --jobs fails as a structured Invalid_config everywhere,
+     same as any other bad configuration (the top-level handler turns it
+     into the Sim_error exit code) *)
+  | Some j -> Pf_util.Pool.validate_jobs ~where:"cli" j
   | None -> Pf_harness.Pool.default_jobs ()
 
 (* ---- list ---- *)
@@ -1068,6 +1068,199 @@ let report_cmd =
        ~doc:"Full per-benchmark report: translation, four configurations.")
     Term.(const run $ bench_arg $ scale_arg)
 
+(* ---- mc ---- *)
+
+let mc_sched_arg =
+  Arg.(value & opt string "random"
+       & info [ "sched" ] ~docv:"POLICY"
+           ~doc:"Core interleaving policy: $(b,rr) (round-robin) or \
+                 $(b,random) (seeded-random, default).  Runs are \
+                 bit-identical for a given policy and seed.")
+
+let resolve_sched s =
+  match Pf_mc.Sched.policy_of_string s with
+  | Some p -> p
+  | None ->
+      Printf.eprintf "powerfits mc: unknown --sched %s (rr|random)\n" s;
+      exit 2
+
+let mc_litmus ~policy ~seeds ~jobs test =
+  let tests =
+    match test with
+    | None -> Pf_mc.Litmus.tests
+    | Some name -> (
+        match Pf_mc.Litmus.find name with
+        | Some t -> [ t ]
+        | None ->
+            Printf.eprintf "powerfits mc: unknown litmus test %s (have: %s)\n"
+              name
+              (String.concat ", "
+                 (List.map (fun t -> t.Pf_mc.Model.name) Pf_mc.Litmus.tests));
+            exit 2)
+  in
+  let results =
+    List.map (fun t -> Pf_mc.Litmus.run ~policy ~seeds ~jobs t) tests
+  in
+  List.iter
+    (fun (r : Pf_mc.Litmus.result) ->
+      Printf.printf "%s: seeds=%d sched=%s allowed=%d observed=%d\n"
+        r.Pf_mc.Litmus.name r.Pf_mc.Litmus.seeds
+        (Pf_mc.Sched.policy_to_string r.Pf_mc.Litmus.policy)
+        (List.length r.Pf_mc.Litmus.allowed)
+        (List.length r.Pf_mc.Litmus.observed);
+      List.iter
+        (fun (o, c) ->
+          Printf.printf "  %6d  %-32s %s\n" c o
+            (if List.mem o r.Pf_mc.Litmus.allowed then "allowed"
+             else "FORBIDDEN"))
+        r.Pf_mc.Litmus.observed)
+    results;
+  let forbidden =
+    List.fold_left
+      (fun a (r : Pf_mc.Litmus.result) ->
+        List.fold_left (fun a (_, c) -> a + c) a r.Pf_mc.Litmus.forbidden)
+      0 results
+  in
+  Printf.printf "summary: tests=%d seeds=%d forbidden=%d\n"
+    (List.length results) seeds forbidden;
+  if forbidden > 0 then
+    Pf_util.Sim_error.raisef Pf_util.Sim_error.Divergence ~where:"mc.litmus"
+      "%d observed outcome(s) outside the memory model's allowed set"
+      forbidden
+
+let mc_workload ~policy ~seed ~cores ~benchmarks ~isa ~scale ~max_steps =
+  let pool =
+    match benchmarks with
+    | Some s -> parse_bench_list s
+    | None ->
+        let n = if cores > 0 then cores else 2 in
+        let rec take k = function
+          | b :: rest when k > 0 -> b :: take (k - 1) rest
+          | _ -> []
+        in
+        take n Pf_mibench.Registry.all
+  in
+  let ncores = if cores > 0 then cores else List.length pool in
+  if ncores < 1 || ncores > 8 then begin
+    Printf.eprintf "powerfits mc: --cores must be in 1..8 (got %d)\n" ncores;
+    exit 2
+  end;
+  let pool = Array.of_list pool in
+  let mk i =
+    let b = pool.(i mod Array.length pool) in
+    let image = build ~scale b in
+    let step =
+      match isa with
+      | "arm" -> Pf_mc.Machine.arm_core ?max_steps image
+      | "fits" -> Pf_mc.Machine.fits_core ?max_steps image
+      | _ ->
+          Printf.eprintf "powerfits mc: unknown --isa %s (arm|fits)\n" isa;
+          exit 2
+    in
+    (Printf.sprintf "%d:%s" i b.Pf_mibench.Registry.name, step)
+  in
+  let cores = Array.init ncores mk in
+  let sched = Pf_mc.Sched.create ~policy ~ncores seed in
+  (* independent kernels, private memories: no shared window, so no
+     coherence layer — the mc workload mode measures multicore power
+     accounting and scheduling, not data sharing *)
+  let m = Pf_mc.Machine.create ~sched cores in
+  Pf_mc.Machine.run m;
+  let r = Pf_mc.Machine.report m in
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun (label, (c : Pf_cpu.Step.result)) ->
+           [
+             label;
+             string_of_int c.Pf_cpu.Step.instructions;
+             string_of_int c.Pf_cpu.Step.src_instructions;
+             string_of_int c.Pf_cpu.Step.cycles;
+             Printf.sprintf "%.3f" c.Pf_cpu.Step.ipc;
+             Printf.sprintf "%.1f" c.Pf_cpu.Step.miss_rate_per_million;
+             Pf_util.Table.si c.Pf_cpu.Step.power.Pf_power.Account.total;
+           ])
+         r.Pf_mc.Machine.cores)
+  in
+  print_string
+    (Pf_util.Table.render
+       ~header:
+         [ "core"; "insns"; "src-insns"; "cycles"; "IPC"; "miss/M"; "E_total" ]
+       rows);
+  Printf.printf "machine: cores=%d sched=%s seed=%d slices=%d cycles=%d\n"
+    (Array.length r.Pf_mc.Machine.cores)
+    (Pf_mc.Sched.policy_to_string policy)
+    seed r.Pf_mc.Machine.slices r.Pf_mc.Machine.cycles;
+  let p = r.Pf_mc.Machine.power in
+  Printf.printf
+    "energy: switching=%s internal=%s leakage=%s total=%s peak-bound=%s\n"
+    (Pf_util.Table.si p.Pf_mc.Machine.switching)
+    (Pf_util.Table.si p.Pf_mc.Machine.internal)
+    (Pf_util.Table.si p.Pf_mc.Machine.leakage)
+    (Pf_util.Table.si p.Pf_mc.Machine.total)
+    (Pf_util.Table.si p.Pf_mc.Machine.peak_power)
+
+let mc_cmd =
+  let litmus_arg =
+    Arg.(value & flag
+         & info [ "litmus" ]
+             ~doc:"Run the litmus suite: classic weak-memory tests across \
+                   many seeded interleavings, every observed outcome \
+                   checked against the operational memory model.  A \
+                   forbidden outcome exits 3.")
+  in
+  let test_arg =
+    Arg.(value & opt (some string) None
+         & info [ "test" ] ~docv:"NAME"
+             ~doc:"Run a single litmus test (default: the whole suite).")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 1000
+         & info [ "seeds" ] ~docv:"N"
+             ~doc:"Seeded interleavings per litmus test (default 1000).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Scheduler seed for workload mode (default 1).")
+  in
+  let cores_arg =
+    Arg.(value & opt int 0
+         & info [ "cores" ] ~docv:"N"
+             ~doc:"Core count, 1-8 (default: one per --benchmarks entry, \
+                   or 2).  Benchmarks are cycled when N exceeds the list.")
+  in
+  let isa_arg =
+    Arg.(value & opt string "arm"
+         & info [ "isa" ] ~docv:"ISA"
+             ~doc:"Core ISA for workload mode: $(b,arm) or $(b,fits) \
+                   (per-core application-specific synthesis).")
+  in
+  let max_steps_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-steps" ] ~docv:"N"
+             ~doc:"Per-core watchdog budget (default 500M).")
+  in
+  let run litmus test seeds sched_s seed cores benchmarks isa scale max_steps
+      jobs verbose =
+    setup_logs verbose;
+    let jobs = resolve_jobs jobs in
+    let policy = resolve_sched sched_s in
+    if litmus then mc_litmus ~policy ~seeds ~jobs test
+    else mc_workload ~policy ~seed ~cores ~benchmarks ~isa ~scale ~max_steps
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Shared-memory multicore simulation: private I-caches with \
+          per-core PowerFITS accounting, write-through snooping \
+          coherence, deterministic seeded interleaving, and a \
+          litmus-test harness checked against an operational memory \
+          model.")
+    Term.(const run $ litmus_arg $ test_arg $ seeds_arg $ mc_sched_arg
+          $ seed_arg $ cores_arg $ benchmarks_arg $ isa_arg $ scale_arg
+          $ max_steps_arg $ jobs_arg $ verbose_arg)
+
 let main =
   Cmd.group
     (Cmd.info "powerfits" ~version:"1.0"
@@ -1076,7 +1269,7 @@ let main =
           instruction-set synthesis for I-cache power.")
     [ list_cmd; profile_cmd; synth_cmd; disasm_cmd; run_cmd; report_cmd;
       figures_cmd; inject_cmd; multi_cmd; population_cmd; explore_cmd;
-      serve_cmd ]
+      serve_cmd; mc_cmd ]
 
 let () =
   (* Structured simulation faults carry their own exit code: 3 for a

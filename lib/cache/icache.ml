@@ -312,6 +312,36 @@ let access_count t ~addr =
 
 let line_of_addr t ~addr = addr lsr t.block_shift
 
+(* Snooping invalidate: drop the line holding [addr] if present.  The
+   multicore coherence layer calls this on every remote core's private
+   D-cache when a shared-region store propagates — write-through with
+   invalidate, the simplest protocol that keeps private caches coherent.
+   Later ways shift up so the MRU-first order stays compact (an invalid
+   way in the middle would end the way search early on [access_count]'s
+   linear probe only by accident of tag value).  The shadow LRU is left
+   alone: it models a fully-associative cache of the same capacity for
+   miss *classification*, and a coherence invalidation is not a capacity
+   or conflict phenomenon — D-caches never classify anyway. *)
+let invalidate_addr t ~addr =
+  let block = addr lsr t.block_shift in
+  let set = block land (t.nsets - 1) in
+  let tag = block lsr t.set_shift in
+  let assoc = t.assoc in
+  let base = set * assoc in
+  let tags = t.tags in
+  let way = ref 0 in
+  while !way < assoc && Array.unsafe_get tags (base + !way) <> tag do
+    incr way
+  done;
+  if !way < assoc then begin
+    for j = !way to assoc - 2 do
+      Array.unsafe_set tags (base + j) (Array.unsafe_get tags (base + j + 1))
+    done;
+    tags.(base + assoc - 1) <- -1;
+    true
+  end
+  else false
+
 (* Same-line fast path for the block-compiled engine and sequential
    straight-line fetch: the caller proves (by tracking [line_of_addr]
    values) that the immediately preceding access to this cache touched the

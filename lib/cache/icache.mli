@@ -122,6 +122,16 @@ val access_seq_run : t -> naccesses:int -> toggles:int -> last_out:int -> unit
     {!has_pending_flips} first: the access counter jumps by [naccesses],
     which would defer a flip falling due inside the run. *)
 
+val invalidate_addr : t -> addr:int -> bool
+(** Drop the cache line holding byte address [addr] if it is resident;
+    returns whether a line was actually invalidated.  This is the D-side
+    coherence hook: the multicore machine's write-through snooping layer
+    invalidates the written line in every {e other} core's private
+    D-cache so a later read there must re-fetch the (already propagated)
+    data.  Remaining ways keep their MRU-first order; statistics and the
+    classification shadow are untouched (an invalidation is neither a
+    capacity nor a conflict event). *)
+
 val has_pending_flips : t -> bool
 (** Are tag flips scheduled but not yet applied?  While true, batched
     accessors ({!access_seq_run}) are unsound and callers must take the

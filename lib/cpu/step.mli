@@ -1,0 +1,108 @@
+(** Per-core single-instruction stepper: the sequential predecoded loop
+    body ({!Arm_run} and its FITS twin) factored into a resumable object,
+    so a multicore scheduler can interleave cores one instruction at a
+    time without forking the engine semantics.
+
+    Each [t] is one core: architectural state, predecoded micro-ops,
+    private I-cache, private D-cache, pipeline and power account.  One
+    {!step} performs exactly one iteration of the sequential loops — same
+    watchdog, same deadline polling (every [Exec.deadline_mask + 1]
+    steps), same fault conditions, same {!Pipeline.issue} call, optional
+    {!Trace.record} — so a single-core machine is bit-identical to
+    [Arm_run.run ~engine:Predecoded] / [Pf_fits.Run.run ~engine:Predecoded]
+    field by field (floats by their IEEE bits; the mc test suite pins
+    this).  Per-core PowerFITS accounting falls out unchanged; the
+    machine layer ({!Pf_mc.Machine}) sums the per-core reports. *)
+
+type result = {
+  instructions : int;       (** retired instructions at this core's isize *)
+  src_instructions : int;
+      (** ARM-source instructions: equals [instructions] on ARM cores,
+          counts first-of-group slots on FITS cores *)
+  cycles : int;
+  ipc : float;              (** source instructions per cycle *)
+  fetch_accesses : int;
+  output : string;
+  cache_accesses : int;
+  cache_misses : int;
+  miss_rate_per_million : float;
+  dcache_miss_rate_pm : float;
+  power : Pf_power.Account.report;
+}
+
+type t
+
+val default_cache_cfg : Pf_cache.Icache.config
+(** 16 KB, the ARM baseline geometry ({!Arm_run.default_cache_cfg}). *)
+
+val create :
+  ?cache_cfg:Pf_cache.Icache.config ->
+  ?pipeline_cfg:Pipeline.config ->
+  ?power_params:Pf_power.Account.Params.t ->
+  ?classify:bool ->
+  ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
+  ?trace:Trace.t ->
+  ?src:bool array * bool array ->
+  isize:int ->
+  code_base:int ->
+  words:int array ->
+  entry:int ->
+  uops:Pf_arm.Pexec.uop array ->
+  Pf_arm.Exec.t ->
+  t
+(** Build a core over an already-predecoded stream.  [isize] is 4 (ARM)
+    or 2 (FITS); [words] backs sequential-fetch toggle accounting and is
+    indexed from [code_base] in 32-bit words.  [src], for FITS cores,
+    gives per-slot (first-of-group, group-is-singleton) flags indexed
+    like [uops] — they drive the source-instruction counts the FITS
+    runner reports.  [max_steps] (default 500 million) is the per-core
+    watchdog; [trace] must be created with the matching [isize]. *)
+
+val of_image :
+  ?cache_cfg:Pf_cache.Icache.config ->
+  ?pipeline_cfg:Pipeline.config ->
+  ?power_params:Pf_power.Account.Params.t ->
+  ?classify:bool ->
+  ?max_steps:int ->
+  ?deadline:Pf_util.Deadline.t ->
+  ?trace:Trace.t ->
+  Pf_arm.Image.t ->
+  t
+(** ARM convenience: predecode the image ({!Pf_arm.Pexec.compile}), make
+    a fresh {!Pf_arm.Exec.t} and wrap them as an [isize]-4 core. *)
+
+val step : t -> unit
+(** Advance the core by exactly one instruction (or by the halt
+    transition when the pc reaches the sentinel).  No-op once halted.
+    Raises the engines' structured errors ([Watchdog_timeout],
+    [Decode_fault], deadline expiry) under [where = "cpu.step"]. *)
+
+val halted : t -> bool
+
+val steps : t -> int
+(** Instructions retired so far (the watchdog counter). *)
+
+val pc : t -> int
+
+val state : t -> Pf_arm.Exec.t
+(** The architectural state — shared-memory layers read and write its
+    [mem] directly. *)
+
+val dcache : t -> Pf_cache.Icache.t
+(** The private D-cache, exposed so a coherence layer can snoop
+    ({!Pf_cache.Icache.invalidate_addr}). *)
+
+val stored_addr : t -> int
+(** Lowest byte address written by the most recent {!step}, or [-1] if it
+    executed no store.  Multi-word stores (push) cover
+    [\[stored_addr, stored_addr + 4 * stored_words)]. *)
+
+val stored_words : t -> int
+(** Words written by the most recent step's store ([0] if none; byte and
+    half stores report [1] — the containing word). *)
+
+val result : t -> result
+(** Snapshot of the core's counters, output and power report, assembled
+    exactly as the sequential runners assemble theirs.  Also publishes
+    the D-cache miss rate into the core's trace, as the runners do. *)

@@ -36,6 +36,13 @@ type engine = Pf_cpu.Arm_run.engine = Reference | Predecoded | Compiled
     {!Mapping.micro} through {!Pf_arm.Exec.execute} each step.
     Bit-identical results across all three. *)
 
+val predecode : Translate.t -> Pf_arm.Pexec.uop array
+(** Predecode the translated 16-bit stream: one micro-op per slot
+    (indexed like [Translate.insns]), with the same pipeline metadata the
+    runners attach.  Exported for the multicore per-core stepper
+    ({!Pf_cpu.Step}), which drives FITS cores through the identical
+    micro-op semantics without owning a run loop of its own. *)
+
 val run :
   ?engine:engine ->
   ?cache:Pf_cache.Icache.t ->

@@ -80,3 +80,17 @@ let garray_init gname gscale init =
   { gname; gscale; length = Array.length init; init = Some init }
 
 let program globals funcs = { funcs; globals }
+
+(* Multicore surface: litmus kernels mark ordering points with [fence],
+   compiled as a single word store to the reserved [__sync] global.  On a
+   single core it is an ordinary (harmless) store; the multicore
+   coherence layer recognizes the address and treats the store as a
+   drain point — a no-op under sequential consistency, a store-buffer
+   flush under a TSO-style model.  Every core of a shared-memory machine
+   must declare the same globals in the same order (the linker lays
+   globals out in declaration order, so identical lists give identical
+   shared addresses); [shared_program] enforces that by construction. *)
+let sync_global_name = "__sync"
+let sync_global = garray sync_global_name W32 1
+let fence = store32 (gaddr sync_global_name) (i 0)
+let shared_program globals funcs = { funcs; globals = globals @ [ sync_global ] }

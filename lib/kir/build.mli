@@ -93,3 +93,28 @@ val garray : string -> scale -> int -> global
 val garray_init : string -> scale -> int array -> global
 
 val program : global list -> func list -> program
+
+(* {1 Multicore surface}
+
+   Kernels destined for the shared-memory multicore machine ([lib/mc])
+   communicate through identically-declared globals and mark ordering
+   points with [fence]. *)
+
+val sync_global_name : string
+(* ["__sync"]: the reserved global whose stores the multicore coherence
+   layer interprets as fences.  Kernels must not use it for data. *)
+
+val sync_global : global
+(* One-word W32 global named {!sync_global_name}. *)
+
+val fence : stmt
+(* A word store to {!sync_global}.  On a single core: an ordinary store.
+   On the multicore machine: a drain point — no-op under sequential
+   consistency, a store-buffer flush under a TSO-style model.  Programs
+   using it must declare {!sync_global} (see {!shared_program}). *)
+
+val shared_program : global list -> func list -> program
+(* [program] with {!sync_global} appended to the globals.  Every core of
+   a shared-memory machine must build its program with the SAME globals
+   list (the linker lays globals out in declaration order, so identical
+   lists yield identical shared addresses across the per-core images). *)

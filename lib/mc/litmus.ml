@@ -1,0 +1,223 @@
+(* Litmus harness: classic weak-memory tests as KIR kernels on the
+   multicore machine, observed outcomes checked against the operational
+   model.
+
+   Each model thread becomes one core's KIR program: [W (x, v)] is a
+   word store to global [x], [R x] prints the loaded value ([print_int]
+   — the per-core output IS the observation), [F] is the
+   {!Pf_kir.Build.fence} marker store.  Every core declares the SAME
+   globals list (the linker lays globals out in declaration order, so
+   shared variables land at identical addresses in every per-core
+   image); the shared window given to the coherence layer is exactly the
+   globals segment, and final values are read back from core 0's memory
+   after quiescence — all memories agree there, by write-through
+   induction.
+
+   A sweep runs many seeded interleavings (fanned out with
+   [Pf_util.Pool], one machine per seed — deterministic per seed, merged
+   in seed order, so the histogram is independent of [--jobs]) and
+   checks every observed outcome string against
+   [Model.allowed ~sb_capacity:0]: the machine implements sequential
+   consistency, so any outcome outside the SC set is a coherence bug. *)
+
+module Px = Pf_arm.Pexec
+
+type prepared_core = {
+  image : Pf_arm.Image.t;
+  uops : Px.uop array;
+  code_base : int;
+  words : int array;
+  entry : int;
+}
+
+type prepared = {
+  test : Model.test;
+  pcores : prepared_core array;
+  shared : Machine.shared;
+  var_addrs : (string * int) list;
+}
+
+let where = "mc.litmus"
+
+let kir_of_thread ~globals ops =
+  let open Pf_kir.Build in
+  let stmts =
+    List.map
+      (function
+        | Model.W (x, v) -> setidx32 x (i 0) (i v)
+        | Model.R x -> print_int (idx32 x (i 0))
+        | Model.F -> fence)
+      ops
+  in
+  shared_program globals [ func "main" [] (stmts @ [ ret0 ]) ]
+
+let prepare (test : Model.test) =
+  let vars = Model.vars test in
+  let globals =
+    List.map
+      (fun x ->
+        match List.assoc_opt x test.Model.init with
+        | Some v -> Pf_kir.Build.garray_init x Pf_kir.Ast.W32 [| v |]
+        | None -> Pf_kir.Build.garray x Pf_kir.Ast.W32 1)
+      vars
+  in
+  let pcores =
+    Array.map
+      (fun ops ->
+        let image = Pf_armgen.Compile.program (kir_of_thread ~globals ops) in
+        let p = Px.compile image in
+        {
+          image;
+          uops = p.Px.uops;
+          code_base = p.Px.code_base;
+          words = image.Pf_arm.Image.words;
+          entry = p.Px.entry;
+        })
+      test.Model.threads
+  in
+  let img0 = pcores.(0).image in
+  let names = Pf_kir.Build.sync_global_name :: vars in
+  (* identical globals lists must give identical layouts; check, don't
+     assume *)
+  Array.iter
+    (fun pc ->
+      List.iter
+        (fun x ->
+          if Pf_arm.Image.symbol pc.image x <> Pf_arm.Image.symbol img0 x then
+            Pf_util.Sim_error.raisef Pf_util.Sim_error.Internal ~where
+              "global %s lands at different addresses across cores" x)
+        names)
+    pcores;
+  let addr x = Pf_arm.Image.symbol img0 x in
+  let var_addrs = List.map (fun x -> (x, addr x)) vars in
+  let sync_addr = addr Pf_kir.Build.sync_global_name in
+  let lo =
+    List.fold_left (fun a (_, x) -> min a x) sync_addr var_addrs
+  in
+  let hi =
+    List.fold_left (fun a (_, x) -> max a (x + 4)) (sync_addr + 4) var_addrs
+  in
+  { test; pcores; shared = { Machine.base = lo; limit = hi; sync_addr };
+    var_addrs }
+
+let reads_of_output out =
+  String.split_on_char '\n' out
+  |> List.filter (fun s -> s <> "")
+  |> List.map int_of_string
+
+let run_one prepared ~policy ~seed =
+  let steps =
+    Array.map
+      (fun pc ->
+        Pf_cpu.Step.create ~isize:4 ~code_base:pc.code_base ~words:pc.words
+          ~entry:pc.entry ~uops:pc.uops
+          (Pf_arm.Exec.create pc.image))
+      prepared.pcores
+  in
+  let cores =
+    Array.mapi (fun i s -> (Printf.sprintf "t%d" i, s)) steps
+  in
+  let sched =
+    Sched.create ~policy ~ncores:(Array.length steps) seed
+  in
+  let m = Machine.create ~shared:prepared.shared ~sched cores in
+  Machine.run m;
+  let reads =
+    Array.map
+      (fun s -> reads_of_output (Pf_arm.Exec.output (Pf_cpu.Step.state s)))
+      steps
+  in
+  let st0 = Pf_cpu.Step.state steps.(0) in
+  let finals =
+    List.map (fun (x, a) -> (x, Pf_arm.Exec.load_word st0 a))
+      prepared.var_addrs
+  in
+  { Model.reads; finals }
+
+type result = {
+  name : string;
+  seeds : int;
+  policy : Sched.policy;
+  observed : (string * int) list;  (* outcome -> count, sorted *)
+  allowed : string list;           (* the model's SC set *)
+  forbidden : (string * int) list; (* observed but not allowed *)
+}
+
+let run ?(policy = Sched.Seeded_random) ?(seeds = 1000) ?jobs
+    (test : Model.test) =
+  let prepared = prepare test in
+  let outcomes =
+    Pf_util.Pool.map ?jobs
+      (fun seed -> Model.outcome_to_string (run_one prepared ~policy ~seed))
+      (List.init seeds (fun k -> k))
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace tbl s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl s)))
+    outcomes;
+  let observed =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let allowed = Model.allowed_strings ~sb_capacity:0 test in
+  let forbidden =
+    List.filter (fun (o, _) -> not (List.mem o allowed)) observed
+  in
+  { name = test.Model.name; seeds; policy; observed; allowed; forbidden }
+
+(* The classic suite.  Two-letter names follow the litmus literature. *)
+
+let w x v = Model.W (x, v)
+let r x = Model.R x
+
+let sb =
+  { Model.name = "SB"; init = [];
+    threads = [| [ w "x" 1; r "y" ]; [ w "y" 1; r "x" ] |] }
+(* store buffering: r_x = r_y = 0 needs store-load reordering —
+   forbidden under SC, allowed under TSO *)
+
+let mp =
+  { Model.name = "MP"; init = [];
+    threads = [| [ w "x" 1; w "y" 1 ]; [ r "y"; r "x" ] |] }
+(* message passing: seeing the flag (y=1) but not the data (x=0) is
+   forbidden under SC and TSO alike *)
+
+let lb =
+  { Model.name = "LB"; init = [];
+    threads = [| [ r "x"; w "y" 1 ]; [ r "y"; w "x" 1 ] |] }
+(* load buffering: r_x = r_y = 1 needs load-store reordering — forbidden
+   under SC and TSO *)
+
+let coww =
+  { Model.name = "CoWW"; init = [];
+    threads = [| [ w "x" 1; w "x" 2 ]; [ w "x" 3 ] |] }
+(* coherence (write-write): final x is 2 or 3, never 1 *)
+
+let corr =
+  { Model.name = "CoRR"; init = [];
+    threads = [| [ w "x" 1 ]; [ r "x"; r "x" ] |] }
+(* coherence (read-read): once 1 is seen, reading 0 again is forbidden *)
+
+let sb_fence =
+  { Model.name = "SB+fences"; init = [];
+    threads = [| [ w "x" 1; Model.F; r "y" ]; [ w "y" 1; Model.F; r "x" ] |]
+  }
+(* fenced store buffering: the fences drain, so r_x = r_y = 0 is
+   forbidden even under TSO *)
+
+let iriw =
+  { Model.name = "IRIW"; init = [];
+    threads =
+      [| [ w "x" 1 ]; [ w "y" 1 ];
+         [ r "x"; r "y" ]; [ r "y"; r "x" ] |] }
+(* independent reads of independent writes: the two reader threads must
+   agree on the write order under SC (and TSO) *)
+
+let tests = [ sb; mp; lb; coww; corr; sb_fence; iriw ]
+
+let find name =
+  List.find_opt
+    (fun t -> String.lowercase_ascii t.Model.name = String.lowercase_ascii name)
+    tests

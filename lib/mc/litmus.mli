@@ -1,0 +1,60 @@
+(** Litmus harness: classic weak-memory tests as KIR kernels on the
+    multicore machine, checked against the operational {!Model}.
+
+    Each model thread becomes one core's KIR program ([W] = word store
+    to a shared global, [R] = [print_int] of its load — the per-core
+    output is the observation, [F] = the {!Pf_kir.Build.fence} marker);
+    every core declares the same globals so shared variables land at
+    identical addresses.  A sweep runs many seeded interleavings and
+    checks each observed outcome against [Model.allowed ~sb_capacity:0]
+    — the machine's write-through coherence is sequentially consistent,
+    so anything outside the SC set is a coherence bug. *)
+
+type result = {
+  name : string;
+  seeds : int;
+  policy : Sched.policy;
+  observed : (string * int) list;
+      (** outcome ({!Model.outcome_to_string}) -> count, sorted *)
+  allowed : string list;            (** the model's SC outcome set *)
+  forbidden : (string * int) list;  (** observed outcomes outside it *)
+}
+
+val run :
+  ?policy:Sched.policy -> ?seeds:int -> ?jobs:int -> Model.test -> result
+(** Sweep [seeds] interleavings (default 1000, seeds [0..seeds-1]) under
+    [policy] (default {!Sched.Seeded_random}).  Machines are fanned out
+    across [jobs] worker domains, one machine per seed; each machine is
+    deterministic in its seed and results merge in seed order, so the
+    histogram is byte-identical at any [jobs]. *)
+
+(** {1 The suite} *)
+
+val sb : Model.test
+(** Store buffering: [(0, 0)] needs store-load reordering — forbidden
+    under SC, allowed under TSO. *)
+
+val mp : Model.test
+(** Message passing: flag seen but not the data is forbidden under SC
+    and TSO alike. *)
+
+val lb : Model.test
+(** Load buffering: [(1, 1)] needs load-store reordering. *)
+
+val coww : Model.test
+(** Coherence, write-write: final [x] is 2 or 3, never 1. *)
+
+val corr : Model.test
+(** Coherence, read-read: once 1 is seen, 0 cannot be read again. *)
+
+val sb_fence : Model.test
+(** Store buffering with fences: [(0, 0)] forbidden even under TSO. *)
+
+val iriw : Model.test
+(** Independent reads of independent writes: the reader threads must
+    agree on the write order. *)
+
+val tests : Model.test list
+
+val find : string -> Model.test option
+(** Case-insensitive lookup by test name. *)

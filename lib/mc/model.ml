@@ -1,0 +1,187 @@
+(* Operational weak-memory model: exhaustive outcome enumeration for
+   litmus tests.
+
+   A test is a handful of threads, each a short straight-line program of
+   shared-variable writes, reads and fences.  The machine state is the
+   global memory plus one bounded FIFO store buffer per thread:
+
+   - [W (x, v)]: with buffer capacity 0 the write goes straight to
+     global memory (sequential consistency); otherwise it enters the
+     thread's buffer (enabled only when the buffer has room).
+   - [R x]: reads the newest buffered value of [x] from the thread's OWN
+     buffer (store forwarding), falling back to global memory — other
+     threads' buffers are invisible.
+   - [F]: enabled only when the thread's own buffer is empty (a fence
+     orders by forcing a drain first).
+   - drain: any thread's oldest buffered write may retire to global
+     memory at any point (this is the reordering source).
+
+   Capacity 0 is SC — exactly what the write-through [Coherence] layer
+   implements; a large capacity is TSO (store-load reordering, own-store
+   forwarding, no IRIW-style independent-read divergence beyond what
+   FIFO buffers allow).  The litmus harness checks machine-observed
+   outcomes against [allowed ~sb_capacity:0]; the TSO sets are exercised
+   by the unit tests so the next PR's store-buffer layer lands against
+   an already-tested reference.
+
+   Enumeration is a DFS over the (tiny) state space with memoization on
+   the full state — including the read history, since two states that
+   differ only in past reads yield different outcomes. *)
+
+type op =
+  | W of string * int
+  | R of string
+  | F
+
+type test = {
+  name : string;
+  threads : op list array;
+  init : (string * int) list;
+}
+
+type outcome = {
+  reads : int list array;
+  finals : (string * int) list;
+}
+
+let outcome_to_string o =
+  let b = Buffer.create 64 in
+  Array.iteri
+    (fun i rs ->
+      if i > 0 then Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int i);
+      Buffer.add_char b ':';
+      Buffer.add_string b (String.concat "," (List.map string_of_int rs)))
+    o.reads;
+  Buffer.add_string b " |";
+  List.iter
+    (fun (x, v) -> Buffer.add_string b (Printf.sprintf " %s=%d" x v))
+    o.finals;
+  Buffer.contents b
+
+let vars_of test =
+  let m = ref [] in
+  let add x = if not (List.mem x !m) then m := x :: !m in
+  List.iter (fun (x, _) -> add x) test.init;
+  Array.iter
+    (List.iter (function W (x, _) -> add x | R x -> add x | F -> ()))
+    test.threads;
+  List.sort compare !m
+
+let allowed ~sb_capacity test =
+  let nt = Array.length test.threads in
+  let progs = Array.map Array.of_list test.threads in
+  let vars = vars_of test in
+  let init_mem =
+    List.map
+      (fun x ->
+        (x, match List.assoc_opt x test.init with Some v -> v | None -> 0))
+      vars
+  in
+  let seen = Hashtbl.create 997 in
+  let outs : (string, outcome) Hashtbl.t = Hashtbl.create 97 in
+  let key idx bufs mem reads =
+    let b = Buffer.create 96 in
+    Array.iter (fun i -> Buffer.add_string b (string_of_int i);
+                 Buffer.add_char b ';') idx;
+    Array.iter
+      (fun bl ->
+        List.iter
+          (fun (x, v) ->
+            Buffer.add_string b x;
+            Buffer.add_char b '=';
+            Buffer.add_string b (string_of_int v);
+            Buffer.add_char b ',')
+          bl;
+        Buffer.add_char b ';')
+      bufs;
+    List.iter
+      (fun (_, v) ->
+        Buffer.add_string b (string_of_int v);
+        Buffer.add_char b ',')
+      mem;
+    Buffer.add_char b ';';
+    Array.iter
+      (fun rs ->
+        List.iter
+          (fun v ->
+            Buffer.add_string b (string_of_int v);
+            Buffer.add_char b ',')
+          rs;
+        Buffer.add_char b ';')
+      reads;
+    Buffer.contents b
+  in
+  let write mem x v =
+    List.map (fun (y, w) -> if String.equal y x then (y, v) else (y, w)) mem
+  in
+  let rec fwd x = function
+    | [] -> None
+    | (y, v) :: rest -> (
+        (* newest-first: a later buffer entry shadows an earlier one, so
+           keep scanning and prefer the deepest match *)
+        match fwd x rest with
+        | Some _ as r -> r
+        | None -> if String.equal y x then Some v else None)
+  in
+  let with_elt a i v =
+    let a' = Array.copy a in
+    a'.(i) <- v;
+    a'
+  in
+  let rec go idx bufs mem reads =
+    let k = key idx bufs mem reads in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      let all_done = ref true in
+      for ti = 0 to nt - 1 do
+        let p = progs.(ti) in
+        if idx.(ti) < Array.length p then begin
+          all_done := false;
+          match p.(idx.(ti)) with
+          | W (x, v) ->
+              if sb_capacity = 0 then
+                go (with_elt idx ti (idx.(ti) + 1)) bufs (write mem x v) reads
+              else if List.length bufs.(ti) < sb_capacity then
+                go
+                  (with_elt idx ti (idx.(ti) + 1))
+                  (with_elt bufs ti (bufs.(ti) @ [ (x, v) ]))
+                  mem reads
+              (* full buffer: blocked until a drain transition frees room *)
+          | R x ->
+              let v =
+                match fwd x bufs.(ti) with
+                | Some v -> v
+                | None -> List.assoc x mem
+              in
+              go
+                (with_elt idx ti (idx.(ti) + 1))
+                bufs mem
+                (with_elt reads ti (reads.(ti) @ [ v ]))
+          | F -> if bufs.(ti) = [] then
+                go (with_elt idx ti (idx.(ti) + 1)) bufs mem reads
+        end;
+        match bufs.(ti) with
+        | (x, v) :: rest ->
+            all_done := false;
+            go idx (with_elt bufs ti rest) (write mem x v) reads
+        | [] -> ()
+      done;
+      if !all_done then begin
+        let o = { reads = Array.map (fun r -> r) reads; finals = mem } in
+        let s = outcome_to_string o in
+        if not (Hashtbl.mem outs s) then Hashtbl.add outs s o
+      end
+    end
+  in
+  go (Array.make nt 0)
+    (Array.make nt [])
+    init_mem
+    (Array.make nt []);
+  Hashtbl.fold (fun s o acc -> (s, o) :: acc) outs []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let allowed_strings ~sb_capacity test =
+  List.map fst (allowed ~sb_capacity test)
+
+let vars = vars_of

@@ -1,0 +1,44 @@
+(** Operational weak-memory model: exhaustive outcome enumeration for
+    litmus tests.
+
+    State = global shared memory + one bounded FIFO store buffer per
+    thread.  [sb_capacity = 0] is sequential consistency (writes hit
+    global memory atomically — exactly what the write-through
+    {!Coherence} layer implements); a large capacity is TSO: store-load
+    reordering via buffered own writes, store forwarding from the
+    thread's own buffer, fences drain.  The litmus harness checks every
+    machine-observed outcome against the SC set; the TSO sets back the
+    unit tests so a future store-buffer layer lands against an
+    already-tested reference. *)
+
+type op =
+  | W of string * int  (** store a constant to a shared variable *)
+  | R of string        (** read a shared variable (value is recorded) *)
+  | F                  (** fence: drains the thread's own store buffer *)
+
+type test = {
+  name : string;
+  threads : op list array;
+  init : (string * int) list;  (** unlisted variables start at 0 *)
+}
+
+type outcome = {
+  reads : int list array;      (** per thread, in program order *)
+  finals : (string * int) list;(** final memory, sorted by variable *)
+}
+
+val outcome_to_string : outcome -> string
+(** Canonical form, e.g. ["0:1,0 1: | x=1 y=1"] — thread read lists,
+    then final memory.  The litmus harness prints machine observations
+    through this same function, so set membership is string equality. *)
+
+val allowed : sb_capacity:int -> test -> (string * outcome) list
+(** All reachable outcomes, keyed by {!outcome_to_string}, sorted and
+    deduplicated.  Enumeration is a memoized DFS; litmus-sized tests
+    (2-4 threads, 2-3 ops each) are a few thousand states. *)
+
+val allowed_strings : sb_capacity:int -> test -> string list
+
+val vars : test -> string list
+(** Every shared variable the test mentions, sorted — the globals list
+    the litmus harness declares (identically) on every core. *)

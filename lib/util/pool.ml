@@ -1,5 +1,16 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Every entry point that accepts a --jobs count funnels it through here:
+   a non-positive worker count is an ill-formed configuration, and it must
+   fail the same structured way whether it arrives via the CLI, a library
+   caller or a service config — not be silently clamped by one path and
+   rejected with a bare eprintf by another. *)
+let validate_jobs ?(where = "util.pool") jobs =
+  if jobs < 1 then
+    Sim_error.raisef Sim_error.Invalid_config ~where
+      "jobs must be >= 1 (got %d)" jobs;
+  jobs
+
 (* ---- one-shot batch map ------------------------------------------------ *)
 
 (* Closed-on-creation work queue: every task is known up front, so the
@@ -56,7 +67,9 @@ let raise_failures ~total = function
         (String.concat "\n" (List.map describe fails))
 
 let map ?jobs f xs =
-  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let jobs =
+    match jobs with Some j -> validate_jobs j | None -> default_jobs ()
+  in
   let inputs = Array.of_list xs in
   let n = Array.length inputs in
   let results = Array.make n None in
@@ -121,7 +134,9 @@ module Service = struct
   }
 
   let create ?jobs ?(on_error = fun _ -> ()) ~capacity worker =
-    let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let jobs =
+      match jobs with Some j -> validate_jobs j | None -> default_jobs ()
+    in
     let t =
       {
         m = Mutex.create ();

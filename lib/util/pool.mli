@@ -16,6 +16,13 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — one worker per available
     core. *)
 
+val validate_jobs : ?where:string -> int -> int
+(** Identity on a well-formed worker count; raises a structured
+    {!Sim_error.Error} of kind [Invalid_config] when [jobs < 1].  Every
+    entry point that accepts a jobs count — {!map}, {!Service.create},
+    the CLI's [--jobs] — validates through here so malformed values fail
+    identically everywhere.  [where] defaults to ["util.pool"]. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
     [jobs] worker domains (the calling domain works too, so [jobs = 4]

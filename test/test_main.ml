@@ -27,4 +27,5 @@ let () =
       ("differential", Test_differential.tests);
       ("serve", Test_serve.tests);
       ("workgen", Test_workgen.tests);
+      ("mc", Test_mc.tests);
     ]

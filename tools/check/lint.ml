@@ -77,6 +77,28 @@ let scoped_forbidden =
       "lib/serve must not terminate the process; return a structured error \
        and let bin/ decide" );
   ]
+  (* The multicore machine is an INTERLEAVING simulator, not a threaded
+     program: determinism (bit-identical runs per scheduler seed, at any
+     --jobs) holds only because exactly one core advances per slice on a
+     single domain.  Spawning real domains or threads inside lib/mc
+     would reintroduce host-machine nondeterminism into the very layer
+     whose job is to model concurrency deterministically.  Fan-out
+     across seeds/configs goes through Pf_util.Pool, outside the
+     machine.  Mutexes are banned for the same reason: nothing in lib/mc
+     may need one — shared state is owned by the single-domain machine
+     loop, and a Mutex would be a smell that real parallelism leaked
+     in. *)
+  @ List.concat_map
+      (fun pat ->
+        [
+          ( "lib/mc/",
+            pat,
+            "lib/mc is a single-domain interleaving engine; one core \
+             advances per Sched slice, so runs replay bit-identically \
+             from a seed.  Parallelize across machines with \
+             Pf_util.Pool, never inside one" );
+        ])
+      [ "Domain.spawn"; "Thread.create"; "Mutex."; "Condition." ]
   (* The block-compilation engine (basic-block discovery in bexec, the
      block-dispatch driver in cexec) stakes its correctness on closures
      whose captured micro-op arrays the type checker has fully vetted —
